@@ -1,0 +1,3 @@
+//! Shared helpers for the figure-regeneration binaries.
+#![allow(missing_docs)]
+pub mod support;

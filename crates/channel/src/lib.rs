@@ -1,0 +1,41 @@
+//! # nplus-channel
+//!
+//! Wireless channel substrate for the `nplus` workspace — the reproduction
+//! of *"Random Access Heterogeneous MIMO Networks"* (SIGCOMM 2011).
+//!
+//! The paper evaluates on a USRP2 testbed (Fig. 10) with LOS and NLOS
+//! links; this crate simulates that physical layer-below-the-PHY:
+//!
+//! * [`placement`] — the floor-plan geometry and random node placement
+//!   methodology of the paper's experiments;
+//! * [`pathloss`] — log-distance large-scale loss calibrated to the
+//!   paper's 5–35 dB link-SNR operating range;
+//! * [`fading`] — Rayleigh/Rician tapped-delay-line multipath, consistent
+//!   between the time domain (medium) and frequency domain (precoder);
+//! * [`mimo`] — per-link MIMO channels with exact electromagnetic
+//!   reciprocity;
+//! * [`impairments`] — the hardware error model (estimation noise,
+//!   calibration residual, transmit EVM) that bounds nulling/alignment
+//!   depth to the paper's measured 25–27 dB;
+//! * [`cfo`] — carrier-frequency-offset application, estimation, and the
+//!   pre-compensation joiners perform;
+//! * [`noise`] — calibrated complex AWGN.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cfo;
+pub mod fading;
+pub mod impairments;
+pub mod mimo;
+pub mod noise;
+pub mod pathloss;
+pub mod placement;
+
+pub use cfo::{apply_cfo, estimate_cfo, precompensate_cfo};
+pub use fading::{DelayProfile, FadingChannel};
+pub use impairments::{HardwareProfile, IDEAL_HARDWARE};
+pub use mimo::MimoLink;
+pub use noise::{add_noise, measure_power, noise_sample, noise_stream, snr_db};
+pub use pathloss::{sample_normal, LinkBudget, PathLossModel};
+pub use placement::{Location, Point, Testbed};

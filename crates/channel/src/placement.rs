@@ -1,0 +1,208 @@
+//! Testbed geometry.
+//!
+//! The paper evaluates over random assignments of nodes to ~20 marked
+//! locations in an indoor testbed (Fig. 10), mixing line-of-sight and
+//! non-line-of-sight links. We model the same methodology: a fixed set of
+//! candidate locations in a rectangular floor plan, some tagged NLOS
+//! (behind walls), and experiments draw random assignments of nodes to
+//! locations.
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// A 2-D position in meters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Point {
+    /// x coordinate (m).
+    pub x: f64,
+    /// y coordinate (m).
+    pub y: f64,
+}
+
+impl Point {
+    /// Creates a point.
+    pub const fn new(x: f64, y: f64) -> Self {
+        Point { x, y }
+    }
+
+    /// Euclidean distance to another point (m).
+    pub fn distance(&self, other: &Point) -> f64 {
+        (self.x - other.x).hypot(self.y - other.y)
+    }
+}
+
+/// One candidate node location in the testbed.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Location {
+    /// Position on the floor plan.
+    pub pos: Point,
+    /// Whether this spot sits behind an interior wall (adds extra loss
+    /// and richer multipath on its links).
+    pub nlos: bool,
+}
+
+/// The testbed floor plan: a set of candidate locations.
+#[derive(Debug, Clone)]
+pub struct Testbed {
+    locations: Vec<Location>,
+}
+
+impl Testbed {
+    /// The default floor plan modeled after the paper's Fig. 10: twenty
+    /// locations spread over a ~16 m × 10 m office area, six of them
+    /// behind interior walls (NLOS).
+    pub fn sigcomm11() -> Self {
+        let mut locations = Vec::new();
+        // Open-plan area (LOS cluster).
+        let los = [
+            (1.0, 1.5),
+            (3.0, 2.0),
+            (5.5, 1.0),
+            (7.0, 3.0),
+            (9.0, 1.5),
+            (11.0, 2.5),
+            (13.0, 1.0),
+            (15.0, 2.0),
+            (2.0, 5.0),
+            (4.5, 6.0),
+            (7.5, 5.5),
+            (10.0, 6.5),
+            (12.5, 5.0),
+            (15.0, 6.0),
+        ];
+        for &(x, y) in &los {
+            locations.push(Location {
+                pos: Point::new(x, y),
+                nlos: false,
+            });
+        }
+        // Offices along the far wall (NLOS cluster).
+        let nlos = [
+            (1.5, 9.0),
+            (4.0, 9.5),
+            (6.5, 9.0),
+            (9.5, 9.5),
+            (12.0, 9.0),
+            (14.5, 9.5),
+        ];
+        for &(x, y) in &nlos {
+            locations.push(Location {
+                pos: Point::new(x, y),
+                nlos: true,
+            });
+        }
+        Testbed { locations }
+    }
+
+    /// Builds a testbed from explicit locations.
+    pub fn from_locations(locations: Vec<Location>) -> Self {
+        Testbed { locations }
+    }
+
+    /// All candidate locations.
+    pub fn locations(&self) -> &[Location] {
+        &self.locations
+    }
+
+    /// Number of candidate locations.
+    pub fn len(&self) -> usize {
+        self.locations.len()
+    }
+
+    /// True when the testbed has no locations.
+    pub fn is_empty(&self) -> bool {
+        self.locations.is_empty()
+    }
+
+    /// Draws a random assignment of `n` nodes to distinct locations,
+    /// mirroring the paper's "random assignment of nodes to locations in
+    /// Fig. 10" methodology.
+    pub fn random_assignment<R: Rng>(&self, n: usize, rng: &mut R) -> Vec<Location> {
+        assert!(
+            n <= self.locations.len(),
+            "cannot place {n} nodes on {} locations",
+            self.locations.len()
+        );
+        let mut picks = self.locations.clone();
+        picks.shuffle(rng);
+        picks.truncate(n);
+        picks
+    }
+
+    /// True when the straight line between two locations crosses the
+    /// interior wall region (a simple y = 8 m wall with doorways), used by
+    /// the path-loss model to decide LOS/NLOS per *link*.
+    pub fn link_is_nlos(&self, a: &Location, b: &Location) -> bool {
+        // If either endpoint is in an office, the link crosses the wall
+        // unless both are in offices adjacent to each other.
+        a.nlos != b.nlos || (a.nlos && b.nlos && a.pos.distance(&b.pos) > 4.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn default_testbed_has_twenty_locations() {
+        let tb = Testbed::sigcomm11();
+        assert_eq!(tb.len(), 20);
+        assert_eq!(tb.locations().iter().filter(|l| l.nlos).count(), 6);
+    }
+
+    #[test]
+    fn distance_known_value() {
+        let a = Point::new(0.0, 0.0);
+        let b = Point::new(3.0, 4.0);
+        assert!((a.distance(&b) - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn random_assignment_is_distinct() {
+        let tb = Testbed::sigcomm11();
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..50 {
+            let picks = tb.random_assignment(6, &mut rng);
+            assert_eq!(picks.len(), 6);
+            for i in 0..picks.len() {
+                for j in (i + 1)..picks.len() {
+                    assert!(
+                        picks[i].pos.distance(&picks[j].pos) > 1e-9,
+                        "two nodes on the same location"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn assignments_vary_with_seed() {
+        let tb = Testbed::sigcomm11();
+        let a = tb.random_assignment(4, &mut StdRng::seed_from_u64(1));
+        let b = tb.random_assignment(4, &mut StdRng::seed_from_u64(2));
+        let same = a
+            .iter()
+            .zip(&b)
+            .all(|(x, y)| x.pos.distance(&y.pos) < 1e-12);
+        assert!(!same, "different seeds produced identical placements");
+    }
+
+    #[test]
+    fn cross_wall_links_are_nlos() {
+        let tb = Testbed::sigcomm11();
+        let open = tb.locations().iter().find(|l| !l.nlos).unwrap();
+        let office = tb.locations().iter().find(|l| l.nlos).unwrap();
+        assert!(tb.link_is_nlos(open, office));
+        assert!(!tb.link_is_nlos(open, open));
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot place")]
+    fn too_many_nodes_rejected() {
+        let tb = Testbed::sigcomm11();
+        let mut rng = StdRng::seed_from_u64(0);
+        let _ = tb.random_assignment(21, &mut rng);
+    }
+}

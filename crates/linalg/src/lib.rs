@@ -1,0 +1,71 @@
+//! # nplus-linalg
+//!
+//! Complex linear algebra substrate for the `nplus` workspace — the
+//! reproduction of *"Random Access Heterogeneous MIMO Networks"*
+//! (SIGCOMM 2011).
+//!
+//! The paper's machinery is linear algebra over small complex matrices:
+//!
+//! * **Interference nulling** picks pre-coding vectors in the null space of
+//!   a channel matrix ([`null_space`]).
+//! * **Interference alignment** constrains signals through the orthogonal
+//!   complement of a receiver's unwanted space ([`Subspace::complement`]).
+//! * **Multi-dimensional carrier sense** projects received samples onto the
+//!   complement of the occupied signal space ([`Subspace::coordinates`]).
+//! * **Zero-forcing decoding** solves the effective channel equations
+//!   ([`solve`], [`lstsq`]).
+//!
+//! No external linear-algebra crate is available in this build environment,
+//! so the substrate is implemented here from first principles, sized and
+//! tested for the small (≤ 4×4 per subcarrier) matrices MIMO LANs use.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod complex;
+pub mod matrix;
+pub mod nullspace;
+pub mod qr;
+pub mod solve;
+pub mod subspace;
+pub mod vector;
+
+pub use complex::{c64, Complex64};
+pub use matrix::CMatrix;
+pub use nullspace::{is_null_space_of, null_space, nullity};
+pub use qr::{column_space, is_orthonormal, orthonormalize, qr, row_space, Qr};
+pub use solve::{
+    default_tolerance, determinant, inverse, lstsq, pinv, rank, row_echelon, solve, solve_many,
+    LinalgError,
+};
+pub use subspace::{principal_angle, residual_power_db, sin_angle, Subspace};
+pub use vector::CVector;
+
+/// Converts a linear power ratio to decibels.
+#[inline]
+pub fn db_from_ratio(ratio: f64) -> f64 {
+    10.0 * ratio.max(1e-300).log10()
+}
+
+/// Converts decibels to a linear power ratio.
+#[inline]
+pub fn ratio_from_db(db: f64) -> f64 {
+    10f64.powf(db / 10.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn db_round_trip() {
+        for &db in &[-30.0, -3.0, 0.0, 10.0, 27.0] {
+            assert!((db_from_ratio(ratio_from_db(db)) - db).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn db_of_unity_is_zero() {
+        assert!(db_from_ratio(1.0).abs() < 1e-12);
+    }
+}

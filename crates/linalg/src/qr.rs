@@ -1,0 +1,201 @@
+//! Orthonormalization and QR decomposition.
+//!
+//! Subspace manipulation in n+ (projection for multi-dimensional carrier
+//! sense, unwanted-space bases `U` and complements `U^⊥`) needs
+//! numerically stable orthonormal bases. We provide modified Gram–Schmidt
+//! with re-orthogonalization — for the 1–4 dimensional spaces this system
+//! works with, MGS with one re-orthogonalization pass is as stable as
+//! Householder and considerably simpler.
+
+use crate::matrix::CMatrix;
+use crate::vector::CVector;
+
+/// Result of a (thin) QR decomposition: `A = Q R` with `Q` having
+/// orthonormal columns and `R` upper triangular.
+#[derive(Debug, Clone)]
+pub struct Qr {
+    /// Orthonormal columns spanning the column space of `A`
+    /// (`rows × rank`).
+    pub q: CMatrix,
+    /// Upper-triangular factor (`rank × cols`).
+    pub r: CMatrix,
+    /// Numerical rank detected during the decomposition.
+    pub rank: usize,
+}
+
+/// Orthonormalizes the given vectors with modified Gram–Schmidt plus one
+/// re-orthogonalization pass, dropping vectors that are linearly dependent
+/// on earlier ones (relative tolerance `tol` against the input norm).
+///
+/// The output spans the same space as the input and is orthonormal to
+/// machine precision.
+pub fn orthonormalize(vectors: &[CVector], tol: f64) -> Vec<CVector> {
+    let mut basis: Vec<CVector> = Vec::with_capacity(vectors.len());
+    for v in vectors {
+        let original_norm = v.norm();
+        if original_norm <= tol {
+            continue;
+        }
+        let mut w = v.clone();
+        // Two passes of MGS ("twice is enough" — Kahan/Parlett).
+        for _ in 0..2 {
+            for b in &basis {
+                let k = w.dot(b);
+                w.axpy(-k, b);
+            }
+        }
+        // Drop if what remains is negligible relative to the input.
+        if w.norm() <= tol.max(original_norm * 1e-12) {
+            continue;
+        }
+        basis.push(w.normalized());
+    }
+    basis
+}
+
+/// Thin, rank-revealing QR of `a` via modified Gram–Schmidt on the columns.
+pub fn qr(a: &CMatrix) -> Qr {
+    let cols = a.columns();
+    let scale = a.max_abs().max(1e-300);
+    let tol = scale * (a.rows().max(a.cols()) as f64) * f64::EPSILON;
+    let q_cols = orthonormalize(&cols, tol);
+    let rank = q_cols.len();
+    let q = if rank == 0 {
+        CMatrix::zeros(a.rows(), 0)
+    } else {
+        CMatrix::from_cols(&q_cols)
+    };
+    // R = Q^H A.
+    let r = &q.hermitian() * a;
+    Qr { q, r, rank }
+}
+
+/// Orthonormal basis of the column space of `a`.
+pub fn column_space(a: &CMatrix) -> Vec<CVector> {
+    let scale = a.max_abs().max(1e-300);
+    let tol = scale * (a.rows().max(a.cols()) as f64) * f64::EPSILON;
+    orthonormalize(&a.columns(), tol)
+}
+
+/// Orthonormal basis of the row space of `a` (as column vectors of
+/// dimension `a.cols()`), i.e. the column space of `A^H`.
+pub fn row_space(a: &CMatrix) -> Vec<CVector> {
+    column_space(&a.hermitian())
+}
+
+/// Verifies that the columns of `q` are orthonormal within `tol`.
+/// Intended for tests and debug assertions.
+pub fn is_orthonormal(vectors: &[CVector], tol: f64) -> bool {
+    for (i, a) in vectors.iter().enumerate() {
+        for (j, b) in vectors.iter().enumerate() {
+            let d = a.dot(b);
+            let expect = if i == j { 1.0 } else { 0.0 };
+            if (d.re - expect).abs() > tol || d.im.abs() > tol {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::complex::c64;
+
+    const TOL: f64 = 1e-10;
+
+    #[test]
+    fn orthonormalize_independent_set() {
+        let vs = vec![
+            CVector::from_vec(vec![c64(1.0, 0.0), c64(1.0, 0.0), c64(0.0, 0.0)]),
+            CVector::from_vec(vec![c64(0.0, 1.0), c64(1.0, 0.0), c64(1.0, 0.0)]),
+            CVector::from_vec(vec![c64(1.0, 0.0), c64(0.0, 0.0), c64(0.0, 2.0)]),
+        ];
+        let basis = orthonormalize(&vs, 1e-12);
+        assert_eq!(basis.len(), 3);
+        assert!(is_orthonormal(&basis, TOL));
+    }
+
+    #[test]
+    fn orthonormalize_drops_dependent_vectors() {
+        let a = CVector::from_vec(vec![c64(1.0, 0.0), c64(0.0, 1.0)]);
+        let b = a.scale(c64(2.0, -1.0)); // same direction
+        let c = CVector::from_vec(vec![c64(0.0, 0.0), c64(1.0, 0.0)]);
+        let basis = orthonormalize(&[a, b, c], 1e-12);
+        assert_eq!(basis.len(), 2);
+        assert!(is_orthonormal(&basis, TOL));
+    }
+
+    #[test]
+    fn orthonormalize_skips_zero_vectors() {
+        let vs = vec![
+            CVector::zeros(3),
+            CVector::from_vec(vec![c64(0.0, 3.0), c64(0.0, 0.0), c64(4.0, 0.0)]),
+        ];
+        let basis = orthonormalize(&vs, 1e-12);
+        assert_eq!(basis.len(), 1);
+        assert!((basis[0].norm() - 1.0).abs() < TOL);
+    }
+
+    #[test]
+    fn qr_reconstructs_matrix() {
+        let a = CMatrix::from_vec(
+            3,
+            3,
+            vec![
+                c64(1.0, 1.0),
+                c64(2.0, 0.0),
+                c64(0.0, -1.0),
+                c64(0.0, 1.0),
+                c64(1.0, 0.0),
+                c64(3.0, 0.0),
+                c64(2.0, 0.0),
+                c64(0.0, 0.0),
+                c64(1.0, 1.0),
+            ],
+        );
+        let d = qr(&a);
+        assert_eq!(d.rank, 3);
+        assert!((&d.q * &d.r).approx_eq(&a, TOL));
+        // Q^H Q = I
+        assert!((&d.q.hermitian() * &d.q).approx_eq(&CMatrix::identity(3), TOL));
+    }
+
+    #[test]
+    fn qr_rank_deficient() {
+        // Column 2 = 2 * column 0.
+        let a = CMatrix::from_reals(3, 3, &[1.0, 0.0, 2.0, 2.0, 1.0, 4.0, 0.0, 1.0, 0.0]);
+        let d = qr(&a);
+        assert_eq!(d.rank, 2);
+        assert!((&d.q * &d.r).approx_eq(&a, TOL));
+    }
+
+    #[test]
+    fn column_space_dimension() {
+        let a = CMatrix::from_reals(4, 2, &[1.0, 2.0, 0.0, 0.0, 1.0, 2.0, 1.0, 0.0]);
+        let cs = column_space(&a);
+        assert_eq!(cs.len(), 2);
+        assert!(is_orthonormal(&cs, TOL));
+    }
+
+    #[test]
+    fn row_space_dimension() {
+        let a = CMatrix::from_reals(2, 4, &[1.0, 0.0, 1.0, 0.0, 2.0, 0.0, 2.0, 0.0]);
+        // Rows are dependent -> row space has dimension 1, vectors live in C^4.
+        let rs = row_space(&a);
+        assert_eq!(rs.len(), 1);
+        assert_eq!(rs[0].len(), 4);
+    }
+
+    #[test]
+    fn r_is_upper_triangular() {
+        let a = CMatrix::from_reals(3, 3, &[2.0, 1.0, 0.0, 1.0, 3.0, 1.0, 0.0, 1.0, 4.0]);
+        let d = qr(&a);
+        for i in 0..d.r.rows() {
+            for j in 0..i.min(d.r.cols()) {
+                assert!(d.r[(i, j)].abs() < TOL, "R[{i},{j}] not zero");
+            }
+        }
+    }
+}

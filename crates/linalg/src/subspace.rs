@@ -1,0 +1,375 @@
+//! Subspaces, orthogonal complements and projections.
+//!
+//! Multi-dimensional carrier sense (paper §3.2) is literally "project the
+//! received signal onto the orthogonal complement of the ongoing
+//! transmissions and run 802.11 carrier sense there". The unwanted space
+//! `U` and its complement `U^⊥` of §3.3 are the same machinery. This
+//! module provides a [`Subspace`] type holding an orthonormal basis with
+//! the operations both call sites need.
+
+
+use crate::matrix::CMatrix;
+use crate::nullspace::null_space;
+use crate::qr::{is_orthonormal, orthonormalize};
+use crate::vector::CVector;
+
+/// A linear subspace of `C^n`, stored as an orthonormal basis.
+///
+/// The zero subspace is represented by an empty basis; the ambient
+/// dimension is always tracked so complements remain well-defined.
+#[derive(Debug, Clone)]
+pub struct Subspace {
+    ambient: usize,
+    basis: Vec<CVector>,
+}
+
+impl Subspace {
+    /// The zero subspace of `C^ambient`.
+    pub fn zero(ambient: usize) -> Self {
+        Subspace {
+            ambient,
+            basis: Vec::new(),
+        }
+    }
+
+    /// The full space `C^ambient`.
+    pub fn full(ambient: usize) -> Self {
+        Subspace {
+            ambient,
+            basis: (0..ambient).map(|i| CVector::unit(ambient, i)).collect(),
+        }
+    }
+
+    /// Subspace spanned by the given vectors (they need not be independent
+    /// or normalized; dependent and zero vectors are dropped).
+    pub fn span(ambient: usize, vectors: &[CVector]) -> Self {
+        for v in vectors {
+            assert_eq!(v.len(), ambient, "span: vector dimension != ambient");
+        }
+        let scale = vectors
+            .iter()
+            .map(|v| v.norm())
+            .fold(0.0f64, f64::max)
+            .max(1e-300);
+        let tol = scale * ambient as f64 * f64::EPSILON;
+        Subspace {
+            ambient,
+            basis: orthonormalize(vectors, tol),
+        }
+    }
+
+    /// Subspace spanned by the columns of `a`.
+    pub fn from_columns(a: &CMatrix) -> Self {
+        Self::span(a.rows(), &a.columns())
+    }
+
+    /// Constructs a subspace directly from an already-orthonormal basis.
+    ///
+    /// Panics in debug builds if the basis is not orthonormal.
+    pub fn from_orthonormal(ambient: usize, basis: Vec<CVector>) -> Self {
+        debug_assert!(
+            is_orthonormal(&basis, 1e-8),
+            "from_orthonormal: basis is not orthonormal"
+        );
+        for v in &basis {
+            assert_eq!(v.len(), ambient);
+        }
+        Subspace { ambient, basis }
+    }
+
+    /// Dimension of the ambient space.
+    #[inline]
+    pub fn ambient_dim(&self) -> usize {
+        self.ambient
+    }
+
+    /// Dimension of the subspace itself.
+    #[inline]
+    pub fn dim(&self) -> usize {
+        self.basis.len()
+    }
+
+    /// True for the zero subspace.
+    #[inline]
+    pub fn is_zero(&self) -> bool {
+        self.basis.is_empty()
+    }
+
+    /// True when the subspace is all of `C^ambient`.
+    #[inline]
+    pub fn is_full(&self) -> bool {
+        self.basis.len() == self.ambient
+    }
+
+    /// The orthonormal basis vectors.
+    #[inline]
+    pub fn basis(&self) -> &[CVector] {
+        &self.basis
+    }
+
+    /// Basis as a matrix whose *columns* are the basis vectors
+    /// (`ambient × dim`).
+    pub fn basis_matrix(&self) -> CMatrix {
+        if self.basis.is_empty() {
+            CMatrix::zeros(self.ambient, 0)
+        } else {
+            CMatrix::from_cols(&self.basis)
+        }
+    }
+
+    /// Basis as a matrix whose *rows* are the conjugated basis vectors
+    /// (`dim × ambient`) — the `U^⊥` row operator of the paper's Eq. 6:
+    /// applying it to a received vector extracts the coordinates along the
+    /// subspace.
+    pub fn row_operator(&self) -> CMatrix {
+        self.basis_matrix().hermitian()
+    }
+
+    /// Orthogonal complement within the ambient space.
+    ///
+    /// Computed as the null space of the row operator, so
+    /// `dim + complement.dim == ambient` always holds.
+    pub fn complement(&self) -> Subspace {
+        if self.is_zero() {
+            return Subspace::full(self.ambient);
+        }
+        let ns = null_space(&self.row_operator());
+        Subspace {
+            ambient: self.ambient,
+            basis: ns,
+        }
+    }
+
+    /// Projects `v` onto the subspace.
+    pub fn project(&self, v: &CVector) -> CVector {
+        assert_eq!(v.len(), self.ambient, "project: dimension mismatch");
+        let mut out = CVector::zeros(self.ambient);
+        for b in &self.basis {
+            let k = v.dot(b);
+            out.axpy(k, b);
+        }
+        out
+    }
+
+    /// Removes the component of `v` inside the subspace, i.e. projects `v`
+    /// onto the orthogonal complement without materializing it.
+    pub fn reject(&self, v: &CVector) -> CVector {
+        assert_eq!(v.len(), self.ambient, "reject: dimension mismatch");
+        let mut out = v.clone();
+        for b in &self.basis {
+            let k = out.dot(b);
+            out.axpy(-k, b);
+        }
+        out
+    }
+
+    /// Coordinates of `v` in the subspace basis (a `dim`-vector). This is
+    /// the "signal after projection" `y'` of §3.2: interference from the
+    /// spanned directions is annihilated when applied to the complement.
+    pub fn coordinates(&self, v: &CVector) -> CVector {
+        assert_eq!(v.len(), self.ambient, "coordinates: dimension mismatch");
+        self.basis.iter().map(|b| v.dot(b)).collect()
+    }
+
+    /// Projection matrix `P = B B^H` onto the subspace (`ambient × ambient`).
+    pub fn projector(&self) -> CMatrix {
+        let b = self.basis_matrix();
+        &b * &b.hermitian()
+    }
+
+    /// True when `v` lies in the subspace within tolerance `tol`
+    /// (relative to `|v|`).
+    pub fn contains(&self, v: &CVector, tol: f64) -> bool {
+        let resid = self.reject(v);
+        resid.norm() <= tol * v.norm().max(1e-300)
+    }
+
+    /// The sum (union-span) of two subspaces of the same ambient space.
+    pub fn sum(&self, other: &Subspace) -> Subspace {
+        assert_eq!(self.ambient, other.ambient, "sum: ambient mismatch");
+        let mut all = self.basis.clone();
+        all.extend(other.basis.iter().cloned());
+        Subspace::span(self.ambient, &all)
+    }
+
+    /// Fraction of the power of `v` that lies inside the subspace, in
+    /// `[0, 1]`. Convenient for expressing residual-interference checks.
+    pub fn power_fraction(&self, v: &CVector) -> f64 {
+        let total = v.norm_sqr();
+        if total <= 1e-300 {
+            return 0.0;
+        }
+        self.project(v).norm_sqr() / total
+    }
+}
+
+/// Angle `θ` between two vectors (paper Fig. 7): the decode-SNR of
+/// zero-forcing scales with `sin θ` between the wanted signal and the
+/// interference subspace. Returns radians in `[0, π/2]`.
+pub fn principal_angle(a: &CVector, b: &CVector) -> f64 {
+    let na = a.norm();
+    let nb = b.norm();
+    if na <= 1e-300 || nb <= 1e-300 {
+        return 0.0;
+    }
+    let c = (a.dot(b).abs() / (na * nb)).clamp(0.0, 1.0);
+    c.acos()
+}
+
+/// Hermitian inner-product based "sin θ" factor: the fraction of `a`'s
+/// amplitude that survives projection orthogonal to `b`.
+pub fn sin_angle(a: &CVector, b: &CVector) -> f64 {
+    principal_angle(a, b).sin()
+}
+
+/// Convenience: `Complex64`-valued zero check used by callers when
+/// asserting nulling depth.
+pub fn residual_power_db(residual: &CVector, reference: &CVector) -> f64 {
+    let num = residual.norm_sqr().max(1e-300);
+    let den = reference.norm_sqr().max(1e-300);
+    10.0 * (num / den).log10()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::complex::c64;
+
+    const TOL: f64 = 1e-10;
+
+    fn v3(a: (f64, f64), b: (f64, f64), c: (f64, f64)) -> CVector {
+        CVector::from_vec(vec![c64(a.0, a.1), c64(b.0, b.1), c64(c.0, c.1)])
+    }
+
+    #[test]
+    fn complement_dimensions_add_up() {
+        let s = Subspace::span(
+            3,
+            &[v3((1.0, 0.0), (1.0, 1.0), (0.0, 0.0))],
+        );
+        assert_eq!(s.dim(), 1);
+        let c = s.complement();
+        assert_eq!(c.dim(), 2);
+        assert_eq!(s.dim() + c.dim(), 3);
+    }
+
+    #[test]
+    fn complement_annihilates_original() {
+        // This is exactly multi-dimensional carrier sense: a signal in the
+        // occupied space has zero coordinates in the complement.
+        let h = v3((0.8, 0.1), (-0.2, 0.6), (0.4, -0.3)); // channel of tx1
+        let occupied = Subspace::span(3, &[h.clone()]);
+        let comp = occupied.complement();
+        // Any scalar multiple of h (any transmitted symbol p) vanishes.
+        for &p in &[c64(1.0, 0.0), c64(-0.3, 2.0), c64(0.0, -1.0)] {
+            let y = h.scale(p);
+            let coords = comp.coordinates(&y);
+            assert!(coords.is_negligible(TOL), "residual {coords:?}");
+        }
+    }
+
+    #[test]
+    fn complement_preserves_new_signal() {
+        let h1 = v3((0.8, 0.1), (-0.2, 0.6), (0.4, -0.3));
+        let h2 = v3((0.1, -0.5), (0.7, 0.2), (-0.3, 0.3));
+        let occupied = Subspace::span(3, &[h1.clone()]);
+        let comp = occupied.complement();
+        // A second transmission not colinear with h1 must survive.
+        let coords = comp.coordinates(&h2);
+        assert!(coords.norm() > 0.1, "tx2 signal lost in projection");
+        // And the survived power equals the rejected component's power.
+        let rejected = occupied.reject(&h2);
+        assert!((coords.norm_sqr() - rejected.norm_sqr()).abs() < TOL);
+    }
+
+    #[test]
+    fn project_plus_reject_is_identity() {
+        let s = Subspace::span(
+            3,
+            &[
+                v3((1.0, 0.0), (0.0, 1.0), (0.0, 0.0)),
+                v3((0.0, 0.0), (1.0, 0.0), (1.0, 1.0)),
+            ],
+        );
+        let v = v3((0.3, -0.4), (1.2, 0.0), (0.0, 0.9));
+        let p = s.project(&v);
+        let r = s.reject(&v);
+        assert!((&p + &r).approx_eq(&v, TOL));
+        assert!(p.dot(&r).abs() < TOL);
+    }
+
+    #[test]
+    fn projector_matrix_matches_project() {
+        let s = Subspace::span(
+            3,
+            &[v3((1.0, 1.0), (0.0, 0.0), (2.0, -1.0))],
+        );
+        let v = v3((0.5, 0.0), (0.0, 0.5), (1.0, 1.0));
+        let via_matrix = s.projector().mul_vec(&v);
+        assert!(via_matrix.approx_eq(&s.project(&v), TOL));
+        // Projector is idempotent: P^2 = P.
+        let p = s.projector();
+        assert!((&p * &p).approx_eq(&p, TOL));
+    }
+
+    #[test]
+    fn contains_detects_membership() {
+        let b = v3((1.0, 0.0), (2.0, 0.0), (0.0, 1.0));
+        let s = Subspace::span(3, &[b.clone()]);
+        assert!(s.contains(&b.scale(c64(0.0, -3.0)), 1e-9));
+        assert!(!s.contains(&v3((1.0, 0.0), (0.0, 0.0), (0.0, 0.0)), 1e-6));
+    }
+
+    #[test]
+    fn zero_and_full_subspace() {
+        let z = Subspace::zero(4);
+        assert!(z.is_zero());
+        assert!(z.complement().is_full());
+        let f = Subspace::full(4);
+        assert!(f.is_full());
+        assert_eq!(f.complement().dim(), 0);
+        let v = CVector::unit(4, 2);
+        assert!(z.reject(&v).approx_eq(&v, TOL));
+        assert!(f.project(&v).approx_eq(&v, TOL));
+    }
+
+    #[test]
+    fn sum_of_subspaces() {
+        let a = Subspace::span(3, &[CVector::unit(3, 0)]);
+        let b = Subspace::span(3, &[CVector::unit(3, 1)]);
+        let s = a.sum(&b);
+        assert_eq!(s.dim(), 2);
+        // Sum with overlap doesn't over-count.
+        let s2 = a.sum(&a);
+        assert_eq!(s2.dim(), 1);
+    }
+
+    #[test]
+    fn principal_angle_extremes() {
+        let e0 = CVector::unit(2, 0);
+        let e1 = CVector::unit(2, 1);
+        assert!((principal_angle(&e0, &e1) - std::f64::consts::FRAC_PI_2).abs() < TOL);
+        assert!(principal_angle(&e0, &e0).abs() < TOL);
+        // Phase rotation does not change the angle (complex colinearity).
+        let rotated = e0.scale(c64(0.0, 1.0));
+        assert!(principal_angle(&e0, &rotated).abs() < 1e-7);
+    }
+
+    #[test]
+    fn power_fraction_bounds() {
+        let s = Subspace::span(2, &[CVector::unit(2, 0)]);
+        let inside = CVector::unit(2, 0);
+        let outside = CVector::unit(2, 1);
+        assert!((s.power_fraction(&inside) - 1.0).abs() < TOL);
+        assert!(s.power_fraction(&outside) < TOL);
+        let mixed = CVector::from_reals(&[1.0, 1.0]);
+        assert!((s.power_fraction(&mixed) - 0.5).abs() < TOL);
+    }
+
+    #[test]
+    fn residual_power_db_scale() {
+        let r = CVector::from_reals(&[0.1, 0.0]);
+        let s = CVector::from_reals(&[1.0, 0.0]);
+        assert!((residual_power_db(&r, &s) + 20.0).abs() < 1e-9);
+    }
+}

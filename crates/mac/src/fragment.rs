@@ -1,0 +1,272 @@
+//! Packet fragmentation and aggregation.
+//!
+//! n+ requires every joiner to end its transmission together with the
+//! first contention winner (§3.1), which means a joiner must fit whatever
+//! it sends into a fixed number of OFDM symbols: fragmenting a packet
+//! that is too long, or aggregating several small packets (as 802.11n
+//! A-MPDU does) when the budget allows.
+
+use nplus_phy::rates::Mcs;
+
+/// One MPDU waiting in a transmit queue.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Mpdu {
+    /// Sequence number.
+    pub seq: u16,
+    /// Fragment number (0 for unfragmented packets).
+    pub frag: u8,
+    /// Whether more fragments of this sequence follow.
+    pub more_frags: bool,
+    /// Payload bytes.
+    pub payload: Vec<u8>,
+}
+
+/// Per-MPDU overhead when packed into a body: a 4-byte delimiter
+/// (seq/frag/flags/len-check) plus a 4-byte CRC, as in A-MPDU framing.
+pub const MPDU_OVERHEAD_BYTES: usize = 8;
+
+/// Packs queued payload bytes into a body that fits `budget_symbols` OFDM
+/// symbols at the given MCS.
+///
+/// Consumes packets from the front of `queue` (draining what it packs),
+/// fragmenting the final packet if only part of it fits. Returns the
+/// MPDUs to send. Packets whose next fragment cannot fit at all (budget
+/// smaller than overhead + 1 byte) are left queued.
+pub fn pack_for_budget(
+    queue: &mut Vec<QueuedPacket>,
+    budget_symbols: usize,
+    mcs: Mcs,
+) -> Vec<Mpdu> {
+    let budget_bits = budget_symbols * mcs.data_bits_per_symbol();
+    let mut budget_bytes = budget_bits / 8;
+    let mut out = Vec::new();
+    while let Some(pkt) = queue.first_mut() {
+        if budget_bytes < MPDU_OVERHEAD_BYTES + 1 {
+            break;
+        }
+        let available = budget_bytes - MPDU_OVERHEAD_BYTES;
+        let remaining = pkt.payload.len() - pkt.offset;
+        if remaining <= available {
+            // Whole (rest of the) packet fits.
+            out.push(Mpdu {
+                seq: pkt.seq,
+                frag: pkt.next_frag,
+                more_frags: false,
+                payload: pkt.payload[pkt.offset..].to_vec(),
+            });
+            budget_bytes -= remaining + MPDU_OVERHEAD_BYTES;
+            queue.remove(0);
+        } else {
+            // Fragment: send what fits, keep the tail queued.
+            out.push(Mpdu {
+                seq: pkt.seq,
+                frag: pkt.next_frag,
+                more_frags: true,
+                payload: pkt.payload[pkt.offset..pkt.offset + available].to_vec(),
+            });
+            pkt.offset += available;
+            pkt.next_frag += 1;
+            budget_bytes = 0;
+        }
+        if budget_bytes == 0 {
+            break;
+        }
+    }
+    out
+}
+
+/// A packet in a transmit queue, with fragmentation progress.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QueuedPacket {
+    /// Sequence number.
+    pub seq: u16,
+    /// Full payload.
+    pub payload: Vec<u8>,
+    /// How many payload bytes have already been sent in earlier fragments.
+    pub offset: usize,
+    /// Next fragment number.
+    pub next_frag: u8,
+}
+
+impl QueuedPacket {
+    /// Wraps a fresh payload.
+    pub fn new(seq: u16, payload: Vec<u8>) -> Self {
+        QueuedPacket {
+            seq,
+            payload,
+            offset: 0,
+            next_frag: 0,
+        }
+    }
+}
+
+/// Reassembles MPDUs back into complete packets. Returns completed
+/// `(seq, payload)` pairs in completion order; out-of-order fragments of
+/// the same sequence are rejected (the MAC retransmits in order).
+#[derive(Debug, Default)]
+pub struct Reassembler {
+    partial: Option<(u16, u8, Vec<u8>)>,
+    completed: Vec<(u16, Vec<u8>)>,
+}
+
+impl Reassembler {
+    /// Creates an empty reassembler.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Feeds one received MPDU.
+    pub fn push(&mut self, mpdu: &Mpdu) {
+        match &mut self.partial {
+            Some((seq, next_frag, buf)) if *seq == mpdu.seq && *next_frag == mpdu.frag => {
+                buf.extend_from_slice(&mpdu.payload);
+                if mpdu.more_frags {
+                    *next_frag += 1;
+                } else {
+                    let (seq, _, buf) = self.partial.take().unwrap();
+                    self.completed.push((seq, buf));
+                }
+            }
+            _ if mpdu.frag == 0 => {
+                if mpdu.more_frags {
+                    self.partial = Some((mpdu.seq, 1, mpdu.payload.clone()));
+                } else {
+                    self.partial = None;
+                    self.completed.push((mpdu.seq, mpdu.payload.clone()));
+                }
+            }
+            _ => {
+                // Out-of-order fragment: drop any partial state.
+                self.partial = None;
+            }
+        }
+    }
+
+    /// Drains completed packets.
+    pub fn take_completed(&mut self) -> Vec<(u16, Vec<u8>)> {
+        std::mem::take(&mut self.completed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nplus_phy::rates::RATE_TABLE;
+
+    fn mcs() -> Mcs {
+        RATE_TABLE[2] // QPSK 1/2: 48 data bits... 96 coded/2 = 48 bits = 6 bytes per symbol
+    }
+
+    #[test]
+    fn whole_packet_fits() {
+        let mut q = vec![QueuedPacket::new(1, vec![0xAB; 40])];
+        // 40 bytes + 8 overhead = 48 bytes = 384 bits; QPSK 1/2 carries
+        // 48 bits/symbol -> 8 symbols needed.
+        let mpdus = pack_for_budget(&mut q, 10, mcs());
+        assert_eq!(mpdus.len(), 1);
+        assert_eq!(mpdus[0].payload.len(), 40);
+        assert!(!mpdus[0].more_frags);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn oversized_packet_fragments() {
+        let mut q = vec![QueuedPacket::new(2, vec![0xCD; 500])];
+        let mpdus = pack_for_budget(&mut q, 20, mcs()); // 20*48/8 = 120 bytes
+        assert_eq!(mpdus.len(), 1);
+        assert_eq!(mpdus[0].payload.len(), 120 - MPDU_OVERHEAD_BYTES);
+        assert!(mpdus[0].more_frags);
+        assert_eq!(q.len(), 1);
+        assert_eq!(q[0].offset, 112);
+        // Next round continues the fragment chain.
+        let mpdus2 = pack_for_budget(&mut q, 20, mcs());
+        assert_eq!(mpdus2[0].frag, 1);
+    }
+
+    #[test]
+    fn aggregation_packs_multiple_packets() {
+        let mut q = vec![
+            QueuedPacket::new(1, vec![1; 20]),
+            QueuedPacket::new(2, vec![2; 20]),
+            QueuedPacket::new(3, vec![3; 500]),
+        ];
+        // Budget: 80 bytes -> packets 1 and 2 (28 bytes each with
+        // overhead) fit whole; packet 3 gets the remaining 24 - 8 bytes.
+        let mpdus = pack_for_budget(&mut q, 14, mcs()); // 14 symbols ≈ 84 bytes
+        assert!(mpdus.len() >= 2, "should aggregate at least 2 MPDUs");
+        assert_eq!(mpdus[0].seq, 1);
+        assert_eq!(mpdus[1].seq, 2);
+        assert!(!mpdus[0].more_frags && !mpdus[1].more_frags);
+    }
+
+    #[test]
+    fn zero_budget_packs_nothing() {
+        let mut q = vec![QueuedPacket::new(1, vec![0; 10])];
+        assert!(pack_for_budget(&mut q, 0, mcs()).is_empty());
+        assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    fn reassembly_of_fragmented_packet() {
+        let payload: Vec<u8> = (0..=255u8).cycle().take(300).collect();
+        let mut q = vec![QueuedPacket::new(9, payload.clone())];
+        let mut r = Reassembler::new();
+        let mut guard = 0;
+        while !q.is_empty() {
+            for m in pack_for_budget(&mut q, 10, mcs()) {
+                r.push(&m);
+            }
+            guard += 1;
+            assert!(guard < 100);
+        }
+        let done = r.take_completed();
+        assert_eq!(done.len(), 1);
+        assert_eq!(done[0].0, 9);
+        assert_eq!(done[0].1, payload);
+    }
+
+    #[test]
+    fn reassembly_of_aggregate() {
+        let mut r = Reassembler::new();
+        for seq in 0..3u16 {
+            r.push(&Mpdu {
+                seq,
+                frag: 0,
+                more_frags: false,
+                payload: vec![seq as u8; 10],
+            });
+        }
+        let done = r.take_completed();
+        assert_eq!(done.len(), 3);
+        for (i, (seq, payload)) in done.iter().enumerate() {
+            assert_eq!(*seq, i as u16);
+            assert_eq!(payload.len(), 10);
+        }
+    }
+
+    #[test]
+    fn out_of_order_fragment_dropped() {
+        let mut r = Reassembler::new();
+        r.push(&Mpdu {
+            seq: 5,
+            frag: 0,
+            more_frags: true,
+            payload: vec![1; 10],
+        });
+        // Skip fragment 1, feed fragment 2: partial state must be dropped.
+        r.push(&Mpdu {
+            seq: 5,
+            frag: 2,
+            more_frags: false,
+            payload: vec![2; 10],
+        });
+        assert!(r.take_completed().is_empty());
+    }
+
+    #[test]
+    fn budget_math_matches_mcs() {
+        // Confirm the bits-per-symbol accounting against the rate table.
+        let m = mcs();
+        assert_eq!(m.data_bits_per_symbol(), 48);
+    }
+}

@@ -1,0 +1,164 @@
+//! Retransmission bookkeeping.
+//!
+//! §4 ("Retransmissions"): an n+ node keeps each packet queued until it is
+//! acked; on the next contention win the packet is reconsidered, possibly
+//! fragmented differently or aggregated with other packets for the same
+//! receiver.
+
+use crate::fragment::QueuedPacket;
+use std::collections::HashMap;
+
+/// Transmit queue with ack/retransmission tracking, per receiver.
+#[derive(Debug, Default)]
+pub struct RetransmitQueue {
+    /// Per-destination FIFO of unacked packets.
+    queues: HashMap<u16, Vec<QueuedPacket>>,
+    /// Packets sent and awaiting ack: (dst, seq) → payload snapshot.
+    in_flight: HashMap<(u16, u16), Vec<u8>>,
+    next_seq: u16,
+    /// Counters for stats.
+    pub delivered: usize,
+    /// Number of retransmissions performed.
+    pub retransmissions: usize,
+}
+
+impl RetransmitQueue {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Enqueues a fresh upper-layer packet for `dst`; returns its sequence
+    /// number.
+    pub fn enqueue(&mut self, dst: u16, payload: Vec<u8>) -> u16 {
+        let seq = self.next_seq;
+        self.next_seq = self.next_seq.wrapping_add(1);
+        self.queues
+            .entry(dst)
+            .or_default()
+            .push(QueuedPacket::new(seq, payload));
+        seq
+    }
+
+    /// True when there is pending traffic for any destination.
+    pub fn has_traffic(&self) -> bool {
+        self.queues.values().any(|q| !q.is_empty())
+    }
+
+    /// True when there is pending traffic for `dst`.
+    pub fn has_traffic_for(&self, dst: u16) -> bool {
+        self.queues.get(&dst).is_some_and(|q| !q.is_empty())
+    }
+
+    /// Mutable access to the per-destination queue, for the packer.
+    pub fn queue_for(&mut self, dst: u16) -> &mut Vec<QueuedPacket> {
+        self.queues.entry(dst).or_default()
+    }
+
+    /// Records that `seq` was fully sent to `dst` and awaits an ack.
+    pub fn mark_sent(&mut self, dst: u16, seq: u16, payload: Vec<u8>) {
+        self.in_flight.insert((dst, seq), payload);
+    }
+
+    /// Processes an ack for `(dst, seq)`. Returns true if it matched an
+    /// in-flight packet.
+    pub fn on_ack(&mut self, dst: u16, seq: u16) -> bool {
+        if self.in_flight.remove(&(dst, seq)).is_some() {
+            self.delivered += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Ack timeout: requeue every in-flight packet for `dst` at the front
+    /// of its queue (oldest first), to be reconsidered at the next win.
+    pub fn on_timeout(&mut self, dst: u16) {
+        let mut expired: Vec<(u16, Vec<u8>)> = self
+            .in_flight
+            .iter()
+            .filter(|((d, _), _)| *d == dst)
+            .map(|((_, s), p)| (*s, p.clone()))
+            .collect();
+        expired.sort_by_key(|(s, _)| *s);
+        for (seq, _) in &expired {
+            self.in_flight.remove(&(dst, *seq));
+        }
+        let q = self.queues.entry(dst).or_default();
+        for (seq, payload) in expired.into_iter().rev() {
+            self.retransmissions += 1;
+            q.insert(0, QueuedPacket::new(seq, payload));
+        }
+    }
+
+    /// Number of packets currently awaiting acks.
+    pub fn in_flight_count(&self) -> usize {
+        self.in_flight.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn enqueue_assigns_monotonic_seqs() {
+        let mut q = RetransmitQueue::new();
+        let s1 = q.enqueue(1, vec![1]);
+        let s2 = q.enqueue(1, vec![2]);
+        let s3 = q.enqueue(2, vec![3]);
+        assert_eq!(s2, s1.wrapping_add(1));
+        assert_eq!(s3, s2.wrapping_add(1));
+        assert!(q.has_traffic());
+        assert!(q.has_traffic_for(1));
+        assert!(q.has_traffic_for(2));
+        assert!(!q.has_traffic_for(3));
+    }
+
+    #[test]
+    fn ack_clears_in_flight() {
+        let mut q = RetransmitQueue::new();
+        let seq = q.enqueue(1, vec![0; 10]);
+        let pkt = q.queue_for(1).remove(0);
+        q.mark_sent(1, pkt.seq, pkt.payload);
+        assert_eq!(q.in_flight_count(), 1);
+        assert!(q.on_ack(1, seq));
+        assert_eq!(q.in_flight_count(), 0);
+        assert_eq!(q.delivered, 1);
+        // Duplicate ack is ignored.
+        assert!(!q.on_ack(1, seq));
+        assert_eq!(q.delivered, 1);
+    }
+
+    #[test]
+    fn timeout_requeues_in_order() {
+        let mut q = RetransmitQueue::new();
+        let s1 = q.enqueue(1, vec![1; 4]);
+        let s2 = q.enqueue(1, vec![2; 4]);
+        q.queue_for(1).clear();
+        q.mark_sent(1, s1, vec![1; 4]);
+        q.mark_sent(1, s2, vec![2; 4]);
+        q.on_timeout(1);
+        assert_eq!(q.in_flight_count(), 0);
+        assert_eq!(q.retransmissions, 2);
+        let queue = q.queue_for(1);
+        assert_eq!(queue.len(), 2);
+        assert_eq!(queue[0].seq, s1, "oldest packet must retransmit first");
+        assert_eq!(queue[1].seq, s2);
+    }
+
+    #[test]
+    fn timeout_only_affects_one_destination() {
+        let mut q = RetransmitQueue::new();
+        let s1 = q.enqueue(1, vec![1]);
+        let s2 = q.enqueue(2, vec![2]);
+        q.queue_for(1).clear();
+        q.queue_for(2).clear();
+        q.mark_sent(1, s1, vec![1]);
+        q.mark_sent(2, s2, vec![2]);
+        q.on_timeout(1);
+        assert_eq!(q.in_flight_count(), 1);
+        assert!(q.has_traffic_for(1));
+        assert!(!q.has_traffic_for(2));
+    }
+}

@@ -1,0 +1,78 @@
+//! MAC timing in sample units.
+//!
+//! The medium simulator runs a sample clock at the channel bandwidth, so
+//! all MAC intervals (SIFS, DIFS, slots) are converted from microseconds
+//! to sample counts once, here.
+
+use nplus_phy::params::{MacTiming, OfdmConfig};
+
+/// MAC timing converted to the medium's sample clock.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SampleTiming {
+    /// Short inter-frame space, samples.
+    pub sifs: u64,
+    /// DCF inter-frame space, samples.
+    pub difs: u64,
+    /// Backoff slot, samples.
+    pub slot: u64,
+    /// Minimum contention window, slots.
+    pub cw_min: u32,
+    /// Maximum contention window, slots.
+    pub cw_max: u32,
+    /// Samples per OFDM symbol (with CP).
+    pub symbol: u64,
+}
+
+impl SampleTiming {
+    /// Converts 802.11 microsecond timing to samples at the PHY bandwidth.
+    pub fn from_phy(mac: &MacTiming, cfg: &OfdmConfig) -> Self {
+        let to_samples = |us: f64| (us * 1e-6 * cfg.bandwidth_hz).round() as u64;
+        SampleTiming {
+            sifs: to_samples(mac.sifs_us),
+            difs: to_samples(mac.difs_us()),
+            slot: to_samples(mac.slot_us),
+            cw_min: mac.cw_min,
+            cw_max: mac.cw_max,
+            symbol: cfg.symbol_len() as u64,
+        }
+    }
+
+    /// The paper's profile: 802.11a timing on the 10 MHz USRP2 channel.
+    pub fn usrp2() -> Self {
+        Self::from_phy(&MacTiming::dot11a(), &OfdmConfig::usrp2())
+    }
+
+    /// Duration of `n` OFDM symbols, in samples.
+    pub fn symbols(&self, n: usize) -> u64 {
+        self.symbol * n as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn usrp2_sample_counts() {
+        let t = SampleTiming::usrp2();
+        // 16 µs at 10 MHz = 160 samples; slot 9 µs = 90; DIFS 34 µs = 340.
+        assert_eq!(t.sifs, 160);
+        assert_eq!(t.slot, 90);
+        assert_eq!(t.difs, 340);
+        assert_eq!(t.symbol, 80);
+    }
+
+    #[test]
+    fn wifi20_sample_counts() {
+        let t = SampleTiming::from_phy(&MacTiming::dot11a(), &OfdmConfig::wifi20());
+        assert_eq!(t.sifs, 320);
+        assert_eq!(t.slot, 180);
+    }
+
+    #[test]
+    fn symbols_helper() {
+        let t = SampleTiming::usrp2();
+        assert_eq!(t.symbols(0), 0);
+        assert_eq!(t.symbols(10), 800);
+    }
+}

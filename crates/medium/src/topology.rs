@@ -1,0 +1,197 @@
+//! Topology builder: wires a [`Medium`](crate::medium::Medium) from the
+//! testbed geometry.
+//!
+//! Given node antenna counts and a random placement draw, installs every
+//! pairwise link with large-scale gain from the path-loss model and
+//! small-scale fading matched to the link's LOS/NLOS class — the full
+//! "random assignment of nodes to locations in Fig. 10" methodology the
+//! paper's experiments repeat per run.
+
+use crate::medium::Medium;
+use crate::node::NodeId;
+use nplus_channel::fading::DelayProfile;
+use nplus_channel::mimo::MimoLink;
+use nplus_channel::pathloss::{LinkBudget, PathLossModel};
+use nplus_channel::placement::{Location, Testbed};
+use rand::Rng;
+
+/// Configuration of a topology draw.
+#[derive(Debug, Clone)]
+pub struct TopologyConfig {
+    /// Antenna count per node, in node order.
+    pub antennas: Vec<usize>,
+    /// Large-scale propagation model.
+    pub path_loss: PathLossModel,
+    /// Power/noise budget.
+    pub budget: LinkBudget,
+    /// Oscillator offset standard deviation (Hz). Each node draws its
+    /// offset from a uniform ±2σ range.
+    pub oscillator_sigma_hz: f64,
+}
+
+impl TopologyConfig {
+    /// A config for `antennas.len()` nodes with default propagation.
+    pub fn new(antennas: Vec<usize>) -> Self {
+        TopologyConfig {
+            antennas,
+            path_loss: PathLossModel::default(),
+            budget: LinkBudget::default(),
+            oscillator_sigma_hz: 2_000.0,
+        }
+    }
+}
+
+/// A built topology: the medium plus the placement that produced it.
+#[derive(Debug)]
+pub struct Topology {
+    /// The wired medium.
+    pub medium: Medium,
+    /// Node ids in the same order as `config.antennas`.
+    pub nodes: Vec<NodeId>,
+    /// The drawn locations per node.
+    pub placements: Vec<Location>,
+}
+
+/// Draws a placement on the testbed and wires all pairwise links.
+///
+/// `sample_rate_hz` sets the medium clock (10 MHz for the paper's
+/// profile); `seed` makes the draw reproducible.
+pub fn build_topology<R: Rng>(
+    testbed: &Testbed,
+    config: &TopologyConfig,
+    sample_rate_hz: f64,
+    seed: u64,
+    rng: &mut R,
+) -> Topology {
+    let n = config.antennas.len();
+    let placements = testbed.random_assignment(n, rng);
+    let mut medium = Medium::new(sample_rate_hz, seed);
+    let nodes: Vec<NodeId> = config
+        .antennas
+        .iter()
+        .map(|&ants| {
+            let offset = (rng.gen::<f64>() - 0.5) * 4.0 * config.oscillator_sigma_hz;
+            medium.add_node(ants, offset)
+        })
+        .collect();
+
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let d = placements[i].pos.distance(&placements[j].pos);
+            let nlos = testbed.link_is_nlos(&placements[i], &placements[j]);
+            let loss = config.path_loss.sample_loss_db(d, nlos, rng);
+            let amp = config.budget.amplitude_scale(loss);
+            let profile = if nlos {
+                DelayProfile::nlos()
+            } else {
+                DelayProfile::los()
+            };
+            let link = MimoLink::sample(
+                config.antennas[i],
+                config.antennas[j],
+                amp,
+                &profile,
+                rng,
+            );
+            medium.set_link(nodes[i], nodes[j], link);
+        }
+    }
+
+    Topology {
+        medium,
+        nodes,
+        placements,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn builds_fully_connected_topology() {
+        let tb = Testbed::sigcomm11();
+        let cfg = TopologyConfig::new(vec![1, 2, 3, 1]);
+        let mut rng = StdRng::seed_from_u64(5);
+        let topo = build_topology(&tb, &cfg, 10e6, 5, &mut rng);
+        assert_eq!(topo.nodes.len(), 4);
+        assert_eq!(topo.placements.len(), 4);
+        for i in 0..4 {
+            for j in 0..4 {
+                if i != j {
+                    assert!(
+                        topo.medium.link(topo.nodes[i], topo.nodes[j]).is_some(),
+                        "missing link {i}->{j}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn antenna_counts_respected() {
+        let tb = Testbed::sigcomm11();
+        let cfg = TopologyConfig::new(vec![1, 2, 3]);
+        let mut rng = StdRng::seed_from_u64(9);
+        let topo = build_topology(&tb, &cfg, 10e6, 9, &mut rng);
+        for (i, &ants) in cfg.antennas.iter().enumerate() {
+            assert_eq!(topo.medium.node(topo.nodes[i]).n_antennas, ants);
+        }
+        let l = topo.medium.link(topo.nodes[0], topo.nodes[2]).unwrap();
+        assert_eq!(l.n_tx(), 1);
+        assert_eq!(l.n_rx(), 3);
+    }
+
+    #[test]
+    fn different_seeds_different_topologies() {
+        let tb = Testbed::sigcomm11();
+        let cfg = TopologyConfig::new(vec![1, 1]);
+        let t1 = build_topology(&tb, &cfg, 10e6, 1, &mut StdRng::seed_from_u64(1));
+        let t2 = build_topology(&tb, &cfg, 10e6, 2, &mut StdRng::seed_from_u64(2));
+        let h1 = t1
+            .medium
+            .link(t1.nodes[0], t1.nodes[1])
+            .unwrap()
+            .channel_matrix(5, 64);
+        let h2 = t2
+            .medium
+            .link(t2.nodes[0], t2.nodes[1])
+            .unwrap()
+            .channel_matrix(5, 64);
+        assert!(!h1.approx_eq(&h2, 1e-9));
+    }
+
+    #[test]
+    fn link_snrs_in_operating_range() {
+        // Mean per-antenna SNR (|amplitude|² × unit fading energy) should
+        // mostly fall in the paper's experimental range.
+        let tb = Testbed::sigcomm11();
+        let cfg = TopologyConfig::new(vec![1, 1, 1, 1, 1, 1]);
+        let mut in_range = 0;
+        let mut total = 0;
+        for seed in 0..20u64 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let topo = build_topology(&tb, &cfg, 10e6, seed, &mut rng);
+            for i in 0..6 {
+                for j in (i + 1)..6 {
+                    let amp = topo
+                        .medium
+                        .link(topo.nodes[i], topo.nodes[j])
+                        .unwrap()
+                        .amplitude();
+                    let snr_db = 20.0 * amp.log10();
+                    total += 1;
+                    if (0.0..50.0).contains(&snr_db) {
+                        in_range += 1;
+                    }
+                }
+            }
+        }
+        assert!(
+            in_range as f64 / total as f64 > 0.85,
+            "only {in_range}/{total} links in range"
+        );
+    }
+}

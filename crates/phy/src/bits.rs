@@ -1,0 +1,127 @@
+//! Bit/byte manipulation helpers shared across the PHY pipeline.
+//!
+//! The coding chain (scrambler → convolutional encoder → interleaver →
+//! constellation mapper) operates on individual bits; frames arrive as
+//! bytes. Bits are transmitted LSB-first within each byte, matching
+//! 802.11's serialization order.
+
+/// Expands bytes into bits, LSB-first within each byte.
+pub fn bytes_to_bits(bytes: &[u8]) -> Vec<u8> {
+    let mut bits = Vec::with_capacity(bytes.len() * 8);
+    for &b in bytes {
+        for k in 0..8 {
+            bits.push((b >> k) & 1);
+        }
+    }
+    bits
+}
+
+/// Packs bits (LSB-first) back into bytes. The bit count must be a
+/// multiple of 8.
+pub fn bits_to_bytes(bits: &[u8]) -> Vec<u8> {
+    assert!(
+        bits.len() % 8 == 0,
+        "bits_to_bytes: {} bits is not a whole number of bytes",
+        bits.len()
+    );
+    bits.chunks(8)
+        .map(|chunk| {
+            chunk
+                .iter()
+                .enumerate()
+                .fold(0u8, |acc, (k, &bit)| acc | ((bit & 1) << k))
+        })
+        .collect()
+}
+
+/// Pads `bits` with zeros up to a multiple of `block`.
+pub fn pad_to_multiple(bits: &mut Vec<u8>, block: usize) {
+    let rem = bits.len() % block;
+    if rem != 0 {
+        bits.resize(bits.len() + (block - rem), 0);
+    }
+}
+
+/// Counts positions where the two bit slices differ (they are compared up
+/// to the shorter length).
+pub fn hamming_distance(a: &[u8], b: &[u8]) -> usize {
+    a.iter().zip(b).filter(|(x, y)| (**x & 1) != (**y & 1)).count()
+}
+
+/// Writes an unsigned value into `bits` LSB-first using `width` bits.
+pub fn push_bits(bits: &mut Vec<u8>, value: u64, width: usize) {
+    assert!(width <= 64);
+    for k in 0..width {
+        bits.push(((value >> k) & 1) as u8);
+    }
+}
+
+/// Reads an unsigned value of `width` bits (LSB-first) starting at
+/// `offset`. Returns `(value, next_offset)`.
+pub fn read_bits(bits: &[u8], offset: usize, width: usize) -> (u64, usize) {
+    assert!(offset + width <= bits.len(), "read_bits out of range");
+    let mut value = 0u64;
+    for k in 0..width {
+        value |= ((bits[offset + k] & 1) as u64) << k;
+    }
+    (value, offset + width)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn byte_bit_round_trip() {
+        let bytes = vec![0x00, 0xFF, 0xA5, 0x3C, 0x01, 0x80];
+        let bits = bytes_to_bits(&bytes);
+        assert_eq!(bits.len(), bytes.len() * 8);
+        assert_eq!(bits_to_bytes(&bits), bytes);
+    }
+
+    #[test]
+    fn lsb_first_order() {
+        let bits = bytes_to_bits(&[0b0000_0001]);
+        assert_eq!(bits[0], 1);
+        assert_eq!(&bits[1..], &[0; 7]);
+        let bits = bytes_to_bits(&[0b1000_0000]);
+        assert_eq!(bits[7], 1);
+        assert_eq!(&bits[..7], &[0; 7]);
+    }
+
+    #[test]
+    fn padding() {
+        let mut bits = vec![1, 0, 1];
+        pad_to_multiple(&mut bits, 8);
+        assert_eq!(bits.len(), 8);
+        assert_eq!(&bits[3..], &[0; 5]);
+        // Already aligned: no change.
+        let mut aligned = vec![1; 16];
+        pad_to_multiple(&mut aligned, 8);
+        assert_eq!(aligned.len(), 16);
+    }
+
+    #[test]
+    fn hamming() {
+        assert_eq!(hamming_distance(&[0, 1, 1, 0], &[0, 1, 0, 1]), 2);
+        assert_eq!(hamming_distance(&[1, 1], &[1, 1]), 0);
+    }
+
+    #[test]
+    fn push_read_round_trip() {
+        let mut bits = Vec::new();
+        push_bits(&mut bits, 0xBEEF, 16);
+        push_bits(&mut bits, 5, 3);
+        let (v1, off) = read_bits(&bits, 0, 16);
+        assert_eq!(v1, 0xBEEF);
+        let (v2, off2) = read_bits(&bits, off, 3);
+        assert_eq!(v2, 5);
+        assert_eq!(off2, 19);
+    }
+
+    #[test]
+    #[should_panic(expected = "whole number of bytes")]
+    fn unaligned_bits_panic() {
+        bits_to_bytes(&[1, 0, 1]);
+    }
+}

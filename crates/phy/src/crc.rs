@@ -1,0 +1,88 @@
+//! CRC-32 frame check sequence.
+//!
+//! 802.11 frames end with the IEEE 802.3 CRC-32 (polynomial 0x04C11DB7,
+//! reflected, init and final XOR `0xFFFF_FFFF`). The light-weight handshake
+//! of §3.5 additionally protects the detached header with its own
+//! checksum; both use this implementation.
+
+/// Reflected CRC-32 (IEEE 802.3 / zlib) over the given bytes.
+pub fn crc32(data: &[u8]) -> u32 {
+    const POLY: u32 = 0xEDB8_8320; // reflected 0x04C11DB7
+    let mut crc = 0xFFFF_FFFFu32;
+    for &byte in data {
+        crc ^= byte as u32;
+        for _ in 0..8 {
+            let lsb = crc & 1;
+            crc >>= 1;
+            if lsb != 0 {
+                crc ^= POLY;
+            }
+        }
+    }
+    !crc
+}
+
+/// Appends the CRC-32 of `data` (little-endian) and returns the framed
+/// buffer.
+pub fn append_crc(data: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(data.len() + 4);
+    out.extend_from_slice(data);
+    out.extend_from_slice(&crc32(data).to_le_bytes());
+    out
+}
+
+/// Validates and strips a trailing CRC-32. Returns the payload on success.
+pub fn check_crc(framed: &[u8]) -> Option<&[u8]> {
+    if framed.len() < 4 {
+        return None;
+    }
+    let (payload, fcs) = framed.split_at(framed.len() - 4);
+    let expect = u32::from_le_bytes([fcs[0], fcs[1], fcs[2], fcs[3]]);
+    if crc32(payload) == expect {
+        Some(payload)
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        // Standard test vector: CRC32("123456789") = 0xCBF43926.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0x0000_0000);
+        assert_eq!(crc32(b"a"), 0xE8B7_BE43);
+    }
+
+    #[test]
+    fn round_trip() {
+        let payload = b"the quick brown fox";
+        let framed = append_crc(payload);
+        assert_eq!(check_crc(&framed), Some(&payload[..]));
+    }
+
+    #[test]
+    fn detects_single_bit_flip() {
+        let payload: Vec<u8> = (0..64).collect();
+        let framed = append_crc(&payload);
+        for byte in 0..framed.len() {
+            for bit in 0..8 {
+                let mut corrupted = framed.clone();
+                corrupted[byte] ^= 1 << bit;
+                assert!(
+                    check_crc(&corrupted).is_none(),
+                    "undetected flip at byte {byte} bit {bit}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn short_frames_rejected() {
+        assert!(check_crc(&[]).is_none());
+        assert!(check_crc(&[1, 2, 3]).is_none());
+    }
+}

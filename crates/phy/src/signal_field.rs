@@ -1,0 +1,187 @@
+//! The 802.11 OFDM SIGNAL field (PLCP header).
+//!
+//! Every 802.11a/g frame begins with one BPSK-1/2 OFDM symbol carrying
+//! 24 bits: RATE (4), a reserved bit, LENGTH (12), even PARITY (1), and
+//! six zero TAIL bits (IEEE 802.11-2007 §17.3.4). The light-weight
+//! handshake of n+ (§3.5) keeps this structure — the detached data header
+//! still starts with a standard SIGNAL symbol, which is how overhearing
+//! contenders learn the rate and duration of a transmission they are not
+//! party to.
+
+use crate::rates::{Mcs, RateIndex, RATE_TABLE};
+
+/// The decoded content of a SIGNAL field.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SignalField {
+    /// Index into [`RATE_TABLE`].
+    pub rate: RateIndex,
+    /// PSDU length in bytes (12 bits: 0..4096).
+    pub length: usize,
+}
+
+/// SIGNAL decode errors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SignalError {
+    /// The parity bit did not match.
+    Parity,
+    /// The RATE bits are not one of the eight defined patterns.
+    BadRate,
+    /// Reserved or tail bits were non-zero.
+    BadStructure,
+}
+
+impl std::fmt::Display for SignalError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SignalError::Parity => write!(f, "SIGNAL parity check failed"),
+            SignalError::BadRate => write!(f, "undefined RATE pattern"),
+            SignalError::BadStructure => write!(f, "non-zero reserved/tail bits"),
+        }
+    }
+}
+
+impl std::error::Error for SignalError {}
+
+/// The standard RATE bit patterns (R1..R4, transmitted R1 first), in
+/// [`RATE_TABLE`] order: 6, 9, 12, 18, 24, 36, 48, 54 Mb/s labels.
+const RATE_BITS: [[u8; 4]; 8] = [
+    [1, 1, 0, 1], // 6  Mb/s label — BPSK 1/2
+    [1, 1, 1, 1], // 9            — BPSK 3/4
+    [0, 1, 0, 1], // 12           — QPSK 1/2
+    [0, 1, 1, 1], // 18           — QPSK 3/4
+    [1, 0, 0, 1], // 24           — 16-QAM 1/2
+    [1, 0, 1, 1], // 36           — 16-QAM 3/4
+    [0, 0, 0, 1], // 48           — 64-QAM 2/3
+    [0, 0, 1, 1], // 54           — 64-QAM 3/4
+];
+
+impl SignalField {
+    /// Creates a SIGNAL field; panics if `length` exceeds 12 bits or the
+    /// rate index is out of range.
+    pub fn new(rate: RateIndex, length: usize) -> Self {
+        assert!(rate < RATE_TABLE.len(), "rate index out of range");
+        assert!(length < (1 << 12), "LENGTH field is 12 bits");
+        SignalField { rate, length }
+    }
+
+    /// The MCS this field announces.
+    pub fn mcs(&self) -> Mcs {
+        RATE_TABLE[self.rate]
+    }
+
+    /// Serializes to the 24-bit SIGNAL layout (LSB-first within fields,
+    /// field order RATE, reserved, LENGTH, parity, tail).
+    pub fn to_bits(&self) -> [u8; 24] {
+        let mut bits = [0u8; 24];
+        bits[..4].copy_from_slice(&RATE_BITS[self.rate]);
+        // bits[4] reserved = 0.
+        for k in 0..12 {
+            bits[5 + k] = ((self.length >> k) & 1) as u8;
+        }
+        // Even parity over bits 0..=16.
+        let ones: u8 = bits[..17].iter().sum();
+        bits[17] = ones & 1;
+        // bits[18..24] tail = 0.
+        bits
+    }
+
+    /// Parses and validates 24 SIGNAL bits.
+    pub fn from_bits(bits: &[u8; 24]) -> Result<Self, SignalError> {
+        let ones: u32 = bits[..18].iter().map(|&b| b as u32).sum();
+        if ones % 2 != 0 {
+            return Err(SignalError::Parity);
+        }
+        if bits[4] != 0 || bits[18..].iter().any(|&b| b != 0) {
+            return Err(SignalError::BadStructure);
+        }
+        let rate = RATE_BITS
+            .iter()
+            .position(|p| p[..] == bits[..4])
+            .ok_or(SignalError::BadRate)?;
+        let mut length = 0usize;
+        for k in 0..12 {
+            length |= (bits[5 + k] as usize) << k;
+        }
+        Ok(SignalField { rate, length })
+    }
+
+    /// Number of data OFDM symbols the announced PSDU occupies at the
+    /// announced rate — the duration information overhearing contenders
+    /// need (§3.1: joiners end with the first winner).
+    pub fn psdu_symbols(&self) -> usize {
+        // 16 SERVICE bits + 8·length + 6 tail bits, per 802.11 §17.3.5.
+        let bits = 16 + 8 * self.length + 6;
+        bits.div_ceil(self.mcs().data_bits_per_symbol())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_all_rates_and_lengths() {
+        for rate in 0..8 {
+            for &length in &[0usize, 1, 14, 1500, 4095] {
+                let f = SignalField::new(rate, length);
+                let parsed = SignalField::from_bits(&f.to_bits()).unwrap();
+                assert_eq!(parsed, f);
+            }
+        }
+    }
+
+    #[test]
+    fn parity_flip_detected() {
+        let f = SignalField::new(3, 1500);
+        let mut bits = f.to_bits();
+        bits[7] ^= 1;
+        assert_eq!(SignalField::from_bits(&bits), Err(SignalError::Parity));
+    }
+
+    #[test]
+    fn bad_rate_detected() {
+        let f = SignalField::new(0, 100);
+        let mut bits = f.to_bits();
+        // Flip two rate bits so parity still passes but the pattern is
+        // undefined (0b0011 with trailing 0 -> [1,1,0,0] reversed...).
+        bits[0] ^= 1;
+        bits[3] ^= 1;
+        let r = SignalField::from_bits(&bits);
+        assert!(matches!(r, Err(SignalError::BadRate) | Err(SignalError::Parity)));
+    }
+
+    #[test]
+    fn nonzero_tail_detected() {
+        let f = SignalField::new(2, 64);
+        let mut bits = f.to_bits();
+        bits[20] ^= 1;
+        bits[21] ^= 1; // keep parity-neutral region (tail not covered by parity)
+        assert_eq!(
+            SignalField::from_bits(&bits),
+            Err(SignalError::BadStructure)
+        );
+    }
+
+    #[test]
+    fn known_rate_patterns() {
+        // 6 Mb/s label = 1101, 54 Mb/s = 0011 (transmitted R1 first).
+        assert_eq!(SignalField::new(0, 0).to_bits()[..4], [1, 1, 0, 1]);
+        assert_eq!(SignalField::new(7, 0).to_bits()[..4], [0, 0, 1, 1]);
+    }
+
+    #[test]
+    fn duration_math() {
+        // 1500 B at the 24 Mb/s-label rate (16-QAM 1/2, 96 bits/sym):
+        // (16 + 12000 + 6) / 96 = 125.2 -> 126 symbols.
+        let f = SignalField::new(4, 1500);
+        assert_eq!(f.psdu_symbols(), 126);
+        // Zero-length PSDU still needs one symbol for SERVICE + tail.
+        assert_eq!(SignalField::new(0, 0).psdu_symbols(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "LENGTH field")]
+    fn oversized_length_rejected() {
+        let _ = SignalField::new(0, 4096);
+    }
+}

@@ -1,0 +1,105 @@
+//! Multi-dimensional carrier sense, sample by sample (paper §3.2,
+//! Fig. 6 and Fig. 9).
+//!
+//! A 3-antenna contender (tx3) watches the medium while a single-antenna
+//! transmitter (tx1) occupies the first degree of freedom. A 2-antenna
+//! transmitter (tx2) then starts at a much lower power. Raw power sensing
+//! barely notices tx2; sensing in the subspace orthogonal to tx1's signal
+//! makes tx2's transmission obvious — both in power and in preamble
+//! cross-correlation.
+//!
+//! Run with: `cargo run --release --example carrier_sense`
+
+use nplus::carrier_sense::MultiDimCarrierSense;
+use nplus_channel::fading::DelayProfile;
+use nplus_channel::mimo::MimoLink;
+use nplus_linalg::CMatrix;
+use nplus_medium::medium::{Medium, Transmission};
+use nplus_phy::params::OfdmConfig;
+use nplus_phy::preamble::{mimo_preamble, stf_time};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn main() {
+    let cfg = OfdmConfig::usrp2();
+    let mut medium = Medium::new(cfg.bandwidth_hz, 99);
+    let mut rng = StdRng::seed_from_u64(7);
+
+    // Nodes: tx1 (1 ant, strong), tx2 (2 ant, weak), tx3 (3 ant, sensing).
+    let tx1 = medium.add_node(1, 0.0);
+    let tx2 = medium.add_node(2, 0.0);
+    let tx3 = medium.add_node(3, 0.0);
+    // tx1 arrives at tx3 at ~26 dB, tx2 at only ~10 dB.
+    medium.set_link(
+        tx1,
+        tx3,
+        MimoLink::sample(1, 3, 20.0, &DelayProfile::los(), &mut rng),
+    );
+    medium.set_link(
+        tx2,
+        tx3,
+        MimoLink::sample(2, 3, 3.2, &DelayProfile::nlos(), &mut rng),
+    );
+
+    // tx1 transmits a long random payload starting at t=0.
+    let tx1_wave: Vec<_> = (0..4000)
+        .map(|_| {
+            nplus_linalg::c64(rng.gen::<f64>() - 0.5, rng.gen::<f64>() - 0.5).scale(2.0_f64.sqrt())
+        })
+        .collect();
+    medium.transmit(Transmission {
+        from: tx1,
+        start: 0,
+        streams: vec![tx1_wave],
+        cfo_precompensation_hz: 0.0,
+    });
+
+    // tx2 begins its preamble at sample 2000.
+    let preamble = mimo_preamble(&cfg, 2);
+    medium.transmit(Transmission {
+        from: tx2,
+        start: 2000,
+        streams: preamble,
+        cfo_precompensation_hz: 0.0,
+    });
+
+    // tx3 builds its sensor from tx1's channel (learned from tx1's RTS
+    // preamble in the real protocol; here we read it off the medium).
+    let h_tx1: Vec<CMatrix> = medium
+        .link(tx1, tx3)
+        .unwrap()
+        .channel_matrices(cfg.fft_len);
+    let sensor = MultiDimCarrierSense::from_ongoing(3, cfg, &[h_tx1]);
+    println!("== multi-dimensional carrier sense at tx3 (3 antennas) ==\n");
+    println!("degrees of freedom free after tx1 won: {}\n", sensor.free_dof());
+
+    let stf = stf_time(&cfg);
+    println!(
+        "{:>14} {:>12} {:>12} {:>12} {:>12}",
+        "window", "raw pwr", "proj pwr", "raw corr", "proj corr"
+    );
+    for (label, start) in [("tx1 only", 512u64), ("tx1 + tx2", 2048u64)] {
+        let capture = medium.capture(tx3, start, 512);
+        let raw = MultiDimCarrierSense::raw_power(&capture);
+        let proj = sensor.sense_power(&capture);
+        let raw_corr = MultiDimCarrierSense::detect_preamble_raw(&capture, &stf[..64]);
+        let proj_corr = sensor.detect_preamble(&capture, &stf[..64]);
+        println!(
+            "{label:>14} {raw:>12.2} {proj:>12.2} {raw_corr:>12.2} {proj_corr:>12.2}"
+        );
+    }
+
+    let before = sensor.sense_power(&medium.capture(tx3, 512, 512));
+    let after = sensor.sense_power(&medium.capture(tx3, 2048, 512));
+    println!(
+        "\nprojected power jump when tx2 starts: {:.1} dB \
+         (Fig. 9(a) reports 8.5 dB for a weak joiner)",
+        10.0 * (after / before).log10()
+    );
+    println!(
+        "raw power jump:                      {:.1} dB — easy to miss under tx1",
+        10.0 * (MultiDimCarrierSense::raw_power(&medium.capture(tx3, 2048, 512))
+            / MultiDimCarrierSense::raw_power(&medium.capture(tx3, 512, 512)))
+        .log10()
+    );
+}

@@ -1,0 +1,99 @@
+//! Quickstart: the paper's Fig. 2 scenario, end to end.
+//!
+//! A single-antenna pair (tx1 → rx1) occupies the medium. A two-antenna
+//! pair (tx2 → rx2) uses n+ to join: tx2 computes a pre-coding vector
+//! that nulls its signal at rx1 (using reciprocity-derived channel
+//! knowledge) and delivers one stream to rx2, which zero-forces tx1's
+//! interference away.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use nplus::link::{select_stream_rate, zf_sinr, SubcarrierObservation};
+use nplus::precoder::{compute_precoders, residual_interference, OwnReceiver, ProtectedReceiver};
+use nplus_channel::fading::DelayProfile;
+use nplus_channel::impairments::HardwareProfile;
+use nplus_channel::mimo::MimoLink;
+use nplus_linalg::Subspace;
+use nplus_phy::params::{occupied_subcarrier_indices, OfdmConfig};
+use nplus_phy::rates::RATE_TABLE;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let cfg = OfdmConfig::usrp2();
+    let mut rng = StdRng::seed_from_u64(7);
+    let hardware = HardwareProfile::default();
+
+    // Channels (noise-normalized amplitudes: |h|² = SNR).
+    // tx2 -> rx1 at ~20 dB, tx2 -> rx2 at ~25 dB.
+    let h_tx2_rx1 = MimoLink::sample(2, 1, 10.0, &DelayProfile::los(), &mut rng);
+    let h_tx2_rx2 = MimoLink::sample(2, 2, 18.0, &DelayProfile::nlos(), &mut rng);
+    // tx1 -> rx2 interference at ~20 dB.
+    let h_tx1_rx2 = MimoLink::sample(1, 2, 10.0, &DelayProfile::los(), &mut rng);
+
+    println!("== n+ quickstart: 2-antenna pair joins a 1-antenna transmission ==\n");
+
+    let occ = occupied_subcarrier_indices();
+    let mut worst_residual_db = f64::NEG_INFINITY;
+    let mut sinrs = Vec::with_capacity(occ.len());
+
+    for &k in &occ {
+        let h1_true = h_tx2_rx1.channel_matrix(k, cfg.fft_len);
+        // What tx2 *believes* via reciprocity + hardware calibration error.
+        let h1_believed = hardware.reciprocal_channel_knowledge(&h1_true, &mut rng);
+        let h2_believed =
+            hardware.reciprocal_channel_knowledge(&h_tx2_rx2.channel_matrix(k, cfg.fft_len), &mut rng);
+
+        let precoding = compute_precoders(
+            2,
+            &[ProtectedReceiver::nulling(h1_believed)],
+            &[OwnReceiver {
+                channel: h2_believed,
+                n_streams: 1,
+                unwanted: Subspace::zero(2),
+            }],
+        )
+        .expect("a 2-antenna node always has a null direction for 1 rx antenna");
+        let v = &precoding.vectors[0];
+
+        // Residual interference at rx1, evaluated against the TRUE channel.
+        let resid = residual_interference(&h1_true, &Subspace::zero(1), v);
+        let pre = h1_true.frobenius_norm().powi(2) / 2.0;
+        let depth_db = 10.0 * (resid / pre).log10();
+        worst_residual_db = worst_residual_db.max(depth_db);
+
+        // rx2 decodes by projecting orthogonal to tx1's interference.
+        let h2_true = h_tx2_rx2.channel_matrix(k, cfg.fft_len);
+        let obs = SubcarrierObservation {
+            wanted: vec![h2_true.mul_vec(v)],
+            known_interference: vec![h_tx1_rx2.channel_matrix(k, cfg.fft_len).col(0)],
+            residual_interference: vec![],
+            noise_power: 1.0,
+        };
+        sinrs.push(zf_sinr(&obs)[0]);
+    }
+
+    println!(
+        "nulling depth at rx1 (worst subcarrier): {worst_residual_db:.1} dB \
+         (paper measures 25–27 dB cancellation)",
+    );
+    let mean_sinr_db =
+        10.0 * (sinrs.iter().sum::<f64>() / sinrs.len() as f64).log10();
+    println!("rx2 post-projection SINR (mean):        {mean_sinr_db:.1} dB");
+
+    match select_stream_rate(&sinrs) {
+        Some(idx) => {
+            let mcs = RATE_TABLE[idx];
+            println!(
+                "rx2 picks bitrate:                      {} = {:.1} Mb/s on the 10 MHz channel",
+                mcs,
+                mcs.bitrate_mbps(&cfg)
+            );
+            println!(
+                "\ntx2 now transmits concurrently with tx1 — the second degree of \
+                 freedom is in use\nwhile rx1's reception continues undisturbed."
+            );
+        }
+        None => println!("channel too weak to join — tx2 stays silent"),
+    }
+}

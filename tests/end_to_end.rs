@@ -1,0 +1,236 @@
+//! End-to-end integration: the full sample-level path through all crates.
+//!
+//! These tests run the scenario of the paper's Fig. 2 on the simulated
+//! medium with the real OFDM chain: preambles on the air, channel
+//! estimation at receivers, precoding from reciprocity-derived knowledge,
+//! concurrent transmission, and Viterbi-decoded payloads.
+
+use nplus::precoder::{compute_precoders, OwnReceiver, ProtectedReceiver};
+use nplus_channel::fading::DelayProfile;
+use nplus_channel::mimo::MimoLink;
+use nplus_linalg::{CMatrix, CVector, Complex64, Subspace};
+use nplus_medium::medium::{Medium, Transmission};
+use nplus_phy::chanest::estimate_mimo_from_preamble;
+use nplus_phy::fft::fft;
+use nplus_phy::modulation::{demodulate, modulate, Modulation};
+use nplus_phy::ofdm::{assemble_symbol, disassemble_symbol};
+use nplus_phy::params::{data_subcarrier_indices, occupied_subcarrier_indices, OfdmConfig};
+use nplus_phy::preamble::{mimo_preamble, preamble_len};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Builds a medium with the Fig. 2 node set: tx1/rx1 single antenna,
+/// tx2/rx2 two antennas.
+fn fig2_medium(seed: u64) -> (Medium, [nplus_medium::NodeId; 4]) {
+    let cfg = OfdmConfig::usrp2();
+    let mut m = Medium::new(cfg.bandwidth_hz, seed);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let tx1 = m.add_node(1, 0.0);
+    let rx1 = m.add_node(1, 0.0);
+    let tx2 = m.add_node(2, 0.0);
+    let rx2 = m.add_node(2, 0.0);
+    // Strong links everywhere (SNR 25–30 dB) so decoding is clean.
+    m.set_link(tx1, rx1, MimoLink::sample(1, 1, 25.0, &DelayProfile::los(), &mut rng));
+    m.set_link(tx1, rx2, MimoLink::sample(1, 2, 18.0, &DelayProfile::los(), &mut rng));
+    m.set_link(tx2, rx1, MimoLink::sample(2, 1, 20.0, &DelayProfile::los(), &mut rng));
+    m.set_link(tx2, rx2, MimoLink::sample(2, 2, 28.0, &DelayProfile::los(), &mut rng));
+    m.set_link(tx1, tx2, MimoLink::sample(1, 2, 15.0, &DelayProfile::los(), &mut rng));
+    m.set_link(rx1, tx2, MimoLink::sample(1, 2, 15.0, &DelayProfile::los(), &mut rng));
+    m.set_link(rx1, rx2, MimoLink::sample(1, 2, 12.0, &DelayProfile::los(), &mut rng));
+    m.set_link(tx1, rx1, MimoLink::sample(1, 1, 25.0, &DelayProfile::los(), &mut rng));
+    (m, [tx1, rx1, tx2, rx2])
+}
+
+/// rx estimates tx's per-antenna channels from an on-air MIMO preamble.
+#[test]
+fn over_the_air_channel_estimation_matches_truth() {
+    let cfg = OfdmConfig::usrp2();
+    let (mut medium, [_, _, tx2, rx2]) = fig2_medium(1);
+    medium.set_noise_power(0.0); // isolate estimation from noise
+    let streams = mimo_preamble(&cfg, 2);
+    let plen = preamble_len(&cfg, 2);
+    medium.transmit(Transmission {
+        from: tx2,
+        start: 0,
+        streams,
+        cfo_precompensation_hz: 0.0,
+    });
+    let capture = medium.capture(rx2, 0, plen);
+    let truth = medium.link(tx2, rx2).unwrap();
+    for rx_ant in 0..2 {
+        let ests = estimate_mimo_from_preamble(&capture[rx_ant], 2, &cfg);
+        for (tx_ant, est) in ests.iter().enumerate() {
+            for &k in &occupied_subcarrier_indices() {
+                let h_true = truth.channel_matrix(k, cfg.fft_len)[(rx_ant, tx_ant)];
+                // Multipath spreads the preamble slightly across symbol
+                // boundaries; the estimate is very close but not exact.
+                assert!(
+                    est.h[k].approx_eq(h_true, 0.35 + 0.05 * h_true.abs()),
+                    "rx{rx_ant} tx{tx_ant} bin {k}: {:?} vs {h_true:?}",
+                    est.h[k]
+                );
+            }
+        }
+    }
+}
+
+/// The full Fig. 2 join at sample level: tx2 nulls at rx1 while rx1
+/// decodes tx1's QPSK symbols through the whole OFDM chain.
+#[test]
+fn fig2_concurrent_transmission_sample_level() {
+    let cfg = OfdmConfig::usrp2();
+    let (mut medium, [tx1, rx1, tx2, rx2]) = fig2_medium(5);
+    medium.set_noise_power(1.0);
+    let mut rng = StdRng::seed_from_u64(77);
+
+    // tx1's transmission: OFDM QPSK symbols.
+    let n_symbols = 20usize;
+    let bits1: Vec<u8> = (0..96 * n_symbols).map(|_| rng.gen_range(0..2u8)).collect();
+    let mut tx1_wave = Vec::new();
+    let mut tx1_carriers = Vec::new();
+    for s in 0..n_symbols {
+        let syms = modulate(&bits1[96 * s..96 * (s + 1)], Modulation::Qpsk);
+        tx1_wave.extend(assemble_symbol(&syms, s, &cfg));
+        tx1_carriers.push(syms);
+    }
+    medium.transmit(Transmission {
+        from: tx1,
+        start: 0,
+        streams: vec![tx1_wave],
+        cfo_precompensation_hz: 0.0,
+    });
+
+    // tx2 precodes a concurrent stream using the true reverse channel
+    // (reciprocity; hardware error exercised elsewhere).
+    let h_to_rx1 = medium.link(tx2, rx1).unwrap().channel_matrices(cfg.fft_len);
+    let h_to_rx2 = medium.link(tx2, rx2).unwrap().channel_matrices(cfg.fft_len);
+    let bits2: Vec<u8> = (0..96 * n_symbols).map(|_| rng.gen_range(0..2u8)).collect();
+    // Per-subcarrier precoding vectors.
+    let mut precoders: Vec<Option<CVector>> = vec![None; cfg.fft_len];
+    for &k in &occupied_subcarrier_indices() {
+        let p = compute_precoders(
+            2,
+            &[ProtectedReceiver::nulling(h_to_rx1[k].clone())],
+            &[OwnReceiver {
+                channel: h_to_rx2[k].clone(),
+                n_streams: 1,
+                unwanted: Subspace::zero(2),
+            }],
+        )
+        .unwrap();
+        precoders[k] = Some(p.vectors[0].clone());
+    }
+    // Build tx2's two antenna streams: per subcarrier, symbol × v.
+    let mut ant_streams = vec![Vec::new(), Vec::new()];
+    for s in 0..n_symbols {
+        let syms = modulate(&bits2[96 * s..96 * (s + 1)], Modulation::Qpsk);
+        for ant in 0..2 {
+            // Scale each data subcarrier by the precoder component.
+            let scaled: Vec<Complex64> = data_subcarrier_indices()
+                .iter()
+                .zip(&syms)
+                .map(|(&bin, &sym)| sym * precoders[bin].as_ref().unwrap()[ant])
+                .collect();
+            ant_streams[ant].extend(assemble_symbol(&scaled, s, &cfg));
+        }
+    }
+    medium.transmit(Transmission {
+        from: tx2,
+        start: 0,
+        streams: ant_streams,
+        cfo_precompensation_hz: 0.0,
+    });
+
+    // rx1 decodes tx1 as if alone: equalize with tx1's channel.
+    let h11 = medium.link(tx1, rx1).unwrap().channel_matrices(cfg.fft_len);
+    let capture = medium.capture(rx1, 0, n_symbols * cfg.symbol_len());
+    let mut errors = 0usize;
+    let mut total = 0usize;
+    for s in 0..n_symbols {
+        let obs = disassemble_symbol(
+            &capture[0][s * cfg.symbol_len()..(s + 1) * cfg.symbol_len()],
+            &cfg,
+        );
+        let eq: Vec<Complex64> = data_subcarrier_indices()
+            .iter()
+            .map(|&bin| {
+                let h = h11[bin][(0, 0)];
+                obs.freq[bin] / h
+            })
+            .collect();
+        let rx_bits = demodulate(&eq, Modulation::Qpsk);
+        total += rx_bits.len();
+        errors += rx_bits
+            .iter()
+            .zip(&bits1[96 * s..96 * (s + 1)])
+            .filter(|(a, b)| a != b)
+            .count();
+    }
+    let ber = errors as f64 / total as f64;
+    assert!(
+        ber < 0.01,
+        "rx1 BER {ber} — tx2's nulling failed to protect the ongoing reception"
+    );
+
+    // And rx2 decodes tx2's stream by zero-forcing tx1's direction away.
+    let h12 = medium.link(tx1, rx2).unwrap().channel_matrices(cfg.fft_len);
+    let h22 = medium.link(tx2, rx2).unwrap().channel_matrices(cfg.fft_len);
+    let capture2 = medium.capture(rx2, 0, n_symbols * cfg.symbol_len());
+    let mut errors2 = 0usize;
+    for s in 0..n_symbols {
+        let obs: Vec<_> = (0..2)
+            .map(|ant| {
+                disassemble_symbol(
+                    &capture2[ant][s * cfg.symbol_len()..(s + 1) * cfg.symbol_len()],
+                    &cfg,
+                )
+            })
+            .collect();
+        for (di, &bin) in data_subcarrier_indices().iter().enumerate() {
+            let y = CVector::from_vec(vec![obs[0].freq[bin], obs[1].freq[bin]]);
+            // Effective channels: tx1's direction and tx2's precoded one.
+            let h_int = h12[bin].col(0);
+            let h_want = h22[bin].mul_vec(precoders[bin].as_ref().unwrap());
+            let a = CMatrix::from_cols(&[h_want, h_int]);
+            let w = nplus_linalg::pinv(&a).unwrap();
+            let decoded = w.mul_vec(&y)[0];
+            let rx_bits = demodulate(&[decoded], Modulation::Qpsk);
+            let want = &bits2[96 * s + 2 * di..96 * s + 2 * di + 2];
+            errors2 += rx_bits.iter().zip(want).filter(|(a, b)| a != b).count();
+        }
+    }
+    let ber2 = errors2 as f64 / total as f64;
+    assert!(ber2 < 0.02, "rx2 BER {ber2} — concurrent stream not decodable");
+}
+
+/// FFT-domain sanity: what the medium delivers per subcarrier equals the
+/// link's channel matrix applied to the transmitted frequency symbol.
+#[test]
+fn medium_is_consistent_across_domains() {
+    let cfg = OfdmConfig::usrp2();
+    let (mut medium, [tx1, rx1, ..]) = fig2_medium(3);
+    medium.set_noise_power(0.0);
+    let mut rng = StdRng::seed_from_u64(4);
+    let bits: Vec<u8> = (0..96).map(|_| rng.gen_range(0..2u8)).collect();
+    let syms = modulate(&bits, Modulation::Qpsk);
+    let wave = assemble_symbol(&syms, 0, &cfg);
+    medium.transmit(Transmission {
+        from: tx1,
+        start: 0,
+        streams: vec![wave.clone()],
+        cfo_precompensation_hz: 0.0,
+    });
+    let capture = medium.capture(rx1, 0, cfg.symbol_len());
+    let h = medium.link(tx1, rx1).unwrap().channel_matrices(cfg.fft_len);
+    // Compare the FFT of the received body against H·X per subcarrier.
+    let rx_freq = fft(&capture[0][cfg.cp_len..]);
+    let tx_freq = fft(&wave[cfg.cp_len..]);
+    for &k in &occupied_subcarrier_indices() {
+        let expect = tx_freq[k] * h[k][(0, 0)];
+        assert!(
+            rx_freq[k].approx_eq(expect, 1e-6 * (1.0 + expect.abs())),
+            "bin {k}: {:?} vs {expect:?}",
+            rx_freq[k]
+        );
+    }
+}

@@ -1,0 +1,102 @@
+//! Cross-crate PHY integration: coded transmission through fading
+//! channels with noise, exercising the full 802.11 chain
+//! (scramble → convolve → puncture → interleave → modulate → OFDM →
+//! channel → estimate → equalize → demap → Viterbi → descramble).
+
+use nplus_channel::fading::{DelayProfile, FadingChannel};
+use nplus_channel::noise::add_noise;
+use nplus_linalg::Complex64;
+use nplus_phy::chanest::estimate_from_ltf;
+use nplus_phy::ofdm::{receive_payload, transmit_payload};
+use nplus_phy::params::OfdmConfig;
+use nplus_phy::preamble::ltf_time;
+use nplus_phy::rates::RATE_TABLE;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn random_payload(n: usize, rng: &mut StdRng) -> Vec<u8> {
+    (0..n).map(|_| rng.gen()).collect()
+}
+
+/// Sends [LTF | payload] through a multipath channel and decodes using
+/// the channel estimated from the on-air LTF.
+fn run_link(
+    payload: &[u8],
+    rate_idx: usize,
+    snr_db: f64,
+    profile: &DelayProfile,
+    seed: u64,
+) -> Vec<u8> {
+    let cfg = OfdmConfig::usrp2();
+    let mcs = RATE_TABLE[rate_idx];
+    let mut rng = StdRng::seed_from_u64(seed);
+    let chan = FadingChannel::sample(profile, &mut rng);
+    let amp = 10f64.powf(snr_db / 20.0);
+
+    // Transmit: LTF then payload symbols.
+    let mut wave = ltf_time(&cfg);
+    wave.extend(transmit_payload(payload, mcs, &cfg));
+    let mut rx: Vec<Complex64> = chan
+        .convolve(&wave)
+        .into_iter()
+        .map(|z| z.scale(amp))
+        .collect();
+    add_noise(&mut rx, 1.0, &mut rng);
+
+    // Receive: estimate from the LTF, then decode the body.
+    let est = estimate_from_ltf(&rx[..ltf_time(&cfg).len()], &cfg);
+    let body = &rx[ltf_time(&cfg).len()..];
+    let n_body = transmit_payload(payload, mcs, &cfg).len();
+    receive_payload(&body[..n_body], &est.h, mcs, payload.len(), &cfg)
+}
+
+#[test]
+fn clean_high_snr_delivers_every_rate() {
+    let mut rng = StdRng::seed_from_u64(10);
+    let payload = random_payload(200, &mut rng);
+    for (idx, _) in RATE_TABLE.iter().enumerate() {
+        let rx = run_link(&payload, idx, 35.0, &DelayProfile::los(), 42 + idx as u64);
+        assert_eq!(rx, payload, "rate index {idx} failed at 35 dB");
+    }
+}
+
+#[test]
+fn robust_rate_survives_moderate_snr() {
+    let mut rng = StdRng::seed_from_u64(11);
+    let payload = random_payload(150, &mut rng);
+    // BPSK 1/2 at 10 dB through NLOS multipath must still decode.
+    let rx = run_link(&payload, 0, 10.0, &DelayProfile::nlos(), 7);
+    assert_eq!(rx, payload);
+}
+
+#[test]
+fn fast_rate_fails_at_low_snr_but_robust_rate_does_not() {
+    let mut rng = StdRng::seed_from_u64(12);
+    let payload = random_payload(150, &mut rng);
+    // 64-QAM 3/4 at 8 dB should be hopeless…
+    let rx_fast = run_link(&payload, 7, 8.0, &DelayProfile::los(), 3);
+    assert_ne!(rx_fast, payload, "64-QAM 3/4 should not survive 8 dB");
+    // …while BPSK 1/2 sails through the same channel.
+    let rx_slow = run_link(&payload, 0, 8.0, &DelayProfile::los(), 3);
+    assert_eq!(rx_slow, payload);
+}
+
+#[test]
+fn multipath_depth_is_absorbed_by_cyclic_prefix() {
+    let mut rng = StdRng::seed_from_u64(13);
+    let payload = random_payload(120, &mut rng);
+    // The NLOS profile has 8 taps — well inside the 16-sample CP. QPSK
+    // 3/4 at 22 dB must decode despite the frequency selectivity.
+    let rx = run_link(&payload, 3, 22.0, &DelayProfile::nlos(), 9);
+    assert_eq!(rx, payload);
+}
+
+#[test]
+fn different_payload_sizes_round_trip() {
+    let mut rng = StdRng::seed_from_u64(14);
+    for n in [1usize, 13, 100, 700, 1500] {
+        let payload = random_payload(n, &mut rng);
+        let rx = run_link(&payload, 2, 30.0, &DelayProfile::los(), n as u64);
+        assert_eq!(rx, payload, "payload size {n}");
+    }
+}

@@ -1,0 +1,176 @@
+//! Protocol-level invariants of n+ (DESIGN.md §6), checked across many
+//! random topologies.
+
+use nplus::sim::{simulate, Protocol, Scenario, SimConfig};
+use nplus_channel::impairments::{HardwareProfile, IDEAL_HARDWARE};
+use nplus_channel::placement::Testbed;
+use nplus_medium::topology::{build_topology, TopologyConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn run(
+    scenario: &Scenario,
+    protocol: Protocol,
+    seed: u64,
+    hardware: HardwareProfile,
+    rounds: usize,
+) -> nplus::sim::RunResult {
+    let tb = Testbed::sigcomm11();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let topo = build_topology(
+        &tb,
+        &TopologyConfig::new(scenario.antennas.clone()),
+        10e6,
+        seed,
+        &mut rng,
+    );
+    let cfg = SimConfig {
+        rounds,
+        hardware,
+        ..SimConfig::default()
+    };
+    simulate(&topo, scenario, protocol, &cfg, &mut rng)
+}
+
+/// n+ must never use more degrees of freedom than the largest antenna
+/// count among transmitters (Claim 3.2 applied network-wide).
+#[test]
+fn dof_never_exceeds_max_antennas() {
+    let scenario = Scenario::three_pairs();
+    for seed in 0..8 {
+        let r = run(&scenario, Protocol::NPlus, seed, HardwareProfile::default(), 10);
+        assert!(
+            r.mean_dof <= 3.0 + 1e-9,
+            "seed {seed}: mean DoF {} exceeds the 3-antenna budget",
+            r.mean_dof
+        );
+    }
+}
+
+/// With ideal hardware (perfect channel knowledge), the single-antenna
+/// pair must lose essentially nothing to n+'s concurrency: nulls are
+/// numerically exact.
+#[test]
+fn ideal_hardware_protects_first_winner_perfectly() {
+    let scenario = Scenario::three_pairs();
+    let mut flow0_nplus = 0.0;
+    let mut flow0_dot11n = 0.0;
+    for seed in 0..6 {
+        flow0_nplus +=
+            run(&scenario, Protocol::NPlus, seed, IDEAL_HARDWARE, 14).per_flow_mbps[0];
+        flow0_dot11n +=
+            run(&scenario, Protocol::Dot11n, seed, IDEAL_HARDWARE, 14).per_flow_mbps[0];
+    }
+    // The single-antenna flow's throughput under n+ must stay within 25%
+    // of its 802.11n share (it keeps its contention share; only round
+    // length bookkeeping differs).
+    assert!(
+        flow0_nplus > 0.75 * flow0_dot11n,
+        "single-antenna pair starved: {flow0_nplus:.2} vs {flow0_dot11n:.2}"
+    );
+}
+
+/// n+'s win comes from concurrency: its mean DoF must exceed 802.11n's
+/// on the same topology, and total throughput must follow.
+#[test]
+fn concurrency_is_the_mechanism() {
+    let scenario = Scenario::three_pairs();
+    let mut dof_gain = 0.0;
+    let mut tput_gain = 0.0;
+    let n = 6;
+    for seed in 0..n {
+        let np = run(&scenario, Protocol::NPlus, seed, HardwareProfile::default(), 12);
+        let dn = run(&scenario, Protocol::Dot11n, seed, HardwareProfile::default(), 12);
+        dof_gain += np.mean_dof / dn.mean_dof.max(1e-9) / n as f64;
+        tput_gain += np.total_mbps / dn.total_mbps.max(1e-9) / n as f64;
+    }
+    assert!(dof_gain > 1.15, "DoF gain only {dof_gain:.2}");
+    assert!(tput_gain > 1.25, "throughput gain only {tput_gain:.2}");
+}
+
+/// Multi-antenna pairs gain more than single-antenna pairs (the paper's
+/// headline per-class result: 1.5x for 2x2, 3.5x for 3x3).
+#[test]
+fn gains_grow_with_antenna_count() {
+    let scenario = Scenario::three_pairs();
+    let mut gains = [0.0f64; 3];
+    let n = 8;
+    for seed in 0..n {
+        let np = run(&scenario, Protocol::NPlus, seed, HardwareProfile::default(), 12);
+        let dn = run(&scenario, Protocol::Dot11n, seed, HardwareProfile::default(), 12);
+        for f in 0..3 {
+            gains[f] += np.per_flow_mbps[f] / dn.per_flow_mbps[f].max(1e-9) / n as f64;
+        }
+    }
+    assert!(
+        gains[2] > gains[0],
+        "3-antenna gain {:.2} not above 1-antenna gain {:.2}",
+        gains[2],
+        gains[0]
+    );
+    assert!(
+        gains[1] > 0.9,
+        "2-antenna pair should not lose from n+: gain {:.2}",
+        gains[1]
+    );
+}
+
+/// Disabling join power control must not *increase* the single-antenna
+/// pair's throughput — power control exists to protect it.
+#[test]
+fn power_control_protects_ongoing_receivers() {
+    let scenario = Scenario::three_pairs();
+    let tb = Testbed::sigcomm11();
+    let mut with_pc = 0.0;
+    let mut without_pc = 0.0;
+    for seed in 0..6u64 {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let topo = build_topology(
+            &tb,
+            &TopologyConfig::new(scenario.antennas.clone()),
+            10e6,
+            seed,
+            &mut rng,
+        );
+        for (pc, acc) in [(true, &mut with_pc), (false, &mut without_pc)] {
+            let cfg = SimConfig {
+                rounds: 12,
+                power_control: pc,
+                ..SimConfig::default()
+            };
+            let mut rng = StdRng::seed_from_u64(seed ^ 0x55);
+            let r = simulate(&topo, &scenario, Protocol::NPlus, &cfg, &mut rng);
+            *acc += r.per_flow_mbps[0];
+        }
+    }
+    assert!(
+        with_pc >= 0.9 * without_pc,
+        "power control hurt the protected flow: {with_pc:.2} vs {without_pc:.2}"
+    );
+}
+
+/// Determinism: identical seeds produce identical results.
+#[test]
+fn simulation_is_deterministic() {
+    let scenario = Scenario::three_pairs();
+    let a = run(&scenario, Protocol::NPlus, 33, HardwareProfile::default(), 8);
+    let b = run(&scenario, Protocol::NPlus, 33, HardwareProfile::default(), 8);
+    assert_eq!(a.per_flow_mbps, b.per_flow_mbps);
+    assert_eq!(a.total_mbps, b.total_mbps);
+}
+
+/// The AP scenario orders protocols as the paper does:
+/// n+ > beamforming > 802.11n on average.
+#[test]
+fn ap_scenario_protocol_ordering() {
+    let scenario = Scenario::ap_downlink();
+    let (mut np, mut bf, mut dn) = (0.0, 0.0, 0.0);
+    for seed in 0..8 {
+        np += run(&scenario, Protocol::NPlus, seed, HardwareProfile::default(), 12).total_mbps;
+        bf += run(&scenario, Protocol::Beamforming, seed, HardwareProfile::default(), 12)
+            .total_mbps;
+        dn += run(&scenario, Protocol::Dot11n, seed, HardwareProfile::default(), 12).total_mbps;
+    }
+    assert!(np > bf, "n+ {np:.1} not above beamforming {bf:.1}");
+    assert!(bf > dn, "beamforming {bf:.1} not above 802.11n {dn:.1}");
+}
