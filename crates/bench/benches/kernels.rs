@@ -7,28 +7,17 @@
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use nplus::carrier_sense::MultiDimCarrierSense;
 use nplus::precoder::{compute_precoders, OwnReceiver, ProtectedReceiver};
-use nplus::sim::{simulate, Protocol, Scenario, SimConfig};
-use nplus_channel::placement::Testbed;
-use nplus_linalg::{c64, null_space, CMatrix, Complex64, Subspace};
-use nplus_medium::topology::{build_topology, TopologyConfig};
+use nplus::sim::{Protocol, SimConfig};
+use nplus_linalg::{null_space, CMatrix, Complex64, Subspace};
 use nplus_phy::convolutional::{encode, viterbi_decode};
 use nplus_phy::fft::{fft_in_place, ifft};
 use nplus_phy::params::OfdmConfig;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-
-fn random_matrix(rows: usize, cols: usize, rng: &mut StdRng) -> CMatrix {
-    let data: Vec<Complex64> = (0..rows * cols)
-        .map(|_| c64(rng.gen::<f64>() - 0.5, rng.gen::<f64>() - 0.5))
-        .collect();
-    CMatrix::from_vec(rows, cols, data)
-}
+use nplus_testkit::fixtures::{random_bits, random_complex, random_matrix};
+use nplus_testkit::scenario::three_pairs;
 
 fn bench_fft(c: &mut Criterion) {
-    let mut rng = StdRng::seed_from_u64(1);
-    let data: Vec<Complex64> = (0..64)
-        .map(|_| c64(rng.gen::<f64>() - 0.5, rng.gen::<f64>() - 0.5))
-        .collect();
+    let mut rng = nplus_testkit::rng(1);
+    let data: Vec<Complex64> = (0..64).map(|_| random_complex(&mut rng)).collect();
     c.bench_function("fft_64", |b| {
         b.iter_batched(
             || data.clone(),
@@ -39,7 +28,7 @@ fn bench_fft(c: &mut Criterion) {
 }
 
 fn bench_null_space(c: &mut Criterion) {
-    let mut rng = StdRng::seed_from_u64(2);
+    let mut rng = nplus_testkit::rng(2);
     let a = random_matrix(2, 4, &mut rng);
     c.bench_function("null_space_2x4", |b| b.iter(|| null_space(&a)));
 }
@@ -47,7 +36,7 @@ fn bench_null_space(c: &mut Criterion) {
 fn bench_precoder(c: &mut Criterion) {
     // The Fig. 3 join: null at 1-antenna rx, align at 2-antenna rx —
     // the exact computation a 3-antenna joiner performs per subcarrier.
-    let mut rng = StdRng::seed_from_u64(3);
+    let mut rng = nplus_testkit::rng(3);
     let h1 = random_matrix(1, 3, &mut rng);
     let h2 = random_matrix(2, 3, &mut rng);
     let h3 = random_matrix(3, 3, &mut rng);
@@ -72,25 +61,21 @@ fn bench_precoder(c: &mut Criterion) {
 }
 
 fn bench_viterbi(c: &mut Criterion) {
-    let mut rng = StdRng::seed_from_u64(4);
-    let bits: Vec<u8> = (0..1000).map(|_| rng.gen_range(0..2u8)).collect();
+    let mut rng = nplus_testkit::rng(4);
+    let bits = random_bits(1000, &mut rng);
     let coded = encode(&bits);
     c.bench_function("viterbi_1000_bits", |b| b.iter(|| viterbi_decode(&coded)));
 }
 
 fn bench_projection(c: &mut Criterion) {
     let cfg = OfdmConfig::usrp2();
-    let mut rng = StdRng::seed_from_u64(5);
+    let mut rng = nplus_testkit::rng(5);
     let h: Vec<CMatrix> = (0..cfg.fft_len)
         .map(|_| random_matrix(3, 1, &mut rng))
         .collect();
     let sensor = MultiDimCarrierSense::from_ongoing(3, cfg, &[h]);
     let capture: Vec<Vec<Complex64>> = (0..3)
-        .map(|_| {
-            (0..256)
-                .map(|_| c64(rng.gen::<f64>() - 0.5, rng.gen::<f64>() - 0.5))
-                .collect()
-        })
+        .map(|_| (0..256).map(|_| random_complex(&mut rng)).collect())
         .collect();
     c.bench_function("carrier_sense_project_256", |b| {
         b.iter(|| sensor.sense_power(&capture))
@@ -101,25 +86,13 @@ fn bench_projection(c: &mut Criterion) {
 }
 
 fn bench_sim_round(c: &mut Criterion) {
-    let scenario = Scenario::three_pairs();
-    let tb = Testbed::sigcomm11();
-    let mut rng = StdRng::seed_from_u64(6);
-    let topo = build_topology(
-        &tb,
-        &TopologyConfig::new(scenario.antennas.clone()),
-        10e6,
-        6,
-        &mut rng,
-    );
+    let built = three_pairs(6);
     let cfg = SimConfig {
         rounds: 1,
         ..SimConfig::default()
     };
     c.bench_function("nplus_round_three_pairs", |b| {
-        b.iter(|| {
-            let mut rng = StdRng::seed_from_u64(7);
-            simulate(&topo, &scenario, Protocol::NPlus, &cfg, &mut rng)
-        })
+        b.iter(|| built.run_with(Protocol::NPlus, &cfg, 7))
     });
 }
 

@@ -12,16 +12,14 @@
 //! Run with: `cargo run --release --bin ablate`
 
 use nplus::precoder::{compute_precoders, OwnReceiver, PrecoderError, ProtectedReceiver};
-use nplus::sim::{simulate, Protocol, Scenario, SimConfig};
+use nplus::sim::{Protocol, SimConfig};
 use nplus_bench::support::mean;
 use nplus_channel::fading::DelayProfile;
 use nplus_channel::mimo::MimoLink;
-use nplus_channel::placement::Testbed;
 use nplus_linalg::Subspace;
-use nplus_medium::topology::{build_topology, TopologyConfig};
 use nplus_phy::params::OfdmConfig;
+use nplus_testkit::scenario::three_pairs;
 use rand::rngs::StdRng;
-use rand::SeedableRng;
 
 /// Ablation 1: how often can a 3-antenna node join two ongoing
 /// transmissions (one 1-antenna, one 2-antenna receiver) with
@@ -33,12 +31,12 @@ fn ablate_alignment(rng: &mut StdRng) {
     let mut null_only_ok = 0usize;
     let mut with_align_ok = 0usize;
     for _ in 0..trials {
-        let h_r1 = MimoLink::sample(3, 1, 8.0, &DelayProfile::los(), rng)
-            .channel_matrix(7, cfg.fft_len);
-        let h_r2 = MimoLink::sample(3, 2, 8.0, &DelayProfile::los(), rng)
-            .channel_matrix(7, cfg.fft_len);
-        let h_r3 = MimoLink::sample(3, 3, 12.0, &DelayProfile::nlos(), rng)
-            .channel_matrix(7, cfg.fft_len);
+        let h_r1 =
+            MimoLink::sample(3, 1, 8.0, &DelayProfile::los(), rng).channel_matrix(7, cfg.fft_len);
+        let h_r2 =
+            MimoLink::sample(3, 2, 8.0, &DelayProfile::los(), rng).channel_matrix(7, cfg.fft_len);
+        let h_r3 =
+            MimoLink::sample(3, 3, 12.0, &DelayProfile::nlos(), rng).channel_matrix(7, cfg.fft_len);
         let interference_dir = MimoLink::sample(1, 2, 5.0, &DelayProfile::los(), rng)
             .channel_matrix(7, cfg.fft_len)
             .col(0);
@@ -93,8 +91,6 @@ fn ablate_alignment(rng: &mut StdRng) {
 /// scenario.
 fn ablate_threshold() {
     println!("== ablation 2/3: join-power threshold L ==\n");
-    let scenario = Scenario::three_pairs();
-    let testbed = Testbed::sigcomm11();
     let placements = 12u64;
     println!(
         "{:>18} {:>14} {:>16} {:>14}",
@@ -111,22 +107,14 @@ fn ablate_threshold() {
         let mut flow0 = Vec::new();
         let mut dof = Vec::new();
         for seed in 0..placements {
-            let mut rng = StdRng::seed_from_u64(seed);
-            let topo = build_topology(
-                &testbed,
-                &TopologyConfig::new(scenario.antennas.clone()),
-                10e6,
-                seed,
-                &mut rng,
-            );
+            let built = three_pairs(seed);
             let cfg = SimConfig {
                 rounds: 20,
                 l_db,
                 power_control: pc,
                 ..SimConfig::default()
             };
-            let mut rng = StdRng::seed_from_u64(seed ^ 0xA11);
-            let r = simulate(&topo, &scenario, Protocol::NPlus, &cfg, &mut rng);
+            let r = built.run_with(Protocol::NPlus, &cfg, seed ^ 0xA11);
             totals.push(r.total_mbps);
             flow0.push(r.per_flow_mbps[0]);
             dof.push(r.mean_dof);
@@ -142,7 +130,7 @@ fn ablate_threshold() {
 }
 
 fn main() {
-    let mut rng = StdRng::seed_from_u64(77);
+    let mut rng = nplus_testkit::rng(77);
     ablate_alignment(&mut rng);
     ablate_threshold();
 }

@@ -16,88 +16,24 @@
 
 use nplus::carrier_sense::MultiDimCarrierSense;
 use nplus_bench::support::print_cdf;
-use nplus_channel::fading::DelayProfile;
-use nplus_channel::mimo::MimoLink;
-use nplus_linalg::CMatrix;
-use nplus_medium::medium::{Medium, Transmission};
 use nplus_phy::params::OfdmConfig;
 use nplus_phy::preamble::stf_time;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-
-/// Builds one experiment instance; returns (medium, sensor).
-fn setup(
-    seed: u64,
-    tx1_amp: f64,
-    tx2_amp: f64,
-    tx2_transmits: bool,
-) -> (Medium, MultiDimCarrierSense) {
-    let cfg = OfdmConfig::usrp2();
-    let mut medium = Medium::new(cfg.bandwidth_hz, seed);
-    let mut rng = StdRng::seed_from_u64(seed ^ 0xF00D);
-    let tx1 = medium.add_node(1, 0.0);
-    let tx2 = medium.add_node(2, 0.0);
-    let tx3 = medium.add_node(3, 0.0);
-    medium.set_link(
-        tx1,
-        tx3,
-        MimoLink::sample(1, 3, tx1_amp, &DelayProfile::los(), &mut rng),
-    );
-    medium.set_link(
-        tx2,
-        tx3,
-        MimoLink::sample(2, 3, tx2_amp, &DelayProfile::nlos(), &mut rng),
-    );
-
-    // tx1: continuous random payload from sample 0.
-    let wave: Vec<_> = (0..6000)
-        .map(|_| {
-            nplus_linalg::c64(rng.gen::<f64>() - 0.5, rng.gen::<f64>() - 0.5)
-                .scale((12.0f64).sqrt())
-        })
-        .collect();
-    medium.transmit(Transmission {
-        from: tx1,
-        start: 0,
-        streams: vec![wave],
-        cfo_precompensation_hz: 0.0,
-    });
-
-    // tx2: STF-led transmission from sample 3000 (if transmitting).
-    if tx2_transmits {
-        let stf = stf_time(&cfg);
-        let mut streams = vec![stf.clone(), vec![nplus_linalg::Complex64::ZERO; stf.len()]];
-        // Fill after the preamble with payload on both antennas.
-        for s in streams.iter_mut() {
-            s.extend(
-                (0..2000).map(|_| {
-                    nplus_linalg::c64(rng.gen::<f64>() - 0.5, rng.gen::<f64>() - 0.5)
-                        .scale((6.0f64).sqrt())
-                }),
-            );
-        }
-        medium.transmit(Transmission {
-            from: tx2,
-            start: 3000,
-            streams,
-            cfo_precompensation_hz: 0.0,
-        });
-    }
-
-    // Sensor: tx3 knows tx1's channel from its preamble; here we read the
-    // true one off the medium (estimation accuracy is tested elsewhere).
-    let h: Vec<CMatrix> = medium.link(tx1, tx3).unwrap().channel_matrices(cfg.fft_len);
-    let sensor = MultiDimCarrierSense::from_ongoing(3, cfg, &[h]);
-    (medium, sensor)
-}
+use nplus_testkit::scenario::{sensing_trio, SensingTrio, JOINER_START};
+use rand::Rng;
 
 fn main() {
     let cfg = OfdmConfig::usrp2();
-    let tx3 = nplus_medium::NodeId(2);
     println!("== Fig. 9(a): sensing power, without and with projection ==");
-    println!("tx1 strong (~21 dB at tx3), tx2 weak (~8 dB at tx3); tx2 starts at sample 3000\n");
+    println!(
+        "tx1 strong (~21 dB at tx3), tx2 weak (~8 dB at tx3); tx2 starts at sample {JOINER_START}\n"
+    );
 
-    let (medium, sensor) = setup(42, 12.0, 2.5, true);
+    let SensingTrio {
+        medium,
+        sensor,
+        tx3,
+        ..
+    } = sensing_trio(42, 12.0, 2.5, true);
     println!(
         "{:>10} {:>14} {:>14}",
         "window", "raw power", "projected power"
@@ -133,26 +69,32 @@ fn main() {
     let mut raw_tx = Vec::with_capacity(trials);
     let mut proj_silent = Vec::with_capacity(trials);
     let mut proj_tx = Vec::with_capacity(trials);
-    let mut rng = StdRng::seed_from_u64(9);
+    let mut rng = nplus_testkit::rng(9);
     for t in 0..trials as u64 {
         // tx2 amplitude: SNR uniform in [0, 3] dB.
         let snr_db = rng.gen::<f64>() * 3.0;
         let amp2 = 10f64.powf(snr_db / 20.0);
-        let (m_tx, s_tx) = setup(1000 + t, 8.0, amp2, true);
-        let (m_si, s_si) = setup(1000 + t, 8.0, amp2, false);
+        let with_tx2 = sensing_trio(1000 + t, 8.0, amp2, true);
+        let silent = sensing_trio(1000 + t, 8.0, amp2, false);
         // Window covering tx2's (potential) STF.
-        let cap_tx = m_tx.capture(tx3, 3000, 320);
-        let cap_si = m_si.capture(tx3, 3000, 320);
+        let cap_tx = with_tx2.medium.capture(tx3, JOINER_START, 320);
+        let cap_si = silent.medium.capture(tx3, JOINER_START, 320);
         raw_tx.push(MultiDimCarrierSense::detect_preamble_raw(&cap_tx, template));
         raw_silent.push(MultiDimCarrierSense::detect_preamble_raw(&cap_si, template));
-        proj_tx.push(s_tx.detect_preamble(&cap_tx, template));
-        proj_silent.push(s_si.detect_preamble(&cap_si, template));
+        proj_tx.push(with_tx2.sensor.detect_preamble(&cap_tx, template));
+        proj_silent.push(silent.sensor.detect_preamble(&cap_si, template));
     }
 
     print_cdf("raw correlation, tx2 silent", &mut raw_silent.clone());
     print_cdf("raw correlation, tx2 transmitting", &mut raw_tx.clone());
-    print_cdf("projected correlation, tx2 silent", &mut proj_silent.clone());
-    print_cdf("projected correlation, tx2 transmitting", &mut proj_tx.clone());
+    print_cdf(
+        "projected correlation, tx2 silent",
+        &mut proj_silent.clone(),
+    );
+    print_cdf(
+        "projected correlation, tx2 transmitting",
+        &mut proj_tx.clone(),
+    );
 
     // Distinguishability: fraction of "transmitting" samples below the
     // 95th percentile of the matching "silent" distribution.
@@ -162,10 +104,10 @@ fn main() {
     };
     let raw_thresh = p95(&mut raw_silent);
     let proj_thresh = p95(&mut proj_silent);
-    let raw_missed = raw_tx.iter().filter(|&&c| c < raw_thresh).count() as f64
-        / raw_tx.len() as f64;
-    let proj_missed = proj_tx.iter().filter(|&&c| c < proj_thresh).count() as f64
-        / proj_tx.len() as f64;
+    let raw_missed =
+        raw_tx.iter().filter(|&&c| c < raw_thresh).count() as f64 / raw_tx.len() as f64;
+    let proj_missed =
+        proj_tx.iter().filter(|&&c| c < proj_thresh).count() as f64 / proj_tx.len() as f64;
     println!("\n== distinguishability ==");
     println!(
         "non-distinguishable without projection: {:.0}%   (paper: ~18%)",

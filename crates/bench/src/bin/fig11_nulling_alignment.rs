@@ -47,8 +47,20 @@ fn nulling_trial(wanted_snr_db: f64, unwanted_snr_db: f64, rng: &mut StdRng) -> 
     let occ = occupied_subcarrier_indices();
     // Links: tx1 -> rx1 (wanted), tx2 -> rx1 (unwanted, to be nulled),
     // tx2 -> rx2 (tx2's own receiver).
-    let l11 = MimoLink::sample(1, 1, amplitude_for(wanted_snr_db), &DelayProfile::los(), rng);
-    let l21 = MimoLink::sample(2, 1, amplitude_for(unwanted_snr_db), &DelayProfile::los(), rng);
+    let l11 = MimoLink::sample(
+        1,
+        1,
+        amplitude_for(wanted_snr_db),
+        &DelayProfile::los(),
+        rng,
+    );
+    let l21 = MimoLink::sample(
+        2,
+        1,
+        amplitude_for(unwanted_snr_db),
+        &DelayProfile::los(),
+        rng,
+    );
     let l22 = MimoLink::sample(2, 2, amplitude_for(25.0), &DelayProfile::nlos(), rng);
 
     let mut reductions = Vec::with_capacity(occ.len());
@@ -90,9 +102,21 @@ fn alignment_trial(wanted_snr_db: f64, unwanted_snr_db: f64, rng: &mut StdRng) -
     let occ = occupied_subcarrier_indices();
     // tx2 -> rx2 wanted; tx1 -> rx2 existing interference; tx3 (3 ant)
     // aligns at rx2 and nulls at rx1 (1 ant).
-    let l_t2_r2 = MimoLink::sample(2, 2, amplitude_for(wanted_snr_db), &DelayProfile::los(), rng);
+    let l_t2_r2 = MimoLink::sample(
+        2,
+        2,
+        amplitude_for(wanted_snr_db),
+        &DelayProfile::los(),
+        rng,
+    );
     let l_t1_r2 = MimoLink::sample(1, 2, amplitude_for(15.0), &DelayProfile::los(), rng);
-    let l_t3_r2 = MimoLink::sample(3, 2, amplitude_for(unwanted_snr_db), &DelayProfile::los(), rng);
+    let l_t3_r2 = MimoLink::sample(
+        3,
+        2,
+        amplitude_for(unwanted_snr_db),
+        &DelayProfile::los(),
+        rng,
+    );
     let l_t3_r1 = MimoLink::sample(3, 1, amplitude_for(15.0), &DelayProfile::los(), rng);
     let l_t3_r3 = MimoLink::sample(3, 3, amplitude_for(25.0), &DelayProfile::nlos(), rng);
 

@@ -10,20 +10,15 @@
 //!
 //! Run with: `cargo run --release --bin fig12_throughput`
 
-use nplus::sim::{simulate, Protocol, Scenario, SimConfig};
+use nplus::sim::{Protocol, SimConfig};
 use nplus_bench::support::{mean, print_cdf};
-use nplus_channel::placement::Testbed;
-use nplus_medium::topology::{build_topology, TopologyConfig};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use nplus_testkit::scenario::three_pairs;
 
 fn main() {
     let n_placements: u64 = std::env::args()
         .nth(1)
         .and_then(|s| s.parse().ok())
         .unwrap_or(30);
-    let scenario = Scenario::three_pairs();
-    let testbed = Testbed::sigcomm11();
     let cfg = SimConfig {
         rounds: 25,
         ..SimConfig::default()
@@ -31,20 +26,15 @@ fn main() {
 
     println!("== Fig. 12: three pairs (1/2/3 antennas), {n_placements} random placements ==");
     let mut totals = [Vec::new(), Vec::new()]; // [dot11n, nplus]
-    let mut flows = [[Vec::new(), Vec::new(), Vec::new()], [Vec::new(), Vec::new(), Vec::new()]];
+    let mut flows = [
+        [Vec::new(), Vec::new(), Vec::new()],
+        [Vec::new(), Vec::new(), Vec::new()],
+    ];
 
     for seed in 0..n_placements {
-        let mut rng = StdRng::seed_from_u64(seed);
-        let topo = build_topology(
-            &testbed,
-            &TopologyConfig::new(scenario.antennas.clone()),
-            10e6,
-            seed,
-            &mut rng,
-        );
+        let built = three_pairs(seed);
         for (p, protocol) in [Protocol::Dot11n, Protocol::NPlus].into_iter().enumerate() {
-            let mut rng = StdRng::seed_from_u64(seed ^ 0xC0FFEE);
-            let r = simulate(&topo, &scenario, protocol, &cfg, &mut rng);
+            let r = built.run_with(protocol, &cfg, seed ^ 0xC0FFEE);
             totals[p].push(r.total_mbps);
             for f in 0..3 {
                 flows[p][f].push(r.per_flow_mbps[f]);
@@ -52,9 +42,19 @@ fn main() {
         }
     }
 
-    print_cdf("(a) total network throughput, 802.11n [Mb/s]", &mut totals[0].clone());
-    print_cdf("(a) total network throughput, n+ [Mb/s]", &mut totals[1].clone());
-    let names = ["(b) tx1-rx1 (1 ant)", "(c) tx2-rx2 (2 ant)", "(d) tx3-rx3 (3 ant)"];
+    print_cdf(
+        "(a) total network throughput, 802.11n [Mb/s]",
+        &mut totals[0].clone(),
+    );
+    print_cdf(
+        "(a) total network throughput, n+ [Mb/s]",
+        &mut totals[1].clone(),
+    );
+    let names = [
+        "(b) tx1-rx1 (1 ant)",
+        "(c) tx2-rx2 (2 ant)",
+        "(d) tx3-rx3 (3 ant)",
+    ];
     for f in 0..3 {
         print_cdf(
             &format!("{} 802.11n [Mb/s]", names[f]),

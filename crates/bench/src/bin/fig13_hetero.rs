@@ -11,20 +11,15 @@
 //!
 //! Run with: `cargo run --release --bin fig13_hetero`
 
-use nplus::sim::{simulate, Protocol, Scenario, SimConfig};
+use nplus::sim::{Protocol, SimConfig};
 use nplus_bench::support::{mean, print_cdf};
-use nplus_channel::placement::Testbed;
-use nplus_medium::topology::{build_topology, TopologyConfig};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use nplus_testkit::scenario::ap_downlink;
 
 fn main() {
     let n_placements: u64 = std::env::args()
         .nth(1)
         .and_then(|s| s.parse().ok())
         .unwrap_or(30);
-    let scenario = Scenario::ap_downlink();
-    let testbed = Testbed::sigcomm11();
     let cfg = SimConfig {
         rounds: 25,
         ..SimConfig::default()
@@ -35,17 +30,9 @@ fn main() {
     // results[protocol][flow or 3=total] -> per-placement Mb/s.
     let mut results = vec![vec![Vec::new(); 4]; 3];
     for seed in 0..n_placements {
-        let mut rng = StdRng::seed_from_u64(seed);
-        let topo = build_topology(
-            &testbed,
-            &TopologyConfig::new(scenario.antennas.clone()),
-            10e6,
-            seed,
-            &mut rng,
-        );
+        let built = ap_downlink(seed);
         for (p, &protocol) in protocols.iter().enumerate() {
-            let mut rng = StdRng::seed_from_u64(seed ^ 0xBEEF);
-            let r = simulate(&topo, &scenario, protocol, &cfg, &mut rng);
+            let r = built.run_with(protocol, &cfg, seed ^ 0xBEEF);
             for f in 0..3 {
                 results[p][f].push(r.per_flow_mbps[f]);
             }
@@ -55,7 +42,11 @@ fn main() {
 
     let labels = ["c1-AP1", "AP2-c2", "AP2-c3", "total"];
     for (panel, baseline) in [("a", 0usize), ("b", 1usize)] {
-        let base_name = if baseline == 0 { "802.11n" } else { "beamforming" };
+        let base_name = if baseline == 0 {
+            "802.11n"
+        } else {
+            "beamforming"
+        };
         println!("\n---- panel ({panel}): n+ / {base_name} gain CDFs ----");
         for item in [3usize, 0, 1, 2] {
             let mut gains: Vec<f64> = results[2][item]

@@ -25,11 +25,16 @@ use rand::SeedableRng;
 /// advertise: the direction a single interferer's channel arrives from.
 fn sample_spaces(profile: &DelayProfile, rng: &mut StdRng) -> Vec<Subspace> {
     let cfg = OfdmConfig::usrp2();
-    let ch: Vec<FadingChannel> = (0..2).map(|_| FadingChannel::sample(profile, rng)).collect();
+    let ch: Vec<FadingChannel> = (0..2)
+        .map(|_| FadingChannel::sample(profile, rng))
+        .collect();
     occupied_subcarrier_indices()
         .iter()
         .map(|&k| {
-            let dir: CVector = ch.iter().map(|c| c.freq_response_at(k, cfg.fft_len)).collect();
+            let dir: CVector = ch
+                .iter()
+                .map(|c| c.freq_response_at(k, cfg.fft_len))
+                .collect();
             Subspace::span(2, &[dir])
         })
         .collect()
@@ -41,8 +46,11 @@ fn main() {
     // Header rate context: the paper quotes 18 Mb/s on its 10 MHz channel
     // — that is the 64-QAM 2/3 geometry (216 data bits/symbol at 20 MHz
     // halves to 18 Mb/s at 10 MHz). We report against several rates.
-    let report_rates: [(usize, &str); 3] =
-        [(3, "QPSK 3/4"), (6, "64QAM 2/3 (18 Mb/s @10MHz)"), (7, "64QAM 3/4")];
+    let report_rates: [(usize, &str); 3] = [
+        (3, "QPSK 3/4"),
+        (6, "64QAM 2/3 (18 Mb/s @10MHz)"),
+        (7, "64QAM 3/4"),
+    ];
 
     println!("== §3.5: alignment-space compression ==\n");
     for (profile, name) in [(DelayProfile::los(), "LOS"), (DelayProfile::nlos(), "NLOS")] {

@@ -1,7 +1,11 @@
 //! CDF/percentile helpers shared by the figure binaries.
 
 /// Empirical CDF points (value at each of the given percentiles).
-pub fn percentiles(samples: &mut Vec<f64>, points: &[f64]) -> Vec<(f64, f64)> {
+/// Empty input yields no points.
+pub fn percentiles(samples: &mut [f64], points: &[f64]) -> Vec<(f64, f64)> {
+    if samples.is_empty() {
+        return Vec::new();
+    }
     samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
     points
         .iter()
@@ -13,7 +17,7 @@ pub fn percentiles(samples: &mut Vec<f64>, points: &[f64]) -> Vec<(f64, f64)> {
 }
 
 /// Prints one CDF as "p value" rows under a header.
-pub fn print_cdf(label: &str, samples: &mut Vec<f64>) {
+pub fn print_cdf(label: &str, samples: &mut [f64]) {
     println!("\n# CDF: {label}  (n={})", samples.len());
     println!("{:>6} {:>12}", "p", "value");
     for (p, v) in percentiles(samples, &[0.05, 0.1, 0.25, 0.5, 0.75, 0.9, 0.95]) {

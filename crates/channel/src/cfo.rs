@@ -44,12 +44,11 @@ pub fn precompensate_cfo(
 /// drift between two repetitions of a known periodic sequence
 /// (`period` samples apart) — the standard 802.11 STF/LTF method, and the
 /// same computation a joiner runs on the first winner's RTS preamble.
-pub fn estimate_cfo(
-    rx: &[Complex64],
-    period: usize,
-    sample_rate_hz: f64,
-) -> f64 {
-    assert!(rx.len() >= 2 * period, "need two repetitions to estimate CFO");
+pub fn estimate_cfo(rx: &[Complex64], period: usize, sample_rate_hz: f64) -> f64 {
+    assert!(
+        rx.len() >= 2 * period,
+        "need two repetitions to estimate CFO"
+    );
     let mut acc = Complex64::ZERO;
     for i in 0..rx.len() - period {
         acc += rx[i + period] * rx[i].conj();

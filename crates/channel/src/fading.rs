@@ -77,8 +77,8 @@ impl FadingChannel {
                     let scat_pow = p / (k + 1.0);
                     let phase = rng.gen::<f64>() * 2.0 * std::f64::consts::PI;
                     let los = Complex64::from_polar(los_pow.sqrt(), phase);
-                    let scat = c64(sample_normal(rng), sample_normal(rng))
-                        .scale((scat_pow / 2.0).sqrt());
+                    let scat =
+                        c64(sample_normal(rng), sample_normal(rng)).scale((scat_pow / 2.0).sqrt());
                     los + scat
                 } else {
                     c64(sample_normal(rng), sample_normal(rng)).scale((p / 2.0).sqrt())
@@ -112,7 +112,9 @@ impl FadingChannel {
 
     /// Full frequency response over an `n_fft`-point grid.
     pub fn freq_response(&self, n_fft: usize) -> Vec<Complex64> {
-        (0..n_fft).map(|k| self.freq_response_at(k, n_fft)).collect()
+        (0..n_fft)
+            .map(|k| self.freq_response_at(k, n_fft))
+            .collect()
     }
 
     /// Convolves a transmit sample stream with the channel (linear

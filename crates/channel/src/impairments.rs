@@ -115,9 +115,8 @@ impl HardwareProfile {
         if evm <= 1e-12 || stream.is_empty() {
             return;
         }
-        let rms: f64 = (stream.iter().map(|z| z.norm_sqr()).sum::<f64>()
-            / stream.len() as f64)
-            .sqrt();
+        let rms: f64 =
+            (stream.iter().map(|z| z.norm_sqr()).sum::<f64>() / stream.len() as f64).sqrt();
         let s = rms * evm / 2f64.sqrt();
         for z in stream.iter_mut() {
             *z += c64(sample_normal(rng), sample_normal(rng)).scale(s);

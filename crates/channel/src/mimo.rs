@@ -144,7 +144,11 @@ impl MimoLink {
             .flat_map(|row| row.iter().map(|f| f.taps.len()))
             .max()
             .unwrap_or(1);
-        let out_len = if in_len == 0 { 0 } else { in_len + max_taps - 1 };
+        let out_len = if in_len == 0 {
+            0
+        } else {
+            in_len + max_taps - 1
+        };
         let mut out = vec![vec![Complex64::ZERO; out_len]; self.n_rx];
         for rx in 0..self.n_rx {
             for tx in 0..self.n_tx {

@@ -67,10 +67,18 @@ mod tests {
     fn noise_is_zero_mean_and_circular() {
         let mut rng = StdRng::seed_from_u64(12);
         let s = noise_stream(40_000, 1.0, &mut rng);
-        let mean: Complex64 = s.iter().copied().sum::<Complex64>().scale(1.0 / s.len() as f64);
+        let mean: Complex64 = s
+            .iter()
+            .copied()
+            .sum::<Complex64>()
+            .scale(1.0 / s.len() as f64);
         assert!(mean.abs() < 0.02, "mean {mean:?}");
         // Circular symmetry: E[z^2] ≈ 0 (unlike E[|z|^2] = 1).
-        let pseudo: Complex64 = s.iter().map(|z| *z * *z).sum::<Complex64>().scale(1.0 / s.len() as f64);
+        let pseudo: Complex64 = s
+            .iter()
+            .map(|z| *z * *z)
+            .sum::<Complex64>()
+            .scale(1.0 / s.len() as f64);
         assert!(pseudo.abs() < 0.03, "pseudo-variance {pseudo:?}");
     }
 

@@ -183,7 +183,10 @@ mod tests {
         let var: f64 =
             samples.iter().map(|s| (s - mean).powi(2)).sum::<f64>() / samples.len() as f64;
         let median = m.median_loss_db(5.0, false);
-        assert!((mean - median).abs() < 0.5, "mean {mean} vs median {median}");
+        assert!(
+            (mean - median).abs() < 0.5,
+            "mean {mean} vs median {median}"
+        );
         assert!((var.sqrt() - 3.0).abs() < 0.5, "sigma {}", var.sqrt());
     }
 

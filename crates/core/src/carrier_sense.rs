@@ -44,11 +44,7 @@ impl MultiDimCarrierSense {
     /// `ongoing[t]` is the per-bin channel matrix (`A × streams_t`) of
     /// ongoing transmission `t` as estimated from its preamble: each
     /// column is the effective channel vector of one stream.
-    pub fn from_ongoing(
-        n_antennas: usize,
-        cfg: OfdmConfig,
-        ongoing: &[Vec<CMatrix>],
-    ) -> Self {
+    pub fn from_ongoing(n_antennas: usize, cfg: OfdmConfig, ongoing: &[Vec<CMatrix>]) -> Self {
         let mut complements = Vec::with_capacity(cfg.fft_len);
         for k in 0..cfg.fft_len {
             let mut dirs: Vec<CVector> = Vec::new();
@@ -94,9 +90,7 @@ impl MultiDimCarrierSense {
             }
             // Project per bin.
             for k in 0..n {
-                let v: CVector = (0..self.n_antennas)
-                    .map(|ant| block_freq[ant][k])
-                    .collect();
+                let v: CVector = (0..self.n_antennas).map(|ant| block_freq[ant][k]).collect();
                 let projected = self.complements[k].project(&v);
                 for ant in 0..self.n_antennas {
                     block_freq[ant][k] = projected[ant];
@@ -268,10 +262,7 @@ mod tests {
         let projected = sensor.sense_power(&capture);
         // The surviving fraction is sin²θ between h2 and h1 — nonzero
         // for independent directions (these fixed vectors sit ~0.16).
-        assert!(
-            projected > 0.1 * raw,
-            "projected {projected} vs raw {raw}"
-        );
+        assert!(projected > 0.1 * raw, "projected {projected} vs raw {raw}");
     }
 
     /// Fig. 9(a): a weak new transmission hidden under a strong ongoing
@@ -308,8 +299,8 @@ mod tests {
             })
             .collect();
         // Raw power barely moves (weak tx2 under strong tx1)...
-        let raw_jump = MultiDimCarrierSense::raw_power(&cap2)
-            / MultiDimCarrierSense::raw_power(&cap1);
+        let raw_jump =
+            MultiDimCarrierSense::raw_power(&cap2) / MultiDimCarrierSense::raw_power(&cap1);
         // ...but projected power jumps by orders of magnitude.
         let p1 = sensor.sense_power(&cap1).max(1e-30);
         let p2 = sensor.sense_power(&cap2);
@@ -354,7 +345,10 @@ mod tests {
             projected > raw + 0.15,
             "projection should sharpen detection: raw {raw}, projected {projected}"
         );
-        assert!(projected > 0.5, "projected correlation too weak: {projected}");
+        assert!(
+            projected > 0.5,
+            "projected correlation too weak: {projected}"
+        );
     }
 
     #[test]
@@ -403,14 +397,21 @@ mod tests {
             .map(|_| {
                 (0..256)
                     .map(|_| {
-                        c64(rng.gen::<f64>() - 0.5, rng.gen::<f64>() - 0.5).scale(2.0 / 3.0f64.sqrt())
+                        c64(rng.gen::<f64>() - 0.5, rng.gen::<f64>() - 0.5)
+                            .scale(2.0 / 3.0f64.sqrt())
                     })
                     .collect()
             })
             .collect();
         // Noise power ≈ 2·(1/12)·4/3·... just measure it.
         let noise_power = MultiDimCarrierSense::raw_power(&noise) / 2.0 * 2.0;
-        assert!(!dof_is_busy(&sensor, &noise, &stf[..64], noise_power, &thresholds));
+        assert!(!dof_is_busy(
+            &sensor,
+            &noise,
+            &stf[..64],
+            noise_power,
+            &thresholds
+        ));
         // Noise + strong signal: busy.
         let busy: Vec<Vec<Complex64>> = noise
             .iter()
@@ -421,6 +422,12 @@ mod tests {
                     .collect()
             })
             .collect();
-        assert!(dof_is_busy(&sensor, &busy, &stf[..64], noise_power, &thresholds));
+        assert!(dof_is_busy(
+            &sensor,
+            &busy,
+            &stf[..64],
+            noise_power,
+            &thresholds
+        ));
     }
 }

@@ -248,7 +248,7 @@ fn encode_cp1(spaces: &[Subspace]) -> Vec<u8> {
     out.push(pp);
     // Escape bitmask for subcarriers 1..n_sc.
     let mask_pos = out.len();
-    out.extend(std::iter::repeat(0u8).take((n_sc - 1).div_ceil(8)));
+    out.extend(std::iter::repeat_n(0u8, (n_sc - 1).div_ceil(8)));
     for (i, s) in spaces[1..].iter().enumerate() {
         let (theta, phi) = angles_of(s);
         let (qt, qp) = quantize_cp1(theta, phi);
@@ -256,7 +256,10 @@ fn encode_cp1(spaces: &[Subspace]) -> Vec<u8> {
         let dt = qt as i32 - pt as i32;
         let dp = ((qp as i32 - pp as i32 + 384) % 256) - 128;
         // Nibbles carry diff/2, covering ±14 units.
-        let (nt, np) = ((dt as f64 / 2.0).round() as i32, (dp as f64 / 2.0).round() as i32);
+        let (nt, np) = (
+            (dt as f64 / 2.0).round() as i32,
+            (dp as f64 / 2.0).round() as i32,
+        );
         if nt.abs() <= 7 && np.abs() <= 7 {
             out.push(((nt & 0xF) as u8) | (((np & 0xF) as u8) << 4));
             pt = (pt as i32 + 2 * nt).clamp(0, 255) as u8;
@@ -556,8 +559,14 @@ mod tests {
 
     #[test]
     fn malformed_blobs_rejected() {
-        assert!(matches!(decode_alignment_space(&[]), Err(CodecError::Malformed)));
-        assert!(matches!(decode_alignment_space(&[0x21]), Err(CodecError::Malformed)));
+        assert!(matches!(
+            decode_alignment_space(&[]),
+            Err(CodecError::Malformed)
+        ));
+        assert!(matches!(
+            decode_alignment_space(&[0x21]),
+            Err(CodecError::Malformed)
+        ));
         // Truncated first subcarrier.
         assert!(matches!(
             decode_alignment_space(&[0x21, 52, 1, 2, 3]),
@@ -571,7 +580,10 @@ mod tests {
         // corrupt it.
         let level_pos = 2 + 6 * 2; // header + 6 components × 2 bytes
         blob[level_pos] = 9;
-        assert!(matches!(decode_alignment_space(&blob), Err(CodecError::Malformed)));
+        assert!(matches!(
+            decode_alignment_space(&blob),
+            Err(CodecError::Malformed)
+        ));
         // Truncated CP¹ blob.
         let spaces2 = smooth_spaces(8, 2, &mut rng);
         let blob2 = encode_alignment_space(&spaces2);

@@ -65,7 +65,7 @@ pub use link::{select_stream_rate, zf_sinr, SubcarrierObservation};
 pub use node::{learn_forward_channel, plan_join, JoinError, JoinPlan, LearnedReceiver};
 pub use power_control::{join_power_decision, JoinPowerDecision, DEFAULT_L_DB};
 pub use precoder::{
-    compute_precoders, max_joinable_streams, residual_interference, OwnReceiver, Precoding,
-    PrecoderError, ProtectedReceiver,
+    compute_precoders, max_joinable_streams, residual_interference, OwnReceiver, PrecoderError,
+    Precoding, ProtectedReceiver,
 };
 pub use sim::{simulate, Flow, Protocol, RunResult, Scenario, SimConfig};

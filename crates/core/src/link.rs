@@ -196,10 +196,7 @@ mod tests {
     fn oversubscribed_receiver_fails() {
         let obs = SubcarrierObservation {
             wanted: vec![v(&[(1.0, 0.0), (0.0, 0.0)])],
-            known_interference: vec![
-                v(&[(0.0, 0.0), (1.0, 0.0)]),
-                v(&[(1.0, 0.0), (1.0, 0.0)]),
-            ],
+            known_interference: vec![v(&[(0.0, 0.0), (1.0, 0.0)]), v(&[(1.0, 0.0), (1.0, 0.0)])],
             residual_interference: vec![],
             noise_power: 1.0,
         };

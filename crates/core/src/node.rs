@@ -18,8 +18,10 @@
 //! statistically equivalent and the sim must be fast); this module is the
 //! faithful sample-level path, used by the examples and integration tests.
 
-use crate::precoder::{compute_precoders, OwnReceiver, Precoding, PrecoderError, ProtectedReceiver};
 use crate::power_control::{join_power_decision, JoinPowerDecision};
+use crate::precoder::{
+    compute_precoders, OwnReceiver, PrecoderError, Precoding, ProtectedReceiver,
+};
 use nplus_channel::impairments::HardwareProfile;
 use nplus_linalg::{CMatrix, CVector, Complex64, Subspace};
 use nplus_phy::chanest::estimate_mimo_from_preamble;
@@ -54,7 +56,7 @@ pub fn learn_forward_channel(
     rng: &mut StdRng,
 ) -> Vec<CMatrix> {
     let m = capture.len(); // joiner antennas
-    // Reverse channel per joiner antenna: estimates[ant][rx_ant].h[k].
+                           // Reverse channel per joiner antenna: estimates[ant][rx_ant].h[k].
     let estimates: Vec<Vec<nplus_phy::ChannelEstimate>> = capture
         .iter()
         .map(|stream| estimate_mimo_from_preamble(stream, n_rx_antennas, cfg))
@@ -138,8 +140,8 @@ pub fn plan_join(
             n_streams,
             unwanted: own.unwanted[k].clone(),
         };
-        let p: Precoding = compute_precoders(m_antennas, &prot, &[own_rx])
-            .map_err(JoinError::Precoder)?;
+        let p: Precoding =
+            compute_precoders(m_antennas, &prot, &[own_rx]).map_err(JoinError::Precoder)?;
         for (s, v) in p.vectors.into_iter().enumerate() {
             precoders[s].push(v.scale_re(amp));
         }
@@ -167,7 +169,7 @@ pub fn render_precoded_stream(
     let bps = 2; // QPSK
     let per_symbol = data_idx.len() * bps;
     assert!(
-        bits.len() % per_symbol == 0,
+        bits.len().is_multiple_of(per_symbol),
         "bits must fill whole OFDM symbols"
     );
     let n_symbols = bits.len() / per_symbol;
@@ -177,7 +179,10 @@ pub fn render_precoded_stream(
     let pilot_bin = nplus_phy::params::pilot_subcarrier_indices()[0];
     let mut streams = vec![Vec::with_capacity(n_symbols * cfg.symbol_len()); m_antennas];
     for s in 0..n_symbols {
-        let syms = modulate(&bits[s * per_symbol..(s + 1) * per_symbol], Modulation::Qpsk);
+        let syms = modulate(
+            &bits[s * per_symbol..(s + 1) * per_symbol],
+            Modulation::Qpsk,
+        );
         for (ant, stream) in streams.iter_mut().enumerate() {
             let scaled: Vec<Complex64> = data_idx
                 .iter()
@@ -336,10 +341,7 @@ mod tests {
         let strong = CMatrix::from_vec(
             1,
             2,
-            vec![
-                nplus_linalg::c64(70.0, 0.0),
-                nplus_linalg::c64(0.0, 70.0),
-            ],
+            vec![nplus_linalg::c64(70.0, 0.0), nplus_linalg::c64(0.0, 70.0)],
         );
         let own_h = CMatrix::from_vec(
             2,

@@ -76,11 +76,7 @@ pub fn join_power_decision(believed_channels: &[&CMatrix], l_db: f64) -> JoinPow
 /// protected receiver after cancellation with depth `l_db`, for a joiner
 /// whose pre-cancellation power there is `pre_lin` and whose amplitude
 /// was scaled by `decision`.
-pub fn residual_after_cancellation(
-    pre_lin: f64,
-    decision: &JoinPowerDecision,
-    l_db: f64,
-) -> f64 {
+pub fn residual_after_cancellation(pre_lin: f64, decision: &JoinPowerDecision, l_db: f64) -> f64 {
     let depth = 10f64.powf(-l_db / 10.0);
     pre_lin * decision.amplitude().powi(2) * depth
 }

@@ -104,7 +104,10 @@ impl std::fmt::Display for PrecoderError {
             PrecoderError::NoDegreesOfFreedom => {
                 write!(f, "no degrees of freedom left for joining")
             }
-            PrecoderError::TooManyStreams { requested, available } => write!(
+            PrecoderError::TooManyStreams {
+                requested,
+                available,
+            } => write!(
                 f,
                 "requested {requested} streams but only {available} fit the constraints"
             ),
@@ -218,11 +221,7 @@ pub fn compute_precoders(
 /// protected receiver whose true channel is `h_true`. This is the
 /// verification metric for the paper's Fig. 11: with perfect channel
 /// knowledge it is ~0; with hardware error it sits ~25 dB down.
-pub fn residual_interference(
-    h_true: &CMatrix,
-    unwanted: &Subspace,
-    v: &CVector,
-) -> f64 {
+pub fn residual_interference(h_true: &CMatrix, unwanted: &Subspace, v: &CVector) -> f64 {
     let arriving = h_true.mul_vec(v);
     if unwanted.is_zero() {
         arriving.norm_sqr()
@@ -386,7 +385,7 @@ mod tests {
         // whatever is orthogonal to c1's arrival direction.
         let h_c1_ap1 = random_channel(2, 1, &mut rng);
         let wanted_dir = h_c1_ap1.col(0);
-        let unwanted_ap1 = Subspace::span(2, &[wanted_dir.clone()]).complement();
+        let unwanted_ap1 = Subspace::span(2, std::slice::from_ref(&wanted_dir)).complement();
         // Joining AP2 (3 ant) channels.
         let h_ap2_ap1 = random_channel(2, 3, &mut rng);
         let h_ap2_c2 = random_channel(2, 3, &mut rng);

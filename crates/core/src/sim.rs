@@ -219,13 +219,7 @@ impl<'a> RoundCtx<'a> {
 
     /// What a transmitter believes the channel is (reciprocity +
     /// hardware error), per subcarrier.
-    fn believed_channel(
-        &self,
-        from: usize,
-        to: usize,
-        k_occ: usize,
-        rng: &mut StdRng,
-    ) -> CMatrix {
+    fn believed_channel(&self, from: usize, to: usize, k_occ: usize, rng: &mut StdRng) -> CMatrix {
         let h = self.true_channel(from, to, k_occ);
         self.cfg.hardware.reciprocal_channel_knowledge(&h, rng)
     }
@@ -300,7 +294,13 @@ pub const TYPICAL_BLOB_BYTES: usize = 62;
 fn handshake_symbols(cfg: &SimConfig, n_receivers: usize, blob_bytes: usize) -> usize {
     let hdr = DataHeader {
         src: 0,
-        receivers: vec![ReceiverEntry { dst: 0, n_streams: 1 }; n_receivers.max(1)],
+        receivers: vec![
+            ReceiverEntry {
+                dst: 0,
+                n_streams: 1
+            };
+            n_receivers.max(1)
+        ],
         n_antennas: 3,
         duration_symbols: 0,
         seq: 0,
@@ -490,10 +490,8 @@ fn plan_winner(
                 let sinrs: Vec<f64> = (0..n_sc)
                     .map(|k| {
                         let h_true = ctx.true_channel(tx, rx, k);
-                        let wanted =
-                            vec![h_true.mul_vec(&per_stream_precoders[stream_idx][k])];
-                        let mut known: Vec<CVector> =
-                            own_unwanted[i][k].basis().to_vec();
+                        let wanted = vec![h_true.mul_vec(&per_stream_precoders[stream_idx][k])];
+                        let mut known: Vec<CVector> = own_unwanted[i][k].basis().to_vec();
                         let mut residual: Vec<CVector> = Vec::new();
                         for (other, pc) in per_stream_precoders.iter().enumerate() {
                             if other == stream_idx || pc.is_empty() {
@@ -628,8 +626,7 @@ fn settle_round(
             let esnr = nplus_phy::esnr::effective_snr(mcs.modulation, &per_stream_sinrs[si]);
             let esnr_db = 10.0 * esnr.max(1e-300).log10();
             let p = success_prob(esnr_db, s.rate);
-            bits[s.flow] +=
-                (s.active_symbols * mcs.data_bits_per_symbol()) as f64 * p;
+            bits[s.flow] += (s.active_symbols * mcs.data_bits_per_symbol()) as f64 * p;
         }
     }
     bits
@@ -695,7 +692,8 @@ pub fn simulate(
             total_samples += overhead + cfg.timing.difs;
             continue;
         };
-        overhead += cfg.timing.symbol * handshake_symbols(cfg, first_alloc.len(), TYPICAL_BLOB_BYTES) as u64;
+        overhead += cfg.timing.symbol
+            * handshake_symbols(cfg, first_alloc.len(), TYPICAL_BLOB_BYTES) as u64;
 
         // Body duration: one packet per serviced flow at the winner's
         // aggregate rate.
@@ -728,7 +726,8 @@ pub fn simulate(
                 }
                 let (joiner, join_slots) = contend(&eligible, &cfg.timing, rng);
                 // The join consumes body time: contention + its handshake.
-                let hs = handshake_symbols(cfg, scenario.flows_of(joiner).len(), TYPICAL_BLOB_BYTES);
+                let hs =
+                    handshake_symbols(cfg, scenario.flows_of(joiner).len(), TYPICAL_BLOB_BYTES);
                 let join_delay = ((join_slots * cfg.timing.slot) as usize)
                     .div_ceil(cfg.timing.symbol as usize)
                     + hs;
@@ -772,14 +771,10 @@ pub fn simulate(
 
         // Time accounting.
         let ack_syms = 2 + (cfg.timing.sifs as usize).div_ceil(cfg.timing.symbol as usize);
-        let round_samples = overhead
-            + cfg.timing.symbol * (body_symbols + ack_syms) as u64
-            + cfg.timing.difs;
+        let round_samples =
+            overhead + cfg.timing.symbol * (body_symbols + ack_syms) as u64 + cfg.timing.difs;
         total_samples += round_samples;
-        let mean_streams: f64 = streams
-            .iter()
-            .map(|s| s.active_symbols as f64)
-            .sum::<f64>()
+        let mean_streams: f64 = streams.iter().map(|s| s.active_symbols as f64).sum::<f64>()
             / body_symbols.max(1) as f64;
         dof_weighted += mean_streams * body_symbols as f64;
         dof_time += body_symbols as f64;
@@ -790,7 +785,11 @@ pub fn simulate(
     RunResult {
         total_mbps: per_flow_mbps.iter().sum(),
         per_flow_mbps,
-        mean_dof: if dof_time > 0.0 { dof_weighted / dof_time } else { 0.0 },
+        mean_dof: if dof_time > 0.0 {
+            dof_weighted / dof_time
+        } else {
+            0.0
+        },
     }
 }
 

@@ -6,25 +6,11 @@ use nplus::carrier_sense::MultiDimCarrierSense;
 use nplus::handshake::{decode_alignment_space, encode_alignment_space, max_space_error};
 use nplus::link::{zf_sinr, SubcarrierObservation};
 use nplus::power_control::{join_power_decision, residual_after_cancellation};
-use nplus::precoder::{
-    compute_precoders, residual_interference, OwnReceiver, ProtectedReceiver,
-};
-use nplus_linalg::{c64, rank, CMatrix, CVector, Complex64, Subspace};
+use nplus::precoder::{compute_precoders, residual_interference, OwnReceiver, ProtectedReceiver};
+use nplus_linalg::{rank, CMatrix, CVector, Complex64, Subspace};
 use nplus_phy::params::OfdmConfig;
+use nplus_testkit::strategies::{complex, complex_matrix as matrix, complex_vector as vector};
 use proptest::prelude::*;
-
-fn complex() -> impl Strategy<Value = Complex64> {
-    (-1.0f64..1.0, -1.0f64..1.0).prop_map(|(re, im)| c64(re, im))
-}
-
-fn matrix(rows: usize, cols: usize) -> impl Strategy<Value = CMatrix> {
-    proptest::collection::vec(complex(), rows * cols)
-        .prop_map(move |d| CMatrix::from_vec(rows, cols, d))
-}
-
-fn vector(n: usize) -> impl Strategy<Value = CVector> {
-    proptest::collection::vec(complex(), n).prop_map(CVector::from_vec)
-}
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]
@@ -158,7 +144,7 @@ proptest! {
         prop_assume!(hv.norm() > 0.2);
         let cfg = OfdmConfig::usrp2();
         let hm: Vec<CMatrix> = (0..cfg.fft_len)
-            .map(|_| CMatrix::from_cols(&[hv.clone()]))
+            .map(|_| CMatrix::from_cols(std::slice::from_ref(&hv)))
             .collect();
         let sensor = MultiDimCarrierSense::from_ongoing(3, cfg, &[hm]);
         // Signal along h at every antenna.

@@ -138,7 +138,13 @@ impl Complex64 {
 
 impl fmt::Debug for Complex64 {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{}{}{}i", self.re, if self.im < 0.0 { "-" } else { "+" }, self.im.abs())
+        write!(
+            f,
+            "{}{}{}i",
+            self.re,
+            if self.im < 0.0 { "-" } else { "+" },
+            self.im.abs()
+        )
     }
 }
 
@@ -333,7 +339,12 @@ mod tests {
 
     #[test]
     fn sqrt_squares_back() {
-        for &z in &[c64(4.0, 0.0), c64(-1.0, 0.0), c64(3.0, -4.0), c64(-2.0, 5.0)] {
+        for &z in &[
+            c64(4.0, 0.0),
+            c64(-1.0, 0.0),
+            c64(3.0, -4.0),
+            c64(-2.0, 5.0),
+        ] {
             let s = z.sqrt();
             assert!((s * s).approx_eq(z, 1e-10), "sqrt({z:?})^2 = {:?}", s * s);
         }

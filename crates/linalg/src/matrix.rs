@@ -283,11 +283,7 @@ impl CMatrix {
 
     /// Frobenius norm (square root of total entry power).
     pub fn frobenius_norm(&self) -> f64 {
-        self.data
-            .iter()
-            .map(|z| z.norm_sqr())
-            .sum::<f64>()
-            .sqrt()
+        self.data.iter().map(|z| z.norm_sqr()).sum::<f64>().sqrt()
     }
 
     /// Largest entry magnitude.
@@ -496,7 +492,7 @@ mod tests {
     fn mul_vec_matches_matmul() {
         let a = sample();
         let x = CVector::from_vec(vec![c64(1.0, 0.0), c64(0.0, 1.0), c64(-1.0, 2.0)]);
-        let as_mat = CMatrix::from_cols(&[x.clone()]);
+        let as_mat = CMatrix::from_cols(std::slice::from_ref(&x));
         let prod = &a * &as_mat;
         let v = a.mul_vec(&x);
         for i in 0..2 {

@@ -33,7 +33,11 @@ pub fn null_space(a: &CMatrix) -> Vec<CVector> {
     // `row_echelon`, each pivot row has a leading 1 in its pivot column.
     let mut pivot_cols = Vec::with_capacity(rank);
     for i in 0..rank {
-        let mut j = if let Some(&last) = pivot_cols.last() { last + 1 } else { 0 };
+        let mut j = if let Some(&last) = pivot_cols.last() {
+            last + 1
+        } else {
+            0
+        };
         while j < n && ech[(i, j)].abs() <= tol {
             j += 1;
         }
@@ -103,11 +107,7 @@ mod tests {
     fn null_space_of_wide_matrix() {
         // 1 equation, 3 unknowns -> 2-dimensional null space. This is the
         // tx2 nulling scenario from the paper's Fig. 2 generalized.
-        let a = CMatrix::from_vec(
-            1,
-            3,
-            vec![c64(1.0, 1.0), c64(2.0, 0.0), c64(0.0, -1.0)],
-        );
+        let a = CMatrix::from_vec(1, 3, vec![c64(1.0, 1.0), c64(2.0, 0.0), c64(0.0, -1.0)]);
         let ns = null_space(&a);
         assert_eq!(ns.len(), 2);
         assert!(is_orthonormal(&ns, TOL));

@@ -54,7 +54,7 @@ pub fn solve(a: &CMatrix, b: &CVector) -> Result<CVector, LinalgError> {
             what: "solve: rhs length must equal matrix dimension",
         });
     }
-    let x = solve_many(a, &CMatrix::from_cols(&[b.clone()]))?;
+    let x = solve_many(a, &CMatrix::from_cols(std::slice::from_ref(b)))?;
     Ok(x.col(0))
 }
 

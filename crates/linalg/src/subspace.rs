@@ -7,7 +7,6 @@
 //! module provides a [`Subspace`] type holding an orthonormal basis with
 //! the operations both call sites need.
 
-
 use crate::matrix::CMatrix;
 use crate::nullspace::null_space;
 use crate::qr::{is_orthonormal, orthonormalize};
@@ -243,10 +242,7 @@ mod tests {
 
     #[test]
     fn complement_dimensions_add_up() {
-        let s = Subspace::span(
-            3,
-            &[v3((1.0, 0.0), (1.0, 1.0), (0.0, 0.0))],
-        );
+        let s = Subspace::span(3, &[v3((1.0, 0.0), (1.0, 1.0), (0.0, 0.0))]);
         assert_eq!(s.dim(), 1);
         let c = s.complement();
         assert_eq!(c.dim(), 2);
@@ -258,7 +254,7 @@ mod tests {
         // This is exactly multi-dimensional carrier sense: a signal in the
         // occupied space has zero coordinates in the complement.
         let h = v3((0.8, 0.1), (-0.2, 0.6), (0.4, -0.3)); // channel of tx1
-        let occupied = Subspace::span(3, &[h.clone()]);
+        let occupied = Subspace::span(3, std::slice::from_ref(&h));
         let comp = occupied.complement();
         // Any scalar multiple of h (any transmitted symbol p) vanishes.
         for &p in &[c64(1.0, 0.0), c64(-0.3, 2.0), c64(0.0, -1.0)] {
@@ -272,7 +268,7 @@ mod tests {
     fn complement_preserves_new_signal() {
         let h1 = v3((0.8, 0.1), (-0.2, 0.6), (0.4, -0.3));
         let h2 = v3((0.1, -0.5), (0.7, 0.2), (-0.3, 0.3));
-        let occupied = Subspace::span(3, &[h1.clone()]);
+        let occupied = Subspace::span(3, std::slice::from_ref(&h1));
         let comp = occupied.complement();
         // A second transmission not colinear with h1 must survive.
         let coords = comp.coordinates(&h2);
@@ -300,10 +296,7 @@ mod tests {
 
     #[test]
     fn projector_matrix_matches_project() {
-        let s = Subspace::span(
-            3,
-            &[v3((1.0, 1.0), (0.0, 0.0), (2.0, -1.0))],
-        );
+        let s = Subspace::span(3, &[v3((1.0, 1.0), (0.0, 0.0), (2.0, -1.0))]);
         let v = v3((0.5, 0.0), (0.0, 0.5), (1.0, 1.0));
         let via_matrix = s.projector().mul_vec(&v);
         assert!(via_matrix.approx_eq(&s.project(&v), TOL));
@@ -315,7 +308,7 @@ mod tests {
     #[test]
     fn contains_detects_membership() {
         let b = v3((1.0, 0.0), (2.0, 0.0), (0.0, 1.0));
-        let s = Subspace::span(3, &[b.clone()]);
+        let s = Subspace::span(3, std::slice::from_ref(&b));
         assert!(s.contains(&b.scale(c64(0.0, -3.0)), 1e-9));
         assert!(!s.contains(&v3((1.0, 0.0), (0.0, 0.0), (0.0, 0.0)), 1e-6));
     }

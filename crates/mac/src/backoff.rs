@@ -96,10 +96,7 @@ pub enum ContentionOutcome {
 ///
 /// This is the slot-accurate equivalent of running [`Backoff::tick`] in
 /// lockstep; benches use it to avoid simulating every idle slot.
-pub fn resolve_contention<R: Rng>(
-    cws: &[u32],
-    rng: &mut R,
-) -> ContentionOutcome {
+pub fn resolve_contention<R: Rng>(cws: &[u32], rng: &mut R) -> ContentionOutcome {
     if cws.is_empty() {
         return ContentionOutcome::Idle;
     }

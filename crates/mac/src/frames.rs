@@ -193,8 +193,14 @@ mod tests {
         DataHeader {
             src: 7,
             receivers: vec![
-                ReceiverEntry { dst: 3, n_streams: 2 },
-                ReceiverEntry { dst: 9, n_streams: 1 },
+                ReceiverEntry {
+                    dst: 3,
+                    n_streams: 2,
+                },
+                ReceiverEntry {
+                    dst: 9,
+                    n_streams: 1,
+                },
             ],
             n_antennas: 3,
             duration_symbols: 250,
@@ -261,7 +267,10 @@ mod tests {
     fn single_receiver_header_is_compact() {
         let h = DataHeader {
             src: 1,
-            receivers: vec![ReceiverEntry { dst: 2, n_streams: 1 }],
+            receivers: vec![ReceiverEntry {
+                dst: 2,
+                n_streams: 1,
+            }],
             n_antennas: 1,
             duration_symbols: 100,
             seq: 0,

@@ -32,6 +32,6 @@ pub mod timing;
 
 pub use backoff::{resolve_contention, Backoff, ContentionOutcome};
 pub use fragment::{pack_for_budget, Mpdu, QueuedPacket, Reassembler, MPDU_OVERHEAD_BYTES};
-pub use frames::{Addr, AckHeader, DataHeader, FrameError, ReceiverEntry};
+pub use frames::{AckHeader, Addr, DataHeader, FrameError, ReceiverEntry};
 pub use retransmit::RetransmitQueue;
 pub use timing::SampleTiming;

@@ -208,8 +208,7 @@ impl Medium {
             }
             for ant in 0..rx_info.n_antennas {
                 for t in w_start..w_end {
-                    out[ant][(t - start) as usize] +=
-                        rendered[ant][(t - tx_start) as usize];
+                    out[ant][(t - start) as usize] += rendered[ant][(t - tx_start) as usize];
                 }
             }
         }
@@ -375,7 +374,10 @@ mod tests {
         }
         // Different windows get different noise.
         let c3 = m.capture(b, 64, 64);
-        let same = c1[0].iter().zip(&c3[0]).all(|(x, y)| x.approx_eq(*y, 1e-12));
+        let same = c1[0]
+            .iter()
+            .zip(&c3[0])
+            .all(|(x, y)| x.approx_eq(*y, 1e-12));
         assert!(!same);
     }
 

@@ -86,13 +86,7 @@ pub fn build_topology<R: Rng>(
             } else {
                 DelayProfile::los()
             };
-            let link = MimoLink::sample(
-                config.antennas[i],
-                config.antennas[j],
-                amp,
-                &profile,
-                rng,
-            );
+            let link = MimoLink::sample(config.antennas[i], config.antennas[j], amp, &profile, rng);
             medium.set_link(nodes[i], nodes[j], link);
         }
     }

@@ -20,7 +20,7 @@ pub fn bytes_to_bits(bytes: &[u8]) -> Vec<u8> {
 /// multiple of 8.
 pub fn bits_to_bytes(bits: &[u8]) -> Vec<u8> {
     assert!(
-        bits.len() % 8 == 0,
+        bits.len().is_multiple_of(8),
         "bits_to_bytes: {} bits is not a whole number of bytes",
         bits.len()
     );
@@ -45,7 +45,10 @@ pub fn pad_to_multiple(bits: &mut Vec<u8>, block: usize) {
 /// Counts positions where the two bit slices differ (they are compared up
 /// to the shorter length).
 pub fn hamming_distance(a: &[u8], b: &[u8]) -> usize {
-    a.iter().zip(b).filter(|(x, y)| (**x & 1) != (**y & 1)).count()
+    a.iter()
+        .zip(b)
+        .filter(|(x, y)| (**x & 1) != (**y & 1))
+        .count()
 }
 
 /// Writes an unsigned value into `bits` LSB-first using `width` bits.

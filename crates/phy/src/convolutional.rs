@@ -30,7 +30,7 @@ fn parity(x: u8) -> u8 {
 pub fn encode(bits: &[u8]) -> Vec<u8> {
     let mut state = 0u8; // 6-bit shift register
     let mut out = Vec::with_capacity(2 * (bits.len() + CONSTRAINT - 1));
-    for &b in bits.iter().chain(std::iter::repeat(&0u8).take(CONSTRAINT - 1)) {
+    for &b in bits.iter().chain(std::iter::repeat_n(&0u8, CONSTRAINT - 1)) {
         let reg = ((b & 1) << 6) | state;
         out.push(parity(reg & GEN_A));
         out.push(parity(reg & GEN_B));
@@ -52,7 +52,10 @@ pub fn coded_len(n: usize) -> usize {
 /// flushed (trellis ends in state 0) and returns the information bits
 /// without the tail.
 pub fn viterbi_decode(coded: &[u8]) -> Vec<u8> {
-    assert!(coded.len() % 2 == 0, "coded stream must hold bit pairs");
+    assert!(
+        coded.len().is_multiple_of(2),
+        "coded stream must hold bit pairs"
+    );
     let steps = coded.len() / 2;
     if steps < CONSTRAINT - 1 {
         return Vec::new();
@@ -73,7 +76,7 @@ pub fn viterbi_decode(coded: &[u8]) -> Vec<u8> {
     const INF: u32 = u32::MAX / 2;
     let mut metric = vec![INF; NUM_STATES];
     metric[0] = 0; // encoder starts in state 0
-    // Survivor table: for each step and state, the (prev_state, input) pair.
+                   // Survivor table: for each step and state, the (prev_state, input) pair.
     let mut survivors: Vec<[(u8, u8); NUM_STATES]> = Vec::with_capacity(steps);
 
     for t in 0..steps {

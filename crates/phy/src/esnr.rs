@@ -27,18 +27,16 @@ pub fn erfc(x: f64) -> f64 {
     }
     let t = 1.0 / (1.0 + 0.5 * x);
     // Numerical Recipes' erfc approximation.
-    let tau = t
-        * (-x * x - 1.26551223
-            + t * (1.00002368
-                + t * (0.37409196
-                    + t * (0.09678418
-                        + t * (-0.18628806
-                            + t * (0.27886807
-                                + t * (-1.13520398
-                                    + t * (1.48851587
-                                        + t * (-0.82215223 + t * 0.17087277)))))))))
-        .exp();
-    tau
+
+    t * (-x * x - 1.26551223
+        + t * (1.00002368
+            + t * (0.37409196
+                + t * (0.09678418
+                    + t * (-0.18628806
+                        + t * (0.27886807
+                            + t * (-1.13520398
+                                + t * (1.48851587 + t * (-0.82215223 + t * 0.17087277)))))))))
+        .exp()
 }
 
 /// Gaussian tail function `Q(x) = 0.5 * erfc(x / sqrt(2))`.
@@ -57,12 +55,9 @@ pub fn ber_awgn(m: Modulation, snr_linear: f64) -> f64 {
         Modulation::Qpsk => q_func(snr.sqrt()),
         // Square M-QAM per-bit approximations (standard):
         // BER ≈ 4/log2(M) * (1 - 1/sqrt(M)) * Q( sqrt(3 Es / ((M-1) N0)) ).
-        Modulation::Qam16 => {
-            (4.0 / 4.0) * (1.0 - 0.25) * q_func((3.0 * snr / 15.0).sqrt())
-        }
-        Modulation::Qam64 => {
-            (4.0 / 6.0) * (1.0 - 1.0 / 8.0) * q_func((3.0 * snr / 63.0).sqrt())
-        }
+        // For M=16 the leading 4/log2(M) coefficient is exactly 1.
+        Modulation::Qam16 => (1.0 - 0.25) * q_func((3.0 * snr / 15.0).sqrt()),
+        Modulation::Qam64 => (4.0 / 6.0) * (1.0 - 1.0 / 8.0) * q_func((3.0 * snr / 63.0).sqrt()),
     };
     ber.clamp(0.0, 0.5)
 }
@@ -92,11 +87,8 @@ pub fn snr_for_ber(m: Modulation, target_ber: f64) -> f64 {
 /// the given modulation.
 pub fn effective_snr(m: Modulation, subcarrier_snrs: &[f64]) -> f64 {
     assert!(!subcarrier_snrs.is_empty(), "no subcarrier SNRs given");
-    let mean_ber = subcarrier_snrs
-        .iter()
-        .map(|&s| ber_awgn(m, s))
-        .sum::<f64>()
-        / subcarrier_snrs.len() as f64;
+    let mean_ber =
+        subcarrier_snrs.iter().map(|&s| ber_awgn(m, s)).sum::<f64>() / subcarrier_snrs.len() as f64;
     if mean_ber <= 1e-12 {
         // The BER curve has saturated (error-free for this modulation);
         // the inversion is meaningless below the floor, so report the
@@ -268,7 +260,10 @@ mod tests {
             let snrs = vec![10f64.powf(snr_db / 10.0); 52];
             let r = select_rate(&snrs);
             if let (Some(prev), Some(cur)) = (last, r) {
-                assert!(cur >= prev, "rate dropped from {prev} to {cur} at {snr_db} dB");
+                assert!(
+                    cur >= prev,
+                    "rate dropped from {prev} to {cur} at {snr_db} dB"
+                );
             }
             if r.is_some() {
                 last = r;

@@ -46,7 +46,7 @@ fn transform(data: &mut [Complex64], inverse: bool) {
     // Bit-reversal permutation.
     let bits = n.trailing_zeros();
     for i in 0..n {
-        let j = (i.reverse_bits() >> (usize::BITS - bits)) as usize;
+        let j = i.reverse_bits() >> (usize::BITS - bits);
         if j > i {
             data.swap(i, j);
         }
@@ -197,9 +197,7 @@ mod tests {
 
     #[test]
     fn correlation_peaks_at_alignment() {
-        let needle: Vec<Complex64> = (0..16)
-            .map(|i| Complex64::cis(0.7 * i as f64))
-            .collect();
+        let needle: Vec<Complex64> = (0..16).map(|i| Complex64::cis(0.7 * i as f64)).collect();
         let mut haystack = vec![Complex64::ZERO; 64];
         haystack[20..36].copy_from_slice(&needle);
         let corr = normalized_cross_correlation(&haystack, &needle);
@@ -223,10 +221,16 @@ mod tests {
     #[test]
     fn correlation_of_noise_is_low() {
         // Deterministic pseudo-noise should not correlate with a chirp.
-        let needle: Vec<Complex64> = (0..32).map(|i| Complex64::cis(0.3 * (i * i) as f64)).collect();
+        let needle: Vec<Complex64> = (0..32)
+            .map(|i| Complex64::cis(0.3 * (i * i) as f64))
+            .collect();
         let noise: Vec<Complex64> = (0..128)
-            .map(|i| c64(((i * 2654435761usize) % 1000) as f64 / 500.0 - 1.0,
-                          ((i * 40503usize) % 1000) as f64 / 500.0 - 1.0))
+            .map(|i| {
+                c64(
+                    ((i * 2654435761usize) % 1000) as f64 / 500.0 - 1.0,
+                    ((i * 40503usize) % 1000) as f64 / 500.0 - 1.0,
+                )
+            })
             .collect();
         let corr = normalized_cross_correlation(&noise, &needle);
         for c in corr {

@@ -34,7 +34,7 @@ impl Interleaver {
     /// `n_bpsc` coded bits per subcarrier. `n_cbps` must be a multiple
     /// of 16 (always true for the 802.11 symbol geometries).
     pub fn new(n_cbps: usize, n_bpsc: usize) -> Self {
-        assert!(n_cbps % 16 == 0, "N_CBPS must be a multiple of 16");
+        assert!(n_cbps.is_multiple_of(16), "N_CBPS must be a multiple of 16");
         let forward = permutation(n_cbps, n_bpsc);
         let mut inverse = vec![0usize; n_cbps];
         for (k, &j) in forward.iter().enumerate() {
@@ -50,7 +50,11 @@ impl Interleaver {
 
     /// Interleaves one block. `bits.len()` must equal [`Self::block_len`].
     pub fn interleave(&self, bits: &[u8]) -> Vec<u8> {
-        assert_eq!(bits.len(), self.forward.len(), "interleave: wrong block size");
+        assert_eq!(
+            bits.len(),
+            self.forward.len(),
+            "interleave: wrong block size"
+        );
         let mut out = vec![0u8; bits.len()];
         for (k, &j) in self.forward.iter().enumerate() {
             out[j] = bits[k];
@@ -60,7 +64,11 @@ impl Interleaver {
 
     /// Inverts [`Self::interleave`].
     pub fn deinterleave(&self, bits: &[u8]) -> Vec<u8> {
-        assert_eq!(bits.len(), self.inverse.len(), "deinterleave: wrong block size");
+        assert_eq!(
+            bits.len(),
+            self.inverse.len(),
+            "deinterleave: wrong block size"
+        );
         let mut out = vec![0u8; bits.len()];
         for (j, &k) in self.inverse.iter().enumerate() {
             out[k] = bits[j];

@@ -132,7 +132,7 @@ fn gray_axis_demap(value: f64, width: usize, out: &mut Vec<u8>) {
 pub fn modulate(bits: &[u8], m: Modulation) -> Vec<Complex64> {
     let bps = m.bits_per_symbol();
     assert!(
-        bits.len() % bps == 0,
+        bits.len().is_multiple_of(bps),
         "modulate: {} bits is not a multiple of {bps}",
         bits.len()
     );
@@ -250,7 +250,7 @@ mod tests {
             // Perturb by much less than half the minimum distance.
             let eps = 0.4 * m.kmod();
             for (i, s) in syms.iter_mut().enumerate() {
-                *s = *s + c64(if i % 2 == 0 { eps } else { -eps } * 0.5, eps * 0.3);
+                *s += c64(if i % 2 == 0 { eps } else { -eps } * 0.5, eps * 0.3);
             }
             assert_eq!(demodulate(&syms, m), bits, "{m}");
         }
@@ -268,13 +268,12 @@ mod tests {
             patterns.iter().map(|b| (gray_axis(b), b)).collect();
         by_level.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
         for w in by_level.windows(2) {
-            let diff: usize = w[0]
-                .1
-                .iter()
-                .zip(w[1].1)
-                .filter(|(a, b)| a != b)
-                .count();
-            assert_eq!(diff, 1, "levels {} and {} differ in {diff} bits", w[0].0, w[1].0);
+            let diff: usize = w[0].1.iter().zip(w[1].1).filter(|(a, b)| a != b).count();
+            assert_eq!(
+                diff, 1,
+                "levels {} and {} differ in {diff} bits",
+                w[0].0, w[1].0
+            );
         }
     }
 

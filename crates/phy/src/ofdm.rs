@@ -28,7 +28,10 @@ fn pilot_polarity() -> Vec<f64> {
     let mut s = Scrambler::new(0x7F);
     let mut zeros = vec![0u8; 127];
     s.apply_in_place(&mut zeros);
-    zeros.iter().map(|&b| if b == 0 { 1.0 } else { -1.0 }).collect()
+    zeros
+        .iter()
+        .map(|&b| if b == 0 { 1.0 } else { -1.0 })
+        .collect()
 }
 
 /// Base pilot values on the four pilot subcarriers (±7: +1, ±21: +1/−1
@@ -45,7 +48,11 @@ pub fn assemble_symbol(
     cfg: &OfdmConfig,
 ) -> Vec<Complex64> {
     let data_idx = data_subcarrier_indices();
-    assert_eq!(data.len(), data_idx.len(), "assemble_symbol: need 48 points");
+    assert_eq!(
+        data.len(),
+        data_idx.len(),
+        "assemble_symbol: need 48 points"
+    );
     let mut freq = vec![Complex64::ZERO; cfg.fft_len];
     for (&bin, &sym) in data_idx.iter().zip(data) {
         freq[bin] = sym;
@@ -82,7 +89,11 @@ pub fn assemble_symbol_with_pilot_gain(
     cfg: &OfdmConfig,
 ) -> Vec<Complex64> {
     let data_idx = data_subcarrier_indices();
-    assert_eq!(data.len(), data_idx.len(), "assemble_symbol: need 48 points");
+    assert_eq!(
+        data.len(),
+        data_idx.len(),
+        "assemble_symbol: need 48 points"
+    );
     let mut freq = vec![Complex64::ZERO; cfg.fft_len];
     for (&bin, &sym) in data_idx.iter().zip(data) {
         freq[bin] = sym;

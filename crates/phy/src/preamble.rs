@@ -23,7 +23,8 @@ const STF_SEQ: [(f64, f64); 53] = {
     const N: (f64, f64) = (-1.0, -1.0);
     const Z: (f64, f64) = (0.0, 0.0);
     [
-        Z, Z, P, Z, Z, Z, N, Z, Z, Z, P, Z, Z, Z, N, Z, Z, Z, N, Z, Z, Z, P, Z, Z, Z, // -26..-1
+        Z, Z, P, Z, Z, Z, N, Z, Z, Z, P, Z, Z, Z, N, Z, Z, Z, N, Z, Z, Z, P, Z, Z,
+        Z, // -26..-1
         Z, // DC
         Z, Z, Z, N, Z, Z, Z, N, Z, Z, Z, P, Z, Z, Z, P, Z, Z, Z, P, Z, Z, Z, P, Z, Z, // 1..26
     ]
@@ -31,11 +32,11 @@ const STF_SEQ: [(f64, f64); 53] = {
 
 /// The 802.11a LTF frequency-domain sequence, subcarriers −26..=26.
 const LTF_SEQ: [f64; 53] = [
-    1.0, 1.0, -1.0, -1.0, 1.0, 1.0, -1.0, 1.0, -1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0, -1.0, -1.0,
-    1.0, 1.0, -1.0, 1.0, -1.0, 1.0, 1.0, 1.0, 1.0, // -26..-1
+    1.0, 1.0, -1.0, -1.0, 1.0, 1.0, -1.0, 1.0, -1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0, -1.0, -1.0, 1.0,
+    1.0, -1.0, 1.0, -1.0, 1.0, 1.0, 1.0, 1.0, // -26..-1
     0.0, // DC
-    1.0, -1.0, -1.0, 1.0, 1.0, -1.0, 1.0, -1.0, 1.0, -1.0, -1.0, -1.0, -1.0, -1.0, 1.0, 1.0,
-    -1.0, -1.0, 1.0, -1.0, 1.0, -1.0, 1.0, 1.0, 1.0, 1.0, // 1..26
+    1.0, -1.0, -1.0, 1.0, 1.0, -1.0, 1.0, -1.0, 1.0, -1.0, -1.0, -1.0, -1.0, -1.0, 1.0, 1.0, -1.0,
+    -1.0, 1.0, -1.0, 1.0, -1.0, 1.0, 1.0, 1.0, 1.0, // 1..26
 ];
 
 /// Maps a logical subcarrier index −26..=26 to the natural FFT bin 0..64.

@@ -53,14 +53,38 @@ impl std::fmt::Display for Mcs {
 
 /// The eight-rate 802.11a/g menu, ordered from most to least robust.
 pub const RATE_TABLE: [Mcs; 8] = [
-    Mcs { modulation: Modulation::Bpsk, code_rate: CodeRate::R12 },
-    Mcs { modulation: Modulation::Bpsk, code_rate: CodeRate::R34 },
-    Mcs { modulation: Modulation::Qpsk, code_rate: CodeRate::R12 },
-    Mcs { modulation: Modulation::Qpsk, code_rate: CodeRate::R34 },
-    Mcs { modulation: Modulation::Qam16, code_rate: CodeRate::R12 },
-    Mcs { modulation: Modulation::Qam16, code_rate: CodeRate::R34 },
-    Mcs { modulation: Modulation::Qam64, code_rate: CodeRate::R23 },
-    Mcs { modulation: Modulation::Qam64, code_rate: CodeRate::R34 },
+    Mcs {
+        modulation: Modulation::Bpsk,
+        code_rate: CodeRate::R12,
+    },
+    Mcs {
+        modulation: Modulation::Bpsk,
+        code_rate: CodeRate::R34,
+    },
+    Mcs {
+        modulation: Modulation::Qpsk,
+        code_rate: CodeRate::R12,
+    },
+    Mcs {
+        modulation: Modulation::Qpsk,
+        code_rate: CodeRate::R34,
+    },
+    Mcs {
+        modulation: Modulation::Qam16,
+        code_rate: CodeRate::R12,
+    },
+    Mcs {
+        modulation: Modulation::Qam16,
+        code_rate: CodeRate::R34,
+    },
+    Mcs {
+        modulation: Modulation::Qam64,
+        code_rate: CodeRate::R23,
+    },
+    Mcs {
+        modulation: Modulation::Qam64,
+        code_rate: CodeRate::R34,
+    },
 ];
 
 /// Index into [`RATE_TABLE`] (0 = most robust, 7 = fastest).

@@ -88,7 +88,7 @@ impl SignalField {
     /// Parses and validates 24 SIGNAL bits.
     pub fn from_bits(bits: &[u8; 24]) -> Result<Self, SignalError> {
         let ones: u32 = bits[..18].iter().map(|&b| b as u32).sum();
-        if ones % 2 != 0 {
+        if !ones.is_multiple_of(2) {
             return Err(SignalError::Parity);
         }
         if bits[4] != 0 || bits[18..].iter().any(|&b| b != 0) {
@@ -147,7 +147,10 @@ mod tests {
         bits[0] ^= 1;
         bits[3] ^= 1;
         let r = SignalField::from_bits(&bits);
-        assert!(matches!(r, Err(SignalError::BadRate) | Err(SignalError::Parity)));
+        assert!(matches!(
+            r,
+            Err(SignalError::BadRate) | Err(SignalError::Parity)
+        ));
     }
 
     #[test]

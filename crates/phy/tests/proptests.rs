@@ -1,5 +1,6 @@
 //! Property-based tests for the PHY coding and modulation chain.
 
+use nplus_linalg::{c64, Complex64};
 use nplus_phy::bits::{bits_to_bytes, bytes_to_bits};
 use nplus_phy::convolutional::{coded_len, encode, viterbi_decode, ERASURE};
 use nplus_phy::crc::{append_crc, check_crc};
@@ -11,7 +12,6 @@ use nplus_phy::params::OfdmConfig;
 use nplus_phy::puncture::{depuncture, puncture, CodeRate};
 use nplus_phy::rates::RATE_TABLE;
 use nplus_phy::scrambler::Scrambler;
-use nplus_linalg::{c64, Complex64};
 use proptest::prelude::*;
 
 fn bit_vec(max_len: usize) -> impl Strategy<Value = Vec<u8>> {

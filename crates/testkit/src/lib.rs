@@ -1,0 +1,103 @@
+//! Test support for the n+ workspace: seeded scenario builders,
+//! channel/medium fixtures, proptest strategies and tolerance-aware
+//! assertions.
+//!
+//! Everything here is deterministic given a seed. The builders mirror
+//! the paper's canonical setups so integration tests, figure binaries
+//! and benchmarks all run the *same* scenarios instead of hand-rolling
+//! their own copies:
+//!
+//! * [`scenario::two_pair_medium`] — Fig. 2: a 1-antenna pair plus a
+//!   2-antenna pair on a sample-level medium;
+//! * [`scenario::three_pairs`] — Fig. 3: contending pairs with 1, 2 and
+//!   3 antennas on a random testbed placement;
+//! * [`scenario::ap_downlink`] — Fig. 4: heterogeneous AP topology;
+//! * [`scenario::sensing_trio`] — Fig. 6/9: a 3-antenna node sensing
+//!   past an ongoing strong transmission.
+
+pub mod fixtures;
+pub mod scenario;
+pub mod strategies;
+
+use nplus_linalg::Complex64;
+
+/// Fresh deterministic RNG for a test.
+pub fn rng(seed: u64) -> rand::rngs::StdRng {
+    use rand::SeedableRng;
+    rand::rngs::StdRng::seed_from_u64(seed)
+}
+
+/// Function form of [`assert_c64_close!`].
+#[track_caller]
+pub fn assert_c64_close(actual: Complex64, expected: Complex64, tol: f64) {
+    assert!(
+        actual.approx_eq(expected, tol),
+        "complex values differ by more than {tol}: {actual:?} vs {expected:?}"
+    );
+}
+
+/// Bit-error count between two equal-length bit/byte slices.
+pub fn bit_errors(a: &[u8], b: &[u8]) -> usize {
+    assert_eq!(a.len(), b.len(), "bit_errors on unequal lengths");
+    a.iter().zip(b).filter(|(x, y)| x != y).count()
+}
+
+/// Bit-error rate between two equal-length bit slices.
+pub fn bit_error_rate(a: &[u8], b: &[u8]) -> f64 {
+    if a.is_empty() {
+        return 0.0;
+    }
+    bit_errors(a, b) as f64 / a.len() as f64
+}
+
+/// Assert two `Complex64` values are within `tol` of each other,
+/// with optional extra context.
+#[macro_export]
+macro_rules! assert_c64_close {
+    ($actual:expr, $expected:expr, $tol:expr $(,)?) => {{
+        let (a, e, t) = ($actual, $expected, $tol);
+        assert!(
+            a.approx_eq(e, t),
+            "complex values differ by more than {t}: {a:?} vs {e:?}"
+        );
+    }};
+    ($actual:expr, $expected:expr, $tol:expr, $($arg:tt)+) => {{
+        let (a, e, t) = ($actual, $expected, $tol);
+        assert!(
+            a.approx_eq(e, t),
+            "complex values differ by more than {t}: {a:?} vs {e:?} — {}",
+            format_args!($($arg)+)
+        );
+    }};
+}
+
+/// Assert a linear-power SINR is within `tol_db` of an expected value.
+#[macro_export]
+macro_rules! assert_sinr_db_close {
+    ($actual:expr, $expected:expr, $tol_db:expr $(,)?) => {{
+        let (a, e, t): (f64, f64, f64) = ($actual, $expected, $tol_db);
+        let diff = 10.0 * (a.max(1e-12) / e.max(1e-12)).log10();
+        assert!(
+            diff.abs() <= t,
+            "SINR off by {diff:+.2} dB (> {t} dB): {a:.4} vs expected {e:.4}"
+        );
+    }};
+}
+
+/// Assert a bit-error rate computed from two bit slices stays below a
+/// bound, reporting the measured BER on failure.
+#[macro_export]
+macro_rules! assert_ber_below {
+    ($got:expr, $want:expr, $max_ber:expr $(,)?) => {
+        $crate::assert_ber_below!($got, $want, $max_ber, "");
+    };
+    ($got:expr, $want:expr, $max_ber:expr, $($arg:tt)+) => {{
+        let ber = $crate::bit_error_rate($got, $want);
+        let max: f64 = $max_ber;
+        assert!(
+            ber <= max,
+            "BER {ber:.4} exceeds {max} {}",
+            format_args!($($arg)+)
+        );
+    }};
+}

@@ -1,0 +1,21 @@
+//! Proptest strategies over the linalg types, shared by the property
+//! suites so each one stops redefining its own.
+
+use nplus_linalg::{c64, CMatrix, CVector, Complex64};
+use proptest::prelude::*;
+
+/// A bounded complex scalar with re, im ∈ (-1, 1).
+pub fn complex() -> impl Strategy<Value = Complex64> {
+    (-1.0f64..1.0, -1.0f64..1.0).prop_map(|(re, im)| c64(re, im))
+}
+
+/// A complex matrix with the given shape.
+pub fn complex_matrix(rows: usize, cols: usize) -> impl Strategy<Value = CMatrix> {
+    proptest::collection::vec(complex(), rows * cols)
+        .prop_map(move |data| CMatrix::from_vec(rows, cols, data))
+}
+
+/// A complex vector with the given dimension.
+pub fn complex_vector(n: usize) -> impl Strategy<Value = CVector> {
+    proptest::collection::vec(complex(), n).prop_map(CVector::from_vec)
+}

@@ -1,0 +1,92 @@
+//! Property tests owned by the testkit itself: they exercise the shared
+//! strategies against the core invariants every suite leans on —
+//! precoder nulling depth and the handshake codec round-trip.
+
+use nplus::handshake::{decode_alignment_space, encode_alignment_space, max_space_error};
+use nplus::precoder::{compute_precoders, residual_interference, OwnReceiver, ProtectedReceiver};
+use nplus_linalg::{rank, Subspace};
+use nplus_testkit::strategies::{complex_matrix, complex_vector};
+use proptest::prelude::*;
+
+const NULL_TOL: f64 = 1e-16;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// For every joiner antenna count m ≥ 2, nulling at a single-antenna
+    /// receiver leaves residual interference below tolerance while the
+    /// joiner's own receiver keeps a usable signal.
+    #[test]
+    fn nulling_residual_below_tolerance(
+        m in 2usize..5,
+        seed_protected in complex_matrix(1, 4),
+        seed_own in complex_matrix(4, 4),
+    ) {
+        let h_protected = seed_protected.submatrix(0, 1, 0, m);
+        let h_own = seed_own.submatrix(0, m, 0, m);
+        prop_assume!(rank(&h_protected, Some(1e-6)) == 1);
+        prop_assume!(rank(&h_own, Some(1e-6)) == m);
+        let p = compute_precoders(
+            m,
+            &[ProtectedReceiver::nulling(h_protected.clone())],
+            &[OwnReceiver { channel: h_own.clone(), n_streams: 1, unwanted: Subspace::zero(m) }],
+        ).unwrap();
+        let leak = residual_interference(&h_protected, &Subspace::zero(1), &p.vectors[0]);
+        prop_assert!(leak < NULL_TOL, "leak {leak} at m={m}");
+        prop_assert!(h_own.mul_vec(&p.vectors[0]).norm_sqr() > 1e-8);
+    }
+
+    /// Nulling at a protected receiver never costs the precoder its unit
+    /// power budget: the streams still sum to power 1.
+    #[test]
+    fn nulling_respects_power_budget(
+        h1 in complex_matrix(1, 3),
+        h_own in complex_matrix(3, 3),
+        n_streams in 1usize..3,
+    ) {
+        prop_assume!(rank(&h1, Some(1e-6)) == 1);
+        prop_assume!(rank(&h_own, Some(1e-6)) == 3);
+        let p = compute_precoders(
+            3,
+            &[ProtectedReceiver::nulling(h1)],
+            &[OwnReceiver { channel: h_own, n_streams, unwanted: Subspace::zero(3) }],
+        ).unwrap();
+        let total: f64 = p.vectors.iter().map(|v| v.norm_sqr()).sum();
+        prop_assert!((total - 1.0).abs() < 1e-9, "total power {total}");
+    }
+
+    /// The handshake codec round-trips alignment spaces drawn from the
+    /// shared strategies with bounded subspace error.
+    #[test]
+    fn handshake_round_trip_bounded_error(
+        dirs in proptest::collection::vec(complex_vector(2), 1..52),
+    ) {
+        let spaces: Vec<Subspace> = dirs
+            .iter()
+            .filter(|d| d.norm() > 0.15)
+            .map(|d| Subspace::span(2, std::slice::from_ref(d)))
+            .collect();
+        prop_assume!(!spaces.is_empty());
+        prop_assume!(spaces.iter().all(|s| s.dim() == 1));
+        let blob = encode_alignment_space(&spaces);
+        let decoded = decode_alignment_space(&blob).unwrap();
+        prop_assert_eq!(decoded.len(), spaces.len());
+        let err = max_space_error(&spaces, &decoded);
+        prop_assert!(err < 0.05, "subspace error {err}");
+    }
+
+    /// Encoding is deterministic: the same spaces produce the same blob,
+    /// so a retransmitted handshake is bit-identical.
+    #[test]
+    fn handshake_encoding_deterministic(
+        dirs in proptest::collection::vec(complex_vector(2), 1..20),
+    ) {
+        let spaces: Vec<Subspace> = dirs
+            .iter()
+            .filter(|d| d.norm() > 0.15)
+            .map(|d| Subspace::span(2, std::slice::from_ref(d)))
+            .collect();
+        prop_assume!(!spaces.is_empty());
+        prop_assert_eq!(encode_alignment_space(&spaces), encode_alignment_space(&spaces));
+    }
+}

@@ -65,13 +65,13 @@ fn main() {
 
     // tx3 builds its sensor from tx1's channel (learned from tx1's RTS
     // preamble in the real protocol; here we read it off the medium).
-    let h_tx1: Vec<CMatrix> = medium
-        .link(tx1, tx3)
-        .unwrap()
-        .channel_matrices(cfg.fft_len);
+    let h_tx1: Vec<CMatrix> = medium.link(tx1, tx3).unwrap().channel_matrices(cfg.fft_len);
     let sensor = MultiDimCarrierSense::from_ongoing(3, cfg, &[h_tx1]);
     println!("== multi-dimensional carrier sense at tx3 (3 antennas) ==\n");
-    println!("degrees of freedom free after tx1 won: {}\n", sensor.free_dof());
+    println!(
+        "degrees of freedom free after tx1 won: {}\n",
+        sensor.free_dof()
+    );
 
     let stf = stf_time(&cfg);
     println!(
@@ -84,9 +84,7 @@ fn main() {
         let proj = sensor.sense_power(&capture);
         let raw_corr = MultiDimCarrierSense::detect_preamble_raw(&capture, &stf[..64]);
         let proj_corr = sensor.detect_preamble(&capture, &stf[..64]);
-        println!(
-            "{label:>14} {raw:>12.2} {proj:>12.2} {raw_corr:>12.2} {proj_corr:>12.2}"
-        );
+        println!("{label:>14} {raw:>12.2} {proj:>12.2} {raw_corr:>12.2} {proj_corr:>12.2}");
     }
 
     let before = sensor.sense_power(&medium.capture(tx3, 512, 512));

@@ -41,8 +41,8 @@ fn main() {
         let h1_true = h_tx2_rx1.channel_matrix(k, cfg.fft_len);
         // What tx2 *believes* via reciprocity + hardware calibration error.
         let h1_believed = hardware.reciprocal_channel_knowledge(&h1_true, &mut rng);
-        let h2_believed =
-            hardware.reciprocal_channel_knowledge(&h_tx2_rx2.channel_matrix(k, cfg.fft_len), &mut rng);
+        let h2_believed = hardware
+            .reciprocal_channel_knowledge(&h_tx2_rx2.channel_matrix(k, cfg.fft_len), &mut rng);
 
         let precoding = compute_precoders(
             2,
@@ -77,8 +77,7 @@ fn main() {
         "nulling depth at rx1 (worst subcarrier): {worst_residual_db:.1} dB \
          (paper measures 25–27 dB cancellation)",
     );
-    let mean_sinr_db =
-        10.0 * (sinrs.iter().sum::<f64>() / sinrs.len() as f64).log10();
+    let mean_sinr_db = 10.0 * (sinrs.iter().sum::<f64>() / sinrs.len() as f64).log10();
     println!("rx2 post-projection SINR (mean):        {mean_sinr_db:.1} dB");
 
     match select_stream_rate(&sinrs) {

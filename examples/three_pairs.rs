@@ -34,7 +34,11 @@ fn main() {
             "  {name}: ({:>4.1}, {:>4.1}) m  {}",
             loc.pos.x,
             loc.pos.y,
-            if loc.nlos { "[NLOS office]" } else { "[open area]" }
+            if loc.nlos {
+                "[NLOS office]"
+            } else {
+                "[open area]"
+            }
         );
     }
 
@@ -71,12 +75,19 @@ fn main() {
         // sides delivered traffic (the fig12 harness averages over many
         // placements instead).
         if results[0].per_flow_mbps[f] > 0.1 {
-            format!("{:.1}x", results[1].per_flow_mbps[f] / results[0].per_flow_mbps[f])
+            format!(
+                "{:.1}x",
+                results[1].per_flow_mbps[f] / results[0].per_flow_mbps[f]
+            )
         } else {
             "n/a (flow idle under 802.11n here)".to_string()
         }
     };
-    println!("multi-antenna pairs gain the most: tx2 {}, tx3 {}", ratio(1), ratio(2));
+    println!(
+        "multi-antenna pairs gain the most: tx2 {}, tx3 {}",
+        ratio(1),
+        ratio(2)
+    );
     if results[0].per_flow_mbps[0] > 0.1 {
         println!(
             "single-antenna pair keeps {:.0}% of its 802.11n throughput",

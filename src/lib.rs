@@ -1,0 +1,13 @@
+//! Workspace facade for the 802.11n+ reproduction.
+//!
+//! The real API lives in the member crates; this crate exists so the
+//! workspace-level integration tests (`tests/`) and examples
+//! (`examples/`) have a package to hang off, and re-exports the members
+//! for consumers that want a single dependency.
+
+pub use nplus as core;
+pub use nplus_channel as channel;
+pub use nplus_linalg as linalg;
+pub use nplus_mac as mac;
+pub use nplus_medium as medium;
+pub use nplus_phy as phy;

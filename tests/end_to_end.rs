@@ -6,46 +6,23 @@
 //! concurrent transmission, and Viterbi-decoded payloads.
 
 use nplus::precoder::{compute_precoders, OwnReceiver, ProtectedReceiver};
-use nplus_channel::fading::DelayProfile;
-use nplus_channel::mimo::MimoLink;
 use nplus_linalg::{CMatrix, CVector, Complex64, Subspace};
-use nplus_medium::medium::{Medium, Transmission};
+use nplus_medium::medium::Transmission;
 use nplus_phy::chanest::estimate_mimo_from_preamble;
 use nplus_phy::fft::fft;
 use nplus_phy::modulation::{demodulate, modulate, Modulation};
 use nplus_phy::ofdm::{assemble_symbol, disassemble_symbol};
 use nplus_phy::params::{data_subcarrier_indices, occupied_subcarrier_indices, OfdmConfig};
 use nplus_phy::preamble::{mimo_preamble, preamble_len};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-
-/// Builds a medium with the Fig. 2 node set: tx1/rx1 single antenna,
-/// tx2/rx2 two antennas.
-fn fig2_medium(seed: u64) -> (Medium, [nplus_medium::NodeId; 4]) {
-    let cfg = OfdmConfig::usrp2();
-    let mut m = Medium::new(cfg.bandwidth_hz, seed);
-    let mut rng = StdRng::seed_from_u64(seed);
-    let tx1 = m.add_node(1, 0.0);
-    let rx1 = m.add_node(1, 0.0);
-    let tx2 = m.add_node(2, 0.0);
-    let rx2 = m.add_node(2, 0.0);
-    // Strong links everywhere (SNR 25–30 dB) so decoding is clean.
-    m.set_link(tx1, rx1, MimoLink::sample(1, 1, 25.0, &DelayProfile::los(), &mut rng));
-    m.set_link(tx1, rx2, MimoLink::sample(1, 2, 18.0, &DelayProfile::los(), &mut rng));
-    m.set_link(tx2, rx1, MimoLink::sample(2, 1, 20.0, &DelayProfile::los(), &mut rng));
-    m.set_link(tx2, rx2, MimoLink::sample(2, 2, 28.0, &DelayProfile::los(), &mut rng));
-    m.set_link(tx1, tx2, MimoLink::sample(1, 2, 15.0, &DelayProfile::los(), &mut rng));
-    m.set_link(rx1, tx2, MimoLink::sample(1, 2, 15.0, &DelayProfile::los(), &mut rng));
-    m.set_link(rx1, rx2, MimoLink::sample(1, 2, 12.0, &DelayProfile::los(), &mut rng));
-    m.set_link(tx1, rx1, MimoLink::sample(1, 1, 25.0, &DelayProfile::los(), &mut rng));
-    (m, [tx1, rx1, tx2, rx2])
-}
+use nplus_testkit::fixtures::random_bits;
+use nplus_testkit::scenario::two_pair_medium;
 
 /// rx estimates tx's per-antenna channels from an on-air MIMO preamble.
 #[test]
 fn over_the_air_channel_estimation_matches_truth() {
     let cfg = OfdmConfig::usrp2();
-    let (mut medium, [_, _, tx2, rx2]) = fig2_medium(1);
+    let pair = two_pair_medium(1);
+    let (mut medium, tx2, rx2) = (pair.medium, pair.tx2, pair.rx2);
     medium.set_noise_power(0.0); // isolate estimation from noise
     let streams = mimo_preamble(&cfg, 2);
     let plen = preamble_len(&cfg, 2);
@@ -64,10 +41,11 @@ fn over_the_air_channel_estimation_matches_truth() {
                 let h_true = truth.channel_matrix(k, cfg.fft_len)[(rx_ant, tx_ant)];
                 // Multipath spreads the preamble slightly across symbol
                 // boundaries; the estimate is very close but not exact.
-                assert!(
-                    est.h[k].approx_eq(h_true, 0.35 + 0.05 * h_true.abs()),
-                    "rx{rx_ant} tx{tx_ant} bin {k}: {:?} vs {h_true:?}",
-                    est.h[k]
+                nplus_testkit::assert_c64_close!(
+                    est.h[k],
+                    h_true,
+                    0.35 + 0.05 * h_true.abs(),
+                    "rx{rx_ant} tx{tx_ant} bin {k}"
                 );
             }
         }
@@ -79,13 +57,15 @@ fn over_the_air_channel_estimation_matches_truth() {
 #[test]
 fn fig2_concurrent_transmission_sample_level() {
     let cfg = OfdmConfig::usrp2();
-    let (mut medium, [tx1, rx1, tx2, rx2]) = fig2_medium(5);
+    let pair = two_pair_medium(5);
+    let [tx1, rx1, tx2, rx2] = pair.nodes();
+    let mut medium = pair.medium;
     medium.set_noise_power(1.0);
-    let mut rng = StdRng::seed_from_u64(77);
+    let mut rng = nplus_testkit::rng(77);
 
     // tx1's transmission: OFDM QPSK symbols.
     let n_symbols = 20usize;
-    let bits1: Vec<u8> = (0..96 * n_symbols).map(|_| rng.gen_range(0..2u8)).collect();
+    let bits1 = random_bits(96 * n_symbols, &mut rng);
     let mut tx1_wave = Vec::new();
     let mut tx1_carriers = Vec::new();
     for s in 0..n_symbols {
@@ -104,7 +84,7 @@ fn fig2_concurrent_transmission_sample_level() {
     // (reciprocity; hardware error exercised elsewhere).
     let h_to_rx1 = medium.link(tx2, rx1).unwrap().channel_matrices(cfg.fft_len);
     let h_to_rx2 = medium.link(tx2, rx2).unwrap().channel_matrices(cfg.fft_len);
-    let bits2: Vec<u8> = (0..96 * n_symbols).map(|_| rng.gen_range(0..2u8)).collect();
+    let bits2 = random_bits(96 * n_symbols, &mut rng);
     // Per-subcarrier precoding vectors.
     let mut precoders: Vec<Option<CVector>> = vec![None; cfg.fft_len];
     for &k in &occupied_subcarrier_indices() {
@@ -144,8 +124,7 @@ fn fig2_concurrent_transmission_sample_level() {
     // rx1 decodes tx1 as if alone: equalize with tx1's channel.
     let h11 = medium.link(tx1, rx1).unwrap().channel_matrices(cfg.fft_len);
     let capture = medium.capture(rx1, 0, n_symbols * cfg.symbol_len());
-    let mut errors = 0usize;
-    let mut total = 0usize;
+    let mut rx1_bits = Vec::with_capacity(96 * n_symbols);
     for s in 0..n_symbols {
         let obs = disassemble_symbol(
             &capture[0][s * cfg.symbol_len()..(s + 1) * cfg.symbol_len()],
@@ -158,25 +137,20 @@ fn fig2_concurrent_transmission_sample_level() {
                 obs.freq[bin] / h
             })
             .collect();
-        let rx_bits = demodulate(&eq, Modulation::Qpsk);
-        total += rx_bits.len();
-        errors += rx_bits
-            .iter()
-            .zip(&bits1[96 * s..96 * (s + 1)])
-            .filter(|(a, b)| a != b)
-            .count();
+        rx1_bits.extend(demodulate(&eq, Modulation::Qpsk));
     }
-    let ber = errors as f64 / total as f64;
-    assert!(
-        ber < 0.01,
-        "rx1 BER {ber} — tx2's nulling failed to protect the ongoing reception"
+    nplus_testkit::assert_ber_below!(
+        &rx1_bits,
+        &bits1,
+        0.01,
+        "at rx1 — tx2's nulling failed to protect the ongoing reception"
     );
 
     // And rx2 decodes tx2's stream by zero-forcing tx1's direction away.
     let h12 = medium.link(tx1, rx2).unwrap().channel_matrices(cfg.fft_len);
     let h22 = medium.link(tx2, rx2).unwrap().channel_matrices(cfg.fft_len);
     let capture2 = medium.capture(rx2, 0, n_symbols * cfg.symbol_len());
-    let mut errors2 = 0usize;
+    let mut rx2_bits = vec![0u8; 96 * n_symbols];
     for s in 0..n_symbols {
         let obs: Vec<_> = (0..2)
             .map(|ant| {
@@ -194,13 +168,16 @@ fn fig2_concurrent_transmission_sample_level() {
             let a = CMatrix::from_cols(&[h_want, h_int]);
             let w = nplus_linalg::pinv(&a).unwrap();
             let decoded = w.mul_vec(&y)[0];
-            let rx_bits = demodulate(&[decoded], Modulation::Qpsk);
-            let want = &bits2[96 * s + 2 * di..96 * s + 2 * di + 2];
-            errors2 += rx_bits.iter().zip(want).filter(|(a, b)| a != b).count();
+            rx2_bits[96 * s + 2 * di..96 * s + 2 * di + 2]
+                .copy_from_slice(&demodulate(&[decoded], Modulation::Qpsk));
         }
     }
-    let ber2 = errors2 as f64 / total as f64;
-    assert!(ber2 < 0.02, "rx2 BER {ber2} — concurrent stream not decodable");
+    nplus_testkit::assert_ber_below!(
+        &rx2_bits,
+        &bits2,
+        0.02,
+        "at rx2 — concurrent stream not decodable"
+    );
 }
 
 /// FFT-domain sanity: what the medium delivers per subcarrier equals the
@@ -208,10 +185,11 @@ fn fig2_concurrent_transmission_sample_level() {
 #[test]
 fn medium_is_consistent_across_domains() {
     let cfg = OfdmConfig::usrp2();
-    let (mut medium, [tx1, rx1, ..]) = fig2_medium(3);
+    let pair = two_pair_medium(3);
+    let (mut medium, tx1, rx1) = (pair.medium, pair.tx1, pair.rx1);
     medium.set_noise_power(0.0);
-    let mut rng = StdRng::seed_from_u64(4);
-    let bits: Vec<u8> = (0..96).map(|_| rng.gen_range(0..2u8)).collect();
+    let mut rng = nplus_testkit::rng(4);
+    let bits = random_bits(96, &mut rng);
     let syms = modulate(&bits, Modulation::Qpsk);
     let wave = assemble_symbol(&syms, 0, &cfg);
     medium.transmit(Transmission {
@@ -227,10 +205,11 @@ fn medium_is_consistent_across_domains() {
     let tx_freq = fft(&wave[cfg.cp_len..]);
     for &k in &occupied_subcarrier_indices() {
         let expect = tx_freq[k] * h[k][(0, 0)];
-        assert!(
-            rx_freq[k].approx_eq(expect, 1e-6 * (1.0 + expect.abs())),
-            "bin {k}: {:?} vs {expect:?}",
-            rx_freq[k]
+        nplus_testkit::assert_c64_close!(
+            rx_freq[k],
+            expect,
+            1e-6 * (1.0 + expect.abs()),
+            "bin {k}"
         );
     }
 }

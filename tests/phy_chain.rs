@@ -11,12 +11,9 @@ use nplus_phy::ofdm::{receive_payload, transmit_payload};
 use nplus_phy::params::OfdmConfig;
 use nplus_phy::preamble::ltf_time;
 use nplus_phy::rates::RATE_TABLE;
+use nplus_testkit::fixtures::random_payload;
 use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-
-fn random_payload(n: usize, rng: &mut StdRng) -> Vec<u8> {
-    (0..n).map(|_| rng.gen()).collect()
-}
+use rand::SeedableRng;
 
 /// Sends [LTF | payload] through a multipath channel and decodes using
 /// the channel estimated from the on-air LTF.

@@ -1,12 +1,9 @@
 //! Protocol-level invariants of n+ (DESIGN.md §6), checked across many
 //! random topologies.
 
-use nplus::sim::{simulate, Protocol, Scenario, SimConfig};
+use nplus::sim::{Protocol, Scenario, SimConfig};
 use nplus_channel::impairments::{HardwareProfile, IDEAL_HARDWARE};
-use nplus_channel::placement::Testbed;
-use nplus_medium::topology::{build_topology, TopologyConfig};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use nplus_testkit::scenario::build_scenario;
 
 fn run(
     scenario: &Scenario,
@@ -15,21 +12,15 @@ fn run(
     hardware: HardwareProfile,
     rounds: usize,
 ) -> nplus::sim::RunResult {
-    let tb = Testbed::sigcomm11();
-    let mut rng = StdRng::seed_from_u64(seed);
-    let topo = build_topology(
-        &tb,
-        &TopologyConfig::new(scenario.antennas.clone()),
-        10e6,
-        seed,
-        &mut rng,
-    );
+    let built = build_scenario(scenario.clone(), seed);
     let cfg = SimConfig {
         rounds,
         hardware,
         ..SimConfig::default()
     };
-    simulate(&topo, scenario, protocol, &cfg, &mut rng)
+    // Decorrelate the simulation stream from the placement stream (which
+    // build_scenario seeds with `seed` itself).
+    built.run_with(protocol, &cfg, seed ^ 0x5EED)
 }
 
 /// n+ must never use more degrees of freedom than the largest antenna
@@ -38,7 +29,13 @@ fn run(
 fn dof_never_exceeds_max_antennas() {
     let scenario = Scenario::three_pairs();
     for seed in 0..8 {
-        let r = run(&scenario, Protocol::NPlus, seed, HardwareProfile::default(), 10);
+        let r = run(
+            &scenario,
+            Protocol::NPlus,
+            seed,
+            HardwareProfile::default(),
+            10,
+        );
         assert!(
             r.mean_dof <= 3.0 + 1e-9,
             "seed {seed}: mean DoF {} exceeds the 3-antenna budget",
@@ -55,11 +52,11 @@ fn ideal_hardware_protects_first_winner_perfectly() {
     let scenario = Scenario::three_pairs();
     let mut flow0_nplus = 0.0;
     let mut flow0_dot11n = 0.0;
-    for seed in 0..6 {
-        flow0_nplus +=
-            run(&scenario, Protocol::NPlus, seed, IDEAL_HARDWARE, 14).per_flow_mbps[0];
-        flow0_dot11n +=
-            run(&scenario, Protocol::Dot11n, seed, IDEAL_HARDWARE, 14).per_flow_mbps[0];
+    // A mean over few placements sits close to the 0.75 bound; a dozen
+    // keeps the average clear of it across RNG streams.
+    for seed in 0..12 {
+        flow0_nplus += run(&scenario, Protocol::NPlus, seed, IDEAL_HARDWARE, 14).per_flow_mbps[0];
+        flow0_dot11n += run(&scenario, Protocol::Dot11n, seed, IDEAL_HARDWARE, 14).per_flow_mbps[0];
     }
     // The single-antenna flow's throughput under n+ must stay within 25%
     // of its 802.11n share (it keeps its contention share; only round
@@ -79,8 +76,20 @@ fn concurrency_is_the_mechanism() {
     let mut tput_gain = 0.0;
     let n = 6;
     for seed in 0..n {
-        let np = run(&scenario, Protocol::NPlus, seed, HardwareProfile::default(), 12);
-        let dn = run(&scenario, Protocol::Dot11n, seed, HardwareProfile::default(), 12);
+        let np = run(
+            &scenario,
+            Protocol::NPlus,
+            seed,
+            HardwareProfile::default(),
+            12,
+        );
+        let dn = run(
+            &scenario,
+            Protocol::Dot11n,
+            seed,
+            HardwareProfile::default(),
+            12,
+        );
         dof_gain += np.mean_dof / dn.mean_dof.max(1e-9) / n as f64;
         tput_gain += np.total_mbps / dn.total_mbps.max(1e-9) / n as f64;
     }
@@ -96,8 +105,20 @@ fn gains_grow_with_antenna_count() {
     let mut gains = [0.0f64; 3];
     let n = 8;
     for seed in 0..n {
-        let np = run(&scenario, Protocol::NPlus, seed, HardwareProfile::default(), 12);
-        let dn = run(&scenario, Protocol::Dot11n, seed, HardwareProfile::default(), 12);
+        let np = run(
+            &scenario,
+            Protocol::NPlus,
+            seed,
+            HardwareProfile::default(),
+            12,
+        );
+        let dn = run(
+            &scenario,
+            Protocol::Dot11n,
+            seed,
+            HardwareProfile::default(),
+            12,
+        );
         for f in 0..3 {
             gains[f] += np.per_flow_mbps[f] / dn.per_flow_mbps[f].max(1e-9) / n as f64;
         }
@@ -120,26 +141,17 @@ fn gains_grow_with_antenna_count() {
 #[test]
 fn power_control_protects_ongoing_receivers() {
     let scenario = Scenario::three_pairs();
-    let tb = Testbed::sigcomm11();
     let mut with_pc = 0.0;
     let mut without_pc = 0.0;
     for seed in 0..6u64 {
-        let mut rng = StdRng::seed_from_u64(seed);
-        let topo = build_topology(
-            &tb,
-            &TopologyConfig::new(scenario.antennas.clone()),
-            10e6,
-            seed,
-            &mut rng,
-        );
+        let built = build_scenario(scenario.clone(), seed);
         for (pc, acc) in [(true, &mut with_pc), (false, &mut without_pc)] {
             let cfg = SimConfig {
                 rounds: 12,
                 power_control: pc,
                 ..SimConfig::default()
             };
-            let mut rng = StdRng::seed_from_u64(seed ^ 0x55);
-            let r = simulate(&topo, &scenario, Protocol::NPlus, &cfg, &mut rng);
+            let r = built.run_with(Protocol::NPlus, &cfg, seed ^ 0x55);
             *acc += r.per_flow_mbps[0];
         }
     }
@@ -153,10 +165,53 @@ fn power_control_protects_ongoing_receivers() {
 #[test]
 fn simulation_is_deterministic() {
     let scenario = Scenario::three_pairs();
-    let a = run(&scenario, Protocol::NPlus, 33, HardwareProfile::default(), 8);
-    let b = run(&scenario, Protocol::NPlus, 33, HardwareProfile::default(), 8);
+    let a = run(
+        &scenario,
+        Protocol::NPlus,
+        33,
+        HardwareProfile::default(),
+        8,
+    );
+    let b = run(
+        &scenario,
+        Protocol::NPlus,
+        33,
+        HardwareProfile::default(),
+        8,
+    );
     assert_eq!(a.per_flow_mbps, b.per_flow_mbps);
     assert_eq!(a.total_mbps, b.total_mbps);
+}
+
+/// Full Monte-Carlo reproduction of the Fig. 12 headline: total n+
+/// throughput beats 802.11n by a wide margin over many placements, while
+/// the single-antenna flow keeps most of its share.
+// Intentionally long-running (30 placements × 2 protocols × 25 rounds —
+// several× the rest of the suite combined): run with `cargo test -- --ignored`.
+#[test]
+#[ignore = "long-running Monte-Carlo sweep; run explicitly with --ignored"]
+fn monte_carlo_throughput_headline() {
+    let scenario = Scenario::three_pairs();
+    let cfg = SimConfig {
+        rounds: 25,
+        ..SimConfig::default()
+    };
+    let (mut np_total, mut dn_total, mut np_flow0, mut dn_flow0) = (0.0, 0.0, 0.0, 0.0);
+    for seed in 0..30 {
+        let built = build_scenario(scenario.clone(), seed);
+        let np = built.run_with(Protocol::NPlus, &cfg, seed ^ 0xC0FFEE);
+        let dn = built.run_with(Protocol::Dot11n, &cfg, seed ^ 0xC0FFEE);
+        np_total += np.total_mbps;
+        dn_total += dn.total_mbps;
+        np_flow0 += np.per_flow_mbps[0];
+        dn_flow0 += dn.per_flow_mbps[0];
+    }
+    let gain = np_total / dn_total.max(1e-9);
+    assert!(gain > 1.25, "total throughput gain only {gain:.2}x");
+    assert!(
+        np_flow0 > 0.8 * dn_flow0,
+        "single-antenna flow lost too much: {np_flow0:.1} vs {dn_flow0:.1}"
+    );
 }
 
 /// The AP scenario orders protocols as the paper does:
@@ -165,11 +220,34 @@ fn simulation_is_deterministic() {
 fn ap_scenario_protocol_ordering() {
     let scenario = Scenario::ap_downlink();
     let (mut np, mut bf, mut dn) = (0.0, 0.0, 0.0);
-    for seed in 0..8 {
-        np += run(&scenario, Protocol::NPlus, seed, HardwareProfile::default(), 12).total_mbps;
-        bf += run(&scenario, Protocol::Beamforming, seed, HardwareProfile::default(), 12)
-            .total_mbps;
-        dn += run(&scenario, Protocol::Dot11n, seed, HardwareProfile::default(), 12).total_mbps;
+    // The beamforming-vs-802.11n gap is the smallest margin in this
+    // ordering (~10% of the mean); 16 placements keep the average on the
+    // right side of it across RNG streams.
+    for seed in 0..16 {
+        np += run(
+            &scenario,
+            Protocol::NPlus,
+            seed,
+            HardwareProfile::default(),
+            12,
+        )
+        .total_mbps;
+        bf += run(
+            &scenario,
+            Protocol::Beamforming,
+            seed,
+            HardwareProfile::default(),
+            12,
+        )
+        .total_mbps;
+        dn += run(
+            &scenario,
+            Protocol::Dot11n,
+            seed,
+            HardwareProfile::default(),
+            12,
+        )
+        .total_mbps;
     }
     assert!(np > bf, "n+ {np:.1} not above beamforming {bf:.1}");
     assert!(bf > dn, "beamforming {bf:.1} not above 802.11n {dn:.1}");

@@ -1,0 +1,118 @@
+//! Offline vendored subset of `criterion` (see `vendor/README.md`).
+//!
+//! Under `cargo bench` (which passes `--bench` to the harness binary)
+//! each benchmark is measured adaptively and reported as ns/iter. Under
+//! any other invocation — notably `cargo test`, which runs bench
+//! targets with `--test` — every benchmark body executes once as a
+//! smoke test so the suite stays fast.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// How `iter_batched` amortises setup; the shim treats all variants the
+/// same (fresh input per iteration).
+#[derive(Clone, Copy, Debug)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+pub struct Criterion {
+    /// Full measurement (cargo bench) versus single-shot smoke run.
+    measure: bool,
+}
+
+impl Criterion {
+    pub fn from_args() -> Self {
+        let measure = std::env::args().any(|a| a == "--bench");
+        Criterion { measure }
+    }
+
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            measure: self.measure,
+            total: Duration::ZERO,
+            iters: 0,
+        };
+        f(&mut b);
+        if b.iters > 0 {
+            let ns = b.total.as_nanos() as f64 / b.iters as f64;
+            println!("bench {id:<32} {ns:>14.1} ns/iter  ({} iters)", b.iters);
+        } else {
+            println!("bench {id:<32} (no iterations)");
+        }
+        self
+    }
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion::from_args()
+    }
+}
+
+pub struct Bencher {
+    measure: bool,
+    total: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Number of iterations to run: adaptive under measurement (until
+    /// ~100 ms of samples), exactly one otherwise.
+    fn run<F: FnMut() -> Duration>(&mut self, mut timed_once: F) {
+        let budget = Duration::from_millis(100);
+        loop {
+            self.total += timed_once();
+            self.iters += 1;
+            if !self.measure || self.total >= budget || self.iters >= 100_000 {
+                break;
+            }
+        }
+    }
+
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        self.run(|| {
+            let t = Instant::now();
+            black_box(routine());
+            t.elapsed()
+        });
+    }
+
+    pub fn iter_batched<I, O, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        self.run(|| {
+            let input = setup();
+            let t = Instant::now();
+            black_box(routine(input));
+            t.elapsed()
+        });
+    }
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::from_args();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

@@ -1,0 +1,52 @@
+//! Collection strategies (`collection::vec`).
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use rand::Rng;
+
+/// A length specification: a fixed size or a range of sizes.
+#[derive(Clone, Debug)]
+pub struct SizeRange(core::ops::Range<usize>);
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        SizeRange(n..n + 1)
+    }
+}
+
+impl From<core::ops::Range<usize>> for SizeRange {
+    fn from(r: core::ops::Range<usize>) -> Self {
+        SizeRange(r)
+    }
+}
+
+impl From<core::ops::RangeInclusive<usize>> for SizeRange {
+    fn from(r: core::ops::RangeInclusive<usize>) -> Self {
+        SizeRange(*r.start()..r.end() + 1)
+    }
+}
+
+pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+    VecStrategy {
+        element,
+        size: size.into(),
+    }
+}
+
+pub struct VecStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let len = if self.size.0.len() <= 1 {
+            self.size.0.start
+        } else {
+            rng.gen_range(self.size.0.clone())
+        };
+        (0..len).map(|_| self.element.generate(rng)).collect()
+    }
+}

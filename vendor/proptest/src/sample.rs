@@ -1,0 +1,32 @@
+//! `sample::Index` — a position into a collection of yet-unknown length.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use rand::Rng;
+
+#[derive(Clone, Copy, Debug)]
+pub struct Index(u64);
+
+impl Index {
+    /// Map this draw onto `0..len`.
+    pub fn index(&self, len: usize) -> usize {
+        assert!(len > 0, "Index::index on an empty collection");
+        (self.0 % len as u64) as usize
+    }
+}
+
+pub struct IndexStrategy;
+
+impl Strategy for IndexStrategy {
+    type Value = Index;
+    fn generate(&self, rng: &mut TestRng) -> Index {
+        Index(rng.gen())
+    }
+}
+
+impl crate::Arbitrary for Index {
+    type Strategy = IndexStrategy;
+    fn arbitrary() -> IndexStrategy {
+        IndexStrategy
+    }
+}

@@ -1,0 +1,83 @@
+//! The deterministic, non-shrinking case runner.
+
+use crate::ProptestConfig;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+
+/// The RNG handed to strategies.
+pub type TestRng = StdRng;
+
+/// A rejected case (`prop_assume!` failed); does not count as a run.
+#[derive(Debug)]
+pub struct Reject {
+    pub reason: &'static str,
+}
+
+impl Reject {
+    pub fn new(reason: &'static str) -> Self {
+        Reject { reason }
+    }
+}
+
+pub struct TestRunner {
+    config: ProptestConfig,
+    name: &'static str,
+    seed: u64,
+}
+
+impl TestRunner {
+    pub fn new(config: ProptestConfig, name: &'static str) -> Self {
+        let seed = std::env::var("PROPTEST_RNG_SEED")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .unwrap_or_else(|| fnv1a(name));
+        TestRunner { config, name, seed }
+    }
+
+    /// Run `f` until `config.cases` cases have passed. `f` generates its
+    /// inputs from the provided RNG and returns `Err(Reject)` to discard
+    /// the case. Panics (assertion failures) are annotated with the case
+    /// number and seed, then propagated.
+    pub fn run<F>(&mut self, mut f: F)
+    where
+        F: FnMut(&mut TestRng) -> Result<(), Reject>,
+    {
+        let mut rng = TestRng::seed_from_u64(self.seed);
+        let mut passed = 0u32;
+        let mut rejected = 0u32;
+        let mut case_idx = 0u64;
+        while passed < self.config.cases {
+            case_idx += 1;
+            match catch_unwind(AssertUnwindSafe(|| f(&mut rng))) {
+                Ok(Ok(())) => passed += 1,
+                Ok(Err(reject)) => {
+                    rejected += 1;
+                    if rejected > self.config.max_global_rejects {
+                        panic!(
+                            "proptest '{}': too many rejected cases ({}), last: {}",
+                            self.name, rejected, reject.reason
+                        );
+                    }
+                }
+                Err(payload) => {
+                    eprintln!(
+                        "proptest '{}' failed at case {} (rng seed {:#x}); \
+                         re-run reproduces it deterministically",
+                        self.name, case_idx, self.seed
+                    );
+                    resume_unwind(payload);
+                }
+            }
+        }
+    }
+}
+
+fn fnv1a(s: &str) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for b in s.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}

@@ -1,0 +1,167 @@
+//! Offline vendored subset of the `rand` crate (API-compatible with the
+//! slice of rand 0.8 this workspace uses — see `vendor/README.md`).
+//!
+//! `StdRng` is xoshiro256++ seeded through splitmix64: deterministic per
+//! seed, which is what every test and scenario builder in the workspace
+//! relies on.
+
+pub mod distributions;
+pub mod rngs;
+pub mod seq;
+
+pub use distributions::{Distribution, Standard};
+
+/// Low-level source of randomness.
+pub trait RngCore {
+    fn next_u64(&mut self) -> u64;
+
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        let mut chunks = dest.chunks_exact_mut(8);
+        for chunk in &mut chunks {
+            chunk.copy_from_slice(&self.next_u64().to_le_bytes());
+        }
+        let rem = chunks.into_remainder();
+        if !rem.is_empty() {
+            let bytes = self.next_u64().to_le_bytes();
+            rem.copy_from_slice(&bytes[..rem.len()]);
+        }
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// User-facing convenience methods, blanket-implemented for every
+/// [`RngCore`].
+pub trait Rng: RngCore {
+    /// Sample a value of type `T` from the standard distribution
+    /// (uniform over the type's range; `[0, 1)` for floats).
+    fn gen<T>(&mut self) -> T
+    where
+        Standard: Distribution<T>,
+        Self: Sized,
+    {
+        Standard.sample(self)
+    }
+
+    /// Sample uniformly from a `a..b` or `a..=b` range.
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        R: SampleRange<T>,
+        Self: Sized,
+    {
+        range.sample_single(self)
+    }
+
+    /// Bernoulli draw with success probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        self.gen::<f64>() < p
+    }
+
+    /// Fill a byte slice with random data.
+    fn fill(&mut self, dest: &mut [u8])
+    where
+        Self: Sized,
+    {
+        self.fill_bytes(dest);
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Construction of an RNG from a seed.
+pub trait SeedableRng: Sized {
+    type Seed: Default + AsMut<[u8]>;
+
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    fn seed_from_u64(state: u64) -> Self {
+        // Expand the u64 through splitmix64, as rand does.
+        let mut sm = state;
+        let mut seed = Self::Seed::default();
+        for chunk in seed.as_mut().chunks_mut(8) {
+            let v = splitmix64(&mut sm).to_le_bytes();
+            let n = chunk.len();
+            chunk.copy_from_slice(&v[..n]);
+        }
+        Self::from_seed(seed)
+    }
+}
+
+pub(crate) fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E3779B97F4A7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+    z ^ (z >> 31)
+}
+
+/// Uniform sampling from range types (the subset of rand's
+/// `SampleRange`/`SampleUniform` machinery the workspace needs).
+pub trait SampleRange<T> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+macro_rules! impl_int_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for core::ops::Range<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "empty gen_range");
+                let span = (self.end as u128).wrapping_sub(self.start as u128) as u64;
+                self.start + (uniform_u64(rng, span) as $t)
+            }
+        }
+        impl SampleRange<$t> for core::ops::RangeInclusive<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty gen_range");
+                let span = (hi as u128) - (lo as u128) + 1;
+                if span > u64::MAX as u128 {
+                    return rng.next_u64() as $t;
+                }
+                lo + (uniform_u64(rng, span as u64) as $t)
+            }
+        }
+    )*};
+}
+
+impl_int_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Uniform integer in `[0, span)` by rejection sampling (span 0 means
+/// the full 2^64 range).
+fn uniform_u64<R: RngCore + ?Sized>(rng: &mut R, span: u64) -> u64 {
+    if span == 0 {
+        return rng.next_u64();
+    }
+    let zone = u64::MAX - (u64::MAX % span);
+    loop {
+        let v = rng.next_u64();
+        if v < zone {
+            return v % span;
+        }
+    }
+}
+
+macro_rules! impl_float_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for core::ops::Range<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "empty gen_range");
+                let unit = (rng.next_u64() >> 11) as $t / (1u64 << 53) as $t;
+                self.start + unit * (self.end - self.start)
+            }
+        }
+    )*};
+}
+
+impl_float_range!(f32, f64);

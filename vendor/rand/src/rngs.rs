@@ -1,0 +1,48 @@
+//! Concrete generators.
+
+use crate::{RngCore, SeedableRng};
+
+/// Deterministic xoshiro256++ generator standing in for rand's `StdRng`.
+///
+/// Not the same stream as crates.io rand (which uses ChaCha12); every
+/// seed in this workspace is tuned against this generator.
+#[derive(Clone, Debug)]
+pub struct StdRng {
+    s: [u64; 4],
+}
+
+impl RngCore for StdRng {
+    fn next_u64(&mut self) -> u64 {
+        let result = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+}
+
+impl SeedableRng for StdRng {
+    type Seed = [u8; 32];
+
+    fn from_seed(seed: Self::Seed) -> Self {
+        let mut s = [0u64; 4];
+        for (i, chunk) in seed.chunks_exact(8).enumerate() {
+            s[i] = u64::from_le_bytes(chunk.try_into().unwrap());
+        }
+        // A xoshiro state of all zeros is a fixed point; nudge it.
+        if s == [0; 4] {
+            s = [0x9E3779B97F4A7C15, 0xD1B54A32D192ED03, 0xDEADBEEF, 1];
+        }
+        StdRng { s }
+    }
+}
+
+/// Alias kept for call sites written against `SmallRng`.
+pub type SmallRng = StdRng;

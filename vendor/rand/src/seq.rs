@@ -1,0 +1,31 @@
+//! Slice helpers (`shuffle`, `choose`).
+
+use crate::{Rng, RngCore};
+
+pub trait SliceRandom {
+    type Item;
+
+    fn shuffle<R: RngCore>(&mut self, rng: &mut R);
+
+    fn choose<R: RngCore>(&self, rng: &mut R) -> Option<&Self::Item>;
+}
+
+impl<T> SliceRandom for [T] {
+    type Item = T;
+
+    fn shuffle<R: RngCore>(&mut self, rng: &mut R) {
+        // Fisher–Yates.
+        for i in (1..self.len()).rev() {
+            let j = rng.gen_range(0..=i);
+            self.swap(i, j);
+        }
+    }
+
+    fn choose<R: RngCore>(&self, rng: &mut R) -> Option<&T> {
+        if self.is_empty() {
+            None
+        } else {
+            Some(&self[rng.gen_range(0..self.len())])
+        }
+    }
+}
