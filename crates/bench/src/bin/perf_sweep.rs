@@ -1,0 +1,140 @@
+//! Perf tracking for the round simulator: times `simulate` on the
+//! Fig. 3 scenario (40 rounds, n+, default config) across a batch of
+//! random placements in three variants and emits `BENCH_sim.json`:
+//!
+//! * **legacy** — the frozen pre-PR implementation
+//!   (`nplus_bench::legacy`): per-call channel recomputation,
+//!   per-subcarrier clones, per-stream pseudo-inverses, no opening-plan
+//!   memo;
+//! * **uncached** — the new `SimEngine` with the channel cache disabled
+//!   (isolates the cache win from the engine restructuring);
+//! * **cached** — the new engine as shipped.
+//!
+//! `speedup` in the JSON is aggregate cached-vs-legacy wall clock over
+//! all placements (the PR's headline number; engine construction
+//! included, exactly what a `simulate` caller pays). `cache_speedup` is
+//! aggregate cached-vs-uncached. The cached and uncached runs must
+//! produce bit-for-bit identical `RunResult`s on every placement — the
+//! binary asserts it. (Legacy numbers are *not* comparable result-wise:
+//! the PR fixed two MAC accounting bugs.)
+//!
+//! Usage:
+//!   cargo run --release --bin perf_sweep -- [iters] [out_path]
+//!
+//! `iters` (default 3) is how many timed repetitions the best-of is
+//! taken over; `out_path` defaults to `BENCH_sim.json`. CI runs this as
+//! a smoke step with `iters = 1`; no thresholds are enforced — the JSON
+//! is the perf trajectory record.
+
+use nplus::sim::{simulate, Protocol, RunResult, SimConfig};
+use nplus_bench::legacy::simulate_legacy;
+use nplus_testkit::scenario::three_pairs;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Instant;
+
+const N_PLACEMENTS: u64 = 8;
+const SIM_SEED: u64 = 0xC0FFEE;
+const ROUNDS: usize = 40;
+
+/// One-shot `simulate` (or legacy) wall clock summed over all
+/// placements; returns (seconds, per-placement results).
+fn time_variant(cfg: &SimConfig, legacy: bool) -> (f64, Vec<RunResult>) {
+    let mut total = 0.0;
+    let mut results = Vec::new();
+    for seed in 0..N_PLACEMENTS {
+        let built = three_pairs(seed);
+        let mut rng = StdRng::seed_from_u64(SIM_SEED);
+        let t = Instant::now();
+        let r = if legacy {
+            simulate_legacy(
+                &built.topology,
+                &built.scenario,
+                Protocol::NPlus,
+                cfg,
+                &mut rng,
+            )
+        } else {
+            simulate(
+                &built.topology,
+                &built.scenario,
+                Protocol::NPlus,
+                cfg,
+                &mut rng,
+            )
+        };
+        total += t.elapsed().as_secs_f64();
+        results.push(r);
+    }
+    (total, results)
+}
+
+/// Best-of-`iters` aggregate seconds for a variant.
+fn best_of(cfg: &SimConfig, legacy: bool, iters: usize) -> (f64, Vec<RunResult>) {
+    let mut best = f64::INFINITY;
+    let mut kept = Vec::new();
+    for _ in 0..iters {
+        let (t, results) = time_variant(cfg, legacy);
+        if t < best {
+            best = t;
+            kept = results;
+        }
+    }
+    (best, kept)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let iters: usize = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(3);
+    let out_path = args
+        .get(2)
+        .map(String::as_str)
+        .unwrap_or("BENCH_sim.json")
+        .to_string();
+
+    let cached_cfg = SimConfig {
+        rounds: ROUNDS,
+        ..SimConfig::default()
+    };
+    let uncached_cfg = SimConfig {
+        cache_channels: false,
+        ..cached_cfg.clone()
+    };
+
+    println!(
+        "== perf_sweep: Fig. 3 scenario, {N_PLACEMENTS} placements x {ROUNDS} rounds, n+, best of {iters} =="
+    );
+    let (legacy_s, _) = best_of(&cached_cfg, true, iters);
+    let (uncached_s, uncached_r) = best_of(&uncached_cfg, false, iters);
+    let (cached_s, cached_r) = best_of(&cached_cfg, false, iters);
+
+    let bit_identical = cached_r.iter().zip(&uncached_r).all(|(c, u)| {
+        c.per_flow_mbps == u.per_flow_mbps
+            && c.total_mbps == u.total_mbps
+            && c.mean_dof == u.mean_dof
+    });
+    assert!(
+        bit_identical,
+        "channel cache changed results across the placement batch"
+    );
+
+    let total_rounds = (N_PLACEMENTS as usize * ROUNDS) as f64;
+    let legacy_rps = total_rounds / legacy_s;
+    let cached_rps = total_rounds / cached_s;
+    let uncached_rps = total_rounds / uncached_s;
+    let speedup = legacy_s / cached_s;
+    let cache_speedup = uncached_s / cached_s;
+    println!("legacy (pre-PR):  {legacy_s:.4} s  ({legacy_rps:.1} rounds/s)");
+    println!("uncached engine:  {uncached_s:.4} s  ({uncached_rps:.1} rounds/s)");
+    println!("cached engine:    {cached_s:.4} s  ({cached_rps:.1} rounds/s)");
+    println!("speedup vs legacy:   {speedup:.2}x");
+    println!("speedup vs uncached: {cache_speedup:.2}x  (bit-identical results: {bit_identical})");
+
+    let mean_total: f64 =
+        cached_r.iter().map(|r| r.total_mbps).sum::<f64>() / cached_r.len().max(1) as f64;
+    let json = format!(
+        "{{\n  \"bench\": \"sim_three_pairs_nplus\",\n  \"placements\": {N_PLACEMENTS},\n  \"rounds\": {ROUNDS},\n  \"iters\": {iters},\n  \"legacy_seconds\": {legacy_s:.6},\n  \"uncached_seconds\": {uncached_s:.6},\n  \"cached_seconds\": {cached_s:.6},\n  \"legacy_rounds_per_sec\": {legacy_rps:.3},\n  \"uncached_rounds_per_sec\": {uncached_rps:.3},\n  \"cached_rounds_per_sec\": {cached_rps:.3},\n  \"speedup\": {speedup:.3},\n  \"cache_speedup\": {cache_speedup:.3},\n  \"bit_identical\": {bit_identical},\n  \"mean_total_mbps\": {mean_total:.6}\n}}\n"
+    );
+    std::fs::write(&out_path, json).expect("write BENCH_sim.json");
+    println!("wrote {out_path}");
+}

@@ -1,0 +1,684 @@
+//! The **frozen pre-PR round simulator**, kept verbatim as the perf
+//! baseline for `perf_sweep`.
+//!
+//! This is the simulator exactly as it stood before the cached
+//! channel-response engine landed: per-tap DFT frequency responses
+//! recomputed inside the round × stream × subcarrier × interferer loop
+//! nest, per-subcarrier `CMatrix`/`Subspace` clones feeding the owned
+//! precoder/ZF APIs, per-stream pseudo-inverses during rate selection,
+//! and `scenario.transmitters()` re-allocated twice per round. It also
+//! preserves the two MAC-accounting bugs the PR fixed (deterministic
+//! contention fallback, summed ACK rounding), so its absolute numbers
+//! are *not* comparable to the new engine's — only its wall-clock cost
+//! is, which is exactly what the perf trajectory needs.
+//!
+//! Do not "improve" this module; its value is staying identical to the
+//! historical implementation.
+#![allow(missing_docs)]
+
+use nplus::link::{select_stream_rate, SubcarrierObservation};
+use nplus::power_control::{join_power_decision, JoinPowerDecision};
+use nplus::precoder::{compute_precoders, OwnReceiver, PrecoderError, ProtectedReceiver};
+use nplus::sim::{Protocol, RunResult, Scenario, SimConfig};
+use nplus_linalg::pinv;
+use nplus_linalg::{CMatrix, CVector, Subspace};
+use nplus_mac::backoff::{resolve_contention, ContentionOutcome};
+use nplus_mac::frames::{DataHeader, ReceiverEntry};
+use nplus_mac::timing::SampleTiming;
+use nplus_medium::topology::Topology;
+use nplus_phy::params::occupied_subcarrier_indices;
+use nplus_phy::rates::{RateIndex, BASE_RATE, RATE_TABLE};
+use nplus_phy::RATE_ESNR_THRESHOLDS_DB;
+use rand::rngs::StdRng;
+
+/// The pre-PR `zf_sinr`, frozen with its column clones intact (the
+/// current `nplus::link::zf_sinr` assembles the ZF matrix without the
+/// intermediate clones).
+fn zf_sinr(obs: &SubcarrierObservation) -> Vec<f64> {
+    let n_wanted = obs.wanted.len();
+    if n_wanted == 0 {
+        return Vec::new();
+    }
+    let n_ant = obs.wanted[0].len();
+    let mut cols: Vec<CVector> = obs.wanted.clone();
+    cols.extend(obs.known_interference.iter().cloned());
+    if cols.len() > n_ant {
+        // Over-subscribed receive space: undecodable.
+        return vec![0.0; n_wanted];
+    }
+    let a = CMatrix::from_cols(&cols);
+    let w = match pinv(&a) {
+        Ok(w) => w,
+        Err(_) => return vec![0.0; n_wanted],
+    };
+    (0..n_wanted)
+        .map(|i| {
+            let row = w.row(i);
+            let noise = row.norm_sqr() * obs.noise_power;
+            let resid: f64 = obs
+                .residual_interference
+                .iter()
+                .map(|r| row.dot(&r.conj()).norm_sqr())
+                .sum();
+            1.0 / (noise + resid).max(1e-300)
+        })
+        .collect()
+}
+
+/// One planned concurrent stream.
+struct PlannedStream {
+    flow: usize,
+    /// Per occupied-subcarrier pre-coding vector (len 52), scaled by the
+    /// transmitter's per-stream power and join-power factor.
+    precoders: Vec<CVector>,
+    /// Chosen rate.
+    rate: RateIndex,
+    /// Transmitting node (scenario index).
+    tx_node: usize,
+    /// Symbols of body time this stream participates in.
+    active_symbols: usize,
+}
+
+/// Per-receiver protection state (per occupied subcarrier).
+struct ReceiverState {
+    node: usize,
+    /// Advertised unwanted space per occupied subcarrier.
+    unwanted: Vec<Subspace>,
+    /// Wanted effective channels per subcarrier (columns appended as this
+    /// receiver's streams are planned).
+    wanted: Vec<Vec<CVector>>,
+}
+
+/// The context shared by the per-protocol round functions.
+struct RoundCtx<'a> {
+    topo: &'a Topology,
+    scenario: &'a Scenario,
+    cfg: &'a SimConfig,
+    occ: Vec<usize>,
+}
+
+impl<'a> RoundCtx<'a> {
+    /// True per-subcarrier channel matrix between two scenario nodes.
+    fn true_channel(&self, from: usize, to: usize, k_occ: usize) -> CMatrix {
+        let link = self
+            .topo
+            .medium
+            .link(self.topo.nodes[from], self.topo.nodes[to])
+            .expect("missing link");
+        link.channel_matrix(self.occ[k_occ], self.cfg.ofdm.fft_len)
+    }
+
+    /// What a transmitter believes the channel is (reciprocity +
+    /// hardware error), per subcarrier.
+    fn believed_channel(&self, from: usize, to: usize, k_occ: usize, rng: &mut StdRng) -> CMatrix {
+        let h = self.true_channel(from, to, k_occ);
+        self.cfg.hardware.reciprocal_channel_knowledge(&h, rng)
+    }
+
+    fn n_ant(&self, node: usize) -> usize {
+        self.scenario.antennas[node]
+    }
+}
+
+/// Extends the span of `existing` with directions orthogonal to both
+/// `existing` and `wanted`, up to `target_dim` dimensions.
+fn extend_unwanted(
+    ambient: usize,
+    existing: &[CVector],
+    wanted: &[CVector],
+    target_dim: usize,
+) -> Subspace {
+    let base = Subspace::span(ambient, existing);
+    if base.dim() >= target_dim {
+        return base;
+    }
+    let mut all = existing.to_vec();
+    all.extend(wanted.to_vec());
+    let occupied = Subspace::span(ambient, &all);
+    let free = occupied.complement();
+    let mut basis = base.basis().to_vec();
+    for b in free.basis() {
+        if basis.len() >= target_dim {
+            break;
+        }
+        basis.push(b.clone());
+    }
+    Subspace::span(ambient, &basis)
+}
+
+/// Success probability of a stream: 1 dB linear ramp below the rate's
+/// ESNR threshold (the thresholds are ~90% delivery points; the ramp
+/// keeps Monte-Carlo noise down versus a hard cliff).
+fn success_prob(esnr_db: f64, rate: RateIndex) -> f64 {
+    let thr = RATE_ESNR_THRESHOLDS_DB[rate];
+    ((esnr_db - (thr - 1.0)) / 1.0).clamp(0.0, 1.0)
+}
+
+/// Resolves contention among `contenders` (scenario node indices),
+/// doubling windows on collisions. Returns `(winner, slots_elapsed)`.
+fn contend(contenders: &[usize], timing: &SampleTiming, rng: &mut StdRng) -> (usize, u64) {
+    let mut cw: Vec<u32> = vec![timing.cw_min; contenders.len()];
+    let mut slots_total: u64 = 0;
+    for _ in 0..32 {
+        match resolve_contention(&cw, rng) {
+            ContentionOutcome::Winner { index, slots } => {
+                return (contenders[index], slots_total + slots as u64);
+            }
+            ContentionOutcome::Collision { indices, slots } => {
+                slots_total += slots as u64 + 20; // collided headers waste air
+                for i in indices {
+                    cw[i] = (cw[i] * 2 + 1).min(timing.cw_max);
+                }
+            }
+            ContentionOutcome::Idle => unreachable!("contenders nonempty"),
+        }
+    }
+    (contenders[0], slots_total)
+}
+
+/// Typical alignment-blob size in bytes (CP¹ codec over 52 subcarriers:
+/// header + first angles + escape mask + ~1 byte/subcarrier).
+const LEGACY_BLOB_BYTES: usize = 62;
+
+/// Header exchange cost in OFDM symbols: data header + SIFS + ACK header
+/// (with alignment blob of `blob_bytes`) + SIFS, all at base rate.
+fn handshake_symbols(cfg: &SimConfig, n_receivers: usize, blob_bytes: usize) -> usize {
+    let hdr = DataHeader {
+        src: 0,
+        receivers: vec![
+            ReceiverEntry {
+                dst: 0,
+                n_streams: 1
+            };
+            n_receivers.max(1)
+        ],
+        n_antennas: 3,
+        duration_symbols: 0,
+        seq: 0,
+    };
+    let hdr_bits = hdr.to_bytes().len() * 8;
+    let ack_bits = (12 + blob_bytes) * 8 * n_receivers.max(1);
+    let base = BASE_RATE.data_bits_per_symbol();
+    let sifs_syms = (cfg.timing.sifs as usize).div_ceil(cfg.timing.symbol as usize);
+    hdr_bits.div_ceil(base) + ack_bits.div_ceil(base) + 2 * sifs_syms
+}
+
+/// Allocates the winner's streams across its flows, respecting receiver
+/// capacity (`N_rx − K` spare dimensions each) and rotating the split
+/// across rounds for fairness.
+fn allocate_streams(
+    ctx: &RoundCtx,
+    tx: usize,
+    k_ongoing: usize,
+    round: usize,
+) -> Vec<(usize, usize)> {
+    let flows = ctx.scenario.flows_of(tx);
+    let m = ctx.n_ant(tx).saturating_sub(k_ongoing);
+    if m == 0 || flows.is_empty() {
+        return Vec::new();
+    }
+    let caps: Vec<usize> = flows
+        .iter()
+        .map(|&f| {
+            let rx = ctx.scenario.flows[f].rx;
+            ctx.n_ant(rx).saturating_sub(k_ongoing.min(ctx.n_ant(rx)))
+        })
+        .collect();
+    let mut alloc = vec![0usize; flows.len()];
+    let mut remaining = m;
+    let mut i = round % flows.len();
+    let mut stalled = 0;
+    while remaining > 0 && stalled < flows.len() {
+        if alloc[i] < caps[i] {
+            alloc[i] += 1;
+            remaining -= 1;
+            stalled = 0;
+        } else {
+            stalled += 1;
+        }
+        i = (i + 1) % flows.len();
+    }
+    flows
+        .iter()
+        .zip(alloc)
+        .filter(|(_, a)| *a > 0)
+        .map(|(&f, a)| (f, a))
+        .collect()
+}
+
+/// Plans the transmission of one winner: computes precoders against the
+/// currently protected receivers, registers the new receiver state, and
+/// returns the planned streams. Returns `None` if the winner cannot join
+/// (no DoF, rate selection failure, or precoder degeneracy).
+#[allow(clippy::too_many_arguments)]
+fn plan_winner(
+    ctx: &RoundCtx,
+    tx: usize,
+    allocation: &[(usize, usize)],
+    protected: &mut Vec<ReceiverState>,
+    ongoing_streams: &mut Vec<PlannedStream>,
+    k_ongoing: usize,
+    body_symbols_left: usize,
+    rng: &mut StdRng,
+) -> Option<Vec<usize>> {
+    let n_sc = ctx.occ.len();
+    let m_tx = ctx.n_ant(tx);
+    let total_new: usize = allocation.iter().map(|(_, n)| n).sum();
+    if total_new == 0 {
+        return None;
+    }
+
+    // Believed channels to protected receivers and own receivers.
+    let believed_protected: Vec<Vec<CMatrix>> = protected
+        .iter()
+        .map(|r| {
+            (0..n_sc)
+                .map(|k| ctx.believed_channel(tx, r.node, k, rng))
+                .collect()
+        })
+        .collect();
+    let believed_own: Vec<Vec<CMatrix>> = allocation
+        .iter()
+        .map(|&(f, _)| {
+            let rx = ctx.scenario.flows[f].rx;
+            (0..n_sc)
+                .map(|k| ctx.believed_channel(tx, rx, k, rng))
+                .collect()
+        })
+        .collect();
+
+    // Join power control against protected receivers (worst subcarrier
+    // median is approximated by the middle subcarrier's matrix).
+    let decision = if ctx.cfg.power_control && !protected.is_empty() {
+        let mid = n_sc / 2;
+        let mats: Vec<&CMatrix> = believed_protected.iter().map(|v| &v[mid]).collect();
+        join_power_decision(&mats, ctx.cfg.l_db)
+    } else {
+        JoinPowerDecision::FullPower
+    };
+    let amp = decision.amplitude();
+
+    // Unwanted space each own receiver will advertise: span of the true
+    // arrivals it already sees, extended to its spare dimension count.
+    // (The receiver estimates these from overheard headers; estimation is
+    // near-exact and the codec round-trip is tested separately.)
+    let own_unwanted: Vec<Vec<Subspace>> = allocation
+        .iter()
+        .map(|&(f, n_streams)| {
+            let rx = ctx.scenario.flows[f].rx;
+            let n_rx = ctx.n_ant(rx);
+            (0..n_sc)
+                .map(|k| {
+                    let mut arrivals: Vec<CVector> = Vec::new();
+                    for s in ongoing_streams.iter() {
+                        let h = ctx.true_channel(s.tx_node, rx, k);
+                        arrivals.push(h.mul_vec(&s.precoders[k]));
+                    }
+                    let target = n_rx.saturating_sub(n_streams);
+                    extend_unwanted(n_rx, &arrivals, &[], target)
+                })
+                .collect()
+        })
+        .collect();
+
+    // Per-subcarrier precoding.
+    let mut per_stream_precoders: Vec<Vec<CVector>> = vec![Vec::with_capacity(n_sc); total_new];
+    for k in 0..n_sc {
+        let prot: Vec<ProtectedReceiver> = protected
+            .iter()
+            .enumerate()
+            .map(|(i, r)| ProtectedReceiver {
+                channel: believed_protected[i][k].clone(),
+                unwanted: r.unwanted[k].clone(),
+            })
+            .collect();
+        let own: Vec<OwnReceiver> = allocation
+            .iter()
+            .enumerate()
+            .map(|(i, &(_, n_streams))| OwnReceiver {
+                channel: believed_own[i][k].clone(),
+                n_streams,
+                unwanted: own_unwanted[i][k].clone(),
+            })
+            .collect();
+        match compute_precoders(m_tx, &prot, &own) {
+            Ok(p) => {
+                for (i, v) in p.vectors.into_iter().enumerate() {
+                    per_stream_precoders[i].push(v.scale_re(amp));
+                }
+            }
+            Err(PrecoderError::NoDegreesOfFreedom | PrecoderError::TooManyStreams { .. }) => {
+                return None;
+            }
+        }
+    }
+
+    // Rate selection per stream: SINR at the owning receiver with current
+    // ongoing interference (known to the receiver) — §3.4: the joiner
+    // need not worry about future winners.
+    //
+    // The receive space is exactly budgeted: n wanted streams plus the
+    // (N − n)-dimensional unwanted space. The ZF columns are therefore
+    // structural — sibling streams destined to the *same* receiver are
+    // jointly decoded (columns); streams destined to *other* receivers
+    // were aligned into the unwanted space (covered by its basis) or
+    // nulled, and whatever leaks outside is residual interference the
+    // receiver cannot cancel.
+    let mut stream_rates: Vec<RateIndex> = Vec::with_capacity(total_new);
+    {
+        // Stream index ranges per own-receiver.
+        let mut ranges: Vec<(usize, usize)> = Vec::with_capacity(allocation.len());
+        let mut acc = 0usize;
+        for &(_, n_streams) in allocation {
+            ranges.push((acc, acc + n_streams));
+            acc += n_streams;
+        }
+        let mut stream_idx = 0usize;
+        for (i, &(f, n_streams)) in allocation.iter().enumerate() {
+            let rx = ctx.scenario.flows[f].rx;
+            let (lo, hi) = ranges[i];
+            for s in 0..n_streams {
+                let sinrs: Vec<f64> = (0..n_sc)
+                    .map(|k| {
+                        let h_true = ctx.true_channel(tx, rx, k);
+                        let wanted = vec![h_true.mul_vec(&per_stream_precoders[stream_idx][k])];
+                        let mut known: Vec<CVector> = own_unwanted[i][k].basis().to_vec();
+                        let mut residual: Vec<CVector> = Vec::new();
+                        for (other, pc) in per_stream_precoders.iter().enumerate() {
+                            if other == stream_idx || pc.is_empty() {
+                                continue;
+                            }
+                            let arrival = h_true.mul_vec(&pc[k]);
+                            if other >= lo && other < hi {
+                                // Sibling destined to this receiver:
+                                // jointly zero-forced.
+                                known.push(arrival);
+                            } else {
+                                // Destined elsewhere: aligned part lives
+                                // inside the unwanted space (already a
+                                // column); only the hardware-error leak
+                                // outside it degrades this stream.
+                                let leak = own_unwanted[i][k].reject(&arrival);
+                                if leak.norm_sqr() > 1e-9 {
+                                    residual.push(leak);
+                                }
+                            }
+                        }
+                        let obs = SubcarrierObservation {
+                            wanted,
+                            known_interference: known,
+                            residual_interference: residual,
+                            noise_power: 1.0,
+                        };
+                        zf_sinr(&obs)[0]
+                    })
+                    .collect();
+                match select_stream_rate(&sinrs) {
+                    Some(r) => stream_rates.push(r),
+                    None => return None,
+                }
+                let _ = s;
+                stream_idx += 1;
+            }
+        }
+    }
+
+    // Register everything.
+    let mut new_stream_ids = Vec::with_capacity(total_new);
+    let mut stream_idx = 0usize;
+    for (i, &(f, n_streams)) in allocation.iter().enumerate() {
+        let rx = ctx.scenario.flows[f].rx;
+        // New protected receiver.
+        let mut wanted_per_sc: Vec<Vec<CVector>> = vec![Vec::new(); n_sc];
+        for s in 0..n_streams {
+            let id = ongoing_streams.len();
+            new_stream_ids.push(id);
+            for k in 0..n_sc {
+                let h_true = ctx.true_channel(tx, rx, k);
+                wanted_per_sc[k].push(h_true.mul_vec(&per_stream_precoders[stream_idx][k]));
+            }
+            ongoing_streams.push(PlannedStream {
+                flow: f,
+                precoders: per_stream_precoders[stream_idx].clone(),
+                rate: stream_rates[stream_idx],
+                tx_node: tx,
+                active_symbols: body_symbols_left,
+            });
+            let _ = s;
+            stream_idx += 1;
+        }
+        protected.push(ReceiverState {
+            node: rx,
+            unwanted: own_unwanted[i].clone(),
+            wanted: wanted_per_sc,
+        });
+    }
+    let _ = k_ongoing;
+    Some(new_stream_ids)
+}
+
+/// Evaluates the realized per-stream ESNRs at every receiver, including
+/// the residual interference the precoding failed to cancel, and returns
+/// delivered bits per flow.
+fn settle_round(
+    ctx: &RoundCtx,
+    protected: &[ReceiverState],
+    streams: &[PlannedStream],
+) -> Vec<f64> {
+    let n_sc = ctx.occ.len();
+    let mut bits = vec![0.0; ctx.scenario.flows.len()];
+    for rx_state in protected {
+        // Streams wanted by this receiver.
+        let my_streams: Vec<usize> = streams
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| ctx.scenario.flows[s.flow].rx == rx_state.node)
+            .map(|(i, _)| i)
+            .collect();
+        if my_streams.is_empty() {
+            continue;
+        }
+        // Per-stream SINR across subcarriers.
+        let mut per_stream_sinrs: Vec<Vec<f64>> = vec![Vec::with_capacity(n_sc); my_streams.len()];
+        for k in 0..n_sc {
+            let wanted: Vec<CVector> = rx_state.wanted[k].clone();
+            let known = rx_state.unwanted[k].basis().to_vec();
+            // Residual interference: arrivals of *other* transmitters'
+            // streams outside the advertised unwanted space.
+            let mut residual: Vec<CVector> = Vec::new();
+            for (i, s) in streams.iter().enumerate() {
+                if my_streams.contains(&i) {
+                    continue;
+                }
+                if s.tx_node == rx_state.node {
+                    continue; // half duplex: own transmissions not heard
+                }
+                let h = ctx.true_channel(s.tx_node, rx_state.node, k);
+                let arrival = h.mul_vec(&s.precoders[k]);
+                let leak = rx_state.unwanted[k].reject(&arrival);
+                if leak.norm_sqr() > 1e-12 {
+                    residual.push(leak);
+                }
+            }
+            let obs = SubcarrierObservation {
+                wanted,
+                known_interference: known,
+                residual_interference: residual,
+                noise_power: 1.0,
+            };
+            let sinrs = zf_sinr(&obs);
+            for (si, &v) in sinrs.iter().enumerate() {
+                per_stream_sinrs[si].push(v);
+            }
+        }
+        for (si, &stream_id) in my_streams.iter().enumerate() {
+            let s = &streams[stream_id];
+            let mcs = RATE_TABLE[s.rate];
+            let esnr = nplus_phy::esnr::effective_snr(mcs.modulation, &per_stream_sinrs[si]);
+            let esnr_db = 10.0 * esnr.max(1e-300).log10();
+            let p = success_prob(esnr_db, s.rate);
+            bits[s.flow] += (s.active_symbols * mcs.data_bits_per_symbol()) as f64 * p;
+        }
+    }
+    bits
+}
+
+/// Simulates `cfg.rounds` rounds of the given protocol and returns the
+/// per-flow goodput.
+pub fn simulate_legacy(
+    topo: &Topology,
+    scenario: &Scenario,
+    protocol: Protocol,
+    cfg: &SimConfig,
+    rng: &mut StdRng,
+) -> RunResult {
+    let ctx = RoundCtx {
+        topo,
+        scenario,
+        cfg,
+        occ: occupied_subcarrier_indices(),
+    };
+    let mut bits = vec![0.0f64; scenario.flows.len()];
+    let mut total_samples: u64 = 0;
+    let mut dof_weighted: f64 = 0.0;
+    let mut dof_time: f64 = 0.0;
+
+    for round in 0..cfg.rounds {
+        let mut protected: Vec<ReceiverState> = Vec::new();
+        let mut streams: Vec<PlannedStream> = Vec::new();
+
+        // Primary contention among all transmitters with traffic.
+        let contenders = scenario.transmitters();
+        let (first, slots) = contend(&contenders, &cfg.timing, rng);
+        let mut overhead = cfg.timing.difs + slots * cfg.timing.slot;
+
+        // First winner's allocation.
+        let first_alloc = match protocol {
+            Protocol::NPlus | Protocol::Beamforming => allocate_streams(&ctx, first, 0, round),
+            Protocol::Dot11n => {
+                // Stock 802.11n: one receiver per transmission opportunity.
+                let flows = scenario.flows_of(first);
+                let f = flows[round % flows.len()];
+                let rx = scenario.flows[f].rx;
+                let n = ctx.n_ant(first).min(ctx.n_ant(rx));
+                vec![(f, n)]
+            }
+        };
+
+        // Plan the first winner with a provisional body length; patched
+        // below once its rates are known.
+        let planned = plan_winner(
+            &ctx,
+            first,
+            &first_alloc,
+            &mut protected,
+            &mut streams,
+            0,
+            usize::MAX,
+            rng,
+        );
+        let Some(first_ids) = planned else {
+            // Even the first winner could not transmit (degenerate
+            // channels): charge the overhead and move on.
+            total_samples += overhead + cfg.timing.difs;
+            continue;
+        };
+        overhead +=
+            cfg.timing.symbol * handshake_symbols(cfg, first_alloc.len(), LEGACY_BLOB_BYTES) as u64;
+
+        // Body duration: one packet per serviced flow at the winner's
+        // aggregate rate.
+        let first_rate_sum: usize = first_ids
+            .iter()
+            .map(|&i| RATE_TABLE[streams[i].rate].data_bits_per_symbol())
+            .sum();
+        let packet_bits = cfg.packet_bytes * 8 * first_alloc.len();
+        let body_symbols = packet_bits.div_ceil(first_rate_sum.max(1));
+        for &i in &first_ids {
+            streams[i].active_symbols = body_symbols;
+        }
+
+        // Secondary contention (n+ only): remaining transmitters join.
+        if protocol == Protocol::NPlus {
+            let mut k_used: usize = streams.len();
+            let mut elapsed_body: usize = 0;
+            loop {
+                let eligible: Vec<usize> = scenario
+                    .transmitters()
+                    .into_iter()
+                    .filter(|&t| {
+                        t != first
+                            && streams.iter().all(|s| s.tx_node != t)
+                            && ctx.n_ant(t) > k_used
+                    })
+                    .collect();
+                if eligible.is_empty() {
+                    break;
+                }
+                let (joiner, join_slots) = contend(&eligible, &cfg.timing, rng);
+                // The join consumes body time: contention + its handshake.
+                let hs = handshake_symbols(cfg, scenario.flows_of(joiner).len(), LEGACY_BLOB_BYTES);
+                let join_delay = ((join_slots * cfg.timing.slot) as usize)
+                    .div_ceil(cfg.timing.symbol as usize)
+                    + hs;
+                elapsed_body += join_delay;
+                if elapsed_body >= body_symbols {
+                    break; // no air time left this round
+                }
+                let alloc = allocate_streams(&ctx, joiner, k_used, round);
+                if alloc.is_empty() {
+                    break;
+                }
+                let remaining = body_symbols - elapsed_body;
+                let planned = plan_winner(
+                    &ctx,
+                    joiner,
+                    &alloc,
+                    &mut protected,
+                    &mut streams,
+                    k_used,
+                    remaining,
+                    rng,
+                );
+                match planned {
+                    Some(ids) => {
+                        k_used += ids.len();
+                    }
+                    None => {
+                        // Joiner declined (power control / degenerate):
+                        // others may still try.
+                        continue;
+                    }
+                }
+            }
+        }
+
+        // Settle: realized SINRs including residuals.
+        let round_bits = settle_round(&ctx, &protected, &streams);
+        for (f, b) in round_bits.iter().enumerate() {
+            bits[f] += b;
+        }
+
+        // Time accounting.
+        let ack_syms = 2 + (cfg.timing.sifs as usize).div_ceil(cfg.timing.symbol as usize);
+        let round_samples =
+            overhead + cfg.timing.symbol * (body_symbols + ack_syms) as u64 + cfg.timing.difs;
+        total_samples += round_samples;
+        let mean_streams: f64 = streams.iter().map(|s| s.active_symbols as f64).sum::<f64>()
+            / body_symbols.max(1) as f64;
+        dof_weighted += mean_streams * body_symbols as f64;
+        dof_time += body_symbols as f64;
+    }
+
+    let elapsed_s = total_samples as f64 / cfg.ofdm.bandwidth_hz;
+    let per_flow_mbps: Vec<f64> = bits.iter().map(|b| b / elapsed_s / 1e6).collect();
+    RunResult {
+        total_mbps: per_flow_mbps.iter().sum(),
+        per_flow_mbps,
+        mean_dof: if dof_time > 0.0 {
+            dof_weighted / dof_time
+        } else {
+            0.0
+        },
+    }
+}

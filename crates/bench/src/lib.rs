@@ -1,3 +1,4 @@
 //! Shared helpers for the figure-regeneration binaries.
 #![allow(missing_docs)]
+pub mod legacy;
 pub mod support;

@@ -1,0 +1,170 @@
+//! Precomputed per-subcarrier frequency responses of a MIMO link.
+//!
+//! The protocol simulator evaluates the same pure channel matrices
+//! thousands of times per run (round × stream × subcarrier × interferer).
+//! [`FreqResponseTable`] performs that evaluation exactly once per
+//! occupied subcarrier — a single pass over the FIR taps with the DFT
+//! twiddles computed once per bin and shared across all antenna pairs —
+//! and then serves `&CMatrix` lookups.
+//!
+//! The table is **bit-for-bit identical** to calling
+//! [`MimoLink::channel_matrix`] per bin: the accumulation order per
+//! antenna pair is the same (`acc += tap[d] · e^{-j2πkd/N}` in tap
+//! order, then one amplitude scale), only the twiddle evaluation is
+//! hoisted out of the pair loop. Seeded simulations therefore produce
+//! identical results whether they read the table or recompute — the
+//! property `protocol_invariants::caching_preserves_results_bit_for_bit`
+//! checks end-to-end.
+
+use crate::mimo::MimoLink;
+use nplus_linalg::{CMatrix, Complex64};
+
+/// Frequency responses of one [`MimoLink`], evaluated once for a fixed
+/// set of FFT bins (normally the occupied subcarriers).
+#[derive(Debug, Clone)]
+pub struct FreqResponseTable {
+    /// One `N_rx × M_tx` matrix per requested bin, in request order.
+    matrices: Vec<CMatrix>,
+    /// The FFT bins the table covers, in request order.
+    bins: Vec<usize>,
+    /// FFT grid size the bins index into.
+    n_fft: usize,
+}
+
+impl FreqResponseTable {
+    /// Evaluates the link's `N_rx × M_tx` matrices for every bin in
+    /// `bins` on an `n_fft` grid.
+    ///
+    /// The taps of every antenna pair are traversed once per bin; the
+    /// per-delay twiddle factors are computed once per bin and reused
+    /// across all pairs (the per-pair arithmetic stays identical to
+    /// [`MimoLink::channel_matrix`], so results match bitwise).
+    pub fn new(link: &MimoLink, bins: &[usize], n_fft: usize) -> Self {
+        let (n_rx, n_tx) = (link.n_rx(), link.n_tx());
+        let amplitude = link.amplitude();
+        let max_taps = (0..n_rx)
+            .flat_map(|rx| (0..n_tx).map(move |tx| (rx, tx)))
+            .map(|(rx, tx)| link.pair(rx, tx).taps.len())
+            .max()
+            .unwrap_or(1);
+
+        let mut twiddles: Vec<Complex64> = Vec::with_capacity(max_taps);
+        let mut matrices = Vec::with_capacity(bins.len());
+        for &k in bins {
+            twiddles.clear();
+            for d in 0..max_taps {
+                let ang = -2.0 * std::f64::consts::PI * (k * d) as f64 / n_fft as f64;
+                twiddles.push(Complex64::cis(ang));
+            }
+            let mut h = CMatrix::zeros(n_rx, n_tx);
+            for rx in 0..n_rx {
+                for tx in 0..n_tx {
+                    let taps = &link.pair(rx, tx).taps;
+                    let mut acc = Complex64::ZERO;
+                    for (d, &t) in taps.iter().enumerate() {
+                        acc += t * twiddles[d];
+                    }
+                    h[(rx, tx)] = acc.scale(amplitude);
+                }
+            }
+            matrices.push(h);
+        }
+        FreqResponseTable {
+            matrices,
+            bins: bins.to_vec(),
+            n_fft,
+        }
+    }
+
+    /// The channel matrix of the `pos`-th requested bin (position in the
+    /// `bins` slice given to [`FreqResponseTable::new`], *not* the raw
+    /// FFT bin index).
+    pub fn matrix(&self, pos: usize) -> &CMatrix {
+        &self.matrices[pos]
+    }
+
+    /// All matrices, in bin-request order.
+    pub fn matrices(&self) -> &[CMatrix] {
+        &self.matrices
+    }
+
+    /// The FFT bins the table covers, in request order.
+    pub fn bins(&self) -> &[usize] {
+        &self.bins
+    }
+
+    /// Number of bins in the table.
+    pub fn n_bins(&self) -> usize {
+        self.bins.len()
+    }
+
+    /// FFT grid size the bins index into.
+    pub fn n_fft(&self) -> usize {
+        self.n_fft
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fading::DelayProfile;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn matches_channel_matrix_bitwise() {
+        let mut rng = StdRng::seed_from_u64(11);
+        for (n_tx, n_rx, profile) in [
+            (1, 1, DelayProfile::los()),
+            (2, 3, DelayProfile::nlos()),
+            (4, 4, DelayProfile::nlos()),
+        ] {
+            let link = MimoLink::sample(n_tx, n_rx, 1.7, &profile, &mut rng);
+            let bins: Vec<usize> = (0..64).step_by(3).collect();
+            let table = FreqResponseTable::new(&link, &bins, 64);
+            for (pos, &k) in bins.iter().enumerate() {
+                let direct = link.channel_matrix(k, 64);
+                let cached = table.matrix(pos);
+                for r in 0..n_rx {
+                    for c in 0..n_tx {
+                        // Bitwise equality, not approximate: the cached
+                        // path must be indistinguishable from recompute.
+                        assert_eq!(
+                            cached[(r, c)].re.to_bits(),
+                            direct[(r, c)].re.to_bits(),
+                            "bin {k} entry ({r},{c}) re"
+                        );
+                        assert_eq!(
+                            cached[(r, c)].im.to_bits(),
+                            direct[(r, c)].im.to_bits(),
+                            "bin {k} entry ({r},{c}) im"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn covers_requested_bins_in_order() {
+        let link = MimoLink::flat(2, 2, 1.0);
+        let bins = vec![5usize, 1, 40];
+        let table = FreqResponseTable::new(&link, &bins, 64);
+        assert_eq!(table.bins(), &[5, 1, 40]);
+        assert_eq!(table.n_bins(), 3);
+        assert_eq!(table.n_fft(), 64);
+        assert_eq!(table.matrices().len(), 3);
+        assert_eq!(table.matrix(0).shape(), (2, 2));
+    }
+
+    #[test]
+    fn respects_amplitude() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let link = MimoLink::sample(2, 2, 1.0, &DelayProfile::nlos(), &mut rng);
+        let half = link.with_amplitude(0.5);
+        let bins = vec![10usize];
+        let t1 = FreqResponseTable::new(&link, &bins, 64);
+        let t2 = FreqResponseTable::new(&half, &bins, 64);
+        assert!(t2.matrix(0).approx_eq(&t1.matrix(0).scale_re(0.5), 1e-12));
+    }
+}

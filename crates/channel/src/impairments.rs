@@ -85,18 +85,24 @@ impl HardwareProfile {
     /// residual: a per-entry multiplicative complex error
     /// `(1 + ε)`, `ε ~ CN(0, calibration_error_std²)`.
     pub fn apply_calibration_error<R: Rng>(&self, h: &CMatrix, rng: &mut R) -> CMatrix {
+        let mut out = h.clone();
+        self.apply_calibration_error_in_place(&mut out, rng);
+        out
+    }
+
+    /// In-place form of [`HardwareProfile::apply_calibration_error`] —
+    /// identical arithmetic and RNG draws, no matrix allocation.
+    pub fn apply_calibration_error_in_place<R: Rng>(&self, h: &mut CMatrix, rng: &mut R) {
         if self.calibration_error_std == 0.0 {
-            return h.clone();
+            return;
         }
         let s = self.calibration_error_std / 2f64.sqrt();
-        let mut out = h.clone();
         for i in 0..h.rows() {
             for j in 0..h.cols() {
                 let eps = c64(sample_normal(rng), sample_normal(rng)).scale(s);
-                out[(i, j)] = h[(i, j)] * (Complex64::ONE + eps);
+                h[(i, j)] *= Complex64::ONE + eps;
             }
         }
-        out
     }
 
     /// What a joining transmitter believes the *forward* channel to a
@@ -104,8 +110,9 @@ impl HardwareProfile {
     /// (estimation noise on the reverse direction) plus calibration
     /// residual. This composed error is what bounds nulling depth.
     pub fn reciprocal_channel_knowledge<R: Rng>(&self, h_true: &CMatrix, rng: &mut R) -> CMatrix {
-        let estimated = self.corrupt_estimate(h_true, rng);
-        self.apply_calibration_error(&estimated, rng)
+        let mut estimated = self.corrupt_estimate(h_true, rng);
+        self.apply_calibration_error_in_place(&mut estimated, rng);
+        estimated
     }
 
     /// Adds transmit-chain EVM noise to a per-antenna sample stream:

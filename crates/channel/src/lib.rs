@@ -14,6 +14,8 @@
 //!   between the time domain (medium) and frequency domain (precoder);
 //! * [`mimo`] — per-link MIMO channels with exact electromagnetic
 //!   reciprocity;
+//! * [`freq_table`] — precomputed per-subcarrier frequency responses
+//!   (bitwise-identical to on-the-fly evaluation, computed once);
 //! * [`impairments`] — the hardware error model (estimation noise,
 //!   calibration residual, transmit EVM) that bounds nulling/alignment
 //!   depth to the paper's measured 25–27 dB;
@@ -26,6 +28,7 @@
 
 pub mod cfo;
 pub mod fading;
+pub mod freq_table;
 pub mod impairments;
 pub mod mimo;
 pub mod noise;
@@ -34,6 +37,7 @@ pub mod placement;
 
 pub use cfo::{apply_cfo, estimate_cfo, precompensate_cfo};
 pub use fading::{DelayProfile, FadingChannel};
+pub use freq_table::FreqResponseTable;
 pub use impairments::{HardwareProfile, IDEAL_HARDWARE};
 pub use mimo::MimoLink;
 pub use noise::{add_noise, measure_power, noise_sample, noise_stream, snr_db};

@@ -65,7 +65,9 @@ pub use link::{select_stream_rate, zf_sinr, SubcarrierObservation};
 pub use node::{learn_forward_channel, plan_join, JoinError, JoinPlan, LearnedReceiver};
 pub use power_control::{join_power_decision, JoinPowerDecision, DEFAULT_L_DB};
 pub use precoder::{
-    compute_precoders, max_joinable_streams, residual_interference, OwnReceiver, PrecoderError,
-    Precoding, ProtectedReceiver,
+    compute_precoders, compute_precoders_ref, max_joinable_streams, residual_interference,
+    OwnReceiver, OwnReceiverRef, PrecoderError, Precoding, ProtectedReceiver, ProtectedReceiverRef,
 };
-pub use sim::{simulate, Flow, Protocol, RunResult, Scenario, SimConfig};
+pub use sim::{
+    simulate, sweep, Flow, Protocol, RunResult, Scenario, SimConfig, SimEngine, SweepStats,
+};

@@ -18,7 +18,7 @@
 //! (hardware error) is *not* known to the receiver and degrades the SINR
 //! — exactly the 0.8/1.3 dB effect of Fig. 11.
 
-use nplus_linalg::{pinv, CMatrix, CVector, Subspace};
+use nplus_linalg::{pinv, CMatrix, CVector, Complex64, Subspace};
 use nplus_phy::esnr::effective_snr;
 use nplus_phy::modulation::Modulation;
 use nplus_phy::rates::{RateIndex, RATE_TABLE};
@@ -47,32 +47,57 @@ pub struct SubcarrierObservation {
 /// singular (wanted + known interference exceed the antenna budget or are
 /// degenerate).
 pub fn zf_sinr(obs: &SubcarrierObservation) -> Vec<f64> {
-    let n_wanted = obs.wanted.len();
+    zf_sinr_slices(
+        &obs.wanted,
+        &obs.known_interference,
+        &obs.residual_interference,
+        obs.noise_power,
+    )
+}
+
+/// Slice form of [`zf_sinr`]: identical arithmetic without requiring the
+/// caller to assemble an owned [`SubcarrierObservation`]. The simulator's
+/// hot path passes its per-round scratch buffers and cached subspace
+/// bases here directly.
+pub fn zf_sinr_slices(
+    wanted: &[CVector],
+    known_interference: &[CVector],
+    residual_interference: &[CVector],
+    noise_power: f64,
+) -> Vec<f64> {
+    let n_wanted = wanted.len();
     if n_wanted == 0 {
         return Vec::new();
     }
-    let n_ant = obs.wanted[0].len();
-    let mut cols: Vec<CVector> = obs.wanted.clone();
-    cols.extend(obs.known_interference.iter().cloned());
-    if cols.len() > n_ant {
+    let n_ant = wanted[0].len();
+    let n_cols = n_wanted + known_interference.len();
+    if n_cols > n_ant {
         // Over-subscribed receive space: undecodable.
         return vec![0.0; n_wanted];
     }
-    let a = CMatrix::from_cols(&cols);
+    // Assemble the ZF matrix from the borrowed columns without cloning
+    // each vector first.
+    let col_refs: Vec<&CVector> = wanted.iter().chain(known_interference).collect();
+    let a = CMatrix::from_col_refs(&col_refs);
     let w = match pinv(&a) {
         Ok(w) => w,
         Err(_) => return vec![0.0; n_wanted],
     };
     (0..n_wanted)
         .map(|i| {
-            let row = w.row(i);
             // ZF: row · wanted_i = 1 by construction; noise and residual
-            // interference pass through the filter.
-            let noise = row.norm_sqr() * obs.noise_power;
-            let resid: f64 = obs
-                .residual_interference
+            // interference pass through the filter. Work directly on the
+            // i-th row of W — `row_i · conj(conj(r)) = Σ_j w_ij · r_j` —
+            // so no per-row or per-residual vectors are materialized.
+            let noise: f64 = (0..n_ant).map(|j| w[(i, j)].norm_sqr()).sum::<f64>() * noise_power;
+            let resid: f64 = residual_interference
                 .iter()
-                .map(|r| row.dot(&r.conj()).norm_sqr())
+                .map(|r| {
+                    (0..n_ant)
+                        .map(|j| w[(i, j)] * r[j])
+                        .sum::<Complex64>()
+                        .norm_sqr()
+                })
                 .sum();
             1.0 / (noise + resid).max(1e-300)
         })

@@ -52,6 +52,39 @@ impl ProtectedReceiver {
         ProtectedReceiver { channel, unwanted }
     }
 
+    /// Borrowed view of this receiver.
+    pub fn as_ref(&self) -> ProtectedReceiverRef<'_> {
+        ProtectedReceiverRef {
+            channel: &self.channel,
+            unwanted: &self.unwanted,
+        }
+    }
+
+    /// The number of independent linear constraints this receiver imposes
+    /// (its wanted-stream count `n = N − dim U`).
+    pub fn n_constraints(&self) -> usize {
+        self.as_ref().n_constraints()
+    }
+
+    /// The constraint rows `U^⊥ H` of Eq. 6 (or `H` itself for nulling —
+    /// Eq. 5 — since `U^⊥ = I` when `U` is empty).
+    pub fn constraint_rows(&self) -> CMatrix {
+        self.as_ref().constraint_rows()
+    }
+}
+
+/// Borrowed view of a protected receiver — the hot simulation path
+/// builds these per subcarrier without cloning channel matrices or
+/// subspaces.
+#[derive(Debug, Clone, Copy)]
+pub struct ProtectedReceiverRef<'a> {
+    /// The believed forward channel (`N × M`).
+    pub channel: &'a CMatrix,
+    /// The receiver's unwanted space `U` (ambient `N`).
+    pub unwanted: &'a Subspace,
+}
+
+impl ProtectedReceiverRef<'_> {
     /// The number of independent linear constraints this receiver imposes
     /// (its wanted-stream count `n = N − dim U`).
     pub fn n_constraints(&self) -> usize {
@@ -65,7 +98,7 @@ impl ProtectedReceiver {
             self.channel.clone()
         } else {
             let u_perp = self.unwanted.complement();
-            &u_perp.row_operator() * &self.channel
+            &u_perp.row_operator() * self.channel
         }
     }
 }
@@ -81,6 +114,28 @@ pub struct OwnReceiver {
     /// The receiver's unwanted space, used to protect it from the
     /// transmitter's streams destined to *other* receivers.
     pub unwanted: Subspace,
+}
+
+impl OwnReceiver {
+    /// Borrowed view of this receiver.
+    pub fn as_ref(&self) -> OwnReceiverRef<'_> {
+        OwnReceiverRef {
+            channel: &self.channel,
+            n_streams: self.n_streams,
+            unwanted: &self.unwanted,
+        }
+    }
+}
+
+/// Borrowed view of an own receiver (see [`ProtectedReceiverRef`]).
+#[derive(Debug, Clone, Copy)]
+pub struct OwnReceiverRef<'a> {
+    /// Forward channel to this receiver (`N × M`).
+    pub channel: &'a CMatrix,
+    /// Streams destined to this receiver.
+    pub n_streams: usize,
+    /// The receiver's unwanted space.
+    pub unwanted: &'a Subspace,
 }
 
 /// Errors from precoding computation.
@@ -146,6 +201,20 @@ pub fn compute_precoders(
     protected: &[ProtectedReceiver],
     own: &[OwnReceiver],
 ) -> Result<Precoding, PrecoderError> {
+    let protected_refs: Vec<ProtectedReceiverRef> = protected.iter().map(|p| p.as_ref()).collect();
+    let own_refs: Vec<OwnReceiverRef> = own.iter().map(|r| r.as_ref()).collect();
+    compute_precoders_ref(m_antennas, &protected_refs, &own_refs)
+}
+
+/// Borrowed-input form of [`compute_precoders`] — identical arithmetic,
+/// no cloning of the callers' channel matrices and subspaces. The
+/// simulator's hot path builds the views per subcarrier directly against
+/// its cached channels.
+pub fn compute_precoders_ref(
+    m_antennas: usize,
+    protected: &[ProtectedReceiverRef],
+    own: &[OwnReceiverRef],
+) -> Result<Precoding, PrecoderError> {
     // Shared constraints: every ongoing receiver constrains every stream.
     let mut shared = CMatrix::zeros(0, m_antennas);
     for p in protected {
@@ -182,9 +251,9 @@ pub fn compute_precoders(
             if o_idx == r_idx {
                 continue;
             }
-            let pr = ProtectedReceiver {
-                channel: other.channel.clone(),
-                unwanted: other.unwanted.clone(),
+            let pr = ProtectedReceiverRef {
+                channel: other.channel,
+                unwanted: other.unwanted,
             };
             rows = rows.vstack(&pr.constraint_rows());
         }

@@ -22,21 +22,38 @@
 //! * **Beamforming** — as 802.11n, but a multi-client AP may serve its
 //!   clients concurrently (multi-user beamforming per Aryafar et al.,
 //!   the paper's [7]); still no concurrency across transmitters.
+//!
+//! ## Engine architecture
+//!
+//! [`SimEngine`] is the reusable per-topology engine: it precomputes the
+//! round-invariant context (occupied subcarriers, transmitter list,
+//! per-transmitter flow lists) and — unless disabled via
+//! [`SimConfig::cache_channels`] — a [`ChannelCache`] holding every
+//! link's per-subcarrier frequency response, evaluated once instead of
+//! inside the round × stream × subcarrier × interferer loop nest. Only
+//! the **pure true channels** are cached; believed channels keep drawing
+//! hardware error from the RNG in the exact same order, so seeded runs
+//! are bit-for-bit identical with and without the cache. [`simulate`] is
+//! the one-shot convenience wrapper; [`sweep`] runs batches of seeded
+//! topologies and aggregates mean/CI statistics per protocol.
 
-use crate::link::{select_stream_rate, zf_sinr, SubcarrierObservation};
+use crate::link::{select_stream_rate, zf_sinr_slices};
 use crate::power_control::{join_power_decision, JoinPowerDecision};
-use crate::precoder::{compute_precoders, OwnReceiver, PrecoderError, ProtectedReceiver};
+use crate::precoder::{compute_precoders_ref, OwnReceiverRef, PrecoderError, ProtectedReceiverRef};
 use nplus_channel::impairments::HardwareProfile;
+use nplus_channel::placement::Testbed;
 use nplus_linalg::{CMatrix, CVector, Subspace};
 use nplus_mac::backoff::{resolve_contention, ContentionOutcome};
-use nplus_mac::frames::{DataHeader, ReceiverEntry};
+use nplus_mac::frames::{AckHeader, DataHeader, ReceiverEntry};
 use nplus_mac::timing::SampleTiming;
-use nplus_medium::topology::Topology;
+use nplus_medium::chancache::ChannelCache;
+use nplus_medium::topology::{build_topology, Topology, TopologyConfig};
 use nplus_phy::params::{occupied_subcarrier_indices, OfdmConfig};
 use nplus_phy::rates::{RateIndex, BASE_RATE, RATE_TABLE};
 use nplus_phy::RATE_ESNR_THRESHOLDS_DB;
 use rand::rngs::StdRng;
-
+use rand::{Rng, SeedableRng};
+use std::borrow::Cow;
 /// One traffic flow: a transmitter node sending to a receiver node
 /// (indices into the scenario's node list).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -131,6 +148,11 @@ pub struct SimConfig {
     pub packet_bytes: usize,
     /// Rounds to simulate.
     pub rounds: usize,
+    /// Precompute every link's per-subcarrier frequency responses once
+    /// per topology instead of re-evaluating taps inside the round loop.
+    /// Results are bit-for-bit identical either way (only pure true
+    /// channels are cached); `false` exists for the perf baseline.
+    pub cache_channels: bool,
 }
 
 impl Default for SimConfig {
@@ -143,6 +165,7 @@ impl Default for SimConfig {
             power_control: true,
             packet_bytes: 1500,
             rounds: 40,
+            cache_channels: true,
         }
     }
 }
@@ -198,35 +221,42 @@ struct ReceiverState {
     wanted: Vec<Vec<CVector>>,
 }
 
-/// The context shared by the per-protocol round functions.
-struct RoundCtx<'a> {
-    topo: &'a Topology,
-    scenario: &'a Scenario,
-    cfg: &'a SimConfig,
-    occ: Vec<usize>,
+/// A memoized opening plan: the full per-subcarrier planning result of a
+/// transmitter opening a round with a single receiver and no protected
+/// receivers. In that case the precoders are an unconstrained orthonormal
+/// basis and rate selection sees only the pure true channels — nothing
+/// depends on the believed-channel draws — so the plan (or its rate
+/// failure) is a fixed function of the topology and can be computed once
+/// per run instead of once per round.
+struct FirstPlan {
+    /// Per-stream, per-subcarrier pre-coding vectors.
+    precoders: Vec<Vec<CVector>>,
+    /// Chosen rate per stream.
+    rates: Vec<RateIndex>,
+    /// The receiver's advertised unwanted space per subcarrier.
+    unwanted: Vec<Subspace>,
+    /// The receiver's wanted arrival columns per subcarrier.
+    wanted: Vec<Vec<CVector>>,
 }
 
-impl<'a> RoundCtx<'a> {
-    /// True per-subcarrier channel matrix between two scenario nodes.
-    fn true_channel(&self, from: usize, to: usize, k_occ: usize) -> CMatrix {
-        let link = self
-            .topo
-            .medium
-            .link(self.topo.nodes[from], self.topo.nodes[to])
-            .expect("missing link");
-        link.channel_matrix(self.occ[k_occ], self.cfg.ofdm.fft_len)
-    }
-
-    /// What a transmitter believes the channel is (reciprocity +
-    /// hardware error), per subcarrier.
-    fn believed_channel(&self, from: usize, to: usize, k_occ: usize, rng: &mut StdRng) -> CMatrix {
-        let h = self.true_channel(from, to, k_occ);
-        self.cfg.hardware.reciprocal_channel_knowledge(&h, rng)
-    }
-
-    fn n_ant(&self, node: usize) -> usize {
-        self.scenario.antennas[node]
-    }
+/// Per-run scratch buffers, reused across rounds and subcarriers so the
+/// hot path performs no per-subcarrier allocations for arrivals,
+/// interference lists or SINR accumulation.
+#[derive(Default)]
+struct Scratch {
+    /// Ongoing-stream arrival vectors at one receiver, one subcarrier.
+    arrivals: Vec<CVector>,
+    /// Residual (unknown) interference leaks.
+    residual: Vec<CVector>,
+    /// Secondary-contention eligible transmitters.
+    eligible: Vec<usize>,
+    /// Stream counts per receiver for handshake sizing.
+    streams_per_rx: Vec<usize>,
+    /// Stream ids destined to the receiver being settled.
+    my_streams: Vec<usize>,
+    /// Memoized opening plans keyed by `(tx, flow, n_streams)`; `None`
+    /// records a rate-selection failure (also a pure topology fact).
+    first_plans: Vec<((usize, usize, usize), Option<FirstPlan>)>,
 }
 
 /// Extends the span of `existing` with directions orthogonal to both
@@ -282,358 +312,718 @@ fn contend(contenders: &[usize], timing: &SampleTiming, rng: &mut StdRng) -> (us
             ContentionOutcome::Idle => unreachable!("contenders nonempty"),
         }
     }
-    (contenders[0], slots_total)
+    // Window exhausted without a unique winner: pick uniformly. A
+    // deterministic fallback (e.g. the first contender) would bias the
+    // long-run airtime share toward one transmitter.
+    let i = rng.gen_range(0..contenders.len());
+    (contenders[i], slots_total)
 }
 
 /// Typical alignment-blob size in bytes (CP¹ codec over 52 subcarriers:
 /// header + first angles + escape mask + ~1 byte/subcarrier).
 pub const TYPICAL_BLOB_BYTES: usize = 62;
 
-/// Header exchange cost in OFDM symbols: data header + SIFS + ACK header
-/// (with alignment blob of `blob_bytes`) + SIFS, all at base rate.
-fn handshake_symbols(cfg: &SimConfig, n_receivers: usize, blob_bytes: usize) -> usize {
+/// Header exchange cost in OFDM symbols: data header + SIFS + per-receiver
+/// ACK headers (each with an alignment blob of `blob_bytes`) + SIFS, all
+/// at base rate.
+///
+/// `streams_per_rx` holds the actual stream allocation, one entry per
+/// receiver. Both frame sizes come from the real codecs in `nplus-mac`:
+/// the data header lists the real per-receiver stream counts, each ACK
+/// carries one rate index per stream (§3.4 selects rates per stream),
+/// and — since every receiver transmits its own ACK frame — each ACK is
+/// padded to a whole OFDM symbol individually rather than rounding once
+/// across the summed total.
+fn handshake_symbols(cfg: &SimConfig, streams_per_rx: &[usize], blob_bytes: usize) -> usize {
+    let one = [1usize];
+    let per_rx: &[usize] = if streams_per_rx.is_empty() {
+        &one
+    } else {
+        streams_per_rx
+    };
     let hdr = DataHeader {
         src: 0,
-        receivers: vec![
-            ReceiverEntry {
+        receivers: per_rx
+            .iter()
+            .map(|&n| ReceiverEntry {
                 dst: 0,
-                n_streams: 1
-            };
-            n_receivers.max(1)
-        ],
+                n_streams: n.max(1) as u8,
+            })
+            .collect(),
         n_antennas: 3,
         duration_symbols: 0,
         seq: 0,
     };
     let hdr_bits = hdr.to_bytes().len() * 8;
-    let ack_bits = (12 + blob_bytes) * 8 * n_receivers.max(1);
     let base = BASE_RATE.data_bits_per_symbol();
+    let ack_symbols: usize = per_rx
+        .iter()
+        .map(|&n| {
+            let ack = AckHeader {
+                src: 0,
+                dst: 0,
+                rate_indices: vec![0; n.max(1)],
+                alignment_blob: vec![0; blob_bytes],
+            };
+            (ack.to_bytes().len() * 8).div_ceil(base)
+        })
+        .sum();
     let sifs_syms = (cfg.timing.sifs as usize).div_ceil(cfg.timing.symbol as usize);
-    hdr_bits.div_ceil(base) + ack_bits.div_ceil(base) + 2 * sifs_syms
+    hdr_bits.div_ceil(base) + ack_symbols + 2 * sifs_syms
 }
 
-/// Allocates the winner's streams across its flows, respecting receiver
-/// capacity (`N_rx − K` spare dimensions each) and rotating the split
-/// across rounds for fairness.
-fn allocate_streams(
-    ctx: &RoundCtx,
-    tx: usize,
-    k_ongoing: usize,
-    round: usize,
-) -> Vec<(usize, usize)> {
-    let flows = ctx.scenario.flows_of(tx);
-    let m = ctx.n_ant(tx).saturating_sub(k_ongoing);
-    if m == 0 || flows.is_empty() {
-        return Vec::new();
-    }
-    let caps: Vec<usize> = flows
-        .iter()
-        .map(|&f| {
-            let rx = ctx.scenario.flows[f].rx;
-            ctx.n_ant(rx).saturating_sub(k_ongoing.min(ctx.n_ant(rx)))
-        })
-        .collect();
-    let mut alloc = vec![0usize; flows.len()];
-    let mut remaining = m;
-    let mut i = round % flows.len();
-    let mut stalled = 0;
-    while remaining > 0 && stalled < flows.len() {
-        if alloc[i] < caps[i] {
-            alloc[i] += 1;
-            remaining -= 1;
-            stalled = 0;
+/// The reusable per-topology simulation engine.
+///
+/// Construction precomputes everything that is invariant across rounds
+/// and protocols: occupied subcarriers, the transmitter list, per-node
+/// flow lists, and (by default) the [`ChannelCache`] of every link's
+/// per-subcarrier frequency responses. One engine can then [`run`]
+/// (SimEngine::run) any number of protocols/seeds against the same
+/// topology without re-evaluating channel taps.
+pub struct SimEngine<'a> {
+    topo: &'a Topology,
+    scenario: &'a Scenario,
+    cfg: &'a SimConfig,
+    /// Occupied subcarrier indices (FFT bins), in order.
+    occ: Vec<usize>,
+    /// Distinct transmitter node indices with traffic.
+    transmitters: Vec<usize>,
+    /// Flow indices per scenario node (empty for non-transmitters).
+    flows_of: Vec<Vec<usize>>,
+    /// Pure true-channel cache; `None` when disabled for perf baselines.
+    cache: Option<ChannelCache>,
+}
+
+impl<'a> SimEngine<'a> {
+    /// Builds the engine for one topology/scenario/config triple.
+    pub fn new(topo: &'a Topology, scenario: &'a Scenario, cfg: &'a SimConfig) -> Self {
+        let occ = occupied_subcarrier_indices();
+        let cache = if cfg.cache_channels {
+            Some(ChannelCache::build(topo, &occ, cfg.ofdm.fft_len))
         } else {
-            stalled += 1;
+            None
+        };
+        SimEngine {
+            topo,
+            scenario,
+            cfg,
+            transmitters: scenario.transmitters(),
+            flows_of: (0..scenario.antennas.len())
+                .map(|n| scenario.flows_of(n))
+                .collect(),
+            occ,
+            cache,
         }
-        i = (i + 1) % flows.len();
-    }
-    flows
-        .iter()
-        .zip(alloc)
-        .filter(|(_, a)| *a > 0)
-        .map(|(&f, a)| (f, a))
-        .collect()
-}
-
-/// Plans the transmission of one winner: computes precoders against the
-/// currently protected receivers, registers the new receiver state, and
-/// returns the planned streams. Returns `None` if the winner cannot join
-/// (no DoF, rate selection failure, or precoder degeneracy).
-#[allow(clippy::too_many_arguments)]
-fn plan_winner(
-    ctx: &RoundCtx,
-    tx: usize,
-    allocation: &[(usize, usize)],
-    protected: &mut Vec<ReceiverState>,
-    ongoing_streams: &mut Vec<PlannedStream>,
-    k_ongoing: usize,
-    body_symbols_left: usize,
-    rng: &mut StdRng,
-) -> Option<Vec<usize>> {
-    let n_sc = ctx.occ.len();
-    let m_tx = ctx.n_ant(tx);
-    let total_new: usize = allocation.iter().map(|(_, n)| n).sum();
-    if total_new == 0 {
-        return None;
     }
 
-    // Believed channels to protected receivers and own receivers.
-    let believed_protected: Vec<Vec<CMatrix>> = protected
-        .iter()
-        .map(|r| {
-            (0..n_sc)
-                .map(|k| ctx.believed_channel(tx, r.node, k, rng))
-                .collect()
-        })
-        .collect();
-    let believed_own: Vec<Vec<CMatrix>> = allocation
-        .iter()
-        .map(|&(f, _)| {
-            let rx = ctx.scenario.flows[f].rx;
-            (0..n_sc)
-                .map(|k| ctx.believed_channel(tx, rx, k, rng))
-                .collect()
-        })
-        .collect();
+    /// True per-subcarrier channel matrix between two scenario nodes —
+    /// served from the cache when enabled, recomputed otherwise (the two
+    /// are bitwise identical).
+    fn true_channel(&self, from: usize, to: usize, k_occ: usize) -> Cow<'_, CMatrix> {
+        match &self.cache {
+            Some(cache) => Cow::Borrowed(cache.matrix(from, to, k_occ)),
+            None => {
+                let link = self
+                    .topo
+                    .medium
+                    .link(self.topo.nodes[from], self.topo.nodes[to])
+                    .expect("missing link");
+                Cow::Owned(link.channel_matrix(self.occ[k_occ], self.cfg.ofdm.fft_len))
+            }
+        }
+    }
 
-    // Join power control against protected receivers (worst subcarrier
-    // median is approximated by the middle subcarrier's matrix).
-    let decision = if ctx.cfg.power_control && !protected.is_empty() {
-        let mid = n_sc / 2;
-        let mats: Vec<&CMatrix> = believed_protected.iter().map(|v| &v[mid]).collect();
-        join_power_decision(&mats, ctx.cfg.l_db)
-    } else {
-        JoinPowerDecision::FullPower
-    };
-    let amp = decision.amplitude();
+    /// What a transmitter believes the channel is (reciprocity +
+    /// hardware error), per subcarrier. Never cached: the hardware error
+    /// draw must consume the RNG stream on every call.
+    fn believed_channel(&self, from: usize, to: usize, k_occ: usize, rng: &mut StdRng) -> CMatrix {
+        let h = self.true_channel(from, to, k_occ);
+        self.cfg.hardware.reciprocal_channel_knowledge(&h, rng)
+    }
 
-    // Unwanted space each own receiver will advertise: span of the true
-    // arrivals it already sees, extended to its spare dimension count.
-    // (The receiver estimates these from overheard headers; estimation is
-    // near-exact and the codec round-trip is tested separately.)
-    let own_unwanted: Vec<Vec<Subspace>> = allocation
-        .iter()
-        .map(|&(f, n_streams)| {
-            let rx = ctx.scenario.flows[f].rx;
-            let n_rx = ctx.n_ant(rx);
-            (0..n_sc)
-                .map(|k| {
-                    let mut arrivals: Vec<CVector> = Vec::new();
-                    for s in ongoing_streams.iter() {
-                        let h = ctx.true_channel(s.tx_node, rx, k);
-                        arrivals.push(h.mul_vec(&s.precoders[k]));
-                    }
-                    let target = n_rx.saturating_sub(n_streams);
-                    extend_unwanted(n_rx, &arrivals, &[], target)
-                })
-                .collect()
-        })
-        .collect();
+    fn n_ant(&self, node: usize) -> usize {
+        self.scenario.antennas[node]
+    }
 
-    // Per-subcarrier precoding.
-    let mut per_stream_precoders: Vec<Vec<CVector>> = vec![Vec::with_capacity(n_sc); total_new];
-    for k in 0..n_sc {
-        let prot: Vec<ProtectedReceiver> = protected
+    /// Allocates the winner's streams across its flows, respecting
+    /// receiver capacity (`N_rx − K` spare dimensions each) and rotating
+    /// the split across rounds for fairness.
+    fn allocate_streams(&self, tx: usize, k_ongoing: usize, round: usize) -> Vec<(usize, usize)> {
+        let flows = &self.flows_of[tx];
+        let m = self.n_ant(tx).saturating_sub(k_ongoing);
+        if m == 0 || flows.is_empty() {
+            return Vec::new();
+        }
+        let caps: Vec<usize> = flows
             .iter()
-            .enumerate()
-            .map(|(i, r)| ProtectedReceiver {
-                channel: believed_protected[i][k].clone(),
-                unwanted: r.unwanted[k].clone(),
+            .map(|&f| {
+                let rx = self.scenario.flows[f].rx;
+                self.n_ant(rx).saturating_sub(k_ongoing.min(self.n_ant(rx)))
             })
             .collect();
-        let own: Vec<OwnReceiver> = allocation
+        let mut alloc = vec![0usize; flows.len()];
+        let mut remaining = m;
+        let mut i = round % flows.len();
+        let mut stalled = 0;
+        while remaining > 0 && stalled < flows.len() {
+            if alloc[i] < caps[i] {
+                alloc[i] += 1;
+                remaining -= 1;
+                stalled = 0;
+            } else {
+                stalled += 1;
+            }
+            i = (i + 1) % flows.len();
+        }
+        flows
             .iter()
-            .enumerate()
-            .map(|(i, &(_, n_streams))| OwnReceiver {
-                channel: believed_own[i][k].clone(),
+            .zip(alloc)
+            .filter(|(_, a)| *a > 0)
+            .map(|(&f, a)| (f, a))
+            .collect()
+    }
+
+    /// Computes the memoizable opening plan of `tx` sending `n_streams`
+    /// to the receiver of `f` with no protected receivers (see
+    /// [`FirstPlan`]): unconstrained precoding basis, per-subcarrier
+    /// unwanted spaces and arrival columns, joint-ZF rate selection —
+    /// all from pure true channels, no RNG. Returns `None` when even the
+    /// most robust rate cannot be sustained (a pure topology fact,
+    /// memoized as a failure).
+    fn plan_opening_single(&self, tx: usize, f: usize, n_streams: usize) -> Option<FirstPlan> {
+        let n_sc = self.occ.len();
+        let m_tx = self.n_ant(tx);
+        let rx = self.scenario.flows[f].rx;
+        let n_rx = self.n_ant(rx);
+        let target = n_rx.saturating_sub(n_streams);
+
+        // No ongoing arrivals: the advertised unwanted space is the same
+        // construction on every subcarrier.
+        let unwanted: Vec<Subspace> = (0..n_sc)
+            .map(|_| extend_unwanted(n_rx, &[], &[], target))
+            .collect();
+
+        let mut precoders: Vec<Vec<CVector>> = vec![Vec::with_capacity(n_sc); n_streams];
+        for k in 0..n_sc {
+            let h = self.true_channel(tx, rx, k);
+            let own = [OwnReceiverRef {
+                channel: &h,
                 n_streams,
-                unwanted: own_unwanted[i][k].clone(),
+                unwanted: &unwanted[k],
+            }];
+            match compute_precoders_ref(m_tx, &[], &own) {
+                Ok(p) => {
+                    for (i, v) in p.vectors.into_iter().enumerate() {
+                        precoders[i].push(v);
+                    }
+                }
+                Err(_) => return None,
+            }
+        }
+
+        // Joint-ZF rate selection against the pure channel (no ongoing
+        // interference, no residuals — the receiver decodes its own
+        // streams against its unwanted-space basis).
+        let mut per_stream_sinrs: Vec<Vec<f64>> = vec![Vec::with_capacity(n_sc); n_streams];
+        let mut wanted: Vec<Vec<CVector>> = Vec::with_capacity(n_sc);
+        for k in 0..n_sc {
+            let h = self.true_channel(tx, rx, k);
+            let cols: Vec<CVector> = precoders.iter().map(|pc| h.mul_vec(&pc[k])).collect();
+            let sinrs = zf_sinr_slices(&cols, unwanted[k].basis(), &[], 1.0);
+            for (s, &v) in sinrs.iter().enumerate() {
+                per_stream_sinrs[s].push(v);
+            }
+            wanted.push(cols);
+        }
+        let mut rates = Vec::with_capacity(n_streams);
+        for sinrs in &per_stream_sinrs {
+            rates.push(select_stream_rate(sinrs)?);
+        }
+        Some(FirstPlan {
+            precoders,
+            rates,
+            unwanted,
+            wanted,
+        })
+    }
+
+    /// Plans the transmission of one winner: computes precoders against
+    /// the currently protected receivers, registers the new receiver
+    /// state, and returns the planned streams. Returns `None` if the
+    /// winner cannot join (no DoF, rate selection failure, or precoder
+    /// degeneracy).
+    #[allow(clippy::too_many_arguments)]
+    fn plan_winner(
+        &self,
+        tx: usize,
+        allocation: &[(usize, usize)],
+        protected: &mut Vec<ReceiverState>,
+        ongoing_streams: &mut Vec<PlannedStream>,
+        body_symbols_left: usize,
+        scratch: &mut Scratch,
+        rng: &mut StdRng,
+    ) -> Option<Vec<usize>> {
+        let n_sc = self.occ.len();
+        let m_tx = self.n_ant(tx);
+        let total_new: usize = allocation.iter().map(|(_, n)| n).sum();
+        if total_new == 0 {
+            return None;
+        }
+
+        // Opening a round with one receiver and nothing to protect: the
+        // whole plan is a pure function of the topology (see
+        // [`FirstPlan`]) — serve it from the per-run memo. Multi-receiver
+        // openings and joins stay on the full path below, where believed
+        // channels (and hence the RNG stream) genuinely matter.
+        if protected.is_empty() && allocation.len() == 1 {
+            let (f, n_streams) = allocation[0];
+            let key = (tx, f, n_streams);
+            let idx = match scratch.first_plans.iter().position(|(k, _)| *k == key) {
+                Some(i) => i,
+                None => {
+                    let plan = self.plan_opening_single(tx, f, n_streams);
+                    scratch.first_plans.push((key, plan));
+                    scratch.first_plans.len() - 1
+                }
+            };
+            let plan = scratch.first_plans[idx].1.as_ref()?;
+            let rx = self.scenario.flows[f].rx;
+            let mut new_stream_ids = Vec::with_capacity(n_streams);
+            for s in 0..n_streams {
+                new_stream_ids.push(ongoing_streams.len());
+                ongoing_streams.push(PlannedStream {
+                    flow: f,
+                    precoders: plan.precoders[s].clone(),
+                    rate: plan.rates[s],
+                    tx_node: tx,
+                    active_symbols: body_symbols_left,
+                });
+            }
+            protected.push(ReceiverState {
+                node: rx,
+                unwanted: plan.unwanted.clone(),
+                wanted: plan.wanted.clone(),
+            });
+            return Some(new_stream_ids);
+        }
+
+        // Believed channels to protected receivers and own receivers.
+        let believed_protected: Vec<Vec<CMatrix>> = protected
+            .iter()
+            .map(|r| {
+                (0..n_sc)
+                    .map(|k| self.believed_channel(tx, r.node, k, rng))
+                    .collect()
             })
             .collect();
-        match compute_precoders(m_tx, &prot, &own) {
-            Ok(p) => {
-                for (i, v) in p.vectors.into_iter().enumerate() {
-                    per_stream_precoders[i].push(v.scale_re(amp));
+        let believed_own: Vec<Vec<CMatrix>> = allocation
+            .iter()
+            .map(|&(f, _)| {
+                let rx = self.scenario.flows[f].rx;
+                (0..n_sc)
+                    .map(|k| self.believed_channel(tx, rx, k, rng))
+                    .collect()
+            })
+            .collect();
+
+        // Join power control against protected receivers (worst subcarrier
+        // median is approximated by the middle subcarrier's matrix).
+        let decision = if self.cfg.power_control && !protected.is_empty() {
+            let mid = n_sc / 2;
+            let mats: Vec<&CMatrix> = believed_protected.iter().map(|v| &v[mid]).collect();
+            join_power_decision(&mats, self.cfg.l_db)
+        } else {
+            JoinPowerDecision::FullPower
+        };
+        let amp = decision.amplitude();
+
+        // Unwanted space each own receiver will advertise: span of the
+        // true arrivals it already sees, extended to its spare dimension
+        // count. (The receiver estimates these from overheard headers;
+        // estimation is near-exact and the codec round-trip is tested
+        // separately.)
+        let own_unwanted: Vec<Vec<Subspace>> = allocation
+            .iter()
+            .map(|&(f, n_streams)| {
+                let rx = self.scenario.flows[f].rx;
+                let n_rx = self.n_ant(rx);
+                (0..n_sc)
+                    .map(|k| {
+                        scratch.arrivals.clear();
+                        for s in ongoing_streams.iter() {
+                            let h = self.true_channel(s.tx_node, rx, k);
+                            scratch.arrivals.push(h.mul_vec(&s.precoders[k]));
+                        }
+                        let target = n_rx.saturating_sub(n_streams);
+                        extend_unwanted(n_rx, &scratch.arrivals, &[], target)
+                    })
+                    .collect()
+            })
+            .collect();
+
+        // Per-subcarrier precoding (borrowed views — no per-subcarrier
+        // clones of channel matrices or subspaces).
+        let mut per_stream_precoders: Vec<Vec<CVector>> = vec![Vec::with_capacity(n_sc); total_new];
+        let mut prot_refs: Vec<ProtectedReceiverRef> = Vec::with_capacity(protected.len());
+        let mut own_refs: Vec<OwnReceiverRef> = Vec::with_capacity(allocation.len());
+        for k in 0..n_sc {
+            prot_refs.clear();
+            for (i, r) in protected.iter().enumerate() {
+                prot_refs.push(ProtectedReceiverRef {
+                    channel: &believed_protected[i][k],
+                    unwanted: &r.unwanted[k],
+                });
+            }
+            own_refs.clear();
+            for (i, &(_, n_streams)) in allocation.iter().enumerate() {
+                own_refs.push(OwnReceiverRef {
+                    channel: &believed_own[i][k],
+                    n_streams,
+                    unwanted: &own_unwanted[i][k],
+                });
+            }
+            match compute_precoders_ref(m_tx, &prot_refs, &own_refs) {
+                Ok(p) => {
+                    for (i, v) in p.vectors.into_iter().enumerate() {
+                        per_stream_precoders[i].push(v.scale_re(amp));
+                    }
+                }
+                Err(PrecoderError::NoDegreesOfFreedom | PrecoderError::TooManyStreams { .. }) => {
+                    return None;
                 }
             }
-            Err(PrecoderError::NoDegreesOfFreedom | PrecoderError::TooManyStreams { .. }) => {
-                return None;
-            }
         }
-    }
+        drop(prot_refs);
+        drop(own_refs);
 
-    // Rate selection per stream: SINR at the owning receiver with current
-    // ongoing interference (known to the receiver) — §3.4: the joiner
-    // need not worry about future winners.
-    //
-    // The receive space is exactly budgeted: n wanted streams plus the
-    // (N − n)-dimensional unwanted space. The ZF columns are therefore
-    // structural — sibling streams destined to the *same* receiver are
-    // jointly decoded (columns); streams destined to *other* receivers
-    // were aligned into the unwanted space (covered by its basis) or
-    // nulled, and whatever leaks outside is residual interference the
-    // receiver cannot cancel.
-    let mut stream_rates: Vec<RateIndex> = Vec::with_capacity(total_new);
-    {
-        // Stream index ranges per own-receiver.
-        let mut ranges: Vec<(usize, usize)> = Vec::with_capacity(allocation.len());
-        let mut acc = 0usize;
-        for &(_, n_streams) in allocation {
-            ranges.push((acc, acc + n_streams));
-            acc += n_streams;
-        }
-        let mut stream_idx = 0usize;
-        for (i, &(f, n_streams)) in allocation.iter().enumerate() {
-            let rx = ctx.scenario.flows[f].rx;
-            let (lo, hi) = ranges[i];
-            for s in 0..n_streams {
-                let sinrs: Vec<f64> = (0..n_sc)
-                    .map(|k| {
-                        let h_true = ctx.true_channel(tx, rx, k);
-                        let wanted = vec![h_true.mul_vec(&per_stream_precoders[stream_idx][k])];
-                        let mut known: Vec<CVector> = own_unwanted[i][k].basis().to_vec();
-                        let mut residual: Vec<CVector> = Vec::new();
-                        for (other, pc) in per_stream_precoders.iter().enumerate() {
-                            if other == stream_idx || pc.is_empty() {
-                                continue;
-                            }
-                            let arrival = h_true.mul_vec(&pc[k]);
-                            if other >= lo && other < hi {
-                                // Sibling destined to this receiver:
-                                // jointly zero-forced.
-                                known.push(arrival);
-                            } else {
-                                // Destined elsewhere: aligned part lives
-                                // inside the unwanted space (already a
-                                // column); only the hardware-error leak
-                                // outside it degrades this stream.
-                                let leak = own_unwanted[i][k].reject(&arrival);
-                                if leak.norm_sqr() > 1e-9 {
-                                    residual.push(leak);
-                                }
+        // Rate selection per stream: SINR at the owning receiver with
+        // current ongoing interference (known to the receiver) — §3.4: the
+        // joiner need not worry about future winners.
+        //
+        // The receive space is exactly budgeted: n wanted streams plus the
+        // (N − n)-dimensional unwanted space. All streams destined to one
+        // receiver are zero-forced *jointly* — one pseudo-inverse per
+        // subcarrier, mirroring `settle_round`'s receiver model — with the
+        // receiver's unwanted-space basis as the known-interference
+        // columns. Streams destined to *other* receivers were aligned
+        // into the unwanted space (covered by its basis) or nulled, and
+        // whatever leaks outside is residual interference the receiver
+        // cannot cancel.
+        let mut stream_rates: Vec<RateIndex> = Vec::with_capacity(total_new);
+        // Wanted arrival columns per own receiver and subcarrier, kept so
+        // registration reuses the true-channel products computed here.
+        let mut wanted_cols: Vec<Vec<Vec<CVector>>> = Vec::with_capacity(allocation.len());
+        {
+            // Stream index ranges per own-receiver.
+            let mut ranges: Vec<(usize, usize)> = Vec::with_capacity(allocation.len());
+            let mut acc = 0usize;
+            for &(_, n_streams) in allocation {
+                ranges.push((acc, acc + n_streams));
+                acc += n_streams;
+            }
+            for (i, &(f, n_streams)) in allocation.iter().enumerate() {
+                let rx = self.scenario.flows[f].rx;
+                let (lo, hi) = ranges[i];
+                let mut per_stream_sinrs: Vec<Vec<f64>> = vec![Vec::with_capacity(n_sc); n_streams];
+                let mut cols_per_k: Vec<Vec<CVector>> = Vec::with_capacity(n_sc);
+                for k in 0..n_sc {
+                    let h_true = self.true_channel(tx, rx, k);
+                    let mut wanted: Vec<CVector> = Vec::with_capacity(n_streams);
+                    scratch.residual.clear();
+                    for (other, pc) in per_stream_precoders.iter().enumerate() {
+                        if pc.is_empty() {
+                            continue;
+                        }
+                        let arrival = h_true.mul_vec(&pc[k]);
+                        if other >= lo && other < hi {
+                            // Sibling destined to this receiver: a wanted
+                            // ZF column (jointly decoded).
+                            wanted.push(arrival);
+                        } else {
+                            // Destined elsewhere: aligned part lives
+                            // inside the unwanted space (already a
+                            // column); only the hardware-error leak
+                            // outside it degrades this receiver.
+                            let leak = own_unwanted[i][k].reject(&arrival);
+                            if leak.norm_sqr() > 1e-9 {
+                                scratch.residual.push(leak);
                             }
                         }
-                        let obs = SubcarrierObservation {
-                            wanted,
-                            known_interference: known,
-                            residual_interference: residual,
-                            noise_power: 1.0,
-                        };
-                        zf_sinr(&obs)[0]
-                    })
-                    .collect();
-                match select_stream_rate(&sinrs) {
-                    Some(r) => stream_rates.push(r),
-                    None => return None,
+                    }
+                    let sinrs =
+                        zf_sinr_slices(&wanted, own_unwanted[i][k].basis(), &scratch.residual, 1.0);
+                    for (s, &v) in sinrs.iter().enumerate() {
+                        per_stream_sinrs[s].push(v);
+                    }
+                    cols_per_k.push(wanted);
                 }
-                let _ = s;
+                for sinrs in &per_stream_sinrs {
+                    match select_stream_rate(sinrs) {
+                        Some(r) => stream_rates.push(r),
+                        None => return None,
+                    }
+                }
+                wanted_cols.push(cols_per_k);
+            }
+        }
+
+        // Register everything.
+        let mut new_stream_ids = Vec::with_capacity(total_new);
+        let mut stream_idx = 0usize;
+        for ((&(f, n_streams), unwanted), wanted) in
+            allocation.iter().zip(own_unwanted).zip(wanted_cols)
+        {
+            let rx = self.scenario.flows[f].rx;
+            for _s in 0..n_streams {
+                new_stream_ids.push(ongoing_streams.len());
+                ongoing_streams.push(PlannedStream {
+                    flow: f,
+                    precoders: std::mem::take(&mut per_stream_precoders[stream_idx]),
+                    rate: stream_rates[stream_idx],
+                    tx_node: tx,
+                    active_symbols: body_symbols_left,
+                });
                 stream_idx += 1;
             }
-        }
-    }
-
-    // Register everything.
-    let mut new_stream_ids = Vec::with_capacity(total_new);
-    let mut stream_idx = 0usize;
-    for (i, &(f, n_streams)) in allocation.iter().enumerate() {
-        let rx = ctx.scenario.flows[f].rx;
-        // New protected receiver.
-        let mut wanted_per_sc: Vec<Vec<CVector>> = vec![Vec::new(); n_sc];
-        for s in 0..n_streams {
-            let id = ongoing_streams.len();
-            new_stream_ids.push(id);
-            for k in 0..n_sc {
-                let h_true = ctx.true_channel(tx, rx, k);
-                wanted_per_sc[k].push(h_true.mul_vec(&per_stream_precoders[stream_idx][k]));
-            }
-            ongoing_streams.push(PlannedStream {
-                flow: f,
-                precoders: per_stream_precoders[stream_idx].clone(),
-                rate: stream_rates[stream_idx],
-                tx_node: tx,
-                active_symbols: body_symbols_left,
-            });
-            let _ = s;
-            stream_idx += 1;
-        }
-        protected.push(ReceiverState {
-            node: rx,
-            unwanted: own_unwanted[i].clone(),
-            wanted: wanted_per_sc,
-        });
-    }
-    let _ = k_ongoing;
-    Some(new_stream_ids)
-}
-
-/// Evaluates the realized per-stream ESNRs at every receiver, including
-/// the residual interference the precoding failed to cancel, and returns
-/// delivered bits per flow.
-fn settle_round(
-    ctx: &RoundCtx,
-    protected: &[ReceiverState],
-    streams: &[PlannedStream],
-) -> Vec<f64> {
-    let n_sc = ctx.occ.len();
-    let mut bits = vec![0.0; ctx.scenario.flows.len()];
-    for rx_state in protected {
-        // Streams wanted by this receiver.
-        let my_streams: Vec<usize> = streams
-            .iter()
-            .enumerate()
-            .filter(|(_, s)| ctx.scenario.flows[s.flow].rx == rx_state.node)
-            .map(|(i, _)| i)
-            .collect();
-        if my_streams.is_empty() {
-            continue;
-        }
-        // Per-stream SINR across subcarriers.
-        let mut per_stream_sinrs: Vec<Vec<f64>> = vec![Vec::with_capacity(n_sc); my_streams.len()];
-        for k in 0..n_sc {
-            let wanted: Vec<CVector> = rx_state.wanted[k].clone();
-            let known = rx_state.unwanted[k].basis().to_vec();
-            // Residual interference: arrivals of *other* transmitters'
-            // streams outside the advertised unwanted space.
-            let mut residual: Vec<CVector> = Vec::new();
-            for (i, s) in streams.iter().enumerate() {
-                if my_streams.contains(&i) {
-                    continue;
-                }
-                if s.tx_node == rx_state.node {
-                    continue; // half duplex: own transmissions not heard
-                }
-                let h = ctx.true_channel(s.tx_node, rx_state.node, k);
-                let arrival = h.mul_vec(&s.precoders[k]);
-                let leak = rx_state.unwanted[k].reject(&arrival);
-                if leak.norm_sqr() > 1e-12 {
-                    residual.push(leak);
-                }
-            }
-            let obs = SubcarrierObservation {
+            // New protected receiver: its wanted effective channels are
+            // exactly the arrival columns computed during rate selection.
+            protected.push(ReceiverState {
+                node: rx,
+                unwanted,
                 wanted,
-                known_interference: known,
-                residual_interference: residual,
-                noise_power: 1.0,
-            };
-            let sinrs = zf_sinr(&obs);
-            for (si, &v) in sinrs.iter().enumerate() {
-                per_stream_sinrs[si].push(v);
+            });
+        }
+        Some(new_stream_ids)
+    }
+
+    /// Evaluates the realized per-stream ESNRs at every receiver,
+    /// including the residual interference the precoding failed to
+    /// cancel, and returns delivered bits per flow.
+    fn settle_round(
+        &self,
+        protected: &[ReceiverState],
+        streams: &[PlannedStream],
+        scratch: &mut Scratch,
+    ) -> Vec<f64> {
+        let n_sc = self.occ.len();
+        let mut bits = vec![0.0; self.scenario.flows.len()];
+        for rx_state in protected {
+            // Streams wanted by this receiver.
+            scratch.my_streams.clear();
+            scratch.my_streams.extend(
+                streams
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, s)| self.scenario.flows[s.flow].rx == rx_state.node)
+                    .map(|(i, _)| i),
+            );
+            if scratch.my_streams.is_empty() {
+                continue;
+            }
+            // Per-stream SINR across subcarriers.
+            let mut per_stream_sinrs: Vec<Vec<f64>> =
+                vec![Vec::with_capacity(n_sc); scratch.my_streams.len()];
+            for k in 0..n_sc {
+                // Residual interference: arrivals of *other* transmitters'
+                // streams outside the advertised unwanted space.
+                scratch.residual.clear();
+                for (i, s) in streams.iter().enumerate() {
+                    if scratch.my_streams.contains(&i) {
+                        continue;
+                    }
+                    if s.tx_node == rx_state.node {
+                        continue; // half duplex: own transmissions not heard
+                    }
+                    let h = self.true_channel(s.tx_node, rx_state.node, k);
+                    let arrival = h.mul_vec(&s.precoders[k]);
+                    let leak = rx_state.unwanted[k].reject(&arrival);
+                    if leak.norm_sqr() > 1e-12 {
+                        scratch.residual.push(leak);
+                    }
+                }
+                let sinrs = zf_sinr_slices(
+                    &rx_state.wanted[k],
+                    rx_state.unwanted[k].basis(),
+                    &scratch.residual,
+                    1.0,
+                );
+                for (si, &v) in sinrs.iter().enumerate() {
+                    per_stream_sinrs[si].push(v);
+                }
+            }
+            for (si, &stream_id) in scratch.my_streams.iter().enumerate() {
+                let s = &streams[stream_id];
+                let mcs = RATE_TABLE[s.rate];
+                let esnr = nplus_phy::esnr::effective_snr(mcs.modulation, &per_stream_sinrs[si]);
+                let esnr_db = 10.0 * esnr.max(1e-300).log10();
+                let p = success_prob(esnr_db, s.rate);
+                bits[s.flow] += (s.active_symbols * mcs.data_bits_per_symbol()) as f64 * p;
             }
         }
-        for (si, &stream_id) in my_streams.iter().enumerate() {
-            let s = &streams[stream_id];
-            let mcs = RATE_TABLE[s.rate];
-            let esnr = nplus_phy::esnr::effective_snr(mcs.modulation, &per_stream_sinrs[si]);
-            let esnr_db = 10.0 * esnr.max(1e-300).log10();
-            let p = success_prob(esnr_db, s.rate);
-            bits[s.flow] += (s.active_symbols * mcs.data_bits_per_symbol()) as f64 * p;
+        bits
+    }
+
+    /// Simulates `cfg.rounds` rounds of the given protocol and returns
+    /// the per-flow goodput. Engines are reusable: each call starts a
+    /// fresh accounting with the caller's RNG.
+    pub fn run(&self, protocol: Protocol, rng: &mut StdRng) -> RunResult {
+        let cfg = self.cfg;
+        let scenario = self.scenario;
+        let mut scratch = Scratch::default();
+        let mut bits = vec![0.0f64; scenario.flows.len()];
+        let mut total_samples: u64 = 0;
+        let mut dof_weighted: f64 = 0.0;
+        let mut dof_time: f64 = 0.0;
+
+        for round in 0..cfg.rounds {
+            let mut protected: Vec<ReceiverState> = Vec::new();
+            let mut streams: Vec<PlannedStream> = Vec::new();
+
+            // Primary contention among all transmitters with traffic.
+            let (first, slots) = contend(&self.transmitters, &cfg.timing, rng);
+            let mut overhead = cfg.timing.difs + slots * cfg.timing.slot;
+
+            // First winner's allocation.
+            let first_alloc = match protocol {
+                Protocol::NPlus | Protocol::Beamforming => self.allocate_streams(first, 0, round),
+                Protocol::Dot11n => {
+                    // Stock 802.11n: one receiver per transmission
+                    // opportunity.
+                    let flows = &self.flows_of[first];
+                    let f = flows[round % flows.len()];
+                    let rx = scenario.flows[f].rx;
+                    let n = self.n_ant(first).min(self.n_ant(rx));
+                    vec![(f, n)]
+                }
+            };
+
+            // Plan the first winner with a provisional body length;
+            // patched below once its rates are known.
+            let planned = self.plan_winner(
+                first,
+                &first_alloc,
+                &mut protected,
+                &mut streams,
+                usize::MAX,
+                &mut scratch,
+                rng,
+            );
+            let Some(first_ids) = planned else {
+                // Even the first winner could not transmit (degenerate
+                // channels): charge the overhead and move on.
+                total_samples += overhead + cfg.timing.difs;
+                continue;
+            };
+            scratch.streams_per_rx.clear();
+            scratch
+                .streams_per_rx
+                .extend(first_alloc.iter().map(|&(_, n)| n));
+            overhead += cfg.timing.symbol
+                * handshake_symbols(cfg, &scratch.streams_per_rx, TYPICAL_BLOB_BYTES) as u64;
+
+            // Body duration: one packet per serviced flow at the winner's
+            // aggregate rate.
+            let first_rate_sum: usize = first_ids
+                .iter()
+                .map(|&i| RATE_TABLE[streams[i].rate].data_bits_per_symbol())
+                .sum();
+            let packet_bits = cfg.packet_bytes * 8 * first_alloc.len();
+            let body_symbols = packet_bits.div_ceil(first_rate_sum.max(1));
+            for &i in &first_ids {
+                streams[i].active_symbols = body_symbols;
+            }
+
+            // Secondary contention (n+ only): remaining transmitters join.
+            if protocol == Protocol::NPlus {
+                let mut k_used: usize = streams.len();
+                let mut elapsed_body: usize = 0;
+                loop {
+                    scratch.eligible.clear();
+                    scratch
+                        .eligible
+                        .extend(self.transmitters.iter().copied().filter(|&t| {
+                            t != first
+                                && streams.iter().all(|s| s.tx_node != t)
+                                && self.n_ant(t) > k_used
+                        }));
+                    if scratch.eligible.is_empty() {
+                        break;
+                    }
+                    let (joiner, join_slots) = contend(&scratch.eligible, &cfg.timing, rng);
+                    let alloc = self.allocate_streams(joiner, k_used, round);
+                    if alloc.is_empty() {
+                        break;
+                    }
+                    // The join consumes body time: contention + its
+                    // handshake, sized by the actual allocation.
+                    scratch.streams_per_rx.clear();
+                    scratch.streams_per_rx.extend(alloc.iter().map(|&(_, n)| n));
+                    let hs = handshake_symbols(cfg, &scratch.streams_per_rx, TYPICAL_BLOB_BYTES);
+                    let join_delay = ((join_slots * cfg.timing.slot) as usize)
+                        .div_ceil(cfg.timing.symbol as usize)
+                        + hs;
+                    elapsed_body += join_delay;
+                    if elapsed_body >= body_symbols {
+                        break; // no air time left this round
+                    }
+                    let remaining = body_symbols - elapsed_body;
+                    let planned = self.plan_winner(
+                        joiner,
+                        &alloc,
+                        &mut protected,
+                        &mut streams,
+                        remaining,
+                        &mut scratch,
+                        rng,
+                    );
+                    match planned {
+                        Some(ids) => {
+                            k_used += ids.len();
+                        }
+                        None => {
+                            // Joiner declined (power control / degenerate):
+                            // others may still try.
+                            continue;
+                        }
+                    }
+                }
+            }
+
+            // Settle: realized SINRs including residuals.
+            let round_bits = self.settle_round(&protected, &streams, &mut scratch);
+            for (f, b) in round_bits.iter().enumerate() {
+                bits[f] += b;
+            }
+
+            // Time accounting.
+            let ack_syms = 2 + (cfg.timing.sifs as usize).div_ceil(cfg.timing.symbol as usize);
+            let round_samples =
+                overhead + cfg.timing.symbol * (body_symbols + ack_syms) as u64 + cfg.timing.difs;
+            total_samples += round_samples;
+            let mean_streams: f64 = streams.iter().map(|s| s.active_symbols as f64).sum::<f64>()
+                / body_symbols.max(1) as f64;
+            dof_weighted += mean_streams * body_symbols as f64;
+            dof_time += body_symbols as f64;
+        }
+
+        let elapsed_s = total_samples as f64 / cfg.ofdm.bandwidth_hz;
+        let per_flow_mbps: Vec<f64> = bits.iter().map(|b| b / elapsed_s / 1e6).collect();
+        RunResult {
+            total_mbps: per_flow_mbps.iter().sum(),
+            per_flow_mbps,
+            mean_dof: if dof_time > 0.0 {
+                dof_weighted / dof_time
+            } else {
+                0.0
+            },
         }
     }
-    bits
 }
 
 /// Simulates `cfg.rounds` rounds of the given protocol and returns the
-/// per-flow goodput.
+/// per-flow goodput. One-shot wrapper around [`SimEngine`]; batch callers
+/// should build the engine once per topology (or use [`sweep`]) so the
+/// channel cache is shared across runs.
 pub fn simulate(
     topo: &Topology,
     scenario: &Scenario,
@@ -641,156 +1031,90 @@ pub fn simulate(
     cfg: &SimConfig,
     rng: &mut StdRng,
 ) -> RunResult {
-    let ctx = RoundCtx {
-        topo,
-        scenario,
-        cfg,
-        occ: occupied_subcarrier_indices(),
-    };
-    let mut bits = vec![0.0f64; scenario.flows.len()];
-    let mut total_samples: u64 = 0;
-    let mut dof_weighted: f64 = 0.0;
-    let mut dof_time: f64 = 0.0;
+    SimEngine::new(topo, scenario, cfg).run(protocol, rng)
+}
 
-    for round in 0..cfg.rounds {
-        let mut protected: Vec<ReceiverState> = Vec::new();
-        let mut streams: Vec<PlannedStream> = Vec::new();
+/// Aggregated statistics of one protocol across a seed sweep.
+#[derive(Debug, Clone)]
+pub struct SweepStats {
+    /// The protocol these statistics describe.
+    pub protocol: Protocol,
+    /// Number of seeded topologies simulated.
+    pub n_runs: usize,
+    /// Mean total network goodput, Mb/s.
+    pub mean_total_mbps: f64,
+    /// Half-width of the 95% confidence interval on the mean total
+    /// goodput (normal approximation; 0 for fewer than two runs).
+    pub ci95_total_mbps: f64,
+    /// Mean goodput per flow, Mb/s.
+    pub mean_per_flow_mbps: Vec<f64>,
+    /// Mean degrees of freedom in use during data transfer.
+    pub mean_dof: f64,
+}
 
-        // Primary contention among all transmitters with traffic.
-        let contenders = scenario.transmitters();
-        let (first, slots) = contend(&contenders, &cfg.timing, rng);
-        let mut overhead = cfg.timing.difs + slots * cfg.timing.slot;
+/// Runs `scenario` on one freshly drawn topology per seed and aggregates
+/// mean/CI statistics per protocol.
+///
+/// For each seed the topology is drawn once (placement + fading, seeded
+/// by the seed itself) and a single [`SimEngine`] — with its channel
+/// cache — is shared by every protocol; the simulation RNG is
+/// decorrelated from the placement stream. This is the batch entry point
+/// for Monte-Carlo experiments in the style of Figs. 12–13.
+pub fn sweep(
+    testbed: &Testbed,
+    scenario: &Scenario,
+    cfg: &SimConfig,
+    protocols: &[Protocol],
+    seeds: &[u64],
+) -> Vec<SweepStats> {
+    let mut totals: Vec<Vec<f64>> = vec![Vec::with_capacity(seeds.len()); protocols.len()];
+    let mut per_flow: Vec<Vec<f64>> = vec![vec![0.0; scenario.flows.len()]; protocols.len()];
+    let mut dofs: Vec<f64> = vec![0.0; protocols.len()];
 
-        // First winner's allocation.
-        let first_alloc = match protocol {
-            Protocol::NPlus | Protocol::Beamforming => allocate_streams(&ctx, first, 0, round),
-            Protocol::Dot11n => {
-                // Stock 802.11n: one receiver per transmission opportunity.
-                let flows = scenario.flows_of(first);
-                let f = flows[round % flows.len()];
-                let rx = scenario.flows[f].rx;
-                let n = ctx.n_ant(first).min(ctx.n_ant(rx));
-                vec![(f, n)]
-            }
-        };
-
-        // Plan the first winner with a provisional body length; patched
-        // below once its rates are known.
-        let planned = plan_winner(
-            &ctx,
-            first,
-            &first_alloc,
-            &mut protected,
-            &mut streams,
-            0,
-            usize::MAX,
-            rng,
+    for &seed in seeds {
+        let mut placement_rng = StdRng::seed_from_u64(seed);
+        let topo = build_topology(
+            testbed,
+            &TopologyConfig::new(scenario.antennas.clone()),
+            cfg.ofdm.bandwidth_hz,
+            seed,
+            &mut placement_rng,
         );
-        let Some(first_ids) = planned else {
-            // Even the first winner could not transmit (degenerate
-            // channels): charge the overhead and move on.
-            total_samples += overhead + cfg.timing.difs;
-            continue;
-        };
-        overhead += cfg.timing.symbol
-            * handshake_symbols(cfg, first_alloc.len(), TYPICAL_BLOB_BYTES) as u64;
-
-        // Body duration: one packet per serviced flow at the winner's
-        // aggregate rate.
-        let first_rate_sum: usize = first_ids
-            .iter()
-            .map(|&i| RATE_TABLE[streams[i].rate].data_bits_per_symbol())
-            .sum();
-        let packet_bits = cfg.packet_bytes * 8 * first_alloc.len();
-        let body_symbols = packet_bits.div_ceil(first_rate_sum.max(1));
-        for &i in &first_ids {
-            streams[i].active_symbols = body_symbols;
-        }
-
-        // Secondary contention (n+ only): remaining transmitters join.
-        if protocol == Protocol::NPlus {
-            let mut k_used: usize = streams.len();
-            let mut elapsed_body: usize = 0;
-            loop {
-                let eligible: Vec<usize> = scenario
-                    .transmitters()
-                    .into_iter()
-                    .filter(|&t| {
-                        t != first
-                            && streams.iter().all(|s| s.tx_node != t)
-                            && ctx.n_ant(t) > k_used
-                    })
-                    .collect();
-                if eligible.is_empty() {
-                    break;
-                }
-                let (joiner, join_slots) = contend(&eligible, &cfg.timing, rng);
-                // The join consumes body time: contention + its handshake.
-                let hs =
-                    handshake_symbols(cfg, scenario.flows_of(joiner).len(), TYPICAL_BLOB_BYTES);
-                let join_delay = ((join_slots * cfg.timing.slot) as usize)
-                    .div_ceil(cfg.timing.symbol as usize)
-                    + hs;
-                elapsed_body += join_delay;
-                if elapsed_body >= body_symbols {
-                    break; // no air time left this round
-                }
-                let alloc = allocate_streams(&ctx, joiner, k_used, round);
-                if alloc.is_empty() {
-                    break;
-                }
-                let remaining = body_symbols - elapsed_body;
-                let planned = plan_winner(
-                    &ctx,
-                    joiner,
-                    &alloc,
-                    &mut protected,
-                    &mut streams,
-                    k_used,
-                    remaining,
-                    rng,
-                );
-                match planned {
-                    Some(ids) => {
-                        k_used += ids.len();
-                    }
-                    None => {
-                        // Joiner declined (power control / degenerate):
-                        // others may still try.
-                        continue;
-                    }
-                }
+        let engine = SimEngine::new(&topo, scenario, cfg);
+        for (p, &protocol) in protocols.iter().enumerate() {
+            let mut run_rng = StdRng::seed_from_u64(seed ^ 0x5EED_CAFE);
+            let r = engine.run(protocol, &mut run_rng);
+            totals[p].push(r.total_mbps);
+            for (f, v) in r.per_flow_mbps.iter().enumerate() {
+                per_flow[p][f] += v;
             }
+            dofs[p] += r.mean_dof;
         }
-
-        // Settle: realized SINRs including residuals.
-        let round_bits = settle_round(&ctx, &protected, &streams);
-        for (f, b) in round_bits.iter().enumerate() {
-            bits[f] += b;
-        }
-
-        // Time accounting.
-        let ack_syms = 2 + (cfg.timing.sifs as usize).div_ceil(cfg.timing.symbol as usize);
-        let round_samples =
-            overhead + cfg.timing.symbol * (body_symbols + ack_syms) as u64 + cfg.timing.difs;
-        total_samples += round_samples;
-        let mean_streams: f64 = streams.iter().map(|s| s.active_symbols as f64).sum::<f64>()
-            / body_symbols.max(1) as f64;
-        dof_weighted += mean_streams * body_symbols as f64;
-        dof_time += body_symbols as f64;
     }
 
-    let elapsed_s = total_samples as f64 / cfg.ofdm.bandwidth_hz;
-    let per_flow_mbps: Vec<f64> = bits.iter().map(|b| b / elapsed_s / 1e6).collect();
-    RunResult {
-        total_mbps: per_flow_mbps.iter().sum(),
-        per_flow_mbps,
-        mean_dof: if dof_time > 0.0 {
-            dof_weighted / dof_time
-        } else {
-            0.0
-        },
-    }
+    let n = seeds.len().max(1) as f64;
+    protocols
+        .iter()
+        .enumerate()
+        .map(|(p, &protocol)| {
+            let mean = totals[p].iter().sum::<f64>() / n;
+            let ci95 = if totals[p].len() > 1 {
+                let var = totals[p].iter().map(|x| (x - mean).powi(2)).sum::<f64>()
+                    / (totals[p].len() - 1) as f64;
+                1.96 * (var / totals[p].len() as f64).sqrt()
+            } else {
+                0.0
+            };
+            SweepStats {
+                protocol,
+                n_runs: totals[p].len(),
+                mean_total_mbps: mean,
+                ci95_total_mbps: ci95,
+                mean_per_flow_mbps: per_flow[p].iter().map(|v| v / n).collect(),
+                mean_dof: dofs[p] / n,
+            }
+        })
+        .collect()
 }
 
 #[cfg(test)]
@@ -937,5 +1261,167 @@ mod tests {
         let ap = Scenario::ap_downlink();
         assert_eq!(ap.transmitters(), vec![0, 2]);
         assert_eq!(ap.flows_of(2), vec![1, 2]);
+    }
+
+    /// Regression: the contention fallback after 32 collision rounds used
+    /// to return `contenders[0]` deterministically, biasing the first
+    /// transmitter. With a degenerate zero window every round collides,
+    /// so every contend() call takes the fallback — the winner must now
+    /// be uniform across contenders.
+    #[test]
+    fn contend_fallback_is_unbiased() {
+        let timing = SampleTiming {
+            sifs: 160,
+            difs: 340,
+            slot: 90,
+            cw_min: 0,
+            cw_max: 0,
+            symbol: 80,
+        };
+        let contenders = [10usize, 11, 12, 13];
+        let mut rng = StdRng::seed_from_u64(77);
+        let mut wins = [0usize; 4];
+        for _ in 0..400 {
+            let (winner, _) = contend(&contenders, &timing, &mut rng);
+            wins[winner - 10] += 1;
+        }
+        // The old code gave all 400 wins to index 0.
+        for (i, &w) in wins.iter().enumerate() {
+            assert!(
+                w > 40,
+                "contender {i} won only {w}/400 fallback contentions: {wins:?}"
+            );
+        }
+    }
+
+    /// Regression: `handshake_symbols` used to round the ACK airtime once
+    /// across the summed total and ignore per-receiver stream counts.
+    /// Each receiver sends its own ACK frame, so each must be padded to a
+    /// symbol boundary individually, and multi-stream ACKs carry one rate
+    /// byte per stream.
+    #[test]
+    fn handshake_symbols_pads_each_ack_and_counts_streams() {
+        let cfg = SimConfig::default();
+        let base = BASE_RATE.data_bits_per_symbol();
+        let sifs_syms = (cfg.timing.sifs as usize).div_ceil(cfg.timing.symbol as usize);
+        let hdr_bits = |n_rx: usize| {
+            DataHeader {
+                src: 0,
+                receivers: vec![
+                    ReceiverEntry {
+                        dst: 0,
+                        n_streams: 1
+                    };
+                    n_rx
+                ],
+                n_antennas: 3,
+                duration_symbols: 0,
+                seq: 0,
+            }
+            .to_bytes()
+            .len()
+                * 8
+        };
+
+        // ACK frame sizes straight from the nplus-mac codec, so the
+        // accounting can never drift from what the wire format encodes.
+        let ack_bits = |n_streams: usize, blob: usize| {
+            AckHeader {
+                src: 0,
+                dst: 0,
+                rate_indices: vec![0; n_streams],
+                alignment_blob: vec![0; blob],
+            }
+            .to_bytes()
+            .len()
+                * 8
+        };
+
+        // A blob size whose per-ACK rounding differs from rounding the
+        // summed total — the case the old accounting got wrong.
+        let blob = (1usize..64)
+            .find(|&b| 2 * ack_bits(1, b).div_ceil(base) != (2 * ack_bits(1, b)).div_ceil(base))
+            .expect("some blob size must expose the summed-rounding bug");
+        let expected =
+            hdr_bits(2).div_ceil(base) + 2 * ack_bits(1, blob).div_ceil(base) + 2 * sifs_syms;
+        assert_eq!(
+            handshake_symbols(&cfg, &[1, 1], blob),
+            expected,
+            "two single-stream ACKs must be padded individually"
+        );
+
+        // A blob size where one extra stream's rate index crosses a
+        // symbol boundary: multi-stream handshakes must cost more than
+        // single-stream ones.
+        let blob2 = (1usize..64)
+            .find(|&b| ack_bits(2, b).div_ceil(base) > ack_bits(1, b).div_ceil(base))
+            .expect("some blob size must expose the stream-count bug");
+        assert!(
+            handshake_symbols(&cfg, &[2], blob2) > handshake_symbols(&cfg, &[1], blob2),
+            "extra streams must be accounted in the ACK"
+        );
+
+        // Empty allocation falls back to the single-receiver baseline.
+        assert_eq!(
+            handshake_symbols(&cfg, &[], blob),
+            handshake_symbols(&cfg, &[1], blob)
+        );
+    }
+
+    /// The engine is reusable: running twice with identically seeded RNGs
+    /// must reproduce the result, and `simulate` must match `SimEngine`.
+    #[test]
+    fn engine_reuse_is_deterministic() {
+        let scenario = Scenario::three_pairs();
+        let tb = Testbed::sigcomm11();
+        let mut rng = StdRng::seed_from_u64(21);
+        let topo = build_topology(
+            &tb,
+            &TopologyConfig::new(scenario.antennas.clone()),
+            10e6,
+            21,
+            &mut rng,
+        );
+        let cfg = SimConfig {
+            rounds: 6,
+            ..SimConfig::default()
+        };
+        let engine = SimEngine::new(&topo, &scenario, &cfg);
+        let a = engine.run(Protocol::NPlus, &mut StdRng::seed_from_u64(5));
+        let b = engine.run(Protocol::NPlus, &mut StdRng::seed_from_u64(5));
+        let c = simulate(
+            &topo,
+            &scenario,
+            Protocol::NPlus,
+            &cfg,
+            &mut StdRng::seed_from_u64(5),
+        );
+        assert_eq!(a.per_flow_mbps, b.per_flow_mbps);
+        assert_eq!(a.per_flow_mbps, c.per_flow_mbps);
+        assert_eq!(a.total_mbps, c.total_mbps);
+    }
+
+    #[test]
+    fn sweep_aggregates_all_protocols() {
+        let scenario = Scenario::three_pairs();
+        let cfg = SimConfig {
+            rounds: 6,
+            ..SimConfig::default()
+        };
+        let stats = sweep(
+            &Testbed::sigcomm11(),
+            &scenario,
+            &cfg,
+            &[Protocol::NPlus, Protocol::Dot11n],
+            &[1, 2, 3],
+        );
+        assert_eq!(stats.len(), 2);
+        for s in &stats {
+            assert_eq!(s.n_runs, 3);
+            assert!(s.mean_total_mbps.is_finite() && s.mean_total_mbps > 0.0);
+            assert!(s.ci95_total_mbps.is_finite() && s.ci95_total_mbps >= 0.0);
+            assert_eq!(s.mean_per_flow_mbps.len(), 3);
+            assert!(s.mean_dof > 0.0);
+        }
     }
 }

@@ -86,6 +86,24 @@ impl CMatrix {
         m
     }
 
+    /// Borrow-based sibling of [`CMatrix::from_cols`]: builds the same
+    /// matrix from column references, so hot paths can assemble from
+    /// several slices without cloning each vector first.
+    pub fn from_col_refs(cols: &[&CVector]) -> Self {
+        if cols.is_empty() {
+            return Self::zeros(0, 0);
+        }
+        let rows = cols[0].len();
+        let mut m = Self::zeros(rows, cols.len());
+        for (j, c) in cols.iter().enumerate() {
+            assert_eq!(c.len(), rows, "from_col_refs: ragged column lengths");
+            for i in 0..rows {
+                m[(i, j)] = c[i];
+            }
+        }
+        m
+    }
+
     /// Creates a matrix from real entries in row-major order.
     pub fn from_reals(rows: usize, cols: usize, re: &[f64]) -> Self {
         Self::from_vec(rows, cols, re.iter().map(|&r| c64(r, 0.0)).collect())
@@ -541,6 +559,16 @@ mod tests {
         let m = CMatrix::from_rows(&[r0.clone(), r1.clone()]);
         let t = CMatrix::from_cols(&[r0, r1]);
         assert!(m.transpose().approx_eq(&t, TOL));
+    }
+
+    #[test]
+    fn from_col_refs_matches_from_cols() {
+        let c0 = CVector::from_reals(&[1.0, -2.0, 0.5]);
+        let c1 = CVector::from_reals(&[0.0, 3.0, 4.0]);
+        let owned = CMatrix::from_cols(&[c0.clone(), c1.clone()]);
+        let borrowed = CMatrix::from_col_refs(&[&c0, &c1]);
+        assert!(owned.approx_eq(&borrowed, 0.0));
+        assert_eq!(CMatrix::from_col_refs(&[]).shape(), (0, 0));
     }
 
     #[test]

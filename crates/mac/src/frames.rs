@@ -57,9 +57,10 @@ pub struct AckHeader {
     pub src: Addr,
     /// The transmitter being answered.
     pub dst: Addr,
-    /// Chosen rate index into the PHY rate table (§3.4: receiver-side
-    /// per-packet ESNR selection).
-    pub rate_index: u8,
+    /// Chosen rate index into the PHY rate table, one per spatial stream
+    /// destined to this receiver (§3.4: receiver-side per-packet ESNR
+    /// selection picks a rate per stream).
+    pub rate_indices: Vec<u8>,
     /// Differentially compressed alignment space (opaque to the MAC;
     /// encoded/decoded by the core crate's handshake codec). Empty when
     /// the receiver has no spare dimensions to advertise.
@@ -150,11 +151,12 @@ impl DataHeader {
 impl AckHeader {
     /// Serializes with a trailing CRC-32.
     pub fn to_bytes(&self) -> Vec<u8> {
-        let mut b = Vec::with_capacity(10 + self.alignment_blob.len());
+        let mut b = Vec::with_capacity(11 + self.rate_indices.len() + self.alignment_blob.len());
         b.push(TYPE_ACK_HEADER);
         b.extend_from_slice(&self.src.to_le_bytes());
         b.extend_from_slice(&self.dst.to_le_bytes());
-        b.push(self.rate_index);
+        b.push(self.rate_indices.len() as u8);
+        b.extend_from_slice(&self.rate_indices);
         b.extend_from_slice(&(self.alignment_blob.len() as u16).to_le_bytes());
         b.extend_from_slice(&self.alignment_blob);
         append_crc(&b)
@@ -171,16 +173,20 @@ impl AckHeader {
         }
         let src = u16::from_le_bytes([payload[1], payload[2]]);
         let dst = u16::from_le_bytes([payload[3], payload[4]]);
-        let rate_index = payload[5];
-        let blob_len = u16::from_le_bytes([payload[6], payload[7]]) as usize;
-        if payload.len() != 8 + blob_len {
+        let n_rates = payload[5] as usize;
+        if payload.len() < 8 + n_rates {
+            return Err(FrameError::Corrupt);
+        }
+        let rate_indices = payload[6..6 + n_rates].to_vec();
+        let blob_len = u16::from_le_bytes([payload[6 + n_rates], payload[7 + n_rates]]) as usize;
+        if payload.len() != 8 + n_rates + blob_len {
             return Err(FrameError::Corrupt);
         }
         Ok(AckHeader {
             src,
             dst,
-            rate_index,
-            alignment_blob: payload[8..].to_vec(),
+            rate_indices,
+            alignment_blob: payload[8 + n_rates..].to_vec(),
         })
     }
 }
@@ -221,7 +227,7 @@ mod tests {
         let h = AckHeader {
             src: 3,
             dst: 7,
-            rate_index: 5,
+            rate_indices: vec![5, 3],
             alignment_blob: (0..100).collect(),
         };
         let parsed = AckHeader::from_bytes(&h.to_bytes()).unwrap();
@@ -233,7 +239,7 @@ mod tests {
         let h = AckHeader {
             src: 1,
             dst: 2,
-            rate_index: 0,
+            rate_indices: vec![0],
             alignment_blob: Vec::new(),
         };
         assert_eq!(AckHeader::from_bytes(&h.to_bytes()).unwrap(), h);
@@ -256,7 +262,7 @@ mod tests {
         let ack = AckHeader {
             src: 0,
             dst: 0,
-            rate_index: 0,
+            rate_indices: vec![0],
             alignment_blob: vec![0; 4],
         }
         .to_bytes();

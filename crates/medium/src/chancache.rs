@@ -1,0 +1,129 @@
+//! Per-topology cache of pure channel frequency responses.
+//!
+//! A [`ChannelCache`] holds one [`FreqResponseTable`] per directed node
+//! pair of a built [`Topology`], keyed by the node's *position* in the
+//! topology's node list (the same index the protocol simulator's
+//! scenarios use). Only the **pure true channels** are cached — they are
+//! deterministic functions of the drawn taps — while believed channels
+//! (hardware error) keep drawing from the caller's RNG on every lookup,
+//! so seeded simulations stay bit-for-bit identical with and without the
+//! cache.
+
+use crate::topology::Topology;
+use nplus_channel::freq_table::FreqResponseTable;
+use nplus_linalg::CMatrix;
+
+/// Cached per-subcarrier channel matrices for every directed link of a
+/// topology.
+#[derive(Debug, Clone)]
+pub struct ChannelCache {
+    /// `tables[from * n_nodes + to]`; `None` on the diagonal and for
+    /// unmodeled links.
+    tables: Vec<Option<FreqResponseTable>>,
+    n_nodes: usize,
+    bins: Vec<usize>,
+}
+
+impl ChannelCache {
+    /// Evaluates every installed directed link of `topo` on the given
+    /// FFT `bins` of an `n_fft` grid (one pass over each link's taps).
+    pub fn build(topo: &Topology, bins: &[usize], n_fft: usize) -> Self {
+        let n = topo.nodes.len();
+        let mut tables = Vec::with_capacity(n * n);
+        for from in 0..n {
+            for to in 0..n {
+                if from == to {
+                    tables.push(None);
+                    continue;
+                }
+                tables.push(
+                    topo.medium
+                        .link(topo.nodes[from], topo.nodes[to])
+                        .map(|link| FreqResponseTable::new(link, bins, n_fft)),
+                );
+            }
+        }
+        ChannelCache {
+            tables,
+            n_nodes: n,
+            bins: bins.to_vec(),
+        }
+    }
+
+    /// The cached table of the directed link `from → to` (node positions
+    /// in the topology's node list), if that link is modeled.
+    pub fn table(&self, from: usize, to: usize) -> Option<&FreqResponseTable> {
+        self.tables[from * self.n_nodes + to].as_ref()
+    }
+
+    /// The cached channel matrix of link `from → to` at bin position
+    /// `pos` (index into the `bins` slice the cache was built with).
+    ///
+    /// Panics when the link is not modeled — same contract as the
+    /// simulator's direct lookup.
+    pub fn matrix(&self, from: usize, to: usize, pos: usize) -> &CMatrix {
+        self.table(from, to)
+            .expect("missing link in channel cache")
+            .matrix(pos)
+    }
+
+    /// The FFT bins the cache covers, in request order.
+    pub fn bins(&self) -> &[usize] {
+        &self.bins
+    }
+
+    /// Number of nodes the cache spans.
+    pub fn n_nodes(&self) -> usize {
+        self.n_nodes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::{build_topology, TopologyConfig};
+    use nplus_channel::placement::Testbed;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn built() -> Topology {
+        let tb = Testbed::sigcomm11();
+        let mut rng = StdRng::seed_from_u64(5);
+        build_topology(&tb, &TopologyConfig::new(vec![1, 2, 3]), 10e6, 5, &mut rng)
+    }
+
+    #[test]
+    fn matches_direct_channel_matrix() {
+        let topo = built();
+        let bins: Vec<usize> = (1..60).step_by(7).collect();
+        let cache = ChannelCache::build(&topo, &bins, 64);
+        for from in 0..3 {
+            for to in 0..3 {
+                if from == to {
+                    assert!(cache.table(from, to).is_none());
+                    continue;
+                }
+                let link = topo.medium.link(topo.nodes[from], topo.nodes[to]).unwrap();
+                for (pos, &k) in bins.iter().enumerate() {
+                    let direct = link.channel_matrix(k, 64);
+                    assert!(
+                        cache.matrix(from, to, pos).approx_eq(&direct, 0.0),
+                        "link {from}->{to} bin {k}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn table_shapes_follow_antenna_counts() {
+        let topo = built();
+        let bins = vec![0usize, 10];
+        let cache = ChannelCache::build(&topo, &bins, 64);
+        assert_eq!(cache.n_nodes(), 3);
+        assert_eq!(cache.bins(), &[0, 10]);
+        // 1-antenna node 0 transmitting to 3-antenna node 2: 3×1.
+        assert_eq!(cache.matrix(0, 2, 0).shape(), (3, 1));
+        assert_eq!(cache.matrix(2, 0, 0).shape(), (1, 3));
+    }
+}

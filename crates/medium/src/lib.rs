@@ -18,10 +18,12 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod chancache;
 pub mod medium;
 pub mod node;
 pub mod topology;
 
+pub use chancache::ChannelCache;
 pub use medium::{any_transmission_overlaps, Medium, Transmission};
 pub use node::{NodeId, NodeInfo};
 pub use topology::{build_topology, Topology, TopologyConfig};

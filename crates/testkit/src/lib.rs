@@ -13,11 +13,17 @@
 //!   3 antennas on a random testbed placement;
 //! * [`scenario::ap_downlink`] — Fig. 4: heterogeneous AP topology;
 //! * [`scenario::sensing_trio`] — Fig. 6/9: a 3-antenna node sensing
-//!   past an ongoing strong transmission.
+//!   past an ongoing strong transmission;
+//! * [`generator::ScenarioGenerator`] — seeded random N-pair and
+//!   multi-AP scenario families (1–4 antennas, ≤16 nodes) for the
+//!   Monte-Carlo sweep binaries.
 
 pub mod fixtures;
+pub mod generator;
 pub mod scenario;
 pub mod strategies;
+
+pub use generator::ScenarioGenerator;
 
 use nplus_linalg::Complex64;
 

@@ -1,12 +1,22 @@
 //! Property tests owned by the testkit itself: they exercise the shared
 //! strategies against the core invariants every suite leans on —
-//! precoder nulling depth and the handshake codec round-trip.
+//! precoder nulling depth, the handshake codec round-trip, and the
+//! channel-cache layer matching direct evaluation.
 
 use nplus::handshake::{decode_alignment_space, encode_alignment_space, max_space_error};
 use nplus::precoder::{compute_precoders, residual_interference, OwnReceiver, ProtectedReceiver};
+use nplus_channel::fading::DelayProfile;
+use nplus_channel::freq_table::FreqResponseTable;
+use nplus_channel::mimo::MimoLink;
+use nplus_channel::placement::Testbed;
 use nplus_linalg::{rank, Subspace};
+use nplus_medium::chancache::ChannelCache;
+use nplus_medium::topology::{build_topology, TopologyConfig};
+use nplus_phy::params::occupied_subcarrier_indices;
 use nplus_testkit::strategies::{complex_matrix, complex_vector};
 use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
 
 const NULL_TOL: f64 = 1e-16;
 
@@ -88,5 +98,53 @@ proptest! {
             .collect();
         prop_assume!(!spaces.is_empty());
         prop_assert_eq!(encode_alignment_space(&spaces), encode_alignment_space(&spaces));
+    }
+
+    /// `FreqResponseTable` matches direct `channel_matrix` evaluation to
+    /// 1e-12 on random links of every antenna shape and delay profile.
+    #[test]
+    fn freq_table_matches_direct_evaluation(
+        seed in 0u64..1_000_000,
+        n_tx in 1usize..5,
+        n_rx in 1usize..5,
+        nlos in any::<bool>(),
+        amp in 0.1f64..40.0,
+    ) {
+        let profile = if nlos { DelayProfile::nlos() } else { DelayProfile::los() };
+        let mut rng = StdRng::seed_from_u64(seed);
+        let link = MimoLink::sample(n_tx, n_rx, amp, &profile, &mut rng);
+        let bins = occupied_subcarrier_indices();
+        let table = FreqResponseTable::new(&link, &bins, 64);
+        for (pos, &k) in bins.iter().enumerate() {
+            let direct = link.channel_matrix(k, 64);
+            prop_assert!(
+                table.matrix(pos).approx_eq(&direct, 1e-12),
+                "bin {} mismatch", k
+            );
+        }
+    }
+
+    /// `ChannelCache` serves the same matrices as walking the topology's
+    /// links directly, for every directed pair and occupied subcarrier.
+    #[test]
+    fn channel_cache_matches_topology_links(seed in 0u64..100_000) {
+        let tb = Testbed::sigcomm11();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let antennas = vec![1, 2, 3];
+        let topo = build_topology(&tb, &TopologyConfig::new(antennas.clone()), 10e6, seed, &mut rng);
+        let bins = occupied_subcarrier_indices();
+        let cache = ChannelCache::build(&topo, &bins, 64);
+        for from in 0..antennas.len() {
+            for to in 0..antennas.len() {
+                if from == to { continue; }
+                let link = topo.medium.link(topo.nodes[from], topo.nodes[to]).unwrap();
+                for (pos, &k) in bins.iter().enumerate() {
+                    prop_assert!(
+                        cache.matrix(from, to, pos).approx_eq(&link.channel_matrix(k, 64), 1e-12),
+                        "link {}->{} bin {}", from, to, k
+                    );
+                }
+            }
+        }
     }
 }

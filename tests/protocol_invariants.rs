@@ -161,6 +161,38 @@ fn power_control_protects_ongoing_receivers() {
     );
 }
 
+/// The channel cache is purely an evaluation-order optimization: for any
+/// fixed seed, `simulate` must return bit-for-bit identical `RunResult`s
+/// with caching enabled and disabled, for every protocol. (Only pure
+/// true channels are cached; believed channels draw hardware error from
+/// the RNG in the same order either way.)
+#[test]
+fn caching_preserves_results_bit_for_bit() {
+    for scenario in [Scenario::three_pairs(), Scenario::ap_downlink()] {
+        for seed in [3u64, 17] {
+            let built = build_scenario(scenario.clone(), seed);
+            for protocol in [Protocol::NPlus, Protocol::Dot11n, Protocol::Beamforming] {
+                let cached_cfg = SimConfig {
+                    rounds: 8,
+                    ..SimConfig::default()
+                };
+                let uncached_cfg = SimConfig {
+                    cache_channels: false,
+                    ..cached_cfg.clone()
+                };
+                let cached = built.run_with(protocol, &cached_cfg, seed ^ 0x5EED);
+                let uncached = built.run_with(protocol, &uncached_cfg, seed ^ 0x5EED);
+                assert_eq!(
+                    cached.per_flow_mbps, uncached.per_flow_mbps,
+                    "{protocol:?} seed {seed}: caching changed per-flow goodput"
+                );
+                assert_eq!(cached.total_mbps, uncached.total_mbps);
+                assert_eq!(cached.mean_dof, uncached.mean_dof);
+            }
+        }
+    }
+}
+
 /// Determinism: identical seeds produce identical results.
 #[test]
 fn simulation_is_deterministic() {
@@ -221,9 +253,12 @@ fn ap_scenario_protocol_ordering() {
     let scenario = Scenario::ap_downlink();
     let (mut np, mut bf, mut dn) = (0.0, 0.0, 0.0);
     // The beamforming-vs-802.11n gap is the smallest margin in this
-    // ordering (~10% of the mean); 16 placements keep the average on the
-    // right side of it across RNG streams.
-    for seed in 0..16 {
+    // ordering (~8% of the mean asymptotically — the per-ACK handshake
+    // accounting charges the multi-client AP honestly, which thinned it);
+    // 32 placements keep the average on the right side across RNG
+    // streams (16 was inside the Monte-Carlo noise). The cached engine
+    // covers the extra placements with runtime to spare.
+    for seed in 0..32 {
         np += run(
             &scenario,
             Protocol::NPlus,
