@@ -1,6 +1,9 @@
-//! Perf tracking for the round simulator: times `simulate` on the
-//! Fig. 3 scenario (40 rounds, n+, default config) across a batch of
-//! random placements in three variants and emits `BENCH_sim.json`:
+//! Perf tracking for the round simulator and the sweep engine, in two
+//! sections, both emitted into `BENCH_sim.json`:
+//!
+//! **Section 1 — the round engine** (unchanged from PR 2): times
+//! `simulate` on the Fig. 3 scenario (40 rounds, n+, default config)
+//! across a batch of random placements in three variants:
 //!
 //! * **legacy** — the frozen pre-PR implementation
 //!   (`nplus_bench::legacy`): per-call channel recomputation,
@@ -11,12 +14,21 @@
 //! * **cached** — the new engine as shipped.
 //!
 //! `speedup` in the JSON is aggregate cached-vs-legacy wall clock over
-//! all placements (the PR's headline number; engine construction
-//! included, exactly what a `simulate` caller pays). `cache_speedup` is
-//! aggregate cached-vs-uncached. The cached and uncached runs must
-//! produce bit-for-bit identical `RunResult`s on every placement — the
-//! binary asserts it. (Legacy numbers are *not* comparable result-wise:
-//! the PR fixed two MAC accounting bugs.)
+//! all placements; `cache_speedup` is aggregate cached-vs-uncached. The
+//! cached and uncached runs must produce bit-for-bit identical
+//! `RunResult`s on every placement — the binary asserts it.
+//!
+//! **Section 2 — the sweep engine**: times a generated-scenario
+//! Monte-Carlo batch (all three protocols per seed) through
+//!
+//! * the **legacy** simulator driven by the same per-seed loop,
+//! * the **serial** `sweep` path (1 thread), and
+//! * `sweep_parallel` at **2 and 4 threads**.
+//!
+//! The parallel runs must produce `SweepStats` bit-for-bit identical to
+//! the serial run — asserted, not eyeballed — and the JSON records the
+//! speedup-vs-threads row. (On a single-core machine the parallel
+//! numbers degenerate to ~1x; the determinism assertion still bites.)
 //!
 //! Usage:
 //!   cargo run --release --bin perf_sweep -- [iters] [out_path]
@@ -26,8 +38,11 @@
 //! a smoke step with `iters = 1`; no thresholds are enforced — the JSON
 //! is the perf trajectory record.
 
-use nplus::sim::{simulate, Protocol, RunResult, SimConfig};
+use nplus::sim::{simulate, sweep_parallel, Protocol, RunResult, Scenario, SimConfig, SweepStats};
 use nplus_bench::legacy::simulate_legacy;
+use nplus_channel::placement::Testbed;
+use nplus_medium::topology::{build_topology, TopologyConfig};
+use nplus_testkit::generator::ScenarioGenerator;
 use nplus_testkit::scenario::three_pairs;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -36,6 +51,11 @@ use std::time::Instant;
 const N_PLACEMENTS: u64 = 8;
 const SIM_SEED: u64 = 0xC0FFEE;
 const ROUNDS: usize = 40;
+
+/// Sweep-engine batch shape: a generated 4-pair scenario, every seed
+/// simulated under all three protocols.
+const SWEEP_SEEDS: u64 = 12;
+const SWEEP_ROUNDS: usize = 25;
 
 /// One-shot `simulate` (or legacy) wall clock summed over all
 /// placements; returns (seconds, per-placement results).
@@ -83,6 +103,78 @@ fn best_of(cfg: &SimConfig, legacy: bool, iters: usize) -> (f64, Vec<RunResult>)
     (best, kept)
 }
 
+/// Bitwise equality of two sweep-stat lists — the determinism contract
+/// of `sweep_parallel` (no tolerance: merged in seed order, every float
+/// must match exactly).
+fn stats_identical(a: &[SweepStats], b: &[SweepStats]) -> bool {
+    a.len() == b.len()
+        && a.iter().zip(b).all(|(x, y)| {
+            x.protocol == y.protocol
+                && x.n_runs == y.n_runs
+                && x.mean_total_mbps == y.mean_total_mbps
+                && x.ci95_total_mbps == y.ci95_total_mbps
+                && x.mean_per_flow_mbps == y.mean_per_flow_mbps
+                && x.mean_dof == y.mean_dof
+        })
+}
+
+/// Best-of-`iters` wall clock of the sweep batch at a thread count.
+fn time_sweep(
+    testbed: &Testbed,
+    scenario: &Scenario,
+    cfg: &SimConfig,
+    protocols: &[Protocol],
+    seeds: &[u64],
+    threads: usize,
+    iters: usize,
+) -> (f64, Vec<SweepStats>) {
+    let mut best = f64::INFINITY;
+    let mut kept = Vec::new();
+    for _ in 0..iters {
+        let t = Instant::now();
+        let stats = sweep_parallel(testbed, scenario, cfg, protocols, seeds, threads);
+        let dt = t.elapsed().as_secs_f64();
+        if dt < best {
+            best = dt;
+            kept = stats;
+        }
+    }
+    (best, kept)
+}
+
+/// Best-of-`iters` wall clock of the same batch through the frozen
+/// legacy simulator (identical per-seed topology/RNG derivations, no
+/// engine reuse across protocols — exactly how a pre-PR sweep looked).
+fn time_legacy_sweep(
+    testbed: &Testbed,
+    scenario: &Scenario,
+    cfg: &SimConfig,
+    protocols: &[Protocol],
+    seeds: &[u64],
+    iters: usize,
+) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..iters {
+        let t = Instant::now();
+        for &seed in seeds {
+            let mut placement_rng = StdRng::seed_from_u64(seed);
+            let topo = build_topology(
+                testbed,
+                &TopologyConfig::new(scenario.antennas.clone()),
+                cfg.ofdm.bandwidth_hz,
+                seed,
+                &mut placement_rng,
+            );
+            for &protocol in protocols {
+                let mut run_rng = StdRng::seed_from_u64(seed ^ 0x5EED_CAFE);
+                let _ = simulate_legacy(&topo, scenario, protocol, cfg, &mut run_rng);
+            }
+        }
+        best = best.min(t.elapsed().as_secs_f64());
+    }
+    best
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let iters: usize = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(3);
@@ -102,7 +194,7 @@ fn main() {
     };
 
     println!(
-        "== perf_sweep: Fig. 3 scenario, {N_PLACEMENTS} placements x {ROUNDS} rounds, n+, best of {iters} =="
+        "== perf_sweep §1: Fig. 3 scenario, {N_PLACEMENTS} placements x {ROUNDS} rounds, n+, best of {iters} =="
     );
     let (legacy_s, _) = best_of(&cached_cfg, true, iters);
     let (uncached_s, uncached_r) = best_of(&uncached_cfg, false, iters);
@@ -130,10 +222,76 @@ fn main() {
     println!("speedup vs legacy:   {speedup:.2}x");
     println!("speedup vs uncached: {cache_speedup:.2}x  (bit-identical results: {bit_identical})");
 
+    // ---- §2: the sweep engine on a generated-scenario batch ----
+    let sweep_scenario = ScenarioGenerator::new(42).n_pairs(4);
+    let sweep_cfg = SimConfig {
+        rounds: SWEEP_ROUNDS,
+        ..SimConfig::default()
+    };
+    let protocols = [Protocol::Dot11n, Protocol::Beamforming, Protocol::NPlus];
+    let seeds: Vec<u64> = (0..SWEEP_SEEDS).collect();
+    let testbed = Testbed::fitting(sweep_scenario.antennas.len());
+    let cores = nplus::executor::resolve_threads(0);
+
+    println!(
+        "\n== perf_sweep §2: generated pairs:4 batch, {SWEEP_SEEDS} seeds x {SWEEP_ROUNDS} rounds x 3 protocols, best of {iters} ({cores} cores available) =="
+    );
+    let sweep_legacy_s = time_legacy_sweep(
+        &testbed,
+        &sweep_scenario,
+        &sweep_cfg,
+        &protocols,
+        &seeds,
+        iters,
+    );
+    let (serial_s, serial_stats) = time_sweep(
+        &testbed,
+        &sweep_scenario,
+        &sweep_cfg,
+        &protocols,
+        &seeds,
+        1,
+        iters,
+    );
+    let (t2_s, t2_stats) = time_sweep(
+        &testbed,
+        &sweep_scenario,
+        &sweep_cfg,
+        &protocols,
+        &seeds,
+        2,
+        iters,
+    );
+    let (t4_s, t4_stats) = time_sweep(
+        &testbed,
+        &sweep_scenario,
+        &sweep_cfg,
+        &protocols,
+        &seeds,
+        4,
+        iters,
+    );
+
+    let parallel_identical =
+        stats_identical(&serial_stats, &t2_stats) && stats_identical(&serial_stats, &t4_stats);
+    assert!(
+        parallel_identical,
+        "sweep_parallel changed results vs the serial sweep"
+    );
+
+    let speedup_2t = serial_s / t2_s;
+    let speedup_4t = serial_s / t4_s;
+    let sweep_vs_legacy = sweep_legacy_s / serial_s;
+    println!("legacy sweep loop: {sweep_legacy_s:.4} s");
+    println!("serial sweep:      {serial_s:.4} s  ({sweep_vs_legacy:.2}x vs legacy)");
+    println!("2 threads:         {t2_s:.4} s  ({speedup_2t:.2}x vs serial)");
+    println!("4 threads:         {t4_s:.4} s  ({speedup_4t:.2}x vs serial)");
+    println!("parallel == serial bitwise: {parallel_identical}");
+
     let mean_total: f64 =
         cached_r.iter().map(|r| r.total_mbps).sum::<f64>() / cached_r.len().max(1) as f64;
     let json = format!(
-        "{{\n  \"bench\": \"sim_three_pairs_nplus\",\n  \"placements\": {N_PLACEMENTS},\n  \"rounds\": {ROUNDS},\n  \"iters\": {iters},\n  \"legacy_seconds\": {legacy_s:.6},\n  \"uncached_seconds\": {uncached_s:.6},\n  \"cached_seconds\": {cached_s:.6},\n  \"legacy_rounds_per_sec\": {legacy_rps:.3},\n  \"uncached_rounds_per_sec\": {uncached_rps:.3},\n  \"cached_rounds_per_sec\": {cached_rps:.3},\n  \"speedup\": {speedup:.3},\n  \"cache_speedup\": {cache_speedup:.3},\n  \"bit_identical\": {bit_identical},\n  \"mean_total_mbps\": {mean_total:.6}\n}}\n"
+        "{{\n  \"bench\": \"sim_three_pairs_nplus\",\n  \"placements\": {N_PLACEMENTS},\n  \"rounds\": {ROUNDS},\n  \"iters\": {iters},\n  \"legacy_seconds\": {legacy_s:.6},\n  \"uncached_seconds\": {uncached_s:.6},\n  \"cached_seconds\": {cached_s:.6},\n  \"legacy_rounds_per_sec\": {legacy_rps:.3},\n  \"uncached_rounds_per_sec\": {uncached_rps:.3},\n  \"cached_rounds_per_sec\": {cached_rps:.3},\n  \"speedup\": {speedup:.3},\n  \"cache_speedup\": {cache_speedup:.3},\n  \"bit_identical\": {bit_identical},\n  \"mean_total_mbps\": {mean_total:.6},\n  \"sweep_bench\": \"sweep_pairs4_all_protocols\",\n  \"sweep_seeds\": {SWEEP_SEEDS},\n  \"sweep_rounds\": {SWEEP_ROUNDS},\n  \"sweep_cores_available\": {cores},\n  \"sweep_legacy_seconds\": {sweep_legacy_s:.6},\n  \"sweep_serial_seconds\": {serial_s:.6},\n  \"sweep_2t_seconds\": {t2_s:.6},\n  \"sweep_4t_seconds\": {t4_s:.6},\n  \"sweep_speedup_vs_legacy\": {sweep_vs_legacy:.3},\n  \"sweep_speedup_2t\": {speedup_2t:.3},\n  \"sweep_speedup_4t\": {speedup_4t:.3},\n  \"sweep_parallel_bit_identical\": {parallel_identical}\n}}\n"
     );
     std::fs::write(&out_path, json).expect("write BENCH_sim.json");
     println!("wrote {out_path}");

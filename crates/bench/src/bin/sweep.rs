@@ -1,23 +1,34 @@
 //! Batch Monte-Carlo sweeps over canonical or generated scenarios.
 //!
-//! Runs `nplus::sim::sweep` — one freshly drawn topology per seed, one
-//! shared channel-cached `SimEngine` per topology — and prints mean ±95%
-//! CI total goodput per protocol, plus per-flow means.
+//! Runs `nplus::sim::sweep_parallel` — one freshly drawn topology per
+//! seed, one shared channel-cached `SimEngine` per topology, seeds
+//! executed as independent jobs on a scoped-thread pool — and prints
+//! mean ±95% CI total goodput per protocol, plus per-flow means.
+//! Results are bit-for-bit identical for every `--threads` value
+//! (including 1); CI diffs the two to prove it.
 //!
 //! Usage:
-//!   cargo run --release --bin sweep -- [scenario] [n_seeds] [rounds]
+//!   cargo run --release --bin sweep -- [scenario] [n_seeds] [rounds] \
+//!       [--threads N] [--json [path]]
 //!
 //! where `scenario` is one of:
 //!   three_pairs          the Fig. 3 scenario (default)
 //!   ap_downlink          the Fig. 4 scenario
 //!   pairs:<n>            n generated tx→rx pairs, random 1–4 antennas
 //!   multi_ap:<a>x<c>     a generated cells of one AP + c clients
+//!   hidden:<n>           n generated transmitters sharing one receiver
+//!   asym:<n>             n generated maximally antenna-asymmetric pairs
+//!   dense:<n>            n-node generated mesh (even, ≤32; extended map)
 //!   random:<seed>        a random family draw from the generator
+//!
+//! Flags (positionals must precede flags):
+//!   --threads N          worker threads (default 0 = all cores; 1 = serial)
+//!   --json [path]        machine-readable stats to `path` (default stdout)
 //!
 //! Generated scenarios are seeded (generator seed 42 unless `random:`
 //! gives one), so every invocation is reproducible.
 
-use nplus::sim::{sweep, Protocol, Scenario, SimConfig};
+use nplus::sim::{sweep_parallel, Protocol, Scenario, SimConfig, SweepStats};
 use nplus_channel::placement::Testbed;
 use nplus_testkit::generator::ScenarioGenerator;
 
@@ -35,6 +46,18 @@ fn parse_scenario(spec: &str) -> Scenario {
             c.parse().expect("client count"),
         );
     }
+    if let Some(n) = spec.strip_prefix("hidden:") {
+        let n: usize = n.parse().expect("hidden:<n> needs a number");
+        return ScenarioGenerator::new(42).hidden_terminal(n);
+    }
+    if let Some(n) = spec.strip_prefix("asym:") {
+        let n: usize = n.parse().expect("asym:<n> needs a number");
+        return ScenarioGenerator::new(42).asymmetric_antenna(n);
+    }
+    if let Some(n) = spec.strip_prefix("dense:") {
+        let n: usize = n.parse().expect("dense:<n> needs a number");
+        return ScenarioGenerator::new(42).dense(n);
+    }
     if let Some(seed) = spec.strip_prefix("random:") {
         let seed: u64 = seed.parse().expect("random:<seed> needs a number");
         return ScenarioGenerator::new(seed).random();
@@ -46,13 +69,76 @@ fn parse_scenario(spec: &str) -> Scenario {
     }
 }
 
+/// Renders the stats as JSON (handwritten — the workspace carries no
+/// serialization dependency). Field order is fixed so serial/parallel
+/// runs can be compared with a plain `diff`.
+fn stats_json(spec: &str, n_seeds: u64, rounds: usize, stats: &[SweepStats]) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str(&format!("  \"scenario\": \"{spec}\",\n"));
+    out.push_str(&format!("  \"seeds\": {n_seeds},\n"));
+    out.push_str(&format!("  \"rounds\": {rounds},\n"));
+    out.push_str("  \"protocols\": [\n");
+    for (i, s) in stats.iter().enumerate() {
+        let flows: Vec<String> = s
+            .mean_per_flow_mbps
+            .iter()
+            .map(|v| format!("{v:.9}"))
+            .collect();
+        out.push_str(&format!(
+            "    {{\"protocol\": \"{:?}\", \"runs\": {}, \"mean_total_mbps\": {:.9}, \"ci95_total_mbps\": {:.9}, \"mean_dof\": {:.9}, \"mean_per_flow_mbps\": [{}]}}{}\n",
+            s.protocol,
+            s.n_runs,
+            s.mean_total_mbps,
+            s.ci95_total_mbps,
+            s.mean_dof,
+            flows.join(", "),
+            if i + 1 < stats.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().collect();
-    let spec = args.get(1).map(String::as_str).unwrap_or("three_pairs");
-    let n_seeds: u64 = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(20);
-    let rounds: usize = args.get(3).and_then(|s| s.parse().ok()).unwrap_or(25);
+
+    // Split flags from positionals.
+    let mut positional: Vec<&str> = Vec::new();
+    let mut threads: usize = 0;
+    let mut json_to: Option<Option<String>> = None;
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--threads" => {
+                i += 1;
+                threads = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .expect("--threads needs a number");
+            }
+            "--json" => {
+                // Optional path operand: the next arg, unless it is
+                // another flag (or there is none) — then JSON goes to
+                // stdout. Positionals must precede flags, so nothing
+                // else can follow `--json`.
+                if args.get(i + 1).is_some_and(|s| !s.starts_with('-')) {
+                    i += 1;
+                    json_to = Some(Some(args[i].clone()));
+                } else {
+                    json_to = Some(None);
+                }
+            }
+            other => positional.push(other),
+        }
+        i += 1;
+    }
+    let spec = positional.first().copied().unwrap_or("three_pairs");
+    let n_seeds: u64 = positional.get(1).and_then(|s| s.parse().ok()).unwrap_or(20);
+    let rounds: usize = positional.get(2).and_then(|s| s.parse().ok()).unwrap_or(25);
 
     let scenario = parse_scenario(spec);
+    let testbed = Testbed::fitting(scenario.antennas.len());
     let cfg = SimConfig {
         rounds,
         ..SimConfig::default()
@@ -60,14 +146,32 @@ fn main() {
     let seeds: Vec<u64> = (0..n_seeds).collect();
     let protocols = [Protocol::Dot11n, Protocol::Beamforming, Protocol::NPlus];
 
-    println!(
-        "== sweep: {spec} ({} nodes, {} flows), {n_seeds} placements x {rounds} rounds ==",
+    eprintln!(
+        "== sweep: {spec} ({} nodes, {} flows), {n_seeds} placements x {rounds} rounds, {} ==",
         scenario.antennas.len(),
-        scenario.flows.len()
+        scenario.flows.len(),
+        if threads == 1 {
+            "serial".to_string()
+        } else {
+            format!("{threads} threads (0 = all cores)")
+        }
     );
-    println!("antennas: {:?}", scenario.antennas);
+    eprintln!("antennas: {:?}", scenario.antennas);
 
-    let stats = sweep(&Testbed::sigcomm11(), &scenario, &cfg, &protocols, &seeds);
+    let stats = sweep_parallel(&testbed, &scenario, &cfg, &protocols, &seeds, threads);
+
+    if let Some(path) = &json_to {
+        let json = stats_json(spec, n_seeds, rounds, &stats);
+        match path {
+            Some(p) => {
+                std::fs::write(p, &json).expect("write sweep JSON");
+                eprintln!("wrote {p}");
+            }
+            None => print!("{json}"),
+        }
+        return;
+    }
+
     println!(
         "\n{:>12} {:>10} {:>8} {:>9} {:>9}",
         "protocol", "total Mb/s", "±95% CI", "mean DoF", "runs"

@@ -104,6 +104,14 @@ impl FreqResponseTable {
     }
 }
 
+// Tables are read concurrently by parallel sweep workers (one channel
+// cache per job, shared across that job's protocol runs); keep them
+// `Send + Sync` by construction.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<FreqResponseTable>();
+};
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -94,6 +94,40 @@ impl Testbed {
         Testbed { locations }
     }
 
+    /// A two-wing extension of the Fig. 10 floor plan: the twenty
+    /// [`sigcomm11`](Testbed::sigcomm11) locations plus a mirrored
+    /// second wing offset 18 m in x — forty candidate locations in all,
+    /// twelve of them NLOS. Dense sweep scenarios (up to 32 nodes) need
+    /// more placement slots than the paper's single wing offers; the
+    /// first twenty locations are identical to `sigcomm11()`, so draws
+    /// that fit the original map remain comparable.
+    pub fn sigcomm11_extended() -> Self {
+        let base = Self::sigcomm11();
+        let mut locations = base.locations.clone();
+        locations.extend(base.locations.iter().map(|l| Location {
+            pos: Point::new(l.pos.x + 18.0, l.pos.y),
+            nlos: l.nlos,
+        }));
+        Testbed { locations }
+    }
+
+    /// The smallest stock floor plan with at least `n` candidate
+    /// locations: the paper's map when it fits, the two-wing extension
+    /// otherwise. Panics if even the extension is too small.
+    pub fn fitting(n: usize) -> Self {
+        let tb = Self::sigcomm11();
+        if n <= tb.len() {
+            return tb;
+        }
+        let ext = Self::sigcomm11_extended();
+        assert!(
+            n <= ext.len(),
+            "cannot place {n} nodes on {} locations",
+            ext.len()
+        );
+        ext
+    }
+
     /// Builds a testbed from explicit locations.
     pub fn from_locations(locations: Vec<Location>) -> Self {
         Testbed { locations }
@@ -150,6 +184,37 @@ mod tests {
         let tb = Testbed::sigcomm11();
         assert_eq!(tb.len(), 20);
         assert_eq!(tb.locations().iter().filter(|l| l.nlos).count(), 6);
+    }
+
+    #[test]
+    fn extended_testbed_doubles_the_floor_plan() {
+        let base = Testbed::sigcomm11();
+        let ext = Testbed::sigcomm11_extended();
+        assert_eq!(ext.len(), 40);
+        assert_eq!(ext.locations().iter().filter(|l| l.nlos).count(), 12);
+        // The first wing is bit-identical to the paper's map.
+        for (a, b) in base.locations().iter().zip(ext.locations()) {
+            assert_eq!(a.pos.x, b.pos.x);
+            assert_eq!(a.pos.y, b.pos.y);
+            assert_eq!(a.nlos, b.nlos);
+        }
+        // A 32-node assignment fits the extension.
+        let mut rng = StdRng::seed_from_u64(3);
+        assert_eq!(ext.random_assignment(32, &mut rng).len(), 32);
+    }
+
+    #[test]
+    fn fitting_picks_the_smallest_map() {
+        assert_eq!(Testbed::fitting(6).len(), 20);
+        assert_eq!(Testbed::fitting(20).len(), 20);
+        assert_eq!(Testbed::fitting(21).len(), 40);
+        assert_eq!(Testbed::fitting(32).len(), 40);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot place")]
+    fn fitting_rejects_oversized_requests() {
+        let _ = Testbed::fitting(41);
     }
 
     #[test]

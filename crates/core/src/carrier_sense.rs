@@ -65,13 +65,25 @@ impl MultiDimCarrierSense {
         }
     }
 
-    /// Number of degrees of freedom still unoccupied (on the median
-    /// subcarrier; generically the same on all of them).
+    /// Number of degrees of freedom guaranteed unoccupied: the *minimum*
+    /// complement dimension across occupied subcarriers. Generically all
+    /// bins agree, but when they differ (e.g. a frequency-selective
+    /// channel whose stream directions collapse on some bins) a joiner
+    /// must fit the worst bin — its streams occupy the same spatial slot
+    /// on every subcarrier. The previous statistic took the *upper*
+    /// median on even bin counts, which both over-reported the free
+    /// space and was ill-defined as a "median".
     pub fn free_dof(&self) -> usize {
-        let occ = occupied_subcarrier_indices();
-        let mut dims: Vec<usize> = occ.iter().map(|&k| self.complements[k].dim()).collect();
-        dims.sort_unstable();
-        dims[dims.len() / 2]
+        occupied_subcarrier_indices()
+            .iter()
+            .map(|&k| self.complements[k].dim())
+            .min()
+            .unwrap_or(self.n_antennas)
+    }
+
+    /// Number of antennas this sensor observes with.
+    pub fn n_antennas(&self) -> usize {
+        self.n_antennas
     }
 
     /// Projects a multi-antenna capture onto the complement of the
@@ -186,10 +198,24 @@ pub fn dof_is_busy(
     noise_power: f64,
     thresholds: &SenseThresholds,
 ) -> bool {
+    // A capture with no antennas, or too short for even one FFT block on
+    // any antenna, carries no evidence that the medium is idle — report
+    // busy (the fail-safe carrier-sense answer: a node that cannot sense
+    // must not transmit). The old code divided by `capture.len()` below,
+    // so an empty capture produced a NaN noise floor that silently
+    // compared as "not busy"; and since `project_capture` truncates to
+    // whole FFT blocks, a sub-block capture measured zero power and was
+    // equally silent no matter how loud the medium actually was.
+    let min_len = capture.iter().map(Vec::len).min().unwrap_or(0);
+    if capture.is_empty() || min_len < sensor.cfg.fft_len {
+        return true;
+    }
     let power = sensor.sense_power(capture);
     // The projected noise power scales with the complement dimension
-    // (projection removes part of the noise too).
-    let dof_frac = sensor.free_dof() as f64 / capture.len() as f64;
+    // (projection removes part of the noise too). The denominator is the
+    // sensor's antenna count — the dimension of the space the noise
+    // lives in — not whatever length the capture slice happens to have.
+    let dof_frac = sensor.free_dof() as f64 / sensor.n_antennas().max(1) as f64;
     let floor = noise_power * dof_frac.max(1e-9);
     if power > floor * (1.0 + thresholds.power_margin) {
         return true;
@@ -383,6 +409,74 @@ mod tests {
             ],
         );
         assert_eq!(sensor.free_dof(), 1);
+    }
+
+    /// Regression: `free_dof` took the upper median across occupied
+    /// bins, so a single worst bin with less free space was ignored —
+    /// and on even bin counts the "median" was biased upward. With
+    /// per-bin complements that genuinely differ, the statistic must be
+    /// the conservative minimum.
+    #[test]
+    fn free_dof_is_minimum_across_differing_bins() {
+        let c = cfg();
+        let h1 = [c64(0.8, 0.1), c64(-0.3, 0.5), c64(0.2, -0.6)];
+        let h2 = [c64(0.1, -0.7), c64(0.6, 0.2), c64(-0.4, 0.3)];
+        let occ = occupied_subcarrier_indices();
+        // One ongoing transmission whose stream count varies per bin:
+        // two independent columns on the first occupied bin (1 free DoF
+        // at a 3-antenna sensor), one column everywhere else (2 free).
+        let one_col = CMatrix::from_cols(&[CVector::from_vec(h1.to_vec())]);
+        let two_cols = CMatrix::from_cols(&[
+            CVector::from_vec(h1.to_vec()),
+            CVector::from_vec(h2.to_vec()),
+        ]);
+        let per_bin: Vec<CMatrix> = (0..c.fft_len)
+            .map(|k| {
+                if k == occ[0] {
+                    two_cols.clone()
+                } else {
+                    one_col.clone()
+                }
+            })
+            .collect();
+        let sensor = MultiDimCarrierSense::from_ongoing(3, c, &[per_bin]);
+        // The upper median over [1, 2, 2, …] was 2; the worst bin has 1.
+        assert_eq!(sensor.free_dof(), 1);
+        assert_eq!(sensor.n_antennas(), 3);
+    }
+
+    /// Regression: an empty capture used to produce a NaN noise floor
+    /// (division by `capture.len()`) that silently compared as "not
+    /// busy". No samples means no evidence of idleness: report busy.
+    #[test]
+    fn empty_capture_reports_busy() {
+        let c = cfg();
+        let sensor = MultiDimCarrierSense::idle(2, c);
+        let stf = stf_time(&c);
+        let thresholds = SenseThresholds::default();
+        // No antenna streams at all.
+        assert!(dof_is_busy(&sensor, &[], &stf[..64], 1.0, &thresholds));
+        // Antenna streams present but zero samples captured.
+        let empty: Vec<Vec<Complex64>> = vec![Vec::new(), Vec::new()];
+        assert!(dof_is_busy(&sensor, &empty, &stf[..64], 1.0, &thresholds));
+        // Shorter than one FFT block: projection would truncate to zero
+        // blocks and measure zero power however loud the medium is —
+        // also no evidence of idleness.
+        let sub_block: Vec<Vec<Complex64>> = vec![vec![c64(100.0, 0.0); 10]; 2];
+        assert!(dof_is_busy(
+            &sensor,
+            &sub_block,
+            &stf[..64],
+            1.0,
+            &thresholds
+        ));
+        // One ragged-short stream is enough to invalidate the capture.
+        let ragged: Vec<Vec<Complex64>> = vec![vec![c64(1.0, 0.0); 256], Vec::new()];
+        assert!(dof_is_busy(&sensor, &ragged, &stf[..64], 1.0, &thresholds));
+        // A zero-antenna sensor (degenerate but constructible) must not
+        // divide by zero either.
+        let none = MultiDimCarrierSense::idle(0, c);
+        assert!(dof_is_busy(&none, &[], &stf[..64], 1.0, &thresholds));
     }
 
     #[test]

@@ -52,6 +52,7 @@
 #![warn(missing_docs)]
 
 pub mod carrier_sense;
+pub mod executor;
 pub mod handshake;
 pub mod link;
 pub mod node;
@@ -60,6 +61,7 @@ pub mod precoder;
 pub mod sim;
 
 pub use carrier_sense::{dof_is_busy, MultiDimCarrierSense, SenseThresholds};
+pub use executor::{resolve_threads, run_indexed, run_indexed_chunked};
 pub use handshake::{blob_symbols, decode_alignment_space, encode_alignment_space};
 pub use link::{select_stream_rate, zf_sinr, SubcarrierObservation};
 pub use node::{learn_forward_channel, plan_join, JoinError, JoinPlan, LearnedReceiver};
@@ -69,5 +71,6 @@ pub use precoder::{
     OwnReceiver, OwnReceiverRef, PrecoderError, Precoding, ProtectedReceiver, ProtectedReceiverRef,
 };
 pub use sim::{
-    simulate, sweep, Flow, Protocol, RunResult, Scenario, SimConfig, SimEngine, SweepStats,
+    simulate, sweep, sweep_parallel, Flow, Protocol, RunResult, Scenario, SeedResults, SimConfig,
+    SimEngine, SweepJob, SweepStats,
 };

@@ -212,8 +212,18 @@ struct PlannedStream {
 }
 
 /// Per-receiver protection state (per occupied subcarrier).
+///
+/// One state is registered per (transmission, receiver) pair, so a node
+/// served by two concurrent transmitters — the hidden-terminal shape —
+/// owns two states, each decoding only the streams registered with it
+/// (`stream_ids`); the other transmission's arrivals land in this
+/// state's unwanted space (it was constructed to contain them) or leak
+/// as residual interference.
 struct ReceiverState {
     node: usize,
+    /// Ids (into the round's stream list) of the streams this state
+    /// decodes: exactly the columns of `wanted`, in order.
+    stream_ids: Vec<usize>,
     /// Advertised unwanted space per occupied subcarrier.
     unwanted: Vec<Subspace>,
     /// Wanted effective channels per subcarrier (columns appended as this
@@ -601,6 +611,7 @@ impl<'a> SimEngine<'a> {
             }
             protected.push(ReceiverState {
                 node: rx,
+                stream_ids: new_stream_ids.clone(),
                 unwanted: plan.unwanted.clone(),
                 wanted: plan.wanted.clone(),
             });
@@ -774,7 +785,9 @@ impl<'a> SimEngine<'a> {
             allocation.iter().zip(own_unwanted).zip(wanted_cols)
         {
             let rx = self.scenario.flows[f].rx;
+            let mut stream_ids = Vec::with_capacity(n_streams);
             for _s in 0..n_streams {
+                stream_ids.push(ongoing_streams.len());
                 new_stream_ids.push(ongoing_streams.len());
                 ongoing_streams.push(PlannedStream {
                     flow: f,
@@ -789,6 +802,7 @@ impl<'a> SimEngine<'a> {
             // exactly the arrival columns computed during rate selection.
             protected.push(ReceiverState {
                 node: rx,
+                stream_ids,
                 unwanted,
                 wanted,
             });
@@ -808,15 +822,17 @@ impl<'a> SimEngine<'a> {
         let n_sc = self.occ.len();
         let mut bits = vec![0.0; self.scenario.flows.len()];
         for rx_state in protected {
-            // Streams wanted by this receiver.
+            // Streams this state decodes: exactly the ones registered
+            // with it. Matching by receiver *node* here would break the
+            // hidden-terminal shape — two transmitters serving the same
+            // node register two states, and each state's `wanted`
+            // columns cover only its own streams (the other
+            // transmission's arrivals live in this state's unwanted
+            // space, or leak as residual below).
             scratch.my_streams.clear();
-            scratch.my_streams.extend(
-                streams
-                    .iter()
-                    .enumerate()
-                    .filter(|(_, s)| self.scenario.flows[s.flow].rx == rx_state.node)
-                    .map(|(i, _)| i),
-            );
+            scratch
+                .my_streams
+                .extend(rx_state.stream_ids.iter().copied());
             if scratch.my_streams.is_empty() {
                 continue;
             }
@@ -1044,12 +1060,176 @@ pub struct SweepStats {
     /// Mean total network goodput, Mb/s.
     pub mean_total_mbps: f64,
     /// Half-width of the 95% confidence interval on the mean total
-    /// goodput (normal approximation; 0 for fewer than two runs).
+    /// goodput (Student-t critical value below 30 runs, a continuous
+    /// expansion converging to z = 1.96 above; 0 for fewer than two
+    /// runs).
     pub ci95_total_mbps: f64,
     /// Mean goodput per flow, Mb/s.
     pub mean_per_flow_mbps: Vec<f64>,
     /// Mean degrees of freedom in use during data transfer.
     pub mean_dof: f64,
+}
+
+/// Two-sided 95% Student-t critical values indexed by `df - 1` for
+/// `df = 1..=28` (sample sizes 2..=29). Larger sample sizes use the
+/// first-order expansion `z + (z³ + z)/(4·df)`, which is within 0.2%
+/// of the exact t value at df = 29 and converges to z = 1.96 — no
+/// discontinuous CI narrowing at the table boundary.
+const T_CRIT_95: [f64; 28] = [
+    12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228, 2.201, 2.179, 2.160,
+    2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086, 2.080, 2.074, 2.069, 2.064, 2.060, 2.056,
+    2.052, 2.048,
+];
+
+/// Half-width of the 95% confidence interval on the mean of `samples`.
+///
+/// Small seed counts are the common case in quick sweeps, where the
+/// normal approximation's z = 1.96 understates the interval badly (the
+/// correct critical value at n = 5 is 2.776, at n = 2 it is 12.706);
+/// this uses the Student-t value for n < 30 and z above.
+fn ci95_half_width(samples: &[f64], mean: f64) -> f64 {
+    let n = samples.len();
+    if n < 2 {
+        return 0.0;
+    }
+    let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (n - 1) as f64;
+    let crit = if n < 30 {
+        T_CRIT_95[n - 2]
+    } else {
+        // Cornish-Fisher first-order tail expansion of t around z.
+        let z = 1.96f64;
+        let df = (n - 1) as f64;
+        z + (z.powi(3) + z) / (4.0 * df)
+    };
+    crit * (var / n as f64).sqrt()
+}
+
+/// One seed-indexed unit of Monte-Carlo sweep work: draw the topology
+/// for `seed`, build one channel-cached [`SimEngine`], and run every
+/// protocol against it.
+///
+/// The RNG derivations are the sweep's determinism contract: the
+/// placement stream is seeded by the seed itself, and each protocol's
+/// run stream by `seed ^ 0x5EED_CAFE` — both fixed functions of the
+/// job's seed alone, never of execution order. That is what lets
+/// [`sweep_parallel`] run jobs on any number of threads and still merge
+/// results bit-for-bit identical to the serial [`sweep`].
+pub struct SweepJob<'a> {
+    testbed: &'a Testbed,
+    scenario: &'a Scenario,
+    cfg: &'a SimConfig,
+    protocols: &'a [Protocol],
+    /// The topology/run seed this job covers.
+    pub seed: u64,
+}
+
+/// The per-seed output of one [`SweepJob`]: one [`RunResult`] per
+/// requested protocol, in protocol order.
+#[derive(Debug, Clone)]
+pub struct SeedResults {
+    /// The seed that produced these results.
+    pub seed: u64,
+    /// One result per protocol, in the order the job was given.
+    pub per_protocol: Vec<RunResult>,
+}
+
+impl<'a> SweepJob<'a> {
+    /// Builds the job for one seed of a sweep.
+    pub fn new(
+        testbed: &'a Testbed,
+        scenario: &'a Scenario,
+        cfg: &'a SimConfig,
+        protocols: &'a [Protocol],
+        seed: u64,
+    ) -> Self {
+        SweepJob {
+            testbed,
+            scenario,
+            cfg,
+            protocols,
+            seed,
+        }
+    }
+
+    /// Runs the job: topology draw, engine construction, one simulation
+    /// per protocol. Pure in the seed — no shared mutable state.
+    pub fn run(&self) -> SeedResults {
+        let mut placement_rng = StdRng::seed_from_u64(self.seed);
+        let topo = build_topology(
+            self.testbed,
+            &TopologyConfig::new(self.scenario.antennas.clone()),
+            self.cfg.ofdm.bandwidth_hz,
+            self.seed,
+            &mut placement_rng,
+        );
+        let engine = SimEngine::new(&topo, self.scenario, self.cfg);
+        let per_protocol = self
+            .protocols
+            .iter()
+            .map(|&protocol| {
+                let mut run_rng = StdRng::seed_from_u64(self.seed ^ 0x5EED_CAFE);
+                engine.run(protocol, &mut run_rng)
+            })
+            .collect();
+        SeedResults {
+            seed: self.seed,
+            per_protocol,
+        }
+    }
+}
+
+// `sweep_parallel` shares the scenario/config/testbed across scoped
+// worker threads and sends per-seed results back; all of it must be
+// thread-safe by construction (the medium-side types carry their own
+// assertions next to their definitions).
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<Scenario>();
+    assert_send_sync::<SimConfig>();
+    assert_send_sync::<Protocol>();
+    assert_send_sync::<RunResult>();
+    assert_send_sync::<SeedResults>();
+};
+
+/// Folds per-seed results (already in seed order) into per-protocol
+/// statistics. The accumulation order is fixed — seed-major, protocol
+/// within seed — so the aggregate is a pure function of the ordered
+/// result list, independent of how the jobs were scheduled.
+fn aggregate_sweep(
+    scenario: &Scenario,
+    protocols: &[Protocol],
+    results: &[SeedResults],
+) -> Vec<SweepStats> {
+    let mut totals: Vec<Vec<f64>> = vec![Vec::with_capacity(results.len()); protocols.len()];
+    let mut per_flow: Vec<Vec<f64>> = vec![vec![0.0; scenario.flows.len()]; protocols.len()];
+    let mut dofs: Vec<f64> = vec![0.0; protocols.len()];
+
+    for seed_results in results {
+        for (p, r) in seed_results.per_protocol.iter().enumerate() {
+            totals[p].push(r.total_mbps);
+            for (f, v) in r.per_flow_mbps.iter().enumerate() {
+                per_flow[p][f] += v;
+            }
+            dofs[p] += r.mean_dof;
+        }
+    }
+
+    let n = results.len().max(1) as f64;
+    protocols
+        .iter()
+        .enumerate()
+        .map(|(p, &protocol)| {
+            let mean = totals[p].iter().sum::<f64>() / n;
+            SweepStats {
+                protocol,
+                n_runs: totals[p].len(),
+                mean_total_mbps: mean,
+                ci95_total_mbps: ci95_half_width(&totals[p], mean),
+                mean_per_flow_mbps: per_flow[p].iter().map(|v| v / n).collect(),
+                mean_dof: dofs[p] / n,
+            }
+        })
+        .collect()
 }
 
 /// Runs `scenario` on one freshly drawn topology per seed and aggregates
@@ -1059,7 +1239,9 @@ pub struct SweepStats {
 /// by the seed itself) and a single [`SimEngine`] — with its channel
 /// cache — is shared by every protocol; the simulation RNG is
 /// decorrelated from the placement stream. This is the batch entry point
-/// for Monte-Carlo experiments in the style of Figs. 12–13.
+/// for Monte-Carlo experiments in the style of Figs. 12–13; use
+/// [`sweep_parallel`] for the multi-threaded variant (bit-for-bit
+/// identical results).
 pub fn sweep(
     testbed: &Testbed,
     scenario: &Scenario,
@@ -1067,54 +1249,31 @@ pub fn sweep(
     protocols: &[Protocol],
     seeds: &[u64],
 ) -> Vec<SweepStats> {
-    let mut totals: Vec<Vec<f64>> = vec![Vec::with_capacity(seeds.len()); protocols.len()];
-    let mut per_flow: Vec<Vec<f64>> = vec![vec![0.0; scenario.flows.len()]; protocols.len()];
-    let mut dofs: Vec<f64> = vec![0.0; protocols.len()];
+    sweep_parallel(testbed, scenario, cfg, protocols, seeds, 1)
+}
 
-    for &seed in seeds {
-        let mut placement_rng = StdRng::seed_from_u64(seed);
-        let topo = build_topology(
-            testbed,
-            &TopologyConfig::new(scenario.antennas.clone()),
-            cfg.ofdm.bandwidth_hz,
-            seed,
-            &mut placement_rng,
-        );
-        let engine = SimEngine::new(&topo, scenario, cfg);
-        for (p, &protocol) in protocols.iter().enumerate() {
-            let mut run_rng = StdRng::seed_from_u64(seed ^ 0x5EED_CAFE);
-            let r = engine.run(protocol, &mut run_rng);
-            totals[p].push(r.total_mbps);
-            for (f, v) in r.per_flow_mbps.iter().enumerate() {
-                per_flow[p][f] += v;
-            }
-            dofs[p] += r.mean_dof;
-        }
-    }
-
-    let n = seeds.len().max(1) as f64;
-    protocols
-        .iter()
-        .enumerate()
-        .map(|(p, &protocol)| {
-            let mean = totals[p].iter().sum::<f64>() / n;
-            let ci95 = if totals[p].len() > 1 {
-                let var = totals[p].iter().map(|x| (x - mean).powi(2)).sum::<f64>()
-                    / (totals[p].len() - 1) as f64;
-                1.96 * (var / totals[p].len() as f64).sqrt()
-            } else {
-                0.0
-            };
-            SweepStats {
-                protocol,
-                n_runs: totals[p].len(),
-                mean_total_mbps: mean,
-                ci95_total_mbps: ci95,
-                mean_per_flow_mbps: per_flow[p].iter().map(|v| v / n).collect(),
-                mean_dof: dofs[p] / n,
-            }
-        })
-        .collect()
+/// [`sweep`] on up to `threads` worker threads (`0` = available
+/// parallelism).
+///
+/// Seeds become independent [`SweepJob`]s executed by
+/// [`executor::run_indexed`](crate::executor::run_indexed): workers pull
+/// jobs from an atomic cursor, every job derives its RNGs from its seed
+/// exactly as the serial path does, and results are merged in seed order
+/// — so the returned statistics are **bit-for-bit identical** for every
+/// thread count (asserted by the protocol-invariant proptests and the
+/// `perf_sweep` CI smoke run).
+pub fn sweep_parallel(
+    testbed: &Testbed,
+    scenario: &Scenario,
+    cfg: &SimConfig,
+    protocols: &[Protocol],
+    seeds: &[u64],
+    threads: usize,
+) -> Vec<SweepStats> {
+    let results = crate::executor::run_indexed(seeds.len(), threads, |i| {
+        SweepJob::new(testbed, scenario, cfg, protocols, seeds[i]).run()
+    });
+    aggregate_sweep(scenario, protocols, &results)
 }
 
 #[cfg(test)]
@@ -1399,6 +1558,137 @@ mod tests {
         assert_eq!(a.per_flow_mbps, b.per_flow_mbps);
         assert_eq!(a.per_flow_mbps, c.per_flow_mbps);
         assert_eq!(a.total_mbps, c.total_mbps);
+    }
+
+    /// Regression: `ci95_total_mbps` used the z = 1.96 normal
+    /// approximation at every sample size; at n = 5 the correct
+    /// Student-t critical value is 2.776, widening the half-width by
+    /// ~42%. Pins the n = 5 half-width exactly.
+    #[test]
+    fn ci95_uses_student_t_below_30_runs() {
+        let samples = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let mean = 3.0;
+        // Sample variance 2.5, standard error sqrt(2.5/5).
+        let expected = 2.776 * (2.5f64 / 5.0).sqrt();
+        let hw = ci95_half_width(&samples, mean);
+        assert!((hw - expected).abs() < 1e-12, "n=5 half-width {hw}");
+        // The old normal approximation was strictly narrower.
+        assert!(hw > 1.96 * (2.5f64 / 5.0).sqrt() * 1.4);
+
+        // n = 2 hits the fattest tail in the table.
+        let hw2 = ci95_half_width(&[0.0, 1.0], 0.5);
+        assert!((hw2 - 12.706 * (0.5f64 / 2.0).sqrt()).abs() < 1e-12);
+        // Degenerate cases stay zero.
+        assert_eq!(ci95_half_width(&[], 0.0), 0.0);
+        assert_eq!(ci95_half_width(&[7.0], 7.0), 0.0);
+        // At n >= 30 the expanded critical value takes over, continuous
+        // with the table (t_29 ≈ 2.045; the expansion gives ≈ 2.042 —
+        // no 4% jump down to 1.96 at the boundary).
+        let big: Vec<f64> = (0..30).map(|i| i as f64).collect();
+        let m = big.iter().sum::<f64>() / 30.0;
+        let var = big.iter().map(|x| (x - m).powi(2)).sum::<f64>() / 29.0;
+        let crit30 = 1.96 + (1.96f64.powi(3) + 1.96) / (4.0 * 29.0);
+        assert!((crit30 - 2.045).abs() < 5e-3, "crit at n=30: {crit30}");
+        assert!((ci95_half_width(&big, m) - crit30 * (var / 30.0).sqrt()).abs() < 1e-12);
+        // And it converges to the normal approximation for large n.
+        let huge: Vec<f64> = (0..1000).map(|i| (i % 7) as f64).collect();
+        let hm = huge.iter().sum::<f64>() / 1000.0;
+        let hvar = huge.iter().map(|x| (x - hm).powi(2)).sum::<f64>() / 999.0;
+        let hw_huge = ci95_half_width(&huge, hm);
+        assert!((hw_huge / (1.96 * (hvar / 1000.0).sqrt()) - 1.0).abs() < 2e-3);
+    }
+
+    /// The tentpole contract: `sweep_parallel` is bit-for-bit identical
+    /// to the serial `sweep` for every thread count.
+    #[test]
+    fn sweep_parallel_matches_serial_bitwise() {
+        let scenario = Scenario::ap_downlink();
+        let cfg = SimConfig {
+            rounds: 5,
+            ..SimConfig::default()
+        };
+        let protocols = [Protocol::NPlus, Protocol::Dot11n, Protocol::Beamforming];
+        let seeds: Vec<u64> = (0..5).collect();
+        let tb = Testbed::sigcomm11();
+        let serial = sweep(&tb, &scenario, &cfg, &protocols, &seeds);
+        for threads in [2usize, 4, 0] {
+            let par = sweep_parallel(&tb, &scenario, &cfg, &protocols, &seeds, threads);
+            assert_eq!(serial.len(), par.len());
+            for (s, p) in serial.iter().zip(&par) {
+                assert_eq!(s.protocol, p.protocol, "{threads} threads");
+                assert_eq!(s.n_runs, p.n_runs, "{threads} threads");
+                assert_eq!(s.mean_total_mbps, p.mean_total_mbps, "{threads} threads");
+                assert_eq!(s.ci95_total_mbps, p.ci95_total_mbps, "{threads} threads");
+                assert_eq!(
+                    s.mean_per_flow_mbps, p.mean_per_flow_mbps,
+                    "{threads} threads"
+                );
+                assert_eq!(s.mean_dof, p.mean_dof, "{threads} threads");
+            }
+        }
+    }
+
+    /// A `SweepJob` is a pure function of its seed: running it twice —
+    /// or via the engine by hand — reproduces the result exactly.
+    #[test]
+    fn sweep_job_is_pure_in_its_seed() {
+        let scenario = Scenario::three_pairs();
+        let cfg = SimConfig {
+            rounds: 4,
+            ..SimConfig::default()
+        };
+        let tb = Testbed::sigcomm11();
+        let protocols = [Protocol::NPlus];
+        let job = SweepJob::new(&tb, &scenario, &cfg, &protocols, 7);
+        let a = job.run();
+        let b = job.run();
+        assert_eq!(a.seed, 7);
+        assert_eq!(
+            a.per_protocol[0].per_flow_mbps,
+            b.per_protocol[0].per_flow_mbps
+        );
+        assert_eq!(a.per_protocol[0].total_mbps, b.per_protocol[0].total_mbps);
+    }
+
+    /// Regression: `settle_round` used to collect a state's streams by
+    /// receiver *node*, so two transmitters concurrently serving the
+    /// same receiver — the hidden-terminal star, where a joiner's flow
+    /// targets a node another transmission already serves — left empty
+    /// per-stream SINR vectors and panicked in `effective_snr`. This is
+    /// the exact generated configuration that crashed the sweep binary.
+    #[test]
+    fn hidden_terminal_concurrent_service_settles() {
+        // The generator's `hidden_terminal(3)` at seed 42, written out
+        // (testkit's `Scenario` is a separate crate instance inside this
+        // crate's own test harness): three transmitters, one shared
+        // 2-antenna receiver.
+        let scenario = Scenario {
+            antennas: vec![2, 1, 3, 4],
+            flows: vec![
+                Flow { tx: 1, rx: 0 },
+                Flow { tx: 2, rx: 0 },
+                Flow { tx: 3, rx: 0 },
+            ],
+        };
+        let cfg = SimConfig {
+            rounds: 8,
+            ..SimConfig::default()
+        };
+        let seeds: Vec<u64> = (0..4).collect();
+        let stats = sweep(
+            &Testbed::sigcomm11(),
+            &scenario,
+            &cfg,
+            &[Protocol::NPlus, Protocol::Dot11n],
+            &seeds,
+        );
+        for s in &stats {
+            assert!(
+                s.mean_total_mbps.is_finite() && s.mean_total_mbps > 0.0,
+                "{:?} produced no goodput on the shared-receiver star",
+                s.protocol
+            );
+        }
     }
 
     #[test]

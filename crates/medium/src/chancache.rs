@@ -78,6 +78,13 @@ impl ChannelCache {
     }
 }
 
+// One channel cache is read by every protocol run of a sweep job; the
+// parallel engine requires it to be shareable across scoped threads.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<ChannelCache>();
+};
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -263,6 +263,15 @@ impl Medium {
     }
 }
 
+// Sweep workers hold media inside per-thread topologies; the type must
+// stay `Send + Sync` (deterministic noise comes from per-capture seeding,
+// not shared RNG state).
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<Medium>();
+    assert_send_sync::<Transmission>();
+};
+
 /// Returns true when any scheduled transmission overlaps the window
 /// `[start, start+len)` — a cheap "is the medium busy" oracle for tests
 /// (real nodes must carrier-sense, of course).

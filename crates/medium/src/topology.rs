@@ -98,6 +98,15 @@ pub fn build_topology<R: Rng>(
     }
 }
 
+// The parallel sweep engine builds and consumes topologies on scoped
+// worker threads; keep the type thread-safe by construction (no interior
+// mutability, no shared handles).
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<Topology>();
+    assert_send_sync::<TopologyConfig>();
+};
+
 #[cfg(test)]
 mod tests {
     use super::*;

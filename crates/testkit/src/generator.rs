@@ -4,18 +4,27 @@
 //! exact figures; large Monte-Carlo sweeps additionally need *families*
 //! of scenarios — random pair counts, antenna mixes and multi-AP traffic
 //! shapes — drawn reproducibly from a seed. [`ScenarioGenerator`] covers
-//! the space the sweep binaries explore: N contending pairs and multi-AP
-//! downlink cells, with 1–4 antennas per node and up to 16 nodes (the
-//! SIGCOMM'11 testbed map has 20 candidate locations, so every generated
-//! scenario fits a placement draw).
+//! the space the sweep binaries explore: N contending pairs, multi-AP
+//! downlink cells, hidden-terminal stars, maximally antenna-asymmetric
+//! pairs and dense many-pair meshes, with 1–4 antennas per node.
+//! Families up to [`MAX_NODES`] nodes fit the paper's 20-location
+//! testbed map; the dense family goes up to [`MAX_DENSE_NODES`] nodes
+//! and places on `Testbed::sigcomm11_extended()` (which
+//! `scenario::build_scenario` selects automatically by node count).
 
 use nplus::sim::{Flow, Scenario};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-/// Largest node count the generator emits (the testbed map has 20
-/// candidate locations; 16 leaves placement diversity).
+/// Largest node count of the standard families (the paper's testbed map
+/// has 20 candidate locations; 16 leaves placement diversity).
 pub const MAX_NODES: usize = 16;
+
+/// Largest node count of the dense family (placed on the 40-location
+/// `Testbed::sigcomm11_extended()` map, which
+/// `scenario::build_scenario` selects automatically by node count; 32
+/// leaves placement diversity there).
+pub const MAX_DENSE_NODES: usize = 32;
 
 /// Largest antenna count the generator draws per node.
 pub const MAX_ANTENNAS: usize = 4;
@@ -88,16 +97,104 @@ impl ScenarioGenerator {
         Scenario { antennas, flows }
     }
 
-    /// A random scenario of either family: contending pairs or multi-AP
-    /// downlink cells, sized to fit the testbed.
+    /// A hidden-terminal star: `n_txs` transmitters (1–4 antennas each)
+    /// all sending to one shared multi-antenna receiver. Under random
+    /// placement the transmitters frequently cannot decode each other's
+    /// headers while still interfering at the shared receiver — the
+    /// classic hidden-terminal stress for carrier sense and the
+    /// secondary-contention path. Node order: rx, tx1, …, tx`n_txs`.
+    pub fn hidden_terminal(&mut self, n_txs: usize) -> Scenario {
+        assert!(n_txs >= 2, "a hidden-terminal star needs >= 2 transmitters");
+        assert!(n_txs < MAX_NODES, "too many nodes for the testbed");
+        let mut antennas = Vec::with_capacity(n_txs + 1);
+        // The shared receiver needs spatial room: 2–4 antennas.
+        antennas.push(self.rng.gen_range(2..=MAX_ANTENNAS));
+        let mut flows = Vec::with_capacity(n_txs);
+        for t in 0..n_txs {
+            antennas.push(self.rng.gen_range(1..=MAX_ANTENNAS));
+            flows.push(Flow { tx: t + 1, rx: 0 });
+        }
+        Scenario { antennas, flows }
+    }
+
+    /// `n_pairs` maximally antenna-asymmetric pairs: odd pairs put all
+    /// the antennas on the transmitter (4→1), even pairs on the receiver
+    /// (1→4) — the extremes of the paper's heterogeneity axis, where
+    /// stream allocation is capacity-limited on one side. Node order:
+    /// tx1, rx1, tx2, rx2, …
+    pub fn asymmetric_antenna(&mut self, n_pairs: usize) -> Scenario {
+        assert!(n_pairs >= 1, "need at least one pair");
+        assert!(2 * n_pairs <= MAX_NODES, "too many nodes for the testbed");
+        let mut antennas = Vec::with_capacity(2 * n_pairs);
+        let mut flows = Vec::with_capacity(n_pairs);
+        for p in 0..n_pairs {
+            let (tx_ants, rx_ants) = if p % 2 == 0 {
+                (MAX_ANTENNAS, 1)
+            } else {
+                (1, MAX_ANTENNAS)
+            };
+            antennas.push(tx_ants);
+            antennas.push(rx_ants);
+            flows.push(Flow {
+                tx: 2 * p,
+                rx: 2 * p + 1,
+            });
+        }
+        Scenario { antennas, flows }
+    }
+
+    /// A dense mesh of `n_nodes / 2` contending pairs (`n_nodes` even,
+    /// up to [`MAX_DENSE_NODES`]): the contention-heavy regime where
+    /// Monte-Carlo sweeps are the most compute-bound and the parallel
+    /// sweep engine earns its keep. Scenarios above the paper map's
+    /// capacity place on the extended testbed. Node order as
+    /// [`n_pairs`](Self::n_pairs).
+    pub fn dense(&mut self, n_nodes: usize) -> Scenario {
+        assert!(
+            n_nodes >= 4 && n_nodes.is_multiple_of(2),
+            "dense needs an even node count >= 4"
+        );
+        assert!(
+            n_nodes <= MAX_DENSE_NODES,
+            "too many nodes for the extended testbed"
+        );
+        let mut antennas = Vec::with_capacity(n_nodes);
+        let mut flows = Vec::with_capacity(n_nodes / 2);
+        for p in 0..n_nodes / 2 {
+            antennas.push(self.rng.gen_range(1..=MAX_ANTENNAS));
+            antennas.push(self.rng.gen_range(1..=MAX_ANTENNAS));
+            flows.push(Flow {
+                tx: 2 * p,
+                rx: 2 * p + 1,
+            });
+        }
+        Scenario { antennas, flows }
+    }
+
+    /// A random scenario of any family: contending pairs, multi-AP
+    /// downlink cells, hidden-terminal stars, asymmetric pairs or a
+    /// dense mesh — the diversity the parallel sweep engine is fed.
     pub fn random(&mut self) -> Scenario {
-        if self.rng.gen::<bool>() {
-            self.random_pairs()
-        } else {
-            let n_aps: usize = self.rng.gen_range(1..=4);
-            let max_clients = (MAX_NODES / n_aps).saturating_sub(1).clamp(1, 3);
-            let clients = self.rng.gen_range(1..=max_clients);
-            self.multi_ap(n_aps, clients)
+        match self.rng.gen_range(0u8..5) {
+            0 => self.random_pairs(),
+            1 => {
+                let n_aps: usize = self.rng.gen_range(1..=4);
+                let max_clients = (MAX_NODES / n_aps).saturating_sub(1).clamp(1, 3);
+                let clients = self.rng.gen_range(1..=max_clients);
+                self.multi_ap(n_aps, clients)
+            }
+            2 => {
+                let n_txs = self.rng.gen_range(2..=6);
+                self.hidden_terminal(n_txs)
+            }
+            3 => {
+                let n_pairs = self.rng.gen_range(2..=MAX_NODES / 2);
+                self.asymmetric_antenna(n_pairs)
+            }
+            _ => {
+                let n_pairs = self.rng.gen_range(5..=MAX_DENSE_NODES / 2);
+                self.dense(2 * n_pairs)
+            }
         }
     }
 }
@@ -107,7 +204,7 @@ mod tests {
     use super::*;
 
     fn check_valid(s: &Scenario) {
-        assert!(s.antennas.len() <= MAX_NODES);
+        assert!(s.antennas.len() <= MAX_DENSE_NODES);
         assert!(!s.flows.is_empty());
         for &a in &s.antennas {
             assert!((1..=MAX_ANTENNAS).contains(&a), "antennas {a}");
@@ -142,6 +239,53 @@ mod tests {
         for ap in [0usize, 4] {
             assert!(s.antennas[ap] >= 2, "AP must have multiple antennas");
         }
+    }
+
+    #[test]
+    fn hidden_terminal_shape() {
+        let mut g = ScenarioGenerator::new(5);
+        let s = g.hidden_terminal(4);
+        assert_eq!(s.antennas.len(), 5);
+        assert_eq!(s.flows.len(), 4);
+        check_valid(&s);
+        // Every flow targets the shared receiver; every tx is distinct.
+        assert!(s.flows.iter().all(|f| f.rx == 0));
+        assert_eq!(s.transmitters(), vec![1, 2, 3, 4]);
+        assert!(s.antennas[0] >= 2, "shared receiver needs spatial room");
+    }
+
+    #[test]
+    fn asymmetric_antenna_shape() {
+        let mut g = ScenarioGenerator::new(6);
+        let s = g.asymmetric_antenna(3);
+        assert_eq!(s.antennas.len(), 6);
+        check_valid(&s);
+        // Pairs alternate 4→1 and 1→4.
+        assert_eq!(s.antennas, vec![4, 1, 1, 4, 4, 1]);
+        for f in &s.flows {
+            let (a, b) = (s.antennas[f.tx], s.antennas[f.rx]);
+            assert_eq!(a.max(b), MAX_ANTENNAS);
+            assert_eq!(a.min(b), 1);
+        }
+    }
+
+    #[test]
+    fn dense_shape() {
+        let mut g = ScenarioGenerator::new(7);
+        let s = g.dense(MAX_DENSE_NODES);
+        assert_eq!(s.antennas.len(), 32);
+        assert_eq!(s.flows.len(), 16);
+        check_valid(&s);
+        assert_eq!(s.transmitters().len(), 16);
+        // And it actually places + simulates on the extended testbed.
+        let built = crate::scenario::build_scenario(g.dense(24), 13);
+        assert_eq!(built.topology.nodes.len(), 24);
+        let cfg = nplus::sim::SimConfig {
+            rounds: 1,
+            ..Default::default()
+        };
+        let r = built.run_with(nplus::sim::Protocol::Dot11n, &cfg, 3);
+        assert!(r.total_mbps.is_finite());
     }
 
     #[test]

@@ -35,8 +35,13 @@ impl BuiltScenario {
 }
 
 /// Place an arbitrary scenario on a random SIGCOMM'11 testbed draw.
+///
+/// Scenarios that fit the paper's 20-location map use it unchanged (so
+/// existing seeds reproduce bit-identical placements); larger ones —
+/// the generator's dense family goes to 32 nodes — place on the
+/// two-wing extended map.
 pub fn build_scenario(scenario: Scenario, placement_seed: u64) -> BuiltScenario {
-    let testbed = Testbed::sigcomm11();
+    let testbed = Testbed::fitting(scenario.antennas.len());
     let mut rng = StdRng::seed_from_u64(placement_seed);
     let topology = build_topology(
         &testbed,

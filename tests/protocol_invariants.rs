@@ -1,9 +1,12 @@
 //! Protocol-level invariants of n+ (DESIGN.md §6), checked across many
 //! random topologies.
 
-use nplus::sim::{Protocol, Scenario, SimConfig};
+use nplus::sim::{sweep, sweep_parallel, Protocol, Scenario, SimConfig};
 use nplus_channel::impairments::{HardwareProfile, IDEAL_HARDWARE};
+use nplus_channel::placement::Testbed;
+use nplus_testkit::generator::ScenarioGenerator;
 use nplus_testkit::scenario::build_scenario;
+use proptest::{proptest, ProptestConfig};
 
 fn run(
     scenario: &Scenario,
@@ -244,6 +247,44 @@ fn monte_carlo_throughput_headline() {
         np_flow0 > 0.8 * dn_flow0,
         "single-antenna flow lost too much: {np_flow0:.1} vs {dn_flow0:.1}"
     );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// The parallel sweep engine's determinism contract (DESIGN.md §4):
+    /// for any generated scenario, `sweep_parallel` at 1, 2 and 4
+    /// threads produces statistics **bit-for-bit identical** to the
+    /// serial `sweep` — same seed-derived RNG streams per job, results
+    /// merged in seed order, no tolerance anywhere.
+    #[test]
+    fn sweep_parallel_is_bitwise_deterministic(gen_seed in 0u64..1000, family in 0u8..3) {
+        let mut generator = ScenarioGenerator::new(gen_seed);
+        // Small instances of three families — the proptest runs on every
+        // `cargo test`, so keep each case to a few simulated rounds.
+        let scenario = match family {
+            0 => generator.n_pairs(2),
+            1 => generator.hidden_terminal(2),
+            _ => generator.asymmetric_antenna(2),
+        };
+        let testbed = Testbed::fitting(scenario.antennas.len());
+        let cfg = SimConfig { rounds: 2, ..SimConfig::default() };
+        let protocols = [Protocol::NPlus, Protocol::Dot11n];
+        let seeds: Vec<u64> = (gen_seed..gen_seed + 2).collect();
+        let serial = sweep(&testbed, &scenario, &cfg, &protocols, &seeds);
+        for threads in [1usize, 2, 4] {
+            let par = sweep_parallel(&testbed, &scenario, &cfg, &protocols, &seeds, threads);
+            proptest::prop_assert_eq!(serial.len(), par.len());
+            for (s, p) in serial.iter().zip(&par) {
+                proptest::prop_assert_eq!(s.protocol, p.protocol);
+                proptest::prop_assert_eq!(s.n_runs, p.n_runs);
+                proptest::prop_assert_eq!(s.mean_total_mbps, p.mean_total_mbps, "threads {}", threads);
+                proptest::prop_assert_eq!(s.ci95_total_mbps, p.ci95_total_mbps, "threads {}", threads);
+                proptest::prop_assert_eq!(&s.mean_per_flow_mbps, &p.mean_per_flow_mbps, "threads {}", threads);
+                proptest::prop_assert_eq!(s.mean_dof, p.mean_dof, "threads {}", threads);
+            }
+        }
+    }
 }
 
 /// The AP scenario orders protocols as the paper does:
