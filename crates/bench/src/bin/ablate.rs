@@ -11,8 +11,9 @@
 //!
 //! Run with: `cargo run --release --bin ablate`
 
+use nplus::policy::{GreedyJoin, MacPolicy, NPlus};
 use nplus::precoder::{compute_precoders, OwnReceiver, PrecoderError, ProtectedReceiver};
-use nplus::sim::{Protocol, SimConfig};
+use nplus::sim::SimConfig;
 use nplus_bench::support::mean;
 use nplus_channel::fading::DelayProfile;
 use nplus_channel::mimo::MimoLink;
@@ -96,13 +97,17 @@ fn ablate_threshold() {
         "{:>18} {:>14} {:>16} {:>14}",
         "L [dB]", "total [Mb/s]", "1-ant flow [Mb/s]", "mean DoF"
     );
-    for (label, l_db, pc) in [
-        ("15", 15.0, true),
-        ("21", 21.0, true),
-        ("27 (paper)", 27.0, true),
-        ("33", 33.0, true),
-        ("off (no PC)", 27.0, false),
-    ] {
+    // Turning power control off is a *policy* ablation now: `GreedyJoin`
+    // is n+ with the §4 decision bypassed at the policy layer (the old
+    // `SimConfig::power_control = false` knob, bit-for-bit).
+    let rows: [(&str, f64, &dyn MacPolicy); 5] = [
+        ("15", 15.0, &NPlus),
+        ("21", 21.0, &NPlus),
+        ("27 (paper)", 27.0, &NPlus),
+        ("33", 33.0, &NPlus),
+        ("off (greedy_join)", 27.0, &GreedyJoin),
+    ];
+    for (label, l_db, policy) in rows {
         let mut totals = Vec::new();
         let mut flow0 = Vec::new();
         let mut dof = Vec::new();
@@ -111,10 +116,9 @@ fn ablate_threshold() {
             let cfg = SimConfig {
                 rounds: 20,
                 l_db,
-                power_control: pc,
                 ..SimConfig::default()
             };
-            let r = built.run_with(Protocol::NPlus, &cfg, seed ^ 0xA11);
+            let r = built.run_policy(policy, &cfg, seed ^ 0xA11);
             totals.push(r.total_mbps);
             flow0.push(r.per_flow_mbps[0]);
             dof.push(r.mean_dof);

@@ -31,7 +31,10 @@
 //! numbers degenerate to ~1x; the determinism assertion still bites.)
 //!
 //! Usage:
-//!   cargo run --release --bin perf_sweep -- [iters] [out_path]
+//!
+//! ```text
+//! cargo run --release --bin perf_sweep -- [iters] [out_path]
+//! ```
 //!
 //! `iters` (default 3) is how many timed repetitions the best-of is
 //! taken over; `out_path` defaults to `BENCH_sim.json`. CI runs this as
@@ -109,12 +112,13 @@ fn best_of(cfg: &SimConfig, legacy: bool, iters: usize) -> (f64, Vec<RunResult>)
 fn stats_identical(a: &[SweepStats], b: &[SweepStats]) -> bool {
     a.len() == b.len()
         && a.iter().zip(b).all(|(x, y)| {
-            x.protocol == y.protocol
+            x.policy == y.policy
                 && x.n_runs == y.n_runs
                 && x.mean_total_mbps == y.mean_total_mbps
                 && x.ci95_total_mbps == y.ci95_total_mbps
                 && x.mean_per_flow_mbps == y.mean_per_flow_mbps
                 && x.mean_dof == y.mean_dof
+                && x.mean_fairness.to_bits() == y.mean_fairness.to_bits()
         })
 }
 
@@ -290,8 +294,12 @@ fn main() {
 
     let mean_total: f64 =
         cached_r.iter().map(|r| r.total_mbps).sum::<f64>() / cached_r.len().max(1) as f64;
+    // Policy labels via `Display` — the same names `SweepStats::policy`
+    // and the sweep binary's JSON report (no hand-rolled Debug strings).
+    let policy_list: Vec<String> = protocols.iter().map(|p| format!("\"{p}\"")).collect();
+    let sweep_policies = policy_list.join(", ");
     let json = format!(
-        "{{\n  \"bench\": \"sim_three_pairs_nplus\",\n  \"placements\": {N_PLACEMENTS},\n  \"rounds\": {ROUNDS},\n  \"iters\": {iters},\n  \"legacy_seconds\": {legacy_s:.6},\n  \"uncached_seconds\": {uncached_s:.6},\n  \"cached_seconds\": {cached_s:.6},\n  \"legacy_rounds_per_sec\": {legacy_rps:.3},\n  \"uncached_rounds_per_sec\": {uncached_rps:.3},\n  \"cached_rounds_per_sec\": {cached_rps:.3},\n  \"speedup\": {speedup:.3},\n  \"cache_speedup\": {cache_speedup:.3},\n  \"bit_identical\": {bit_identical},\n  \"mean_total_mbps\": {mean_total:.6},\n  \"sweep_bench\": \"sweep_pairs4_all_protocols\",\n  \"sweep_seeds\": {SWEEP_SEEDS},\n  \"sweep_rounds\": {SWEEP_ROUNDS},\n  \"sweep_cores_available\": {cores},\n  \"sweep_legacy_seconds\": {sweep_legacy_s:.6},\n  \"sweep_serial_seconds\": {serial_s:.6},\n  \"sweep_2t_seconds\": {t2_s:.6},\n  \"sweep_4t_seconds\": {t4_s:.6},\n  \"sweep_speedup_vs_legacy\": {sweep_vs_legacy:.3},\n  \"sweep_speedup_2t\": {speedup_2t:.3},\n  \"sweep_speedup_4t\": {speedup_4t:.3},\n  \"sweep_parallel_bit_identical\": {parallel_identical}\n}}\n"
+        "{{\n  \"bench\": \"sim_three_pairs_nplus\",\n  \"placements\": {N_PLACEMENTS},\n  \"rounds\": {ROUNDS},\n  \"iters\": {iters},\n  \"legacy_seconds\": {legacy_s:.6},\n  \"uncached_seconds\": {uncached_s:.6},\n  \"cached_seconds\": {cached_s:.6},\n  \"legacy_rounds_per_sec\": {legacy_rps:.3},\n  \"uncached_rounds_per_sec\": {uncached_rps:.3},\n  \"cached_rounds_per_sec\": {cached_rps:.3},\n  \"speedup\": {speedup:.3},\n  \"cache_speedup\": {cache_speedup:.3},\n  \"bit_identical\": {bit_identical},\n  \"mean_total_mbps\": {mean_total:.6},\n  \"sweep_bench\": \"sweep_pairs4_all_protocols\",\n  \"sweep_policies\": [{sweep_policies}],\n  \"sweep_seeds\": {SWEEP_SEEDS},\n  \"sweep_rounds\": {SWEEP_ROUNDS},\n  \"sweep_cores_available\": {cores},\n  \"sweep_legacy_seconds\": {sweep_legacy_s:.6},\n  \"sweep_serial_seconds\": {serial_s:.6},\n  \"sweep_2t_seconds\": {t2_s:.6},\n  \"sweep_4t_seconds\": {t4_s:.6},\n  \"sweep_speedup_vs_legacy\": {sweep_vs_legacy:.3},\n  \"sweep_speedup_2t\": {speedup_2t:.3},\n  \"sweep_speedup_4t\": {speedup_4t:.3},\n  \"sweep_parallel_bit_identical\": {parallel_identical}\n}}\n"
     );
     std::fs::write(&out_path, json).expect("write BENCH_sim.json");
     println!("wrote {out_path}");

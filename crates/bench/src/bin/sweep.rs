@@ -1,15 +1,17 @@
 //! Batch Monte-Carlo sweeps over canonical or generated scenarios.
 //!
-//! Runs `nplus::sim::sweep_parallel` — one freshly drawn topology per
-//! seed, one shared channel-cached `SimEngine` per topology, seeds
-//! executed as independent jobs on a scoped-thread pool — and prints
-//! mean ±95% CI total goodput per protocol, plus per-flow means.
-//! Results are bit-for-bit identical for every `--threads` value
-//! (including 1); CI diffs the two to prove it.
+//! Runs `nplus::sim::SweepSpec` — one freshly drawn topology per seed,
+//! one shared channel-cached `SimEngine` per topology, seeds executed
+//! as independent jobs on a scoped-thread pool — and prints mean ±95%
+//! CI total goodput per policy, plus per-flow means and mean Jain
+//! fairness. Results are bit-for-bit identical for every `--threads`
+//! value (including 1); CI diffs the two to prove it.
 //!
 //! Usage:
-//!   cargo run --release --bin sweep -- [scenario] [n_seeds] [rounds] \
-//!       [--threads N] [--json [path]]
+//!
+//! ```text
+//! cargo run --release --bin sweep -- [scenario] [n_seeds] [rounds] \
+//!     [--threads N] [--policies a,b,..] [--json [path]]
 //!
 //! where `scenario` is one of:
 //!   three_pairs          the Fig. 3 scenario (default)
@@ -23,13 +25,16 @@
 //!
 //! Flags (positionals must precede flags):
 //!   --threads N          worker threads (default 0 = all cores; 1 = serial)
+//!   --policies a,b,..    comma-separated policy names (default
+//!                        dot11n,beamforming,nplus; also oracle,
+//!                        greedy_join — anything policy_from_name knows)
 //!   --json [path]        machine-readable stats to `path` (default stdout)
+//! ```
 //!
 //! Generated scenarios are seeded (generator seed 42 unless `random:`
 //! gives one), so every invocation is reproducible.
 
-use nplus::sim::{sweep_parallel, Protocol, Scenario, SimConfig, SweepStats};
-use nplus_channel::placement::Testbed;
+use nplus::prelude::*;
 use nplus_testkit::generator::ScenarioGenerator;
 
 fn parse_scenario(spec: &str) -> Scenario {
@@ -71,7 +76,9 @@ fn parse_scenario(spec: &str) -> Scenario {
 
 /// Renders the stats as JSON (handwritten — the workspace carries no
 /// serialization dependency). Field order is fixed so serial/parallel
-/// runs can be compared with a plain `diff`.
+/// runs can be compared with a plain `diff`. `mean_fairness` may be
+/// `NaN` (no run with defined fairness); JSON has no NaN literal, so it
+/// is emitted as `null`.
 fn stats_json(spec: &str, n_seeds: u64, rounds: usize, stats: &[SweepStats]) -> String {
     let mut out = String::new();
     out.push_str("{\n");
@@ -85,13 +92,19 @@ fn stats_json(spec: &str, n_seeds: u64, rounds: usize, stats: &[SweepStats]) -> 
             .iter()
             .map(|v| format!("{v:.9}"))
             .collect();
+        let fairness = if s.mean_fairness.is_finite() {
+            format!("{:.9}", s.mean_fairness)
+        } else {
+            "null".to_string()
+        };
         out.push_str(&format!(
-            "    {{\"protocol\": \"{:?}\", \"runs\": {}, \"mean_total_mbps\": {:.9}, \"ci95_total_mbps\": {:.9}, \"mean_dof\": {:.9}, \"mean_per_flow_mbps\": [{}]}}{}\n",
-            s.protocol,
+            "    {{\"protocol\": \"{}\", \"runs\": {}, \"mean_total_mbps\": {:.9}, \"ci95_total_mbps\": {:.9}, \"mean_dof\": {:.9}, \"mean_fairness\": {}, \"mean_per_flow_mbps\": [{}]}}{}\n",
+            s.policy,
             s.n_runs,
             s.mean_total_mbps,
             s.ci95_total_mbps,
             s.mean_dof,
+            fairness,
             flows.join(", "),
             if i + 1 < stats.len() { "," } else { "" }
         ));
@@ -106,6 +119,9 @@ fn main() {
     // Split flags from positionals.
     let mut positional: Vec<&str> = Vec::new();
     let mut threads: usize = 0;
+    // Empty = the library default (`SweepSpec` applies the paper's
+    // dot11n/beamforming/nplus trio); only `--policies` overrides it.
+    let mut policy_names: Vec<String> = Vec::new();
     let mut json_to: Option<Option<String>> = None;
     let mut i = 1;
     while i < args.len() {
@@ -116,6 +132,11 @@ fn main() {
                     .get(i)
                     .and_then(|s| s.parse().ok())
                     .expect("--threads needs a number");
+            }
+            "--policies" => {
+                i += 1;
+                let list = args.get(i).expect("--policies needs a,b,..");
+                policy_names = list.split(',').map(str::to_string).collect();
             }
             "--json" => {
                 // Optional path operand: the next arg, unless it is
@@ -138,13 +159,15 @@ fn main() {
     let rounds: usize = positional.get(2).and_then(|s| s.parse().ok()).unwrap_or(25);
 
     let scenario = parse_scenario(spec);
-    let testbed = Testbed::fitting(scenario.antennas.len());
-    let cfg = SimConfig {
-        rounds,
-        ..SimConfig::default()
-    };
-    let seeds: Vec<u64> = (0..n_seeds).collect();
-    let protocols = [Protocol::Dot11n, Protocol::Beamforming, Protocol::NPlus];
+    let mut sweep_spec = SweepSpec::new(scenario.clone())
+        .rounds(rounds)
+        .seed_count(n_seeds)
+        .threads(threads);
+    for name in &policy_names {
+        sweep_spec = sweep_spec.policy_named(name).unwrap_or_else(|unknown| {
+            panic!("unknown policy {unknown:?} (try {BUILTIN_POLICY_NAMES:?})")
+        });
+    }
 
     eprintln!(
         "== sweep: {spec} ({} nodes, {} flows), {n_seeds} placements x {rounds} rounds, {} ==",
@@ -158,7 +181,7 @@ fn main() {
     );
     eprintln!("antennas: {:?}", scenario.antennas);
 
-    let stats = sweep_parallel(&testbed, &scenario, &cfg, &protocols, &seeds, threads);
+    let stats = sweep_spec.run();
 
     if let Some(path) = &json_to {
         let json = stats_json(spec, n_seeds, rounds, &stats);
@@ -173,17 +196,13 @@ fn main() {
     }
 
     println!(
-        "\n{:>12} {:>10} {:>8} {:>9} {:>9}",
-        "protocol", "total Mb/s", "±95% CI", "mean DoF", "runs"
+        "\n{:>12} {:>10} {:>8} {:>9} {:>9} {:>9}",
+        "policy", "total Mb/s", "±95% CI", "mean DoF", "fairness", "runs"
     );
     for s in &stats {
         println!(
-            "{:>12} {:>10.2} {:>8.2} {:>9.2} {:>9}",
-            format!("{:?}", s.protocol),
-            s.mean_total_mbps,
-            s.ci95_total_mbps,
-            s.mean_dof,
-            s.n_runs
+            "{:>12} {:>10.2} {:>8.2} {:>9.2} {:>9.2} {:>9}",
+            s.policy, s.mean_total_mbps, s.ci95_total_mbps, s.mean_dof, s.mean_fairness, s.n_runs
         );
     }
 
@@ -194,6 +213,6 @@ fn main() {
             .iter()
             .map(|v| format!("{v:.2}"))
             .collect();
-        println!("{:>12}: {}", format!("{:?}", s.protocol), flows.join("  "));
+        println!("{:>12}: {}", s.policy, flows.join("  "));
     }
 }

@@ -288,8 +288,11 @@ fn plan_winner(
         .collect();
 
     // Join power control against protected receivers (worst subcarrier
-    // median is approximated by the middle subcarrier's matrix).
-    let decision = if ctx.cfg.power_control && !protected.is_empty() {
+    // median is approximated by the middle subcarrier's matrix). The
+    // historical `SimConfig::power_control` flag is gone (the ablation
+    // moved to the `GreedyJoin` policy); every legacy benchmark ran
+    // with it on, so the enabled branch is hard-wired here.
+    let decision = if !protected.is_empty() {
         let mid = n_sc / 2;
         let mats: Vec<&CMatrix> = believed_protected.iter().map(|v| &v[mid]).collect();
         join_power_decision(&mats, ctx.cfg.l_db)

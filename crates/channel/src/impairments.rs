@@ -11,7 +11,7 @@
 //!    carry error variance ∝ 1/γ per subcarrier.
 //! 2. **Reciprocity calibration error** — the forward channel is inferred
 //!    from the reverse one; hardware Tx/Rx chain asymmetry is calibrated
-//!    offline (per [4,14] in the paper) but a small multiplicative
+//!    offline (per \[4,14\] in the paper) but a small multiplicative
 //!    residual remains.
 //! 3. **Transmit EVM** — amplifier/DAC non-linearities add a noise floor
 //!    proportional to the transmitted power, independent of precoding.

@@ -19,7 +19,9 @@
 //! | [`handshake`] | §3.5 | differential alignment-space compression |
 //! | [`link`] | §3.4 | zero-forcing SINRs and per-packet rate selection |
 //! | [`power_control`] | §4 | the join-power threshold `L` |
-//! | [`sim`] | §6 | protocol simulation: n+, 802.11n, beamforming |
+//! | [`policy`] | §6 | pluggable MAC policies: n+, 802.11n, beamforming, oracle, greedy-join |
+//! | [`observer`] | §6 | round-level event tap over simulation runs |
+//! | [`sim`] | §6 | the round engine, sweeps and the [`sim::SweepSpec`] facade |
 //!
 //! The PHY, channel, medium, and MAC substrates live in their own crates
 //! (`nplus-phy`, `nplus-channel`, `nplus-medium`, `nplus-mac`); the paper's
@@ -56,6 +58,8 @@ pub mod executor;
 pub mod handshake;
 pub mod link;
 pub mod node;
+pub mod observer;
+pub mod policy;
 pub mod power_control;
 pub mod precoder;
 pub mod sim;
@@ -65,12 +69,48 @@ pub use executor::{resolve_threads, run_indexed, run_indexed_chunked};
 pub use handshake::{blob_symbols, decode_alignment_space, encode_alignment_space};
 pub use link::{select_stream_rate, zf_sinr, SubcarrierObservation};
 pub use node::{learn_forward_channel, plan_join, JoinError, JoinPlan, LearnedReceiver};
+pub use observer::{
+    ContentionKind, ContentionRecord, GoodputAccumulator, JoinRecord, NullObserver, RoundObserver,
+    RoundRecord, RunMeta, StreamRecord,
+};
+pub use policy::{
+    policy_from_name, Beamforming, Dot11n, GreedyJoin, MacPolicy, NPlus, Oracle, PolicyView,
+    BUILTIN_POLICY_NAMES,
+};
 pub use power_control::{join_power_decision, JoinPowerDecision, DEFAULT_L_DB};
 pub use precoder::{
     compute_precoders, compute_precoders_ref, max_joinable_streams, residual_interference,
     OwnReceiver, OwnReceiverRef, PrecoderError, Precoding, ProtectedReceiver, ProtectedReceiverRef,
 };
 pub use sim::{
-    simulate, sweep, sweep_parallel, Flow, Protocol, RunResult, Scenario, SeedResults, SimConfig,
-    SimEngine, SweepJob, SweepStats,
+    simulate, simulate_policy, sweep, sweep_parallel, Flow, Protocol, RunResult, Scenario,
+    SeedResults, SimConfig, SimEngine, SweepJob, SweepSpec, SweepStats,
 };
+
+/// One-import surface for simulation users: the builder facade, the
+/// scenario types, every built-in policy, and the observer API.
+///
+/// ```
+/// use nplus::prelude::*;
+///
+/// let stats = SweepSpec::new(Scenario::three_pairs())
+///     .rounds(3)
+///     .seed_count(2)
+///     .protocols(&[Protocol::Dot11n, Protocol::NPlus])
+///     .run();
+/// assert!(stats[1].mean_total_mbps > 0.0);
+/// ```
+pub mod prelude {
+    pub use crate::observer::{
+        ContentionKind, ContentionRecord, GoodputAccumulator, JoinRecord, NullObserver,
+        RoundObserver, RoundRecord, RunMeta, StreamRecord,
+    };
+    pub use crate::policy::{
+        policy_from_name, Beamforming, Dot11n, GreedyJoin, MacPolicy, NPlus, Oracle, PolicyView,
+        BUILTIN_POLICY_NAMES,
+    };
+    pub use crate::sim::{
+        simulate, simulate_policy, sweep, sweep_parallel, Flow, Protocol, RunResult, Scenario,
+        SeedResults, SimConfig, SimEngine, SweepJob, SweepSpec, SweepStats,
+    };
+}

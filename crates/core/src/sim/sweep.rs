@@ -1,0 +1,705 @@
+//! Monte-Carlo sweeps over seeded topologies.
+//!
+//! [`SweepSpec`] is the one batch entry point: it draws one topology per
+//! seed, shares one channel-cached [`SimEngine`] per topology across all
+//! requested policies, and aggregates mean/CI statistics — serially or
+//! on the scoped-thread executor with **bit-for-bit identical** results
+//! at every thread count. [`sweep()`] and [`sweep_parallel`] remain as
+//! protocol-enum wrappers for backward compatibility.
+
+use super::{Protocol, RunResult, Scenario, SimConfig, SimEngine};
+use crate::policy::MacPolicy;
+use nplus_channel::placement::Testbed;
+use nplus_medium::topology::{build_topology, TopologyConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Aggregated statistics of one policy across a seed sweep.
+#[derive(Debug, Clone)]
+pub struct SweepStats {
+    /// Name of the policy these statistics describe (see
+    /// [`MacPolicy::name`]; the enum-era protocols report `"nplus"`,
+    /// `"dot11n"`, `"beamforming"`).
+    pub policy: String,
+    /// Number of seeded topologies simulated.
+    pub n_runs: usize,
+    /// Mean total network goodput, Mb/s.
+    pub mean_total_mbps: f64,
+    /// Half-width of the 95% confidence interval on the mean total
+    /// goodput (Student-t critical value below 30 runs, a continuous
+    /// expansion converging to z = 1.96 above; 0 for fewer than two
+    /// runs).
+    pub ci95_total_mbps: f64,
+    /// Mean goodput per flow, Mb/s.
+    pub mean_per_flow_mbps: Vec<f64>,
+    /// Mean degrees of freedom in use during data transfer.
+    pub mean_dof: f64,
+    /// Mean Jain's fairness index over the runs where fairness is
+    /// defined (see [`RunResult::jain_fairness`]: empty flow lists and
+    /// all-zero goodput are excluded as undefined); `NaN` when no run
+    /// had defined fairness.
+    pub mean_fairness: f64,
+}
+
+/// Two-sided 95% Student-t critical values indexed by `df - 1` for
+/// `df = 1..=28` (sample sizes 2..=29). Larger sample sizes use the
+/// first-order expansion `z + (z³ + z)/(4·df)`, which is within 0.2%
+/// of the exact t value at df = 29 and converges to z = 1.96 — no
+/// discontinuous CI narrowing at the table boundary.
+const T_CRIT_95: [f64; 28] = [
+    12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228, 2.201, 2.179, 2.160,
+    2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086, 2.080, 2.074, 2.069, 2.064, 2.060, 2.056,
+    2.052, 2.048,
+];
+
+/// Half-width of the 95% confidence interval on the mean of `samples`.
+///
+/// Small seed counts are the common case in quick sweeps, where the
+/// normal approximation's z = 1.96 understates the interval badly (the
+/// correct critical value at n = 5 is 2.776, at n = 2 it is 12.706);
+/// this uses the Student-t value for n < 30 and z above.
+fn ci95_half_width(samples: &[f64], mean: f64) -> f64 {
+    let n = samples.len();
+    if n < 2 {
+        return 0.0;
+    }
+    let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (n - 1) as f64;
+    let crit = if n < 30 {
+        T_CRIT_95[n - 2]
+    } else {
+        // Cornish-Fisher first-order tail expansion of t around z.
+        let z = 1.96f64;
+        let df = (n - 1) as f64;
+        z + (z.powi(3) + z) / (4.0 * df)
+    };
+    crit * (var / n as f64).sqrt()
+}
+
+/// One seed-indexed unit of Monte-Carlo sweep work: draw the topology
+/// for `seed`, build one channel-cached [`SimEngine`], and run every
+/// policy against it.
+///
+/// The RNG derivations are the sweep's determinism contract: the
+/// placement stream is seeded by the seed itself, and each policy's
+/// run stream by `seed ^ 0x5EED_CAFE` — both fixed functions of the
+/// job's seed alone, never of execution order. That is what lets
+/// [`sweep_parallel`] run jobs on any number of threads and still merge
+/// results bit-for-bit identical to the serial [`sweep()`].
+pub struct SweepJob<'a> {
+    testbed: &'a Testbed,
+    scenario: &'a Scenario,
+    cfg: &'a SimConfig,
+    policies: &'a [&'a dyn MacPolicy],
+    /// The topology/run seed this job covers.
+    pub seed: u64,
+}
+
+/// The per-seed output of one [`SweepJob`]: one [`RunResult`] per
+/// requested policy, in policy order.
+#[derive(Debug, Clone)]
+pub struct SeedResults {
+    /// The seed that produced these results.
+    pub seed: u64,
+    /// One result per policy, in the order the job was given.
+    pub per_policy: Vec<RunResult>,
+}
+
+impl<'a> SweepJob<'a> {
+    /// Builds the job for one seed of a sweep.
+    pub fn new(
+        testbed: &'a Testbed,
+        scenario: &'a Scenario,
+        cfg: &'a SimConfig,
+        policies: &'a [&'a dyn MacPolicy],
+        seed: u64,
+    ) -> Self {
+        SweepJob {
+            testbed,
+            scenario,
+            cfg,
+            policies,
+            seed,
+        }
+    }
+
+    /// Runs the job: topology draw, engine construction, one simulation
+    /// per policy. Pure in the seed — no shared mutable state.
+    pub fn run(&self) -> SeedResults {
+        let mut placement_rng = StdRng::seed_from_u64(self.seed);
+        let topo = build_topology(
+            self.testbed,
+            &TopologyConfig::new(self.scenario.antennas.clone()),
+            self.cfg.ofdm.bandwidth_hz,
+            self.seed,
+            &mut placement_rng,
+        );
+        let engine = SimEngine::new(&topo, self.scenario, self.cfg);
+        let per_policy = self
+            .policies
+            .iter()
+            .map(|&policy| {
+                let mut run_rng = StdRng::seed_from_u64(self.seed ^ 0x5EED_CAFE);
+                engine.run_policy(policy, &mut run_rng)
+            })
+            .collect();
+        SeedResults {
+            seed: self.seed,
+            per_policy,
+        }
+    }
+}
+
+// `sweep_parallel` shares the scenario/config/testbed/policies across
+// scoped worker threads and sends per-seed results back; all of it must
+// be thread-safe by construction (`MacPolicy` has `Send + Sync`
+// supertraits, and the medium-side types carry their own assertions
+// next to their definitions).
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<Scenario>();
+    assert_send_sync::<SimConfig>();
+    assert_send_sync::<Protocol>();
+    assert_send_sync::<RunResult>();
+    assert_send_sync::<SeedResults>();
+    assert_send_sync::<&dyn MacPolicy>();
+};
+
+/// Folds per-seed results (already in seed order) into per-policy
+/// statistics. The accumulation order is fixed — seed-major, policy
+/// within seed — so the aggregate is a pure function of the ordered
+/// result list, independent of how the jobs were scheduled.
+fn aggregate_sweep(
+    scenario: &Scenario,
+    policies: &[&dyn MacPolicy],
+    results: &[SeedResults],
+) -> Vec<SweepStats> {
+    let mut totals: Vec<Vec<f64>> = vec![Vec::with_capacity(results.len()); policies.len()];
+    let mut per_flow: Vec<Vec<f64>> = vec![vec![0.0; scenario.flows.len()]; policies.len()];
+    let mut dofs: Vec<f64> = vec![0.0; policies.len()];
+    let mut fairness_sum: Vec<f64> = vec![0.0; policies.len()];
+    let mut fairness_n: Vec<usize> = vec![0; policies.len()];
+
+    for seed_results in results {
+        for (p, r) in seed_results.per_policy.iter().enumerate() {
+            totals[p].push(r.total_mbps);
+            for (f, v) in r.per_flow_mbps.iter().enumerate() {
+                per_flow[p][f] += v;
+            }
+            dofs[p] += r.mean_dof;
+            let j = r.jain_fairness();
+            if j.is_finite() {
+                fairness_sum[p] += j;
+                fairness_n[p] += 1;
+            }
+        }
+    }
+
+    let n = results.len().max(1) as f64;
+    policies
+        .iter()
+        .enumerate()
+        .map(|(p, policy)| {
+            let mean = totals[p].iter().sum::<f64>() / n;
+            SweepStats {
+                policy: policy.name().to_string(),
+                n_runs: totals[p].len(),
+                mean_total_mbps: mean,
+                ci95_total_mbps: ci95_half_width(&totals[p], mean),
+                mean_per_flow_mbps: per_flow[p].iter().map(|v| v / n).collect(),
+                mean_dof: dofs[p] / n,
+                mean_fairness: if fairness_n[p] > 0 {
+                    fairness_sum[p] / fairness_n[p] as f64
+                } else {
+                    f64::NAN
+                },
+            }
+        })
+        .collect()
+}
+
+/// The policy-level sweep core: one [`SweepJob`] per seed on up to
+/// `threads` workers (`0` = available parallelism, `1` = serial),
+/// merged in seed order.
+fn sweep_policies(
+    testbed: &Testbed,
+    scenario: &Scenario,
+    cfg: &SimConfig,
+    policies: &[&dyn MacPolicy],
+    seeds: &[u64],
+    threads: usize,
+) -> Vec<SweepStats> {
+    let results = crate::executor::run_indexed(seeds.len(), threads, |i| {
+        SweepJob::new(testbed, scenario, cfg, policies, seeds[i]).run()
+    });
+    aggregate_sweep(scenario, policies, &results)
+}
+
+/// Runs `scenario` on one freshly drawn topology per seed and aggregates
+/// mean/CI statistics per protocol.
+///
+/// Enum-era wrapper over the policy sweep — see [`SweepSpec`] for the
+/// builder that also accepts non-enum policies. For each seed the
+/// topology is drawn once (placement + fading, seeded by the seed
+/// itself) and a single [`SimEngine`] — with its channel cache — is
+/// shared by every protocol; the simulation RNG is decorrelated from
+/// the placement stream. Use [`sweep_parallel`] for the multi-threaded
+/// variant (bit-for-bit identical results).
+pub fn sweep(
+    testbed: &Testbed,
+    scenario: &Scenario,
+    cfg: &SimConfig,
+    protocols: &[Protocol],
+    seeds: &[u64],
+) -> Vec<SweepStats> {
+    sweep_parallel(testbed, scenario, cfg, protocols, seeds, 1)
+}
+
+/// [`sweep()`] on up to `threads` worker threads (`0` = available
+/// parallelism).
+///
+/// Seeds become independent [`SweepJob`]s executed by
+/// [`executor::run_indexed`](crate::executor::run_indexed): workers pull
+/// jobs from an atomic cursor, every job derives its RNGs from its seed
+/// exactly as the serial path does, and results are merged in seed order
+/// — so the returned statistics are **bit-for-bit identical** for every
+/// thread count (asserted by the protocol-invariant proptests and the
+/// `perf_sweep` CI smoke run).
+pub fn sweep_parallel(
+    testbed: &Testbed,
+    scenario: &Scenario,
+    cfg: &SimConfig,
+    protocols: &[Protocol],
+    seeds: &[u64],
+    threads: usize,
+) -> Vec<SweepStats> {
+    let policies: Vec<&dyn MacPolicy> = protocols.iter().map(|&p| p.policy()).collect();
+    sweep_policies(testbed, scenario, cfg, &policies, seeds, threads)
+}
+
+/// Builder facade over the whole simulation surface: scenario in,
+/// statistics out. One entry point replaces the
+/// `simulate`/`sweep`/`sweep_parallel` trio — a single seed *is* a
+/// sweep of one — and it is the only place policies, seeds, testbed,
+/// config and thread count meet.
+///
+/// ```
+/// use nplus::prelude::*;
+///
+/// let stats = SweepSpec::new(Scenario::three_pairs())
+///     .rounds(4)
+///     .seed_count(3)
+///     .protocols(&[Protocol::Dot11n, Protocol::NPlus])
+///     .policy(Oracle)
+///     .threads(2)
+///     .run();
+/// assert_eq!(stats.len(), 3);
+/// assert_eq!(stats[2].policy, "oracle");
+/// ```
+///
+/// Defaults: the testbed map is chosen to fit the scenario
+/// ([`Testbed::fitting`]), the config is [`SimConfig::default`], seeds
+/// are `0..20`, policies are the paper's comparison set
+/// (802.11n, beamforming, n+), and execution is serial.
+pub struct SweepSpec {
+    scenario: Scenario,
+    testbed: Option<Testbed>,
+    cfg: SimConfig,
+    policies: Vec<PolicyEntry>,
+    seeds: Vec<u64>,
+    threads: usize,
+}
+
+/// One policy in a [`SweepSpec`]: the built-ins are zero-sized statics
+/// (no boxing), caller-supplied policies are owned.
+enum PolicyEntry {
+    Static(&'static dyn MacPolicy),
+    Owned(Box<dyn MacPolicy>),
+}
+
+impl PolicyEntry {
+    fn as_dyn(&self) -> &dyn MacPolicy {
+        match self {
+            PolicyEntry::Static(p) => *p,
+            PolicyEntry::Owned(b) => b.as_ref(),
+        }
+    }
+}
+
+/// The default comparison set (the paper's head-to-head trio), applied
+/// when a spec names no policies. Front-ends that want the same default
+/// should leave the spec empty rather than re-listing these.
+pub const DEFAULT_POLICIES: [&dyn MacPolicy; 3] = [
+    &crate::policy::Dot11n,
+    &crate::policy::Beamforming,
+    &crate::policy::NPlus,
+];
+
+impl SweepSpec {
+    /// Starts a spec for `scenario` with the documented defaults.
+    pub fn new(scenario: Scenario) -> Self {
+        SweepSpec {
+            scenario,
+            testbed: None,
+            cfg: SimConfig::default(),
+            policies: Vec::new(),
+            seeds: (0..20).collect(),
+            threads: 1,
+        }
+    }
+
+    /// Places topologies on `testbed` instead of the auto-fitted map.
+    pub fn testbed(mut self, testbed: Testbed) -> Self {
+        self.testbed = Some(testbed);
+        self
+    }
+
+    /// Replaces the whole simulation config.
+    pub fn config(mut self, cfg: SimConfig) -> Self {
+        self.cfg = cfg;
+        self
+    }
+
+    /// Sets just the round count (the most common config tweak).
+    pub fn rounds(mut self, rounds: usize) -> Self {
+        self.cfg.rounds = rounds;
+        self
+    }
+
+    /// Adds one policy to the comparison, in call order.
+    pub fn policy(mut self, policy: impl MacPolicy + 'static) -> Self {
+        self.policies.push(PolicyEntry::Owned(Box::new(policy)));
+        self
+    }
+
+    /// Adds one enum-era protocol to the comparison.
+    pub fn protocol(mut self, protocol: Protocol) -> Self {
+        self.policies.push(PolicyEntry::Static(protocol.policy()));
+        self
+    }
+
+    /// Adds several enum-era protocols, in order.
+    pub fn protocols(mut self, protocols: &[Protocol]) -> Self {
+        for &p in protocols {
+            self = self.protocol(p);
+        }
+        self
+    }
+
+    /// Adds a built-in policy by name, resolved through the one
+    /// registry ([`policy_from_name`](crate::policy::policy_from_name);
+    /// see [`BUILTIN_POLICY_NAMES`](crate::policy::BUILTIN_POLICY_NAMES)).
+    ///
+    /// # Errors
+    /// Returns the unknown name back.
+    pub fn policy_named(mut self, name: &str) -> Result<Self, String> {
+        match crate::policy::policy_from_name(name) {
+            Some(p) => {
+                self.policies.push(PolicyEntry::Static(p));
+                Ok(self)
+            }
+            None => Err(name.to_string()),
+        }
+    }
+
+    /// Replaces the seed list.
+    pub fn seeds(mut self, seeds: impl IntoIterator<Item = u64>) -> Self {
+        self.seeds = seeds.into_iter().collect();
+        self
+    }
+
+    /// Uses seeds `0..n` (the common case).
+    pub fn seed_count(self, n: u64) -> Self {
+        self.seeds(0..n)
+    }
+
+    /// Worker threads: `1` = serial (default), `0` = all cores. Results
+    /// are bit-for-bit identical for every value.
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// Runs the sweep and aggregates statistics per policy.
+    pub fn run(&self) -> Vec<SweepStats> {
+        let testbed = self.resolved_testbed();
+        let policy_refs = self.policy_refs();
+        sweep_policies(
+            &testbed,
+            &self.scenario,
+            &self.cfg,
+            &policy_refs,
+            &self.seeds,
+            self.threads,
+        )
+    }
+
+    /// Runs a single seed and returns its raw per-policy results — the
+    /// replacement for hand-rolling `build_topology` +
+    /// [`simulate`](crate::sim::simulate)
+    /// when per-run (rather than aggregate) output is wanted.
+    pub fn run_seed(&self, seed: u64) -> SeedResults {
+        let testbed = self.resolved_testbed();
+        let policy_refs = self.policy_refs();
+        SweepJob::new(&testbed, &self.scenario, &self.cfg, &policy_refs, seed).run()
+    }
+
+    fn resolved_testbed(&self) -> Testbed {
+        self.testbed
+            .clone()
+            .unwrap_or_else(|| Testbed::fitting(self.scenario.antennas.len()))
+    }
+
+    fn policy_refs(&self) -> Vec<&dyn MacPolicy> {
+        if self.policies.is_empty() {
+            DEFAULT_POLICIES.to_vec()
+        } else {
+            self.policies.iter().map(|p| p.as_dyn()).collect()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::Oracle;
+    use nplus_channel::placement::Testbed;
+
+    /// Regression: `ci95_total_mbps` used the z = 1.96 normal
+    /// approximation at every sample size; at n = 5 the correct
+    /// Student-t critical value is 2.776, widening the half-width by
+    /// ~42%. Pins the n = 5 half-width exactly.
+    #[test]
+    fn ci95_uses_student_t_below_30_runs() {
+        let samples = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let mean = 3.0;
+        // Sample variance 2.5, standard error sqrt(2.5/5).
+        let expected = 2.776 * (2.5f64 / 5.0).sqrt();
+        let hw = ci95_half_width(&samples, mean);
+        assert!((hw - expected).abs() < 1e-12, "n=5 half-width {hw}");
+        // The old normal approximation was strictly narrower.
+        assert!(hw > 1.96 * (2.5f64 / 5.0).sqrt() * 1.4);
+
+        // n = 2 hits the fattest tail in the table.
+        let hw2 = ci95_half_width(&[0.0, 1.0], 0.5);
+        assert!((hw2 - 12.706 * (0.5f64 / 2.0).sqrt()).abs() < 1e-12);
+        // Degenerate cases stay zero.
+        assert_eq!(ci95_half_width(&[], 0.0), 0.0);
+        assert_eq!(ci95_half_width(&[7.0], 7.0), 0.0);
+        // At n >= 30 the expanded critical value takes over, continuous
+        // with the table (t_29 ≈ 2.045; the expansion gives ≈ 2.042 —
+        // no 4% jump down to 1.96 at the boundary).
+        let big: Vec<f64> = (0..30).map(|i| i as f64).collect();
+        let m = big.iter().sum::<f64>() / 30.0;
+        let var = big.iter().map(|x| (x - m).powi(2)).sum::<f64>() / 29.0;
+        let crit30 = 1.96 + (1.96f64.powi(3) + 1.96) / (4.0 * 29.0);
+        assert!((crit30 - 2.045).abs() < 5e-3, "crit at n=30: {crit30}");
+        assert!((ci95_half_width(&big, m) - crit30 * (var / 30.0).sqrt()).abs() < 1e-12);
+        // And it converges to the normal approximation for large n.
+        let huge: Vec<f64> = (0..1000).map(|i| (i % 7) as f64).collect();
+        let hm = huge.iter().sum::<f64>() / 1000.0;
+        let hvar = huge.iter().map(|x| (x - hm).powi(2)).sum::<f64>() / 999.0;
+        let hw_huge = ci95_half_width(&huge, hm);
+        assert!((hw_huge / (1.96 * (hvar / 1000.0).sqrt()) - 1.0).abs() < 2e-3);
+    }
+
+    /// The tentpole contract: `sweep_parallel` is bit-for-bit identical
+    /// to the serial `sweep` for every thread count.
+    #[test]
+    fn sweep_parallel_matches_serial_bitwise() {
+        let scenario = Scenario::ap_downlink();
+        let cfg = SimConfig {
+            rounds: 5,
+            ..SimConfig::default()
+        };
+        let protocols = [Protocol::NPlus, Protocol::Dot11n, Protocol::Beamforming];
+        let seeds: Vec<u64> = (0..5).collect();
+        let tb = Testbed::sigcomm11();
+        let serial = sweep(&tb, &scenario, &cfg, &protocols, &seeds);
+        for threads in [2usize, 4, 0] {
+            let par = sweep_parallel(&tb, &scenario, &cfg, &protocols, &seeds, threads);
+            assert_eq!(serial.len(), par.len());
+            for (s, p) in serial.iter().zip(&par) {
+                assert_eq!(s.policy, p.policy, "{threads} threads");
+                assert_eq!(s.n_runs, p.n_runs, "{threads} threads");
+                assert_eq!(s.mean_total_mbps, p.mean_total_mbps, "{threads} threads");
+                assert_eq!(s.ci95_total_mbps, p.ci95_total_mbps, "{threads} threads");
+                assert_eq!(
+                    s.mean_per_flow_mbps, p.mean_per_flow_mbps,
+                    "{threads} threads"
+                );
+                assert_eq!(s.mean_dof, p.mean_dof, "{threads} threads");
+                assert_eq!(
+                    s.mean_fairness.to_bits(),
+                    p.mean_fairness.to_bits(),
+                    "{threads} threads"
+                );
+            }
+        }
+    }
+
+    /// A `SweepJob` is a pure function of its seed: running it twice —
+    /// or via the engine by hand — reproduces the result exactly.
+    #[test]
+    fn sweep_job_is_pure_in_its_seed() {
+        let scenario = Scenario::three_pairs();
+        let cfg = SimConfig {
+            rounds: 4,
+            ..SimConfig::default()
+        };
+        let tb = Testbed::sigcomm11();
+        let policies: [&dyn MacPolicy; 1] = [&crate::policy::NPlus];
+        let job = SweepJob::new(&tb, &scenario, &cfg, &policies, 7);
+        let a = job.run();
+        let b = job.run();
+        assert_eq!(a.seed, 7);
+        assert_eq!(a.per_policy[0].per_flow_mbps, b.per_policy[0].per_flow_mbps);
+        assert_eq!(a.per_policy[0].total_mbps, b.per_policy[0].total_mbps);
+    }
+
+    /// Regression: `settle_round` used to collect a state's streams by
+    /// receiver *node*, so two transmitters concurrently serving the
+    /// same receiver — the hidden-terminal star, where a joiner's flow
+    /// targets a node another transmission already serves — left empty
+    /// per-stream SINR vectors and panicked in `effective_snr`. This is
+    /// the exact generated configuration that crashed the sweep binary.
+    #[test]
+    fn hidden_terminal_concurrent_service_settles() {
+        // The generator's `hidden_terminal(3)` at seed 42, written out
+        // (testkit's `Scenario` is a separate crate instance inside this
+        // crate's own test harness): three transmitters, one shared
+        // 2-antenna receiver.
+        let scenario = Scenario {
+            antennas: vec![2, 1, 3, 4],
+            flows: vec![
+                super::super::Flow { tx: 1, rx: 0 },
+                super::super::Flow { tx: 2, rx: 0 },
+                super::super::Flow { tx: 3, rx: 0 },
+            ],
+        };
+        let cfg = SimConfig {
+            rounds: 8,
+            ..SimConfig::default()
+        };
+        let seeds: Vec<u64> = (0..4).collect();
+        let stats = sweep(
+            &Testbed::sigcomm11(),
+            &scenario,
+            &cfg,
+            &[Protocol::NPlus, Protocol::Dot11n],
+            &seeds,
+        );
+        for s in &stats {
+            assert!(
+                s.mean_total_mbps.is_finite() && s.mean_total_mbps > 0.0,
+                "{} produced no goodput on the shared-receiver star",
+                s.policy
+            );
+        }
+    }
+
+    #[test]
+    fn sweep_aggregates_all_protocols() {
+        let scenario = Scenario::three_pairs();
+        let cfg = SimConfig {
+            rounds: 6,
+            ..SimConfig::default()
+        };
+        let stats = sweep(
+            &Testbed::sigcomm11(),
+            &scenario,
+            &cfg,
+            &[Protocol::NPlus, Protocol::Dot11n],
+            &[1, 2, 3],
+        );
+        assert_eq!(stats.len(), 2);
+        assert_eq!(stats[0].policy, "nplus");
+        assert_eq!(stats[1].policy, "dot11n");
+        for s in &stats {
+            assert_eq!(s.n_runs, 3);
+            assert!(s.mean_total_mbps.is_finite() && s.mean_total_mbps > 0.0);
+            assert!(s.ci95_total_mbps.is_finite() && s.ci95_total_mbps >= 0.0);
+            assert_eq!(s.mean_per_flow_mbps.len(), 3);
+            assert!(s.mean_dof > 0.0);
+            assert!(
+                s.mean_fairness > 0.0 && s.mean_fairness <= 1.0 + 1e-12,
+                "{} mean fairness {}",
+                s.policy,
+                s.mean_fairness
+            );
+        }
+    }
+
+    /// The builder facade is a pure re-packaging: a `SweepSpec` run must
+    /// equal the equivalent `sweep_parallel` call bit-for-bit, at every
+    /// thread count, with defaults filled in as documented.
+    #[test]
+    fn sweep_spec_matches_the_raw_entry_points() {
+        let scenario = Scenario::ap_downlink();
+        let cfg = SimConfig {
+            rounds: 4,
+            ..SimConfig::default()
+        };
+        let protocols = [Protocol::Dot11n, Protocol::NPlus];
+        let seeds: Vec<u64> = (0..3).collect();
+        let tb = Testbed::fitting(scenario.antennas.len());
+        let raw = sweep_parallel(&tb, &scenario, &cfg, &protocols, &seeds, 2);
+        let spec = SweepSpec::new(scenario)
+            .rounds(4)
+            .protocols(&protocols)
+            .seed_count(3)
+            .threads(2)
+            .run();
+        assert_eq!(raw.len(), spec.len());
+        for (r, s) in raw.iter().zip(&spec) {
+            assert_eq!(r.policy, s.policy);
+            assert_eq!(r.mean_total_mbps, s.mean_total_mbps);
+            assert_eq!(r.ci95_total_mbps, s.ci95_total_mbps);
+            assert_eq!(r.mean_per_flow_mbps, s.mean_per_flow_mbps);
+            assert_eq!(r.mean_dof, s.mean_dof);
+            assert_eq!(r.mean_fairness.to_bits(), s.mean_fairness.to_bits());
+        }
+    }
+
+    /// The spec's default policy set is the paper's comparison trio, and
+    /// `run_seed` exposes raw per-run results in policy order.
+    #[test]
+    fn sweep_spec_defaults_and_run_seed() {
+        let spec = SweepSpec::new(Scenario::three_pairs())
+            .rounds(3)
+            .seed_count(2);
+        let stats = spec.run();
+        let names: Vec<&str> = stats.iter().map(|s| s.policy.as_str()).collect();
+        assert_eq!(names, ["dot11n", "beamforming", "nplus"]);
+        let seed_results = spec.run_seed(0);
+        assert_eq!(seed_results.seed, 0);
+        assert_eq!(seed_results.per_policy.len(), 3);
+        // run_seed(0) is exactly the sweep's first job.
+        let one = SweepSpec::new(Scenario::three_pairs())
+            .rounds(3)
+            .seeds([0u64])
+            .run();
+        assert_eq!(
+            one[2].mean_total_mbps,
+            seed_results.per_policy[2].total_mbps
+        );
+    }
+
+    /// Oracle plugs into sweeps like any other policy and reports under
+    /// its own name; `policy_named` resolves the full registry.
+    #[test]
+    fn sweep_spec_accepts_custom_policies() {
+        let stats = SweepSpec::new(Scenario::three_pairs())
+            .rounds(2)
+            .seed_count(2)
+            .policy(Oracle)
+            .policy_named("greedy_join")
+            .expect("registry name")
+            .run();
+        assert_eq!(stats[0].policy, "oracle");
+        assert_eq!(stats[1].policy, "greedy_join");
+        assert!(stats[0].mean_total_mbps > 0.0);
+        assert!(SweepSpec::new(Scenario::three_pairs())
+            .policy_named("aloha")
+            .is_err());
+    }
+}

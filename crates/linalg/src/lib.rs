@@ -13,7 +13,7 @@
 //! * **Multi-dimensional carrier sense** projects received samples onto the
 //!   complement of the occupied signal space ([`Subspace::coordinates`]).
 //! * **Zero-forcing decoding** solves the effective channel equations
-//!   ([`solve`], [`lstsq`]).
+//!   ([`solve()`], [`lstsq`]).
 //!
 //! No external linear-algebra crate is available in this build environment,
 //! so the substrate is implemented here from first principles, sized and

@@ -1,4 +1,4 @@
-//! Topology builder: wires a [`Medium`](crate::medium::Medium) from the
+//! Topology builder: wires a [`Medium`] from the
 //! testbed geometry.
 //!
 //! Given node antenna counts and a random placement draw, installs every

@@ -1,7 +1,8 @@
 //! Seeded builders for the paper's canonical scenarios.
 
 use nplus::carrier_sense::MultiDimCarrierSense;
-use nplus::sim::{simulate, Protocol, RunResult, Scenario, SimConfig};
+use nplus::policy::MacPolicy;
+use nplus::sim::{simulate, simulate_policy, Protocol, RunResult, Scenario, SimConfig};
 use nplus_channel::fading::DelayProfile;
 use nplus_channel::mimo::MimoLink;
 use nplus_channel::placement::Testbed;
@@ -31,6 +32,13 @@ impl BuiltScenario {
     pub fn run_with(&self, protocol: Protocol, cfg: &SimConfig, sim_seed: u64) -> RunResult {
         let mut rng = StdRng::seed_from_u64(sim_seed);
         simulate(&self.topology, &self.scenario, protocol, cfg, &mut rng)
+    }
+
+    /// [`run_with`](BuiltScenario::run_with) for an arbitrary
+    /// [`MacPolicy`] (oracle, greedy-join, or a custom one).
+    pub fn run_policy(&self, policy: &dyn MacPolicy, cfg: &SimConfig, sim_seed: u64) -> RunResult {
+        let mut rng = StdRng::seed_from_u64(sim_seed);
+        simulate_policy(&self.topology, &self.scenario, policy, cfg, &mut rng)
     }
 }
 

@@ -7,9 +7,8 @@
 //!
 //! Run with: `cargo run --release --example three_pairs`
 
-use nplus::sim::{simulate, Protocol, Scenario, SimConfig};
-use nplus_channel::placement::Testbed;
 use nplus_medium::topology::{build_topology, TopologyConfig};
+use nplus_sim::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -54,7 +53,7 @@ fn main() {
         let r = simulate(&topo, &scenario, protocol, &cfg, &mut rng);
         println!(
             "{:12} total {:5.1} Mb/s | tx1-rx1 {:5.2} | tx2-rx2 {:5.2} | tx3-rx3 {:5.2} | mean DoF {:.2}",
-            format!("{protocol:?}"),
+            protocol.to_string(),
             r.total_mbps,
             r.per_flow_mbps[0],
             r.per_flow_mbps[1],

@@ -4,6 +4,20 @@
 //! workspace-level integration tests (`tests/`) and examples
 //! (`examples/`) have a package to hang off, and re-exports the members
 //! for consumers that want a single dependency.
+//!
+//! Simulation users want [`prelude`]:
+//!
+//! ```
+//! use nplus_sim::prelude::*;
+//!
+//! let stats = SweepSpec::new(Scenario::three_pairs())
+//!     .rounds(3)
+//!     .seed_count(2)
+//!     .protocols(&[Protocol::Dot11n, Protocol::NPlus])
+//!     .policy(Oracle) // the omniscient upper bound — not in the enum
+//!     .run();
+//! assert_eq!(stats.last().unwrap().policy, "oracle");
+//! ```
 
 pub use nplus as core;
 pub use nplus_channel as channel;
@@ -11,3 +25,12 @@ pub use nplus_linalg as linalg;
 pub use nplus_mac as mac;
 pub use nplus_medium as medium;
 pub use nplus_phy as phy;
+
+/// The simulation prelude: `SweepSpec`, scenarios, every built-in
+/// [`MacPolicy`](crate::core::policy::MacPolicy), the observer API, and
+/// the testbed map — one import for the whole public simulation
+/// surface.
+pub mod prelude {
+    pub use nplus::prelude::*;
+    pub use nplus_channel::placement::Testbed;
+}

@@ -1,7 +1,8 @@
 //! Protocol-level invariants of n+ (DESIGN.md §6), checked across many
 //! random topologies.
 
-use nplus::sim::{sweep, sweep_parallel, Protocol, Scenario, SimConfig};
+use nplus::policy::{GreedyJoin, NPlus, Oracle};
+use nplus::sim::{sweep, sweep_parallel, Protocol, Scenario, SimConfig, SweepSpec};
 use nplus_channel::impairments::{HardwareProfile, IDEAL_HARDWARE};
 use nplus_channel::placement::Testbed;
 use nplus_testkit::generator::ScenarioGenerator;
@@ -140,7 +141,10 @@ fn gains_grow_with_antenna_count() {
 }
 
 /// Disabling join power control must not *increase* the single-antenna
-/// pair's throughput — power control exists to protect it.
+/// pair's throughput — power control exists to protect it. The ablation
+/// lives at the policy layer now: `GreedyJoin` is n+ with the §4
+/// decision bypassed (bit-for-bit the old `power_control = false`, as
+/// the `policy_regression` suite pins).
 #[test]
 fn power_control_protects_ongoing_receivers() {
     let scenario = Scenario::three_pairs();
@@ -148,20 +152,63 @@ fn power_control_protects_ongoing_receivers() {
     let mut without_pc = 0.0;
     for seed in 0..6u64 {
         let built = build_scenario(scenario.clone(), seed);
-        for (pc, acc) in [(true, &mut with_pc), (false, &mut without_pc)] {
-            let cfg = SimConfig {
-                rounds: 12,
-                power_control: pc,
-                ..SimConfig::default()
-            };
-            let r = built.run_with(Protocol::NPlus, &cfg, seed ^ 0x55);
-            *acc += r.per_flow_mbps[0];
-        }
+        let cfg = SimConfig {
+            rounds: 12,
+            ..SimConfig::default()
+        };
+        with_pc += built.run_policy(&NPlus, &cfg, seed ^ 0x55).per_flow_mbps[0];
+        without_pc += built
+            .run_policy(&GreedyJoin, &cfg, seed ^ 0x55)
+            .per_flow_mbps[0];
     }
     assert!(
         with_pc >= 0.9 * without_pc,
         "power control hurt the protected flow: {with_pc:.2} vs {without_pc:.2}"
     );
+}
+
+/// The omniscient scheduler is an upper bound: with perfect channel
+/// knowledge, exhaustive primary selection and zero contention
+/// overhead, `Oracle`'s mean total goodput must be at least n+'s on
+/// every generated scenario family (deterministic seeds, so this is a
+/// pinned comparison, not a statistical one).
+#[test]
+fn oracle_upper_bounds_nplus_on_generated_scenarios() {
+    let mut families: Vec<(String, Scenario)> = vec![
+        ("three_pairs".into(), Scenario::three_pairs()),
+        ("ap_downlink".into(), Scenario::ap_downlink()),
+    ];
+    for gen_seed in [7u64, 21, 42] {
+        families.push((
+            format!("pairs3:{gen_seed}"),
+            ScenarioGenerator::new(gen_seed).n_pairs(3),
+        ));
+        families.push((
+            format!("hidden2:{gen_seed}"),
+            ScenarioGenerator::new(gen_seed).hidden_terminal(2),
+        ));
+        families.push((
+            format!("asym2:{gen_seed}"),
+            ScenarioGenerator::new(gen_seed).asymmetric_antenna(2),
+        ));
+    }
+    for (label, scenario) in families {
+        let stats = SweepSpec::new(scenario)
+            .rounds(6)
+            .seed_count(4)
+            .policy(NPlus)
+            .policy(Oracle)
+            .run();
+        let (np, oracle) = (&stats[0], &stats[1]);
+        assert_eq!(np.policy, "nplus");
+        assert_eq!(oracle.policy, "oracle");
+        assert!(
+            oracle.mean_total_mbps >= np.mean_total_mbps,
+            "{label}: oracle {:.3} Mb/s below n+ {:.3} Mb/s",
+            oracle.mean_total_mbps,
+            np.mean_total_mbps
+        );
+    }
 }
 
 /// The channel cache is purely an evaluation-order optimization: for any
@@ -276,12 +323,14 @@ proptest! {
             let par = sweep_parallel(&testbed, &scenario, &cfg, &protocols, &seeds, threads);
             proptest::prop_assert_eq!(serial.len(), par.len());
             for (s, p) in serial.iter().zip(&par) {
-                proptest::prop_assert_eq!(s.protocol, p.protocol);
+                proptest::prop_assert_eq!(&s.policy, &p.policy);
                 proptest::prop_assert_eq!(s.n_runs, p.n_runs);
                 proptest::prop_assert_eq!(s.mean_total_mbps, p.mean_total_mbps, "threads {}", threads);
                 proptest::prop_assert_eq!(s.ci95_total_mbps, p.ci95_total_mbps, "threads {}", threads);
                 proptest::prop_assert_eq!(&s.mean_per_flow_mbps, &p.mean_per_flow_mbps, "threads {}", threads);
                 proptest::prop_assert_eq!(s.mean_dof, p.mean_dof, "threads {}", threads);
+                // NaN-safe bitwise compare (fairness is NaN when no run defined it).
+                proptest::prop_assert_eq!(s.mean_fairness.to_bits(), p.mean_fairness.to_bits(), "threads {}", threads);
             }
         }
     }
