@@ -30,6 +30,13 @@
 //! speedup-vs-threads row. (On a single-core machine the parallel
 //! numbers degenerate to ~1x; the determinism assertion still bites.)
 //!
+//! **Section 3 — environments**: times the same generated batch once
+//! per registered propagation environment (`sigcomm11`, `outdoor`,
+//! `rich_scatter`, `degraded_hardware`) through the serial `SweepSpec`
+//! path, so the per-environment cost of scenario construction and
+//! simulation shows up in the perf trajectory (`sweep_environments` in
+//! the JSON).
+//!
 //! Usage:
 //!
 //! ```text
@@ -41,8 +48,11 @@
 //! a smoke step with `iters = 1`; no thresholds are enforced — the JSON
 //! is the perf trajectory record.
 
-use nplus::sim::{simulate, sweep_parallel, Protocol, RunResult, Scenario, SimConfig, SweepStats};
+use nplus::sim::{
+    simulate, sweep_parallel, Protocol, RunResult, Scenario, SimConfig, SweepSpec, SweepStats,
+};
 use nplus_bench::legacy::simulate_legacy;
+use nplus_channel::environment::BUILTIN_ENVIRONMENT_NAMES;
 use nplus_channel::placement::Testbed;
 use nplus_medium::topology::{build_topology, TopologyConfig};
 use nplus_testkit::generator::ScenarioGenerator;
@@ -292,6 +302,37 @@ fn main() {
     println!("4 threads:         {t4_s:.4} s  ({speedup_4t:.2}x vs serial)");
     println!("parallel == serial bitwise: {parallel_identical}");
 
+    // ---- §3: the same batch once per propagation environment ----
+    println!(
+        "\n== perf_sweep §3: pairs:4 batch per environment, {SWEEP_SEEDS} seeds x {SWEEP_ROUNDS} rounds x 3 protocols, best of {iters} =="
+    );
+    let mut env_rows: Vec<(String, f64)> = Vec::new();
+    for name in BUILTIN_ENVIRONMENT_NAMES {
+        let spec = SweepSpec::new(sweep_scenario.clone())
+            .rounds(SWEEP_ROUNDS)
+            .seeds(seeds.iter().copied())
+            .protocols(&protocols)
+            .environment_named(name)
+            .expect("builtin environment");
+        let mut best = f64::INFINITY;
+        for _ in 0..iters {
+            let t = Instant::now();
+            let stats = spec.run();
+            best = best.min(t.elapsed().as_secs_f64());
+            assert!(
+                stats.iter().all(|s| s.mean_total_mbps.is_finite()),
+                "{name}: non-finite sweep statistics"
+            );
+        }
+        println!("{name:>18}: {best:.4} s");
+        env_rows.push((name.to_string(), best));
+    }
+    let sweep_environments = env_rows
+        .iter()
+        .map(|(name, secs)| format!("\"{name}\": {secs:.6}"))
+        .collect::<Vec<_>>()
+        .join(", ");
+
     let mean_total: f64 =
         cached_r.iter().map(|r| r.total_mbps).sum::<f64>() / cached_r.len().max(1) as f64;
     // Policy labels via `Display` — the same names `SweepStats::policy`
@@ -299,7 +340,7 @@ fn main() {
     let policy_list: Vec<String> = protocols.iter().map(|p| format!("\"{p}\"")).collect();
     let sweep_policies = policy_list.join(", ");
     let json = format!(
-        "{{\n  \"bench\": \"sim_three_pairs_nplus\",\n  \"placements\": {N_PLACEMENTS},\n  \"rounds\": {ROUNDS},\n  \"iters\": {iters},\n  \"legacy_seconds\": {legacy_s:.6},\n  \"uncached_seconds\": {uncached_s:.6},\n  \"cached_seconds\": {cached_s:.6},\n  \"legacy_rounds_per_sec\": {legacy_rps:.3},\n  \"uncached_rounds_per_sec\": {uncached_rps:.3},\n  \"cached_rounds_per_sec\": {cached_rps:.3},\n  \"speedup\": {speedup:.3},\n  \"cache_speedup\": {cache_speedup:.3},\n  \"bit_identical\": {bit_identical},\n  \"mean_total_mbps\": {mean_total:.6},\n  \"sweep_bench\": \"sweep_pairs4_all_protocols\",\n  \"sweep_policies\": [{sweep_policies}],\n  \"sweep_seeds\": {SWEEP_SEEDS},\n  \"sweep_rounds\": {SWEEP_ROUNDS},\n  \"sweep_cores_available\": {cores},\n  \"sweep_legacy_seconds\": {sweep_legacy_s:.6},\n  \"sweep_serial_seconds\": {serial_s:.6},\n  \"sweep_2t_seconds\": {t2_s:.6},\n  \"sweep_4t_seconds\": {t4_s:.6},\n  \"sweep_speedup_vs_legacy\": {sweep_vs_legacy:.3},\n  \"sweep_speedup_2t\": {speedup_2t:.3},\n  \"sweep_speedup_4t\": {speedup_4t:.3},\n  \"sweep_parallel_bit_identical\": {parallel_identical}\n}}\n"
+        "{{\n  \"bench\": \"sim_three_pairs_nplus\",\n  \"placements\": {N_PLACEMENTS},\n  \"rounds\": {ROUNDS},\n  \"iters\": {iters},\n  \"legacy_seconds\": {legacy_s:.6},\n  \"uncached_seconds\": {uncached_s:.6},\n  \"cached_seconds\": {cached_s:.6},\n  \"legacy_rounds_per_sec\": {legacy_rps:.3},\n  \"uncached_rounds_per_sec\": {uncached_rps:.3},\n  \"cached_rounds_per_sec\": {cached_rps:.3},\n  \"speedup\": {speedup:.3},\n  \"cache_speedup\": {cache_speedup:.3},\n  \"bit_identical\": {bit_identical},\n  \"mean_total_mbps\": {mean_total:.6},\n  \"sweep_bench\": \"sweep_pairs4_all_protocols\",\n  \"sweep_policies\": [{sweep_policies}],\n  \"sweep_seeds\": {SWEEP_SEEDS},\n  \"sweep_rounds\": {SWEEP_ROUNDS},\n  \"sweep_cores_available\": {cores},\n  \"sweep_legacy_seconds\": {sweep_legacy_s:.6},\n  \"sweep_serial_seconds\": {serial_s:.6},\n  \"sweep_2t_seconds\": {t2_s:.6},\n  \"sweep_4t_seconds\": {t4_s:.6},\n  \"sweep_speedup_vs_legacy\": {sweep_vs_legacy:.3},\n  \"sweep_speedup_2t\": {speedup_2t:.3},\n  \"sweep_speedup_4t\": {speedup_4t:.3},\n  \"sweep_parallel_bit_identical\": {parallel_identical},\n  \"sweep_environments\": {{{sweep_environments}}}\n}}\n"
     );
     std::fs::write(&out_path, json).expect("write BENCH_sim.json");
     println!("wrote {out_path}");

@@ -11,7 +11,7 @@
 //!
 //! ```text
 //! cargo run --release --bin sweep -- [scenario] [n_seeds] [rounds] \
-//!     [--threads N] [--policies a,b,..] [--json [path]]
+//!     [--threads N] [--policies a,b,..] [--env name] [--json [path]]
 //!
 //! where `scenario` is one of:
 //!   three_pairs          the Fig. 3 scenario (default)
@@ -28,49 +28,87 @@
 //!   --policies a,b,..    comma-separated policy names (default
 //!                        dot11n,beamforming,nplus; also oracle,
 //!                        greedy_join — anything policy_from_name knows)
+//!   --env name           propagation environment (default sigcomm11 —
+//!                        the paper's indoor world; also outdoor,
+//!                        rich_scatter, degraded_hardware — anything
+//!                        environment_from_name knows)
 //!   --json [path]        machine-readable stats to `path` (default stdout)
 //! ```
 //!
 //! Generated scenarios are seeded (generator seed 42 unless `random:`
-//! gives one), so every invocation is reproducible.
+//! gives one), so every invocation is reproducible. A bad
+//! `--env`/`--policies` name or a scenario too large for the chosen
+//! environment's maps reports cleanly and exits 2.
 
 use nplus::prelude::*;
-use nplus_testkit::generator::ScenarioGenerator;
+use nplus_testkit::generator::{ScenarioGenerator, MAX_DENSE_NODES, MAX_NODES};
 
-fn parse_scenario(spec: &str) -> Scenario {
+/// Reports an invalid scenario operand the way every other operator
+/// error is reported (one line, exit 2) — the generator's own spec
+/// guards are asserts and would dump a backtrace instead.
+fn spec_error(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    std::process::exit(2);
+}
+
+/// `env_capacity` sizes the `random:` family draw to the chosen
+/// environment's map ([`ScenarioGenerator::random_for_capacity`]); at
+/// the stock 40-slot maps the draw is bit-identical to the classic
+/// `random()` stream.
+fn parse_scenario(spec: &str, env_capacity: usize) -> Scenario {
     if let Some(n) = spec.strip_prefix("pairs:") {
         let n: usize = n.parse().expect("pairs:<n> needs a number");
+        if !(1..=MAX_NODES / 2).contains(&n) {
+            spec_error(&format!("pairs:<n> needs 1..={}", MAX_NODES / 2));
+        }
         return ScenarioGenerator::new(42).n_pairs(n);
     }
     if let Some(shape) = spec.strip_prefix("multi_ap:") {
         let (a, c) = shape
             .split_once('x')
             .expect("multi_ap:<aps>x<clients> needs AxC");
-        return ScenarioGenerator::new(42).multi_ap(
+        let (a, c): (usize, usize) = (
             a.parse().expect("AP count"),
             c.parse().expect("client count"),
         );
+        if a < 1 || c < 1 || a * (1 + c) > MAX_NODES {
+            spec_error(&format!(
+                "multi_ap:<aps>x<clients> needs aps*(1+clients) in 2..={MAX_NODES}"
+            ));
+        }
+        return ScenarioGenerator::new(42).multi_ap(a, c);
     }
     if let Some(n) = spec.strip_prefix("hidden:") {
         let n: usize = n.parse().expect("hidden:<n> needs a number");
+        if !(2..MAX_NODES).contains(&n) {
+            spec_error(&format!("hidden:<n> needs 2..={}", MAX_NODES - 1));
+        }
         return ScenarioGenerator::new(42).hidden_terminal(n);
     }
     if let Some(n) = spec.strip_prefix("asym:") {
         let n: usize = n.parse().expect("asym:<n> needs a number");
+        if !(1..=MAX_NODES / 2).contains(&n) {
+            spec_error(&format!("asym:<n> needs 1..={}", MAX_NODES / 2));
+        }
         return ScenarioGenerator::new(42).asymmetric_antenna(n);
     }
     if let Some(n) = spec.strip_prefix("dense:") {
         let n: usize = n.parse().expect("dense:<n> needs a number");
+        if !(4..=MAX_DENSE_NODES).contains(&n) || !n.is_multiple_of(2) {
+            spec_error(&format!(
+                "dense:<n> needs an even node count in 4..={MAX_DENSE_NODES}"
+            ));
+        }
         return ScenarioGenerator::new(42).dense(n);
     }
     if let Some(seed) = spec.strip_prefix("random:") {
         let seed: u64 = seed.parse().expect("random:<seed> needs a number");
-        return ScenarioGenerator::new(seed).random();
+        return ScenarioGenerator::new(seed).random_for_capacity(env_capacity);
     }
     match spec {
         "three_pairs" => Scenario::three_pairs(),
         "ap_downlink" => Scenario::ap_downlink(),
-        other => panic!("unknown scenario spec {other:?}"),
+        other => spec_error(&format!("unknown scenario spec {other:?}")),
     }
 }
 
@@ -79,10 +117,17 @@ fn parse_scenario(spec: &str) -> Scenario {
 /// runs can be compared with a plain `diff`. `mean_fairness` may be
 /// `NaN` (no run with defined fairness); JSON has no NaN literal, so it
 /// is emitted as `null`.
-fn stats_json(spec: &str, n_seeds: u64, rounds: usize, stats: &[SweepStats]) -> String {
+fn stats_json(
+    spec: &str,
+    env_name: &str,
+    n_seeds: u64,
+    rounds: usize,
+    stats: &[SweepStats],
+) -> String {
     let mut out = String::new();
     out.push_str("{\n");
     out.push_str(&format!("  \"scenario\": \"{spec}\",\n"));
+    out.push_str(&format!("  \"environment\": \"{env_name}\",\n"));
     out.push_str(&format!("  \"seeds\": {n_seeds},\n"));
     out.push_str(&format!("  \"rounds\": {rounds},\n"));
     out.push_str("  \"protocols\": [\n");
@@ -122,6 +167,7 @@ fn main() {
     // Empty = the library default (`SweepSpec` applies the paper's
     // dot11n/beamforming/nplus trio); only `--policies` overrides it.
     let mut policy_names: Vec<String> = Vec::new();
+    let mut env_name: String = "sigcomm11".to_string();
     let mut json_to: Option<Option<String>> = None;
     let mut i = 1;
     while i < args.len() {
@@ -137,6 +183,10 @@ fn main() {
                 i += 1;
                 let list = args.get(i).expect("--policies needs a,b,..");
                 policy_names = list.split(',').map(str::to_string).collect();
+            }
+            "--env" => {
+                i += 1;
+                env_name = args.get(i).expect("--env needs a name").clone();
             }
             "--json" => {
                 // Optional path operand: the next arg, unless it is
@@ -158,19 +208,31 @@ fn main() {
     let n_seeds: u64 = positional.get(1).and_then(|s| s.parse().ok()).unwrap_or(20);
     let rounds: usize = positional.get(2).and_then(|s| s.parse().ok()).unwrap_or(25);
 
-    let scenario = parse_scenario(spec);
+    // Resolve the environment first: `random:` sizes its draw to the
+    // chosen map's capacity.
+    let environment = environment_from_name(&env_name).unwrap_or_else(|| {
+        spec_error(&format!(
+            "unknown environment {env_name:?} (try {BUILTIN_ENVIRONMENT_NAMES:?})"
+        ))
+    });
+    let scenario = parse_scenario(spec, environment.capacity());
     let mut sweep_spec = SweepSpec::new(scenario.clone())
         .rounds(rounds)
         .seed_count(n_seeds)
         .threads(threads);
+    sweep_spec = sweep_spec
+        .environment_named(&env_name)
+        .expect("environment name validated above");
     for name in &policy_names {
         sweep_spec = sweep_spec.policy_named(name).unwrap_or_else(|unknown| {
-            panic!("unknown policy {unknown:?} (try {BUILTIN_POLICY_NAMES:?})")
+            spec_error(&format!(
+                "unknown policy {unknown:?} (try {BUILTIN_POLICY_NAMES:?})"
+            ))
         });
     }
 
     eprintln!(
-        "== sweep: {spec} ({} nodes, {} flows), {n_seeds} placements x {rounds} rounds, {} ==",
+        "== sweep: {spec} in {env_name} ({} nodes, {} flows), {n_seeds} placements x {rounds} rounds, {} ==",
         scenario.antennas.len(),
         scenario.flows.len(),
         if threads == 1 {
@@ -181,10 +243,15 @@ fn main() {
     );
     eprintln!("antennas: {:?}", scenario.antennas);
 
-    let stats = sweep_spec.run();
+    // A scenario/environment mismatch (too many nodes for the map) is
+    // an expected operator error, not a crash.
+    let stats = sweep_spec.try_run().unwrap_or_else(|e| {
+        eprintln!("error: {e} (scenario {spec:?} does not fit environment {env_name:?})");
+        std::process::exit(2);
+    });
 
     if let Some(path) = &json_to {
-        let json = stats_json(spec, n_seeds, rounds, &stats);
+        let json = stats_json(spec, &env_name, n_seeds, rounds, &stats);
         match path {
             Some(p) => {
                 std::fs::write(p, &json).expect("write sweep JSON");

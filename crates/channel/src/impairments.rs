@@ -43,11 +43,7 @@ pub struct HardwareProfile {
 
 impl Default for HardwareProfile {
     fn default() -> Self {
-        HardwareProfile {
-            tx_evm_db: -32.0,
-            calibration_error_std: 0.02,
-            estimation_snr_db: 30.0,
-        }
+        Self::wlan_class()
     }
 }
 
@@ -60,6 +56,31 @@ pub const IDEAL_HARDWARE: HardwareProfile = HardwareProfile {
 };
 
 impl HardwareProfile {
+    /// The paper's USRP2/WLAN-class radio quality (the crate-wide
+    /// default): together with estimation error it yields the measured
+    /// 25–27 dB cancellation depth. `const` so environments can hold
+    /// it in statics.
+    pub const fn wlan_class() -> Self {
+        HardwareProfile {
+            tx_evm_db: -32.0,
+            calibration_error_std: 0.02,
+            estimation_snr_db: 30.0,
+        }
+    }
+
+    /// A worn/stressed radio: 10 dB worse EVM floor, 3× the calibration
+    /// residual, 10 dB worse estimator — dropping
+    /// [`expected_cancellation_depth_db`](Self::expected_cancellation_depth_db)
+    /// to ~17 dB. The `degraded_hardware` environment uses it to stress
+    /// the §4 cancellation-depth assumption `L`.
+    pub const fn degraded() -> Self {
+        HardwareProfile {
+            tx_evm_db: -22.0,
+            calibration_error_std: 0.06,
+            estimation_snr_db: 20.0,
+        }
+    }
+
     /// Linear amplitude of the transmit EVM floor.
     pub fn tx_evm_amplitude(&self) -> f64 {
         10f64.powf(self.tx_evm_db / 20.0)

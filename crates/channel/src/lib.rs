@@ -8,6 +8,10 @@
 //!
 //! * [`placement`] — the floor-plan geometry and random node placement
 //!   methodology of the paper's experiments;
+//! * [`environment`] — pluggable propagation worlds
+//!   ([`ChannelEnvironment`]): the paper's indoor testbed as the
+//!   pinned default plus outdoor, rich-scatter and degraded-hardware
+//!   environments, resolvable by name;
 //! * [`pathloss`] — log-distance large-scale loss calibrated to the
 //!   paper's 5–35 dB link-SNR operating range;
 //! * [`fading`] — Rayleigh/Rician tapped-delay-line multipath, consistent
@@ -27,6 +31,7 @@
 #![warn(missing_docs)]
 
 pub mod cfo;
+pub mod environment;
 pub mod fading;
 pub mod freq_table;
 pub mod impairments;
@@ -36,6 +41,11 @@ pub mod pathloss;
 pub mod placement;
 
 pub use cfo::{apply_cfo, estimate_cfo, precompensate_cfo};
+pub use environment::{
+    environment_from_name, ChannelEnvironment, DegradedHardware, EnvironmentError, OscillatorDraw,
+    OutdoorFreeSpace, RichScatter, Sigcomm11Indoor, BUILTIN_ENVIRONMENT_NAMES, DEGRADED_HARDWARE,
+    OUTDOOR_FREE_SPACE, RICH_SCATTER, SIGCOMM11_INDOOR,
+};
 pub use fading::{DelayProfile, FadingChannel};
 pub use freq_table::FreqResponseTable;
 pub use impairments::{HardwareProfile, IDEAL_HARDWARE};

@@ -25,11 +25,20 @@ pub struct PathLossModel {
 
 impl Default for PathLossModel {
     fn default() -> Self {
-        // Calibrated against the Fig. 10-style testbed geometry so that
-        // pairwise link SNRs under the default LinkBudget span ~3.5–36 dB
-        // with a ~20 dB median — the operating range the paper's Fig. 11
-        // sweeps (7.5–32.5 dB unwanted-signal bins). pl0 folds in antenna
-        // and front-end inefficiencies of the USRP2-class radios.
+        Self::indoor()
+    }
+}
+
+impl PathLossModel {
+    /// The paper's indoor office model (the crate-wide default).
+    ///
+    /// Calibrated against the Fig. 10-style testbed geometry so that
+    /// pairwise link SNRs under the default LinkBudget span ~3.5–36 dB
+    /// with a ~20 dB median — the operating range the paper's Fig. 11
+    /// sweeps (7.5–32.5 dB unwanted-signal bins). pl0 folds in antenna
+    /// and front-end inefficiencies of the USRP2-class radios. `const`
+    /// so environments can hold it in statics.
+    pub const fn indoor() -> Self {
         PathLossModel {
             pl0_db: 68.0,
             exponent_los: 2.0,
@@ -71,15 +80,21 @@ pub struct LinkBudget {
 
 impl Default for LinkBudget {
     fn default() -> Self {
-        LinkBudget {
-            tx_power_dbm: 12.0,
-            // kTB at 10 MHz ≈ −104 dBm, +6 dB noise figure.
-            noise_floor_dbm: -98.0,
-        }
+        Self::usrp2()
     }
 }
 
 impl LinkBudget {
+    /// The paper's USRP2-class budget (the crate-wide default): 12 dBm
+    /// transmit, kTB at 10 MHz ≈ −104 dBm plus a 6 dB noise figure.
+    /// `const` so environments can hold it in statics.
+    pub const fn usrp2() -> Self {
+        LinkBudget {
+            tx_power_dbm: 12.0,
+            noise_floor_dbm: -98.0,
+        }
+    }
+
     /// Mean received SNR (dB) across a link with the given path loss.
     pub fn snr_db(&self, path_loss_db: f64) -> f64 {
         self.tx_power_dbm - path_loss_db - self.noise_floor_dbm

@@ -7,6 +7,7 @@
 //! (behind walls), and experiments draw random assignments of nodes to
 //! locations.
 
+use crate::environment::EnvironmentError;
 use rand::seq::SliceRandom;
 use rand::Rng;
 
@@ -42,7 +43,7 @@ pub struct Location {
 }
 
 /// The testbed floor plan: a set of candidate locations.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Testbed {
     locations: Vec<Location>,
 }
@@ -113,19 +114,41 @@ impl Testbed {
 
     /// The smallest stock floor plan with at least `n` candidate
     /// locations: the paper's map when it fits, the two-wing extension
-    /// otherwise. Panics if even the extension is too small.
-    pub fn fitting(n: usize) -> Self {
+    /// otherwise.
+    ///
+    /// # Errors
+    /// [`EnvironmentError::TooManyNodes`] when even the extension is
+    /// too small.
+    pub fn try_fitting(n: usize) -> Result<Self, EnvironmentError> {
         let tb = Self::sigcomm11();
         if n <= tb.len() {
-            return tb;
+            return Ok(tb);
         }
         let ext = Self::sigcomm11_extended();
-        assert!(
-            n <= ext.len(),
-            "cannot place {n} nodes on {} locations",
-            ext.len()
-        );
-        ext
+        ext.ensure_capacity(n)?;
+        Ok(ext)
+    }
+
+    /// Panicking convenience over [`try_fitting`](Testbed::try_fitting)
+    /// for contexts that statically know the scenario fits.
+    pub fn fitting(n: usize) -> Self {
+        Self::try_fitting(n).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// An open 100 m × 65 m outdoor field: an 8 × 5 grid of forty
+    /// candidate locations, all line-of-sight — link ranges several
+    /// times the indoor map's. The map of the `outdoor` environment.
+    pub fn outdoor_field() -> Self {
+        let mut locations = Vec::with_capacity(40);
+        for yi in 0..5u32 {
+            for xi in 0..8u32 {
+                locations.push(Location {
+                    pos: Point::new(5.0 + 12.0 * xi as f64, 4.0 + 15.0 * yi as f64),
+                    nlos: false,
+                });
+            }
+        }
+        Testbed { locations }
     }
 
     /// Builds a testbed from explicit locations.
@@ -143,6 +166,22 @@ impl Testbed {
         self.locations.len()
     }
 
+    /// Checks that the map can place `requested` nodes — the one
+    /// capacity check every placement path shares.
+    ///
+    /// # Errors
+    /// [`EnvironmentError::TooManyNodes`] otherwise.
+    pub fn ensure_capacity(&self, requested: usize) -> Result<(), EnvironmentError> {
+        if requested <= self.locations.len() {
+            Ok(())
+        } else {
+            Err(EnvironmentError::TooManyNodes {
+                requested,
+                capacity: self.locations.len(),
+            })
+        }
+    }
+
     /// True when the testbed has no locations.
     pub fn is_empty(&self) -> bool {
         self.locations.is_empty()
@@ -151,16 +190,27 @@ impl Testbed {
     /// Draws a random assignment of `n` nodes to distinct locations,
     /// mirroring the paper's "random assignment of nodes to locations in
     /// Fig. 10" methodology.
-    pub fn random_assignment<R: Rng>(&self, n: usize, rng: &mut R) -> Vec<Location> {
-        assert!(
-            n <= self.locations.len(),
-            "cannot place {n} nodes on {} locations",
-            self.locations.len()
-        );
+    ///
+    /// # Errors
+    /// [`EnvironmentError::TooManyNodes`] when the map has fewer than
+    /// `n` locations (the RNG is not consumed in that case).
+    pub fn try_random_assignment<R: Rng>(
+        &self,
+        n: usize,
+        rng: &mut R,
+    ) -> Result<Vec<Location>, EnvironmentError> {
+        self.ensure_capacity(n)?;
         let mut picks = self.locations.clone();
         picks.shuffle(rng);
         picks.truncate(n);
-        picks
+        Ok(picks)
+    }
+
+    /// Panicking convenience over
+    /// [`try_random_assignment`](Testbed::try_random_assignment).
+    pub fn random_assignment<R: Rng>(&self, n: usize, rng: &mut R) -> Vec<Location> {
+        self.try_random_assignment(n, rng)
+            .unwrap_or_else(|e| panic!("{e}"))
     }
 
     /// True when the straight line between two locations crosses the
@@ -215,6 +265,32 @@ mod tests {
     #[should_panic(expected = "cannot place")]
     fn fitting_rejects_oversized_requests() {
         let _ = Testbed::fitting(41);
+    }
+
+    #[test]
+    fn try_fitting_reports_oversize_as_an_error() {
+        assert_eq!(Testbed::try_fitting(20).unwrap().len(), 20);
+        assert_eq!(Testbed::try_fitting(40).unwrap().len(), 40);
+        assert_eq!(
+            Testbed::try_fitting(41),
+            Err(EnvironmentError::TooManyNodes {
+                requested: 41,
+                capacity: 40
+            })
+        );
+        let tb = Testbed::sigcomm11();
+        let mut rng = StdRng::seed_from_u64(0);
+        let err = tb.try_random_assignment(21, &mut rng).unwrap_err();
+        assert_eq!(err.to_string(), "cannot place 21 nodes on 20 locations");
+    }
+
+    #[test]
+    fn outdoor_field_is_a_large_los_grid() {
+        let tb = Testbed::outdoor_field();
+        assert_eq!(tb.len(), 40);
+        assert!(tb.locations().iter().all(|l| !l.nlos));
+        let mut rng = StdRng::seed_from_u64(4);
+        assert_eq!(tb.random_assignment(32, &mut rng).len(), 32);
     }
 
     #[test]

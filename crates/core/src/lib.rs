@@ -88,7 +88,8 @@ pub use sim::{
 };
 
 /// One-import surface for simulation users: the builder facade, the
-/// scenario types, every built-in policy, and the observer API.
+/// scenario types, every built-in policy and propagation environment,
+/// and the observer API.
 ///
 /// ```
 /// use nplus::prelude::*;
@@ -112,5 +113,10 @@ pub mod prelude {
     pub use crate::sim::{
         simulate, simulate_policy, sweep, sweep_parallel, Flow, Protocol, RunResult, Scenario,
         SeedResults, SimConfig, SimEngine, SweepJob, SweepSpec, SweepStats,
+    };
+    pub use nplus_channel::environment::{
+        environment_from_name, ChannelEnvironment, DegradedHardware, EnvironmentError,
+        OscillatorDraw, OutdoorFreeSpace, RichScatter, Sigcomm11Indoor, BUILTIN_ENVIRONMENT_NAMES,
+        DEGRADED_HARDWARE, OUTDOOR_FREE_SPACE, RICH_SCATTER, SIGCOMM11_INDOOR,
     };
 }

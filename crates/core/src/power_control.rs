@@ -15,9 +15,10 @@
 
 use nplus_linalg::CMatrix;
 
-/// The protocol's cancellation-depth parameter, dB. The paper uses 27 dB
-/// (Fig. 11's vertical threshold).
-pub const DEFAULT_L_DB: f64 = 27.0;
+/// The protocol's cancellation-depth parameter, dB — re-exported from
+/// the environment layer, which owns the single definition shared with
+/// [`ChannelEnvironment::join_power_l_db`](nplus_channel::environment::ChannelEnvironment::join_power_l_db).
+pub use nplus_channel::environment::DEFAULT_L_DB;
 
 /// Interference power (linear, relative to noise) that a unit-total-power
 /// transmission from an `M`-antenna transmitter would create at a

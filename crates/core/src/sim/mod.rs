@@ -31,12 +31,19 @@
 //!   event stream; the engine's own accounting is the
 //!   [`GoodputAccumulator`](crate::observer::GoodputAccumulator)
 //!   observer.
+//! * [`ChannelEnvironment`](nplus_channel::environment::ChannelEnvironment)
+//!   implementations supply the propagation world the topologies are
+//!   drawn from — testbed map, path loss, delay profiles, oscillator
+//!   draw and hardware profile. The paper's indoor office is the
+//!   [`Sigcomm11Indoor`](nplus_channel::environment::Sigcomm11Indoor)
+//!   default; outdoor/rich-scatter/degraded-hardware worlds ship
+//!   alongside it and are selectable by name.
 //! * [`SweepSpec`] ([`sweep`](mod@crate::sim)) is the one batch entry
-//!   point: it builds seeded topologies, shares one channel-cached
-//!   engine per seed across all policies, and aggregates mean/CI
-//!   statistics — serially or on a scoped-thread pool with bit-for-bit
-//!   identical results. [`simulate`], [`sweep()`] and [`sweep_parallel`]
-//!   remain as thin wrappers.
+//!   point: it builds seeded topologies in the chosen environment,
+//!   shares one channel-cached engine per seed across all policies, and
+//!   aggregates mean/CI statistics — serially or on a scoped-thread
+//!   pool with bit-for-bit identical results. [`simulate`], [`sweep()`]
+//!   and [`sweep_parallel`] remain as thin wrappers.
 
 mod engine;
 mod sweep;

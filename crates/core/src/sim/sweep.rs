@@ -9,8 +9,11 @@
 
 use super::{Protocol, RunResult, Scenario, SimConfig, SimEngine};
 use crate::policy::MacPolicy;
+use nplus_channel::environment::{
+    environment_from_name, ChannelEnvironment, EnvironmentError, SIGCOMM11_INDOOR,
+};
 use nplus_channel::placement::Testbed;
-use nplus_medium::topology::{build_topology, TopologyConfig};
+use nplus_medium::topology::build_environment_topology;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -86,6 +89,7 @@ fn ci95_half_width(samples: &[f64], mean: f64) -> f64 {
 /// [`sweep_parallel`] run jobs on any number of threads and still merge
 /// results bit-for-bit identical to the serial [`sweep()`].
 pub struct SweepJob<'a> {
+    environment: &'a dyn ChannelEnvironment,
     testbed: &'a Testbed,
     scenario: &'a Scenario,
     cfg: &'a SimConfig,
@@ -105,7 +109,8 @@ pub struct SeedResults {
 }
 
 impl<'a> SweepJob<'a> {
-    /// Builds the job for one seed of a sweep.
+    /// Builds the job for one seed of a sweep in the paper's default
+    /// indoor world ([`SIGCOMM11_INDOOR`]).
     pub fn new(
         testbed: &'a Testbed,
         scenario: &'a Scenario,
@@ -113,7 +118,29 @@ impl<'a> SweepJob<'a> {
         policies: &'a [&'a dyn MacPolicy],
         seed: u64,
     ) -> Self {
+        Self::in_environment(&SIGCOMM11_INDOOR, testbed, scenario, cfg, policies, seed)
+    }
+
+    /// Builds the job for one seed of a sweep in an arbitrary
+    /// propagation environment.
+    ///
+    /// The environment's hooks drive only the *topology* draw — the
+    /// engine reads the hardware profile and §4 threshold `L` from
+    /// `cfg`, so callers must mirror
+    /// [`ChannelEnvironment::hardware`]/[`join_power_l_db`](
+    /// ChannelEnvironment::join_power_l_db) into `cfg` themselves (as
+    /// [`SweepSpec::environment`] does); a default `cfg` silently runs
+    /// any world on the paper's pristine radios.
+    pub fn in_environment(
+        environment: &'a dyn ChannelEnvironment,
+        testbed: &'a Testbed,
+        scenario: &'a Scenario,
+        cfg: &'a SimConfig,
+        policies: &'a [&'a dyn MacPolicy],
+        seed: u64,
+    ) -> Self {
         SweepJob {
+            environment,
             testbed,
             scenario,
             cfg,
@@ -123,16 +150,21 @@ impl<'a> SweepJob<'a> {
     }
 
     /// Runs the job: topology draw, engine construction, one simulation
-    /// per policy. Pure in the seed — no shared mutable state.
+    /// per policy. Pure in the seed — no shared mutable state. Panics
+    /// when the testbed is too small for the scenario (`SweepSpec`
+    /// validates capacity before any job is spawned, so the panic is
+    /// unreachable through the builder).
     pub fn run(&self) -> SeedResults {
         let mut placement_rng = StdRng::seed_from_u64(self.seed);
-        let topo = build_topology(
+        let topo = build_environment_topology(
+            self.environment,
             self.testbed,
-            &TopologyConfig::new(self.scenario.antennas.clone()),
+            &self.scenario.antennas,
             self.cfg.ofdm.bandwidth_hz,
             self.seed,
             &mut placement_rng,
-        );
+        )
+        .unwrap_or_else(|e| panic!("{e}"));
         let engine = SimEngine::new(&topo, self.scenario, self.cfg);
         let per_policy = self
             .policies
@@ -221,6 +253,7 @@ fn aggregate_sweep(
 /// `threads` workers (`0` = available parallelism, `1` = serial),
 /// merged in seed order.
 fn sweep_policies(
+    environment: &dyn ChannelEnvironment,
     testbed: &Testbed,
     scenario: &Scenario,
     cfg: &SimConfig,
@@ -229,7 +262,7 @@ fn sweep_policies(
     threads: usize,
 ) -> Vec<SweepStats> {
     let results = crate::executor::run_indexed(seeds.len(), threads, |i| {
-        SweepJob::new(testbed, scenario, cfg, policies, seeds[i]).run()
+        SweepJob::in_environment(environment, testbed, scenario, cfg, policies, seeds[i]).run()
     });
     aggregate_sweep(scenario, policies, &results)
 }
@@ -273,7 +306,15 @@ pub fn sweep_parallel(
     threads: usize,
 ) -> Vec<SweepStats> {
     let policies: Vec<&dyn MacPolicy> = protocols.iter().map(|&p| p.policy()).collect();
-    sweep_policies(testbed, scenario, cfg, &policies, seeds, threads)
+    sweep_policies(
+        &SIGCOMM11_INDOOR,
+        testbed,
+        scenario,
+        cfg,
+        &policies,
+        seeds,
+        threads,
+    )
 }
 
 /// Builder facade over the whole simulation surface: scenario in,
@@ -296,12 +337,16 @@ pub fn sweep_parallel(
 /// assert_eq!(stats[2].policy, "oracle");
 /// ```
 ///
-/// Defaults: the testbed map is chosen to fit the scenario
-/// ([`Testbed::fitting`]), the config is [`SimConfig::default`], seeds
-/// are `0..20`, policies are the paper's comparison set
-/// (802.11n, beamforming, n+), and execution is serial.
+/// Defaults: the environment is the paper's indoor world
+/// ([`SIGCOMM11_INDOOR`] — other worlds via
+/// [`environment`](SweepSpec::environment) /
+/// [`environment_named`](SweepSpec::environment_named)), the testbed
+/// map is the environment's smallest fitting map, the config is
+/// [`SimConfig::default`], seeds are `0..20`, policies are the paper's
+/// comparison set (802.11n, beamforming, n+), and execution is serial.
 pub struct SweepSpec {
     scenario: Scenario,
+    environment: EnvEntry,
     testbed: Option<Testbed>,
     cfg: SimConfig,
     policies: Vec<PolicyEntry>,
@@ -325,6 +370,23 @@ impl PolicyEntry {
     }
 }
 
+/// The spec's environment: the built-ins are statics (no boxing),
+/// caller-supplied environments are owned — the same shape as
+/// [`PolicyEntry`].
+enum EnvEntry {
+    Static(&'static dyn ChannelEnvironment),
+    Owned(Box<dyn ChannelEnvironment>),
+}
+
+impl EnvEntry {
+    fn as_dyn(&self) -> &dyn ChannelEnvironment {
+        match self {
+            EnvEntry::Static(e) => *e,
+            EnvEntry::Owned(b) => b.as_ref(),
+        }
+    }
+}
+
 /// The default comparison set (the paper's head-to-head trio), applied
 /// when a spec names no policies. Front-ends that want the same default
 /// should leave the spec empty rather than re-listing these.
@@ -334,11 +396,20 @@ pub const DEFAULT_POLICIES: [&dyn MacPolicy; 3] = [
     &crate::policy::NPlus,
 ];
 
+/// Mirrors the environment hooks the engine reads from the config —
+/// the one place the `hardware`/`L` coupling lives, shared by by-value
+/// and by-name environment selection.
+fn apply_environment_config(cfg: &mut SimConfig, env: &dyn ChannelEnvironment) {
+    cfg.hardware = env.hardware();
+    cfg.l_db = env.join_power_l_db();
+}
+
 impl SweepSpec {
     /// Starts a spec for `scenario` with the documented defaults.
     pub fn new(scenario: Scenario) -> Self {
         SweepSpec {
             scenario,
+            environment: EnvEntry::Static(&SIGCOMM11_INDOOR),
             testbed: None,
             cfg: SimConfig::default(),
             policies: Vec::new(),
@@ -347,13 +418,53 @@ impl SweepSpec {
         }
     }
 
-    /// Places topologies on `testbed` instead of the auto-fitted map.
+    /// Places topologies on `testbed` instead of the environment's
+    /// auto-fitted map.
     pub fn testbed(mut self, testbed: Testbed) -> Self {
         self.testbed = Some(testbed);
         self
     }
 
-    /// Replaces the whole simulation config.
+    /// Runs the sweep in `environment` instead of the paper's indoor
+    /// world: the placement map, loss law, delay profiles and
+    /// oscillator draws all come from its hooks, and — like
+    /// [`rounds`](SweepSpec::rounds) — the call updates the config in
+    /// place with the environment's [`HardwareProfile`](
+    /// nplus_channel::impairments::HardwareProfile) and §4 threshold
+    /// `L` (a later [`config`](SweepSpec::config) call overrides both
+    /// again).
+    pub fn environment(mut self, environment: impl ChannelEnvironment + 'static) -> Self {
+        apply_environment_config(&mut self.cfg, &environment);
+        self.environment = EnvEntry::Owned(Box::new(environment));
+        self
+    }
+
+    /// Selects a built-in environment by name, resolved through the one
+    /// registry ([`environment_from_name`]; see
+    /// [`BUILTIN_ENVIRONMENT_NAMES`](
+    /// nplus_channel::environment::BUILTIN_ENVIRONMENT_NAMES)). Applies
+    /// the environment's hardware profile and `L` exactly like
+    /// [`environment`](SweepSpec::environment).
+    ///
+    /// # Errors
+    /// Returns the unknown name back.
+    pub fn environment_named(mut self, name: &str) -> Result<Self, String> {
+        match environment_from_name(name) {
+            Some(env) => {
+                apply_environment_config(&mut self.cfg, env);
+                self.environment = EnvEntry::Static(env);
+                Ok(self)
+            }
+            None => Err(name.to_string()),
+        }
+    }
+
+    /// Replaces the whole simulation config — including the hardware
+    /// profile and `L` a prior [`environment`](SweepSpec::environment)
+    /// call installed (last call wins). To combine a non-default
+    /// environment with config tweaks, call `config` first (or use the
+    /// single-field setters like [`rounds`](SweepSpec::rounds), which
+    /// leave the environment's fields alone).
     pub fn config(mut self, cfg: SimConfig) -> Self {
         self.cfg = cfg;
         self
@@ -420,33 +531,68 @@ impl SweepSpec {
     }
 
     /// Runs the sweep and aggregates statistics per policy.
-    pub fn run(&self) -> Vec<SweepStats> {
-        let testbed = self.resolved_testbed();
+    ///
+    /// # Errors
+    /// [`EnvironmentError::TooManyNodes`] when the scenario needs more
+    /// placement slots than the environment's largest map (or the
+    /// explicit [`testbed`](SweepSpec::testbed) override) offers —
+    /// detected before any job runs.
+    pub fn try_run(&self) -> Result<Vec<SweepStats>, EnvironmentError> {
+        let testbed = self.resolved_testbed()?;
         let policy_refs = self.policy_refs();
-        sweep_policies(
+        Ok(sweep_policies(
+            self.environment.as_dyn(),
             &testbed,
             &self.scenario,
             &self.cfg,
             &policy_refs,
             &self.seeds,
             self.threads,
-        )
+        ))
+    }
+
+    /// Panicking convenience over [`try_run`](SweepSpec::try_run) for
+    /// specs that statically fit their environment.
+    pub fn run(&self) -> Vec<SweepStats> {
+        self.try_run().unwrap_or_else(|e| panic!("{e}"))
     }
 
     /// Runs a single seed and returns its raw per-policy results — the
     /// replacement for hand-rolling `build_topology` +
     /// [`simulate`](crate::sim::simulate)
     /// when per-run (rather than aggregate) output is wanted.
-    pub fn run_seed(&self, seed: u64) -> SeedResults {
-        let testbed = self.resolved_testbed();
+    ///
+    /// # Errors
+    /// As [`try_run`](SweepSpec::try_run).
+    pub fn try_run_seed(&self, seed: u64) -> Result<SeedResults, EnvironmentError> {
+        let testbed = self.resolved_testbed()?;
         let policy_refs = self.policy_refs();
-        SweepJob::new(&testbed, &self.scenario, &self.cfg, &policy_refs, seed).run()
+        Ok(SweepJob::in_environment(
+            self.environment.as_dyn(),
+            &testbed,
+            &self.scenario,
+            &self.cfg,
+            &policy_refs,
+            seed,
+        )
+        .run())
     }
 
-    fn resolved_testbed(&self) -> Testbed {
-        self.testbed
-            .clone()
-            .unwrap_or_else(|| Testbed::fitting(self.scenario.antennas.len()))
+    /// Panicking convenience over
+    /// [`try_run_seed`](SweepSpec::try_run_seed).
+    pub fn run_seed(&self, seed: u64) -> SeedResults {
+        self.try_run_seed(seed).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    fn resolved_testbed(&self) -> Result<Testbed, EnvironmentError> {
+        let n = self.scenario.antennas.len();
+        match &self.testbed {
+            Some(tb) => {
+                tb.ensure_capacity(n)?;
+                Ok(tb.clone())
+            }
+            None => self.environment.as_dyn().testbed(n),
+        }
     }
 
     fn policy_refs(&self) -> Vec<&dyn MacPolicy> {
@@ -682,6 +828,95 @@ mod tests {
             one[2].mean_total_mbps,
             seed_results.per_policy[2].total_mbps
         );
+    }
+
+    /// Selecting the default environment explicitly is a no-op: stats
+    /// are bit-for-bit the defaults', by value and by name.
+    #[test]
+    fn default_environment_is_a_bitwise_noop() {
+        use nplus_channel::environment::Sigcomm11Indoor;
+        let base = SweepSpec::new(Scenario::three_pairs())
+            .rounds(3)
+            .seed_count(2)
+            .protocol(Protocol::NPlus)
+            .run();
+        let by_value = SweepSpec::new(Scenario::three_pairs())
+            .rounds(3)
+            .seed_count(2)
+            .protocol(Protocol::NPlus)
+            .environment(Sigcomm11Indoor::default())
+            .run();
+        let by_name = SweepSpec::new(Scenario::three_pairs())
+            .rounds(3)
+            .seed_count(2)
+            .protocol(Protocol::NPlus)
+            .environment_named("sigcomm11")
+            .expect("registry name")
+            .run();
+        for other in [&by_value, &by_name] {
+            assert_eq!(base[0].mean_total_mbps, other[0].mean_total_mbps);
+            assert_eq!(base[0].mean_per_flow_mbps, other[0].mean_per_flow_mbps);
+            assert_eq!(base[0].mean_dof, other[0].mean_dof);
+        }
+    }
+
+    /// Every non-default environment draws a genuinely different world:
+    /// same seeds, different statistics.
+    #[test]
+    fn environments_change_sweep_results() {
+        // Enough rounds/seeds that joins actually happen: hardware (and
+        // the §4 threshold) only enters through join planning, so a
+        // join-free sample would make `degraded_hardware` a no-op.
+        let run_in = |name: &str| {
+            SweepSpec::new(Scenario::three_pairs())
+                .rounds(8)
+                .seed_count(3)
+                .protocol(Protocol::NPlus)
+                .environment_named(name)
+                .expect("registry name")
+                .run()
+        };
+        let base = run_in("sigcomm11");
+        for name in ["outdoor", "rich_scatter", "degraded_hardware"] {
+            let stats = run_in(name);
+            assert!(
+                stats[0].mean_total_mbps.is_finite() && stats[0].mean_total_mbps > 0.0,
+                "{name} produced no goodput"
+            );
+            assert_ne!(
+                stats[0].mean_total_mbps, base[0].mean_total_mbps,
+                "{name} statistics identical to the indoor world"
+            );
+        }
+        assert!(SweepSpec::new(Scenario::three_pairs())
+            .environment_named("vacuum")
+            .is_err());
+    }
+
+    /// A scenario too large for the environment's maps — or for an
+    /// explicit testbed override — is a clean `Err`, not a panic.
+    #[test]
+    fn oversized_scenarios_error_cleanly() {
+        let antennas = vec![1usize; 41];
+        let flows = vec![super::super::Flow { tx: 0, rx: 1 }];
+        let scenario = Scenario {
+            antennas,
+            flows: flows.clone(),
+        };
+        let err = SweepSpec::new(scenario).try_run().unwrap_err();
+        assert_eq!(
+            err,
+            nplus_channel::environment::EnvironmentError::TooManyNodes {
+                requested: 41,
+                capacity: 40
+            }
+        );
+        assert_eq!(err.to_string(), "cannot place 41 nodes on 40 locations");
+        // Explicit override smaller than the scenario.
+        let small = Testbed::from_locations(Testbed::sigcomm11().locations()[..2].to_vec());
+        let spec = SweepSpec::new(Scenario::three_pairs()).testbed(small);
+        assert!(spec.try_run().is_err());
+        assert!(spec.try_run_seed(0).is_err());
     }
 
     /// Oracle plugs into sweeps like any other policy and reports under

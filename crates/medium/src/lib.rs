@@ -26,4 +26,4 @@ pub mod topology;
 pub use chancache::ChannelCache;
 pub use medium::{any_transmission_overlaps, Medium, Transmission};
 pub use node::{NodeId, NodeInfo};
-pub use topology::{build_topology, Topology, TopologyConfig};
+pub use topology::{build_environment_topology, build_topology, Topology, TopologyConfig};

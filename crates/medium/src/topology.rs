@@ -1,21 +1,31 @@
-//! Topology builder: wires a [`Medium`] from the
-//! testbed geometry.
+//! Topology builder: wires a [`Medium`] from a propagation
+//! environment.
 //!
 //! Given node antenna counts and a random placement draw, installs every
-//! pairwise link with large-scale gain from the path-loss model and
-//! small-scale fading matched to the link's LOS/NLOS class — the full
-//! "random assignment of nodes to locations in Fig. 10" methodology the
-//! paper's experiments repeat per run.
+//! pairwise link with large-scale gain from the environment's path-loss
+//! law and small-scale fading matched to the link's LOS/NLOS class — the
+//! full "random assignment of nodes to locations in Fig. 10" methodology
+//! the paper's experiments repeat per run. The world itself is a
+//! pluggable [`ChannelEnvironment`]: [`build_environment_topology`] is
+//! the general entry point, and [`build_topology`] survives as a thin
+//! wrapper that runs the paper's [`Sigcomm11Indoor`] world with the
+//! classic `TopologyConfig` knobs (bit-for-bit identical to the
+//! pre-environment implementation — pinned by the
+//! `environment_regression` suite).
 
 use crate::medium::Medium;
 use crate::node::NodeId;
-use nplus_channel::fading::DelayProfile;
+use nplus_channel::environment::{
+    ChannelEnvironment, EnvironmentError, OscillatorDraw, Sigcomm11Indoor,
+};
 use nplus_channel::mimo::MimoLink;
 use nplus_channel::pathloss::{LinkBudget, PathLossModel};
 use nplus_channel::placement::{Location, Testbed};
-use rand::Rng;
+use rand::{Rng, RngCore};
 
-/// Configuration of a topology draw.
+/// Configuration of a topology draw under the paper's indoor world —
+/// the classic knobs [`build_topology`] feeds into a
+/// [`Sigcomm11Indoor`] environment.
 #[derive(Debug, Clone)]
 pub struct TopologyConfig {
     /// Antenna count per node, in node order.
@@ -24,9 +34,12 @@ pub struct TopologyConfig {
     pub path_loss: PathLossModel,
     /// Power/noise budget.
     pub budget: LinkBudget,
-    /// Oscillator offset standard deviation (Hz). Each node draws its
-    /// offset from a uniform ±2σ range.
-    pub oscillator_sigma_hz: f64,
+    /// Per-node oscillator-offset draw. The default is the seed code's
+    /// draw under its honest name: uniform in ±4 kHz (the old
+    /// `oscillator_sigma_hz: σ = 2 kHz` field was consumed by a uniform
+    /// `±2σ` draw, never a Gaussian — [`OscillatorDraw::Gaussian`] is
+    /// now available for environments that want the real thing).
+    pub oscillator: OscillatorDraw,
 }
 
 impl TopologyConfig {
@@ -36,7 +49,7 @@ impl TopologyConfig {
             antennas,
             path_loss: PathLossModel::default(),
             budget: LinkBudget::default(),
-            oscillator_sigma_hz: 2_000.0,
+            oscillator: OscillatorDraw::DEFAULT_UNIFORM,
         }
     }
 }
@@ -52,25 +65,37 @@ pub struct Topology {
     pub placements: Vec<Location>,
 }
 
-/// Draws a placement on the testbed and wires all pairwise links.
+/// Draws a placement on `testbed` and wires all pairwise links through
+/// the environment's hooks: placement shuffle, one oscillator draw per
+/// node, then one loss draw plus one fading draw per link `(i, j)`,
+/// `i < j` — a fixed consumption order, so topologies are a pure
+/// function of `(environment, testbed, antennas, seed, rng state)`.
 ///
+/// `testbed` is passed explicitly (rather than taken from
+/// [`ChannelEnvironment::testbed`]) so callers can override the map;
+/// resolve it via the environment when no override is wanted.
 /// `sample_rate_hz` sets the medium clock (10 MHz for the paper's
-/// profile); `seed` makes the draw reproducible.
-pub fn build_topology<R: Rng>(
+/// profile); `seed` makes the medium's noise draw reproducible.
+///
+/// # Errors
+/// [`EnvironmentError::TooManyNodes`] when `testbed` has fewer
+/// locations than `antennas.len()` (nothing is drawn from `rng` in
+/// that case).
+pub fn build_environment_topology(
+    env: &dyn ChannelEnvironment,
     testbed: &Testbed,
-    config: &TopologyConfig,
+    antennas: &[usize],
     sample_rate_hz: f64,
     seed: u64,
-    rng: &mut R,
-) -> Topology {
-    let n = config.antennas.len();
-    let placements = testbed.random_assignment(n, rng);
+    rng: &mut dyn RngCore,
+) -> Result<Topology, EnvironmentError> {
+    let n = antennas.len();
+    let placements = testbed.try_random_assignment(n, &mut &mut *rng)?;
     let mut medium = Medium::new(sample_rate_hz, seed);
-    let nodes: Vec<NodeId> = config
-        .antennas
+    let nodes: Vec<NodeId> = antennas
         .iter()
         .map(|&ants| {
-            let offset = (rng.gen::<f64>() - 0.5) * 4.0 * config.oscillator_sigma_hz;
+            let offset = env.oscillator_offset_hz(rng);
             medium.add_node(ants, offset)
         })
         .collect();
@@ -78,24 +103,43 @@ pub fn build_topology<R: Rng>(
     for i in 0..n {
         for j in (i + 1)..n {
             let d = placements[i].pos.distance(&placements[j].pos);
-            let nlos = testbed.link_is_nlos(&placements[i], &placements[j]);
-            let loss = config.path_loss.sample_loss_db(d, nlos, rng);
-            let amp = config.budget.amplitude_scale(loss);
-            let profile = if nlos {
-                DelayProfile::nlos()
-            } else {
-                DelayProfile::los()
-            };
-            let link = MimoLink::sample(config.antennas[i], config.antennas[j], amp, &profile, rng);
+            let nlos = env.link_is_nlos(testbed, &placements[i], &placements[j]);
+            let loss = env.sample_loss_db(d, nlos, rng);
+            let amp = env.amplitude_scale(loss);
+            let profile = env.delay_profile(nlos);
+            let link = MimoLink::sample(antennas[i], antennas[j], amp, &profile, &mut &mut *rng);
             medium.set_link(nodes[i], nodes[j], link);
         }
     }
 
-    Topology {
+    Ok(Topology {
         medium,
         nodes,
         placements,
-    }
+    })
+}
+
+/// Draws a placement on the testbed and wires all pairwise links under
+/// the paper's indoor world — a thin wrapper over
+/// [`build_environment_topology`] with a [`Sigcomm11Indoor`] built from
+/// `config`, bit-for-bit identical to the pre-environment
+/// implementation. Panics when the testbed is too small (use the
+/// environment path for a `Result`).
+pub fn build_topology<R: Rng>(
+    testbed: &Testbed,
+    config: &TopologyConfig,
+    sample_rate_hz: f64,
+    seed: u64,
+    rng: &mut R,
+) -> Topology {
+    let env = Sigcomm11Indoor {
+        path_loss: config.path_loss,
+        budget: config.budget,
+        oscillator: config.oscillator,
+        ..Sigcomm11Indoor::new()
+    };
+    build_environment_topology(&env, testbed, &config.antennas, sample_rate_hz, seed, rng)
+        .unwrap_or_else(|e| panic!("{e}"))
 }
 
 // The parallel sweep engine builds and consumes topologies on scoped
@@ -110,6 +154,7 @@ const _: () = {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use nplus_channel::environment::{OutdoorFreeSpace, RichScatter, SIGCOMM11_INDOOR};
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 
@@ -166,6 +211,109 @@ mod tests {
         assert!(!h1.approx_eq(&h2, 1e-9));
     }
 
+    /// `build_topology` is exactly the default environment: the wrapper
+    /// and the explicit [`SIGCOMM11_INDOOR`] path produce bit-identical
+    /// placements, offsets and channels at every seed.
+    #[test]
+    fn wrapper_equals_default_environment_bitwise() {
+        let antennas = vec![1, 2, 3, 2];
+        let tb = Testbed::sigcomm11();
+        for seed in 0..10u64 {
+            let cfg = TopologyConfig::new(antennas.clone());
+            let a = build_topology(&tb, &cfg, 10e6, seed, &mut StdRng::seed_from_u64(seed));
+            let mut rng = StdRng::seed_from_u64(seed);
+            let b =
+                build_environment_topology(&SIGCOMM11_INDOOR, &tb, &antennas, 10e6, seed, &mut rng)
+                    .unwrap();
+            for i in 0..antennas.len() {
+                assert_eq!(
+                    a.placements[i].pos.x.to_bits(),
+                    b.placements[i].pos.x.to_bits()
+                );
+                assert_eq!(
+                    a.medium.node(a.nodes[i]).oscillator_offset_hz.to_bits(),
+                    b.medium.node(b.nodes[i]).oscillator_offset_hz.to_bits()
+                );
+                for j in 0..antennas.len() {
+                    if i == j {
+                        continue;
+                    }
+                    let ha = a
+                        .medium
+                        .link(a.nodes[i], a.nodes[j])
+                        .unwrap()
+                        .channel_matrix(7, 64);
+                    let hb = b
+                        .medium
+                        .link(b.nodes[i], b.nodes[j])
+                        .unwrap()
+                        .channel_matrix(7, 64);
+                    assert!(ha.approx_eq(&hb, 0.0), "seed {seed} link {i}->{j}");
+                }
+            }
+        }
+    }
+
+    /// Distinct environments on the same seed draw distinct worlds.
+    #[test]
+    fn environments_change_the_world() {
+        let antennas = vec![1, 2];
+        let build = |env: &dyn ChannelEnvironment| {
+            let tb = env.testbed(antennas.len()).unwrap();
+            let mut rng = StdRng::seed_from_u64(3);
+            build_environment_topology(env, &tb, &antennas, 10e6, 3, &mut rng).unwrap()
+        };
+        let indoor = build(&SIGCOMM11_INDOOR);
+        let outdoor = build(&OutdoorFreeSpace);
+        let scatter = build(&RichScatter);
+        let h = |t: &Topology| {
+            t.medium
+                .link(t.nodes[0], t.nodes[1])
+                .unwrap()
+                .channel_matrix(5, 64)
+        };
+        assert!(!h(&indoor).approx_eq(&h(&outdoor), 1e-9));
+        assert!(!h(&indoor).approx_eq(&h(&scatter), 1e-9));
+        // Rich scatter's built links carry more delay taps than the
+        // indoor world's — the deeper delay spread survives all the way
+        // into the wired medium, not just the profile constant.
+        let built_taps = |t: &Topology| {
+            t.medium
+                .link(t.nodes[0], t.nodes[1])
+                .unwrap()
+                .pair(0, 0)
+                .taps
+                .len()
+        };
+        assert!(
+            built_taps(&scatter) > built_taps(&indoor),
+            "rich scatter drew {} taps, indoor {}",
+            built_taps(&scatter),
+            built_taps(&indoor)
+        );
+    }
+
+    /// An oversized scenario is an error, not a panic, and consumes no
+    /// RNG.
+    #[test]
+    fn oversize_scenario_is_a_clean_error() {
+        let antennas = vec![1; 41];
+        let tb = Testbed::sigcomm11_extended();
+        let mut rng = StdRng::seed_from_u64(0);
+        let err = build_environment_topology(&SIGCOMM11_INDOOR, &tb, &antennas, 10e6, 0, &mut rng)
+            .unwrap_err();
+        assert_eq!(
+            err,
+            EnvironmentError::TooManyNodes {
+                requested: 41,
+                capacity: 40
+            }
+        );
+        // The RNG was untouched: the next draw equals a fresh stream's.
+        use rand::Rng;
+        assert_eq!(rng.gen::<u64>(), StdRng::seed_from_u64(0).gen::<u64>());
+    }
+
     #[test]
     fn link_snrs_in_operating_range() {
         // Mean per-antenna SNR (|amplitude|² × unit fading energy) should
@@ -196,5 +344,40 @@ mod tests {
             in_range as f64 / total as f64 > 0.85,
             "only {in_range}/{total} links in range"
         );
+    }
+
+    /// The new environments keep link SNRs in an operable band too.
+    #[test]
+    fn new_environment_snrs_in_operating_range() {
+        for env in [&OutdoorFreeSpace as &dyn ChannelEnvironment, &RichScatter] {
+            let antennas = vec![1; 8];
+            let tb = env.testbed(8).unwrap();
+            let mut in_range = 0;
+            let mut total = 0;
+            for seed in 0..10u64 {
+                let mut rng = StdRng::seed_from_u64(seed);
+                let topo =
+                    build_environment_topology(env, &tb, &antennas, 10e6, seed, &mut rng).unwrap();
+                for i in 0..8 {
+                    for j in (i + 1)..8 {
+                        let amp = topo
+                            .medium
+                            .link(topo.nodes[i], topo.nodes[j])
+                            .unwrap()
+                            .amplitude();
+                        let snr_db = 20.0 * amp.log10();
+                        total += 1;
+                        if (0.0..50.0).contains(&snr_db) {
+                            in_range += 1;
+                        }
+                    }
+                }
+            }
+            assert!(
+                in_range as f64 / total as f64 > 0.8,
+                "{}: only {in_range}/{total} links in range",
+                env.name()
+            );
+        }
     }
 }

@@ -174,28 +174,65 @@ impl ScenarioGenerator {
     /// A random scenario of any family: contending pairs, multi-AP
     /// downlink cells, hidden-terminal stars, asymmetric pairs or a
     /// dense mesh — the diversity the parallel sweep engine is fed.
+    /// Sized for the stock maps (up to [`MAX_DENSE_NODES`] nodes);
+    /// identical draws to
+    /// [`random_for_capacity(MAX_DENSE_NODES)`](Self::random_for_capacity).
     pub fn random(&mut self) -> Scenario {
+        self.random_for_capacity(MAX_DENSE_NODES)
+    }
+
+    /// [`random`](Self::random) sized for an environment with
+    /// `capacity` placement slots: every family's node count stays
+    /// within `capacity`, so the draw places on any
+    /// [`ChannelEnvironment`](nplus_channel::environment::ChannelEnvironment)
+    /// whose [`capacity()`](nplus_channel::environment::ChannelEnvironment::capacity)
+    /// is at least that. Needs `capacity >= 6` (the smallest family
+    /// shapes). At `capacity = MAX_DENSE_NODES` the draws are
+    /// bit-identical to the classic [`random`](Self::random) stream.
+    pub fn random_for_capacity(&mut self, capacity: usize) -> Scenario {
+        assert!(capacity >= 6, "need at least 6 placement slots");
+        let std_cap = capacity.min(MAX_NODES);
         match self.rng.gen_range(0u8..5) {
-            0 => self.random_pairs(),
+            0 => {
+                let n_pairs = self.rng.gen_range(2..=std_cap / 2);
+                self.n_pairs(n_pairs)
+            }
             1 => {
-                let n_aps: usize = self.rng.gen_range(1..=4);
-                let max_clients = (MAX_NODES / n_aps).saturating_sub(1).clamp(1, 3);
+                let max_aps = (std_cap / 2).min(4); // each cell needs >= 2 nodes
+                let n_aps: usize = self.rng.gen_range(1..=max_aps);
+                let max_clients = (std_cap / n_aps).saturating_sub(1).clamp(1, 3);
                 let clients = self.rng.gen_range(1..=max_clients);
                 self.multi_ap(n_aps, clients)
             }
             2 => {
-                let n_txs = self.rng.gen_range(2..=6);
+                let n_txs = self.rng.gen_range(2..=(std_cap - 1).min(6));
                 self.hidden_terminal(n_txs)
             }
             3 => {
-                let n_pairs = self.rng.gen_range(2..=MAX_NODES / 2);
+                let n_pairs = self.rng.gen_range(2..=std_cap / 2);
                 self.asymmetric_antenna(n_pairs)
             }
             _ => {
-                let n_pairs = self.rng.gen_range(5..=MAX_DENSE_NODES / 2);
+                let dense_cap = capacity.min(MAX_DENSE_NODES);
+                if dense_cap / 2 < 5 {
+                    // Too small a map for the dense regime: fall back to
+                    // the largest pair mesh that fits.
+                    let n_pairs = self.rng.gen_range(2..=std_cap / 2);
+                    return self.n_pairs(n_pairs);
+                }
+                let n_pairs = self.rng.gen_range(5..=dense_cap / 2);
                 self.dense(2 * n_pairs)
             }
         }
+    }
+
+    /// [`random_for_capacity`](Self::random_for_capacity) sized for a
+    /// propagation environment's own placement capacity.
+    pub fn random_for(
+        &mut self,
+        env: &dyn nplus_channel::environment::ChannelEnvironment,
+    ) -> Scenario {
+        self.random_for_capacity(env.capacity())
     }
 }
 
@@ -286,6 +323,96 @@ mod tests {
         };
         let r = built.run_with(nplus::sim::Protocol::Dot11n, &cfg, 3);
         assert!(r.total_mbps.is_finite());
+    }
+
+    #[test]
+    fn random_for_capacity_respects_the_cap_and_matches_random() {
+        // random() is *defined* as random_for_capacity(MAX_DENSE_NODES),
+        // so comparing the two streams alone would be tautological: the
+        // real pin is the golden draws below — the first three seed-11
+        // scenarios of the classic stream. Any change to the family
+        // dispatch or gen_range bounds breaks these literals.
+        type Golden = (&'static [usize], &'static [(usize, usize)]);
+        let goldens: [Golden; 3] = [
+            (
+                &[1, 4, 2, 1, 3, 3, 2, 4, 2, 3, 3, 1, 1, 1],
+                &[(0, 1), (2, 3), (4, 5), (6, 7), (8, 9), (10, 11), (12, 13)],
+            ),
+            (
+                &[
+                    1, 2, 4, 3, 1, 3, 3, 1, 1, 4, 4, 3, 4, 1, 1, 3, 3, 4, 1, 2, 1, 4, 3, 2,
+                ],
+                &[
+                    (0, 1),
+                    (2, 3),
+                    (4, 5),
+                    (6, 7),
+                    (8, 9),
+                    (10, 11),
+                    (12, 13),
+                    (14, 15),
+                    (16, 17),
+                    (18, 19),
+                    (20, 21),
+                    (22, 23),
+                ],
+            ),
+            (
+                &[
+                    4, 3, 1, 2, 3, 2, 1, 4, 2, 1, 2, 1, 2, 2, 1, 4, 1, 3, 2, 1, 1, 4, 1, 1,
+                ],
+                &[
+                    (0, 1),
+                    (2, 3),
+                    (4, 5),
+                    (6, 7),
+                    (8, 9),
+                    (10, 11),
+                    (12, 13),
+                    (14, 15),
+                    (16, 17),
+                    (18, 19),
+                    (20, 21),
+                    (22, 23),
+                ],
+            ),
+        ];
+        let mut a = ScenarioGenerator::new(11);
+        let mut b = ScenarioGenerator::new(11);
+        for i in 0..12 {
+            let x = a.random();
+            let y = b.random_for_capacity(MAX_DENSE_NODES);
+            if let Some((antennas, flows)) = goldens.get(i) {
+                assert_eq!(
+                    &x.antennas, antennas,
+                    "draw {i} diverged from the classic stream"
+                );
+                let got: Vec<(usize, usize)> = x.flows.iter().map(|f| (f.tx, f.rx)).collect();
+                assert_eq!(&got, flows, "draw {i} diverged from the classic stream");
+            }
+            assert_eq!(x.antennas, y.antennas);
+            assert_eq!(x.flows, y.flows);
+        }
+        // Every capped draw fits the cap.
+        for capacity in [6usize, 8, 12, 20, 40] {
+            let mut g = ScenarioGenerator::new(7);
+            for _ in 0..30 {
+                let s = g.random_for_capacity(capacity);
+                check_valid(&s);
+                assert!(
+                    s.antennas.len() <= capacity,
+                    "capacity {capacity}: drew {} nodes",
+                    s.antennas.len()
+                );
+            }
+        }
+        // And the environment-aware form sizes to the environment.
+        use nplus_channel::environment::OUTDOOR_FREE_SPACE;
+        let mut g = ScenarioGenerator::new(3);
+        for _ in 0..10 {
+            let s = g.random_for(&OUTDOOR_FREE_SPACE);
+            assert!(s.antennas.len() <= 40);
+        }
     }
 
     #[test]

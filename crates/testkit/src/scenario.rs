@@ -3,11 +3,13 @@
 use nplus::carrier_sense::MultiDimCarrierSense;
 use nplus::policy::MacPolicy;
 use nplus::sim::{simulate, simulate_policy, Protocol, RunResult, Scenario, SimConfig};
+use nplus_channel::environment::{ChannelEnvironment, EnvironmentError};
 use nplus_channel::fading::DelayProfile;
 use nplus_channel::mimo::MimoLink;
 use nplus_channel::placement::Testbed;
 use nplus_linalg::{CMatrix, Complex64};
 use nplus_medium::medium::{Medium, Transmission};
+use nplus_medium::topology::build_environment_topology;
 use nplus_medium::topology::{build_topology, Topology, TopologyConfig};
 use nplus_medium::NodeId;
 use nplus_phy::params::OfdmConfig;
@@ -59,6 +61,34 @@ pub fn build_scenario(scenario: Scenario, placement_seed: u64) -> BuiltScenario 
         &mut rng,
     );
     BuiltScenario { scenario, topology }
+}
+
+/// [`build_scenario`] in an arbitrary propagation environment: the map
+/// comes from the environment's own
+/// [`testbed`](ChannelEnvironment::testbed) hook, the links from its
+/// loss/fading draws. Note the returned topology does *not* carry the
+/// environment's [`hardware`](ChannelEnvironment::hardware) — set it on
+/// the `SimConfig` (as `SweepSpec::environment` does) when simulating.
+///
+/// # Errors
+/// [`EnvironmentError::TooManyNodes`] when the scenario outsizes the
+/// environment's largest map.
+pub fn build_scenario_in(
+    env: &dyn ChannelEnvironment,
+    scenario: Scenario,
+    placement_seed: u64,
+) -> Result<BuiltScenario, EnvironmentError> {
+    let testbed = env.testbed(scenario.antennas.len())?;
+    let mut rng = StdRng::seed_from_u64(placement_seed);
+    let topology = build_environment_topology(
+        env,
+        &testbed,
+        &scenario.antennas,
+        BANDWIDTH_HZ,
+        placement_seed,
+        &mut rng,
+    )?;
+    Ok(BuiltScenario { scenario, topology })
 }
 
 /// Fig. 3: contending pairs with 1, 2 and 3 antennas.

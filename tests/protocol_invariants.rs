@@ -3,6 +3,7 @@
 
 use nplus::policy::{GreedyJoin, NPlus, Oracle};
 use nplus::sim::{sweep, sweep_parallel, Protocol, Scenario, SimConfig, SweepSpec};
+use nplus_channel::environment::BUILTIN_ENVIRONMENT_NAMES;
 use nplus_channel::impairments::{HardwareProfile, IDEAL_HARDWARE};
 use nplus_channel::placement::Testbed;
 use nplus_testkit::generator::ScenarioGenerator;
@@ -333,6 +334,85 @@ proptest! {
                 proptest::prop_assert_eq!(s.mean_fairness.to_bits(), p.mean_fairness.to_bits(), "threads {}", threads);
             }
         }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// The engine's two determinism contracts hold in **every**
+    /// registered propagation environment, not just the paper's world:
+    /// for any generated scenario, (a) the channel cache is invisible —
+    /// sweep statistics are bit-for-bit identical with `cache_channels`
+    /// on and off — and (b) `sweep_parallel` at 2 threads equals the
+    /// serial sweep exactly. Worlds whose believed-channel draws differ
+    /// (degraded hardware) or whose fading is deeper (rich scatter)
+    /// must not perturb either contract.
+    #[test]
+    fn environments_preserve_cache_and_thread_determinism(gen_seed in 0u64..1000, family in 0u8..3) {
+        let mut generator = ScenarioGenerator::new(gen_seed);
+        let scenario = match family {
+            0 => generator.n_pairs(2),
+            1 => generator.hidden_terminal(2),
+            _ => generator.asymmetric_antenna(2),
+        };
+        for name in BUILTIN_ENVIRONMENT_NAMES {
+            let run = |cache: bool, threads: usize| {
+                let cfg = SimConfig { rounds: 2, cache_channels: cache, ..SimConfig::default() };
+                SweepSpec::new(scenario.clone())
+                    .config(cfg)
+                    .environment_named(name)
+                    .expect("builtin environment")
+                    .seeds(gen_seed..gen_seed + 2)
+                    .policy(NPlus)
+                    .threads(threads)
+                    .run()
+            };
+            let base = run(true, 1);
+            for (context, other) in [("cache off", run(false, 1)), ("2 threads", run(true, 2))] {
+                for (a, b) in base.iter().zip(&other) {
+                    proptest::prop_assert_eq!(a.mean_total_mbps, b.mean_total_mbps, "{} ({})", name, context);
+                    proptest::prop_assert_eq!(&a.mean_per_flow_mbps, &b.mean_per_flow_mbps, "{} ({})", name, context);
+                    proptest::prop_assert_eq!(a.mean_dof, b.mean_dof, "{} ({})", name, context);
+                    proptest::prop_assert_eq!(a.ci95_total_mbps, b.ci95_total_mbps, "{} ({})", name, context);
+                    proptest::prop_assert_eq!(a.mean_fairness.to_bits(), b.mean_fairness.to_bits(), "{} ({})", name, context);
+                }
+            }
+        }
+    }
+}
+
+/// Invariant 16 holds in every shipped world, and the oracle bound
+/// with it: n+'s mean total goodput beats 802.11n's clearly — and
+/// `Oracle`'s upper-bounds n+'s — in the paper's indoor environment
+/// *and* in the outdoor, rich-scatter and degraded-hardware worlds.
+/// The concurrency win is a property of the protocol, not of the one
+/// map the paper measured on. (Deterministic seeds; the ~1.45–1.5×
+/// observed ratio leaves a wide margin over the 1.1 asserted here.)
+#[test]
+fn nplus_beats_dot11n_in_every_environment() {
+    for name in BUILTIN_ENVIRONMENT_NAMES {
+        let stats = SweepSpec::new(Scenario::three_pairs())
+            .rounds(12)
+            .seed_count(8)
+            .protocols(&[Protocol::Dot11n, Protocol::NPlus])
+            .policy(Oracle)
+            .environment_named(name)
+            .expect("builtin environment")
+            .run();
+        let (dn, np, oracle) = (&stats[0], &stats[1], &stats[2]);
+        assert!(
+            np.mean_total_mbps > 1.1 * dn.mean_total_mbps,
+            "{name}: n+ {:.2} Mb/s not clearly above 802.11n {:.2} Mb/s",
+            np.mean_total_mbps,
+            dn.mean_total_mbps
+        );
+        assert!(
+            oracle.mean_total_mbps >= np.mean_total_mbps,
+            "{name}: oracle {:.2} Mb/s below n+ {:.2} Mb/s",
+            oracle.mean_total_mbps,
+            np.mean_total_mbps
+        );
     }
 }
 
