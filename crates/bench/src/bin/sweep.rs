@@ -41,82 +41,31 @@
 //! environment's maps reports cleanly and exits 2.
 
 use nplus::prelude::*;
-use nplus_testkit::generator::{ScenarioGenerator, MAX_DENSE_NODES, MAX_NODES};
+use nplus_testkit::{parse_scenario_spec, SCENARIO_SPEC_HELP};
 
-/// Reports an invalid scenario operand the way every other operator
-/// error is reported (one line, exit 2) — the generator's own spec
-/// guards are asserts and would dump a backtrace instead.
+/// Reports an invalid operand the way every operator error is reported:
+/// one line on stderr, exit 2 — never a panic backtrace.
 fn spec_error(msg: &str) -> ! {
     eprintln!("error: {msg}");
     std::process::exit(2);
 }
 
-/// `env_capacity` sizes the `random:` family draw to the chosen
-/// environment's map ([`ScenarioGenerator::random_for_capacity`]); at
-/// the stock 40-slot maps the draw is bit-identical to the classic
-/// `random()` stream.
-fn parse_scenario(spec: &str, env_capacity: usize) -> Scenario {
-    if let Some(n) = spec.strip_prefix("pairs:") {
-        let n: usize = n.parse().expect("pairs:<n> needs a number");
-        if !(1..=MAX_NODES / 2).contains(&n) {
-            spec_error(&format!("pairs:<n> needs 1..={}", MAX_NODES / 2));
-        }
-        return ScenarioGenerator::new(42).n_pairs(n);
-    }
-    if let Some(shape) = spec.strip_prefix("multi_ap:") {
-        let (a, c) = shape
-            .split_once('x')
-            .expect("multi_ap:<aps>x<clients> needs AxC");
-        let (a, c): (usize, usize) = (
-            a.parse().expect("AP count"),
-            c.parse().expect("client count"),
-        );
-        if a < 1 || c < 1 || a * (1 + c) > MAX_NODES {
-            spec_error(&format!(
-                "multi_ap:<aps>x<clients> needs aps*(1+clients) in 2..={MAX_NODES}"
-            ));
-        }
-        return ScenarioGenerator::new(42).multi_ap(a, c);
-    }
-    if let Some(n) = spec.strip_prefix("hidden:") {
-        let n: usize = n.parse().expect("hidden:<n> needs a number");
-        if !(2..MAX_NODES).contains(&n) {
-            spec_error(&format!("hidden:<n> needs 2..={}", MAX_NODES - 1));
-        }
-        return ScenarioGenerator::new(42).hidden_terminal(n);
-    }
-    if let Some(n) = spec.strip_prefix("asym:") {
-        let n: usize = n.parse().expect("asym:<n> needs a number");
-        if !(1..=MAX_NODES / 2).contains(&n) {
-            spec_error(&format!("asym:<n> needs 1..={}", MAX_NODES / 2));
-        }
-        return ScenarioGenerator::new(42).asymmetric_antenna(n);
-    }
-    if let Some(n) = spec.strip_prefix("dense:") {
-        let n: usize = n.parse().expect("dense:<n> needs a number");
-        if !(4..=MAX_DENSE_NODES).contains(&n) || !n.is_multiple_of(2) {
-            spec_error(&format!(
-                "dense:<n> needs an even node count in 4..={MAX_DENSE_NODES}"
-            ));
-        }
-        return ScenarioGenerator::new(42).dense(n);
-    }
-    if let Some(seed) = spec.strip_prefix("random:") {
-        let seed: u64 = seed.parse().expect("random:<seed> needs a number");
-        return ScenarioGenerator::new(seed).random_for_capacity(env_capacity);
-    }
-    match spec {
-        "three_pairs" => Scenario::three_pairs(),
-        "ap_downlink" => Scenario::ap_downlink(),
-        other => spec_error(&format!("unknown scenario spec {other:?}")),
+/// One float in the fixed `{:.9}` JSON layout; undefined values
+/// (`NaN`/`Inf` — e.g. fairness when no run had it defined, or rates
+/// from a zero-round config) become `null`, JSON's only honest
+/// spelling of them.
+fn fmt_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:.9}")
+    } else {
+        "null".to_string()
     }
 }
 
 /// Renders the stats as JSON (handwritten — the workspace carries no
 /// serialization dependency). Field order is fixed so serial/parallel
-/// runs can be compared with a plain `diff`. `mean_fairness` may be
-/// `NaN` (no run with defined fairness); JSON has no NaN literal, so it
-/// is emitted as `null`.
+/// runs can be compared with a plain `diff`. Every float field goes
+/// through [`fmt_f64`], so no `NaN`/`inf` token can reach the output.
 fn stats_json(
     spec: &str,
     env_name: &str,
@@ -132,24 +81,15 @@ fn stats_json(
     out.push_str(&format!("  \"rounds\": {rounds},\n"));
     out.push_str("  \"protocols\": [\n");
     for (i, s) in stats.iter().enumerate() {
-        let flows: Vec<String> = s
-            .mean_per_flow_mbps
-            .iter()
-            .map(|v| format!("{v:.9}"))
-            .collect();
-        let fairness = if s.mean_fairness.is_finite() {
-            format!("{:.9}", s.mean_fairness)
-        } else {
-            "null".to_string()
-        };
+        let flows: Vec<String> = s.mean_per_flow_mbps.iter().map(|&v| fmt_f64(v)).collect();
         out.push_str(&format!(
-            "    {{\"protocol\": \"{}\", \"runs\": {}, \"mean_total_mbps\": {:.9}, \"ci95_total_mbps\": {:.9}, \"mean_dof\": {:.9}, \"mean_fairness\": {}, \"mean_per_flow_mbps\": [{}]}}{}\n",
+            "    {{\"protocol\": \"{}\", \"runs\": {}, \"mean_total_mbps\": {}, \"ci95_total_mbps\": {}, \"mean_dof\": {}, \"mean_fairness\": {}, \"mean_per_flow_mbps\": [{}]}}{}\n",
             s.policy,
             s.n_runs,
-            s.mean_total_mbps,
-            s.ci95_total_mbps,
-            s.mean_dof,
-            fairness,
+            fmt_f64(s.mean_total_mbps),
+            fmt_f64(s.ci95_total_mbps),
+            fmt_f64(s.mean_dof),
+            fmt_f64(s.mean_fairness),
             flows.join(", "),
             if i + 1 < stats.len() { "," } else { "" }
         ));
@@ -177,16 +117,21 @@ fn main() {
                 threads = args
                     .get(i)
                     .and_then(|s| s.parse().ok())
-                    .expect("--threads needs a number");
+                    .unwrap_or_else(|| spec_error("--threads needs a number"));
             }
             "--policies" => {
                 i += 1;
-                let list = args.get(i).expect("--policies needs a,b,..");
+                let list = args
+                    .get(i)
+                    .unwrap_or_else(|| spec_error("--policies needs a,b,.."));
                 policy_names = list.split(',').map(str::to_string).collect();
             }
             "--env" => {
                 i += 1;
-                env_name = args.get(i).expect("--env needs a name").clone();
+                env_name = args
+                    .get(i)
+                    .unwrap_or_else(|| spec_error("--env needs a name"))
+                    .clone();
             }
             "--json" => {
                 // Optional path operand: the next arg, unless it is
@@ -205,8 +150,18 @@ fn main() {
         i += 1;
     }
     let spec = positional.first().copied().unwrap_or("three_pairs");
-    let n_seeds: u64 = positional.get(1).and_then(|s| s.parse().ok()).unwrap_or(20);
-    let rounds: usize = positional.get(2).and_then(|s| s.parse().ok()).unwrap_or(25);
+    let n_seeds: u64 = match positional.get(1) {
+        None => 20,
+        Some(s) => s
+            .parse()
+            .unwrap_or_else(|_| spec_error(&format!("n_seeds needs a number, got {s:?}"))),
+    };
+    let rounds: usize = match positional.get(2) {
+        None => 25,
+        Some(s) => s
+            .parse()
+            .unwrap_or_else(|_| spec_error(&format!("rounds needs a number, got {s:?}"))),
+    };
 
     // Resolve the environment first: `random:` sizes its draw to the
     // chosen map's capacity.
@@ -215,7 +170,8 @@ fn main() {
             "unknown environment {env_name:?} (try {BUILTIN_ENVIRONMENT_NAMES:?})"
         ))
     });
-    let scenario = parse_scenario(spec, environment.capacity());
+    let scenario = parse_scenario_spec(spec, environment.capacity())
+        .unwrap_or_else(|e| spec_error(&format!("{e}\nscenario forms:\n{SCENARIO_SPEC_HELP}")));
     let mut sweep_spec = SweepSpec::new(scenario.clone())
         .rounds(rounds)
         .seed_count(n_seeds)
@@ -254,7 +210,10 @@ fn main() {
         let json = stats_json(spec, &env_name, n_seeds, rounds, &stats);
         match path {
             Some(p) => {
-                std::fs::write(p, &json).expect("write sweep JSON");
+                if let Err(e) = std::fs::write(p, &json) {
+                    eprintln!("error: cannot write {p}: {e}");
+                    std::process::exit(1);
+                }
                 eprintln!("wrote {p}");
             }
             None => print!("{json}"),

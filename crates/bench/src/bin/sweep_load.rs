@@ -1,0 +1,214 @@
+//! `sweep-load` — load generator and correctness checker for the
+//! `sweep-server`.
+//!
+//! Cycles a configurable number of requests over a small mix of
+//! distinct sweep specs (different scenario families, environments,
+//! policy sets and seed lists), all against one running server, and
+//! verifies the service contract on every response:
+//!
+//! * every request answers `"status": "ok"` — no errors, no panics;
+//! * the **first** request for each distinct spec is a cache miss;
+//! * every **repeat** of a spec reports `"cache_hit": true` and carries
+//!   statistics **byte-identical** to the first response's.
+//!
+//! Any violation prints one line and exits 1 — this is the binary CI
+//! drives against a background server. On success it records a
+//! `sweep_server` section (throughput, cache-hit rate, bit-identity)
+//! into `BENCH_sim.json`, merging with whatever `perf_sweep` wrote.
+//!
+//! ```text
+//! sweep-load [--addr HOST:PORT] [--requests N] [--out PATH] [--shutdown]
+//! ```
+//!
+//! `--requests` defaults to 12 (3 passes over the 4-spec mix);
+//! `--shutdown` sends `{"cmd":"shutdown"}` at the end so a CI step can
+//! tear the background server down deterministically.
+
+use nplus_server::client;
+use nplus_server::json::{self, Json};
+use std::process::ExitCode;
+use std::time::{Duration, Instant};
+
+const USAGE: &str = "usage: sweep-load [--addr HOST:PORT] [--requests N] [--out PATH] [--shutdown]";
+
+/// The request mix: small, fast specs spanning scenario families,
+/// environments, policy sets and seed-list spellings.
+const SPEC_MIX: [&str; 4] = [
+    r#"{"cmd":"sweep","scenario":"pairs:2","rounds":3,"seeds":[0,1],"policies":["dot11n","nplus"],"threads":1}"#,
+    r#"{"cmd":"sweep","scenario":"three_pairs","rounds":2,"seeds":[0],"policies":["nplus"],"environment":"outdoor"}"#,
+    r#"{"cmd":"sweep","scenario":"hidden:3","rounds":2,"seed_count":2,"policies":["dot11n"]}"#,
+    r#"{"cmd":"sweep","scenario":"asym:2","rounds":2,"seeds":[5],"policies":["beamforming"],"environment":"rich_scatter"}"#,
+];
+
+fn fail(msg: &str) -> ExitCode {
+    eprintln!("sweep-load: {msg}");
+    ExitCode::FAILURE
+}
+
+fn arg_error(msg: &str) -> ExitCode {
+    eprintln!("sweep-load: {msg}\n{USAGE}");
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let mut addr = "127.0.0.1:4011".to_string();
+    let mut requests: usize = 12;
+    let mut out_path = "BENCH_sim.json".to_string();
+    let mut shutdown = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--addr" => match args.next() {
+                Some(a) => addr = a,
+                None => return arg_error("--addr needs a HOST:PORT value"),
+            },
+            "--requests" => match args.next().and_then(|s| s.parse().ok()) {
+                Some(n) => requests = n,
+                None => return arg_error("--requests needs a number"),
+            },
+            "--out" => match args.next() {
+                Some(p) => out_path = p,
+                None => return arg_error("--out needs a path"),
+            },
+            "--shutdown" => shutdown = true,
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            other => return arg_error(&format!("unknown argument {other:?}")),
+        }
+    }
+    if requests == 0 {
+        return arg_error("--requests must be at least 1");
+    }
+
+    let mut stream = match client::connect_retry(&addr, Duration::from_secs(10)) {
+        Ok(s) => s,
+        Err(e) => return fail(&format!("cannot connect to {addr}: {e}")),
+    };
+    println!(
+        "sweep-load: {requests} requests over {} distinct specs against {addr}",
+        SPEC_MIX.len()
+    );
+
+    // First response per spec index: (key, serialized stats).
+    let mut first_seen: Vec<Option<(String, String)>> = vec![None; SPEC_MIX.len()];
+    let mut cache_hits: u64 = 0;
+    let started = Instant::now();
+    for i in 0..requests {
+        let which = i % SPEC_MIX.len();
+        let resp = match client::roundtrip(&mut stream, SPEC_MIX[which]) {
+            Ok(r) => r,
+            Err(e) => return fail(&format!("request {i} failed: {e}")),
+        };
+        if resp.get("status").and_then(Json::as_str) != Some("ok") {
+            return fail(&format!(
+                "request {i} (spec {which}) was rejected: {}",
+                resp.to_string_compact()
+            ));
+        }
+        let Some(hit) = resp.get("cache_hit").and_then(Json::as_bool) else {
+            return fail(&format!("request {i} response carries no cache_hit marker"));
+        };
+        let Some(key) = resp.get("key").and_then(Json::as_str) else {
+            return fail(&format!("request {i} response carries no key"));
+        };
+        let Some(stats) = resp.get("stats") else {
+            return fail(&format!("request {i} response carries no stats"));
+        };
+        let stats_text = stats.to_string_compact();
+        match &first_seen[which] {
+            None => {
+                if hit {
+                    return fail(&format!(
+                        "request {i}: first sight of spec {which} reported cache_hit=true"
+                    ));
+                }
+                first_seen[which] = Some((key.to_string(), stats_text));
+            }
+            Some((first_key, first_stats)) => {
+                if !hit {
+                    return fail(&format!(
+                        "request {i}: repeat of spec {which} was not served from cache"
+                    ));
+                }
+                if key != first_key {
+                    return fail(&format!(
+                        "request {i}: repeat of spec {which} changed key {first_key} -> {key}"
+                    ));
+                }
+                if &stats_text != first_stats {
+                    return fail(&format!(
+                        "request {i}: cached stats for spec {which} are not bit-identical"
+                    ));
+                }
+                cache_hits += 1;
+            }
+        }
+    }
+    let seconds = started.elapsed().as_secs_f64();
+    let distinct = first_seen.iter().filter(|s| s.is_some()).count();
+    let hit_rate = cache_hits as f64 / requests as f64;
+    let rps = requests as f64 / seconds.max(1e-9);
+    println!(
+        "sweep-load: {requests} requests in {seconds:.3} s ({rps:.1} req/s), \
+         {cache_hits} cache hits ({:.0}%), {distinct} distinct specs, all repeats bit-identical",
+        hit_rate * 100.0
+    );
+
+    if shutdown {
+        if let Err(e) = client::roundtrip(&mut stream, r#"{"cmd":"shutdown"}"#) {
+            return fail(&format!("shutdown request failed: {e}"));
+        }
+        println!("sweep-load: server shutdown requested");
+    }
+
+    let section = Json::Obj(vec![
+        ("requests".to_string(), Json::Int(requests as i64)),
+        ("distinct_specs".to_string(), Json::Int(distinct as i64)),
+        ("cache_hits".to_string(), Json::Int(cache_hits as i64)),
+        ("cache_hit_rate".to_string(), json::json_f64(hit_rate)),
+        ("seconds".to_string(), json::json_f64(seconds)),
+        ("requests_per_sec".to_string(), json::json_f64(rps)),
+        ("repeat_bit_identical".to_string(), Json::Bool(true)),
+    ]);
+    match merge_section(&out_path, section) {
+        Ok(()) => {
+            println!("sweep-load: recorded sweep_server section in {out_path}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => fail(&format!("cannot record results in {out_path}: {e}")),
+    }
+}
+
+/// Replaces (or appends) the top-level `"sweep_server"` member of the
+/// bench JSON file, preserving every other member. A missing file
+/// starts a fresh document; an unparseable one is an error, not a
+/// silent overwrite.
+fn merge_section(path: &str, section: Json) -> Result<(), String> {
+    let mut members = match std::fs::read_to_string(path) {
+        Ok(text) => match json::parse(&text)? {
+            Json::Obj(members) => members,
+            _ => return Err("existing file is not a JSON object".to_string()),
+        },
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => Vec::new(),
+        Err(e) => return Err(e.to_string()),
+    };
+    members.retain(|(k, _)| k != "sweep_server");
+    members.push(("sweep_server".to_string(), section));
+    // One top-level member per line (compact values) — the same
+    // diff-friendly shape perf_sweep writes.
+    let mut out = String::from("{\n");
+    for (i, (k, v)) in members.iter().enumerate() {
+        out.push_str("  ");
+        out.push_str(&Json::Str(k.clone()).to_string_compact());
+        out.push_str(": ");
+        out.push_str(&v.to_string_compact());
+        if i + 1 < members.len() {
+            out.push(',');
+        }
+        out.push('\n');
+    }
+    out.push_str("}\n");
+    std::fs::write(path, out).map_err(|e| e.to_string())
+}

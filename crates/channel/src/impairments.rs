@@ -26,7 +26,7 @@ use nplus_linalg::{c64, CMatrix, Complex64};
 use rand::Rng;
 
 /// Radio hardware quality knobs.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct HardwareProfile {
     /// Transmit error-vector magnitude floor, dB relative to the signal
     /// (−32 dB is typical of WLAN-class radios and yields the paper's

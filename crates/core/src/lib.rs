@@ -83,8 +83,8 @@ pub use precoder::{
     OwnReceiver, OwnReceiverRef, PrecoderError, Precoding, ProtectedReceiver, ProtectedReceiverRef,
 };
 pub use sim::{
-    simulate, simulate_policy, sweep, sweep_parallel, Flow, Protocol, RunResult, Scenario,
-    SeedResults, SimConfig, SimEngine, SweepJob, SweepSpec, SweepStats,
+    simulate, simulate_policy, sweep, sweep_parallel, CanonicalSpec, Flow, Protocol, RunResult,
+    Scenario, SeedResults, SimConfig, SimEngine, SweepError, SweepJob, SweepSpec, SweepStats,
 };
 
 /// One-import surface for simulation users: the builder facade, the
@@ -111,8 +111,8 @@ pub mod prelude {
         BUILTIN_POLICY_NAMES,
     };
     pub use crate::sim::{
-        simulate, simulate_policy, sweep, sweep_parallel, Flow, Protocol, RunResult, Scenario,
-        SeedResults, SimConfig, SimEngine, SweepJob, SweepSpec, SweepStats,
+        simulate, simulate_policy, sweep, sweep_parallel, CanonicalSpec, Flow, Protocol, RunResult,
+        Scenario, SeedResults, SimConfig, SimEngine, SweepError, SweepJob, SweepSpec, SweepStats,
     };
     pub use nplus_channel::environment::{
         environment_from_name, ChannelEnvironment, DegradedHardware, EnvironmentError,

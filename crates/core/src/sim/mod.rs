@@ -50,7 +50,8 @@ mod sweep;
 
 pub use engine::{simulate, simulate_policy, SimEngine, TYPICAL_BLOB_BYTES};
 pub use sweep::{
-    sweep, sweep_parallel, SeedResults, SweepJob, SweepSpec, SweepStats, DEFAULT_POLICIES,
+    sweep, sweep_parallel, CanonicalSpec, SeedResults, SweepError, SweepJob, SweepSpec, SweepStats,
+    DEFAULT_POLICIES,
 };
 
 use crate::policy::MacPolicy;
@@ -124,7 +125,55 @@ impl Scenario {
             .map(|(i, _)| i)
             .collect()
     }
+
+    /// Structural validation: the checks a scenario must pass before the
+    /// engine may see it. A scenario violating any of these used to
+    /// panic deep inside topology construction or the round loop; every
+    /// served entry point ([`SweepSpec::try_run`],
+    /// [`CanonicalSpec`], the `sweep-server`
+    /// protocol) now rejects it up front with the returned message.
+    ///
+    /// Rules: at least one node and one flow, every node's antenna count
+    /// in `1..=`[`MAX_NODE_ANTENNAS`], every flow's endpoints distinct
+    /// in-range node indices.
+    ///
+    /// # Errors
+    /// A one-line human-readable description of the first violation.
+    pub fn validate(&self) -> Result<(), String> {
+        let n = self.antennas.len();
+        if n == 0 {
+            return Err("scenario has no nodes".to_string());
+        }
+        for (i, &a) in self.antennas.iter().enumerate() {
+            if a == 0 || a > MAX_NODE_ANTENNAS {
+                return Err(format!(
+                    "node {i}: antenna count {a} outside 1..={MAX_NODE_ANTENNAS}"
+                ));
+            }
+        }
+        if self.flows.is_empty() {
+            return Err("scenario has no flows".to_string());
+        }
+        for (i, f) in self.flows.iter().enumerate() {
+            if f.tx >= n || f.rx >= n {
+                return Err(format!(
+                    "flow {i}: endpoints {}->{} outside the {n}-node scenario",
+                    f.tx, f.rx
+                ));
+            }
+            if f.tx == f.rx {
+                return Err(format!("flow {i}: node {} transmits to itself", f.tx));
+            }
+        }
+        Ok(())
+    }
 }
+
+/// Largest per-node antenna count [`Scenario::validate`] accepts. The
+/// paper's testbed tops out at 3, the scenario generator at 4; 8 leaves
+/// headroom for synthetic arrays while bounding the matrix sizes a
+/// served request can demand.
+pub const MAX_NODE_ANTENNAS: usize = 8;
 
 /// The three protocols the paper compares head to head.
 ///
@@ -210,7 +259,7 @@ impl FromStr for Protocol {
 }
 
 /// Simulation knobs.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SimConfig {
     /// OFDM geometry (10 MHz USRP2 profile by default).
     pub ofdm: OfdmConfig,

@@ -6,16 +6,25 @@
 //! on the scoped-thread executor with **bit-for-bit identical** results
 //! at every thread count. [`sweep()`] and [`sweep_parallel`] remain as
 //! protocol-enum wrappers for backward compatibility.
+//!
+//! [`CanonicalSpec`] is the spec's content-addressable identity: a
+//! normalized (scenario, environment, policies, seeds, rounds) record
+//! whose [`key`](CanonicalSpec::key) the `sweep-server`'s result cache
+//! is addressed by. [`SweepError`] is the typed error surface every
+//! served entry point funnels malformed input through — no reachable
+//! panic from a bad spec.
 
-use super::{Protocol, RunResult, Scenario, SimConfig, SimEngine};
-use crate::policy::MacPolicy;
+use super::{Flow, Protocol, RunResult, Scenario, SimConfig, SimEngine};
+use crate::policy::{policy_from_name, MacPolicy, BUILTIN_POLICY_NAMES};
 use nplus_channel::environment::{
-    environment_from_name, ChannelEnvironment, EnvironmentError, SIGCOMM11_INDOOR,
+    environment_from_name, ChannelEnvironment, EnvironmentError, BUILTIN_ENVIRONMENT_NAMES,
+    SIGCOMM11_INDOOR,
 };
 use nplus_channel::placement::Testbed;
 use nplus_medium::topology::build_environment_topology;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use std::fmt;
 
 /// Aggregated statistics of one policy across a seed sweep.
 #[derive(Debug, Clone)]
@@ -42,6 +51,268 @@ pub struct SweepStats {
     /// all-zero goodput are excluded as undefined); `NaN` when no run
     /// had defined fairness.
     pub mean_fairness: f64,
+}
+
+/// The typed error surface of the sweep entry points.
+///
+/// Every way a spec can be malformed — a structurally invalid scenario,
+/// a name the registries don't know, a scenario that outsizes its
+/// environment's maps, a spec that cannot be content-addressed — is one
+/// of these variants. Nothing on the [`SweepSpec::try_run`] /
+/// [`CanonicalSpec`] path panics on bad input: front-ends map this type
+/// to a one-line exit-2 (CLI) or an error response (`sweep-server`).
+#[derive(Debug, Clone, PartialEq)]
+pub enum SweepError {
+    /// The scenario needs more placement slots than the environment's
+    /// maps (or an explicit testbed override) offer.
+    Environment(EnvironmentError),
+    /// A policy name the registry does not know.
+    UnknownPolicy(String),
+    /// An environment name the registry does not know.
+    UnknownEnvironment(String),
+    /// A structurally invalid spec: bad flow indices, zero antennas,
+    /// an empty seed list, zero rounds — see [`Scenario::validate`].
+    InvalidSpec(String),
+    /// The spec cannot be canonicalized for content-addressing (custom
+    /// non-registry parts, a testbed override, or config fields beyond
+    /// the canonical surface) — see [`SweepSpec::canonical`].
+    NotCanonical(String),
+}
+
+impl fmt::Display for SweepError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SweepError::Environment(e) => e.fmt(f),
+            SweepError::UnknownPolicy(name) => {
+                write!(f, "unknown policy {name:?} (try {BUILTIN_POLICY_NAMES:?})")
+            }
+            SweepError::UnknownEnvironment(name) => write!(
+                f,
+                "unknown environment {name:?} (try {BUILTIN_ENVIRONMENT_NAMES:?})"
+            ),
+            SweepError::InvalidSpec(msg) => write!(f, "invalid spec: {msg}"),
+            SweepError::NotCanonical(msg) => write!(f, "spec is not canonicalizable: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for SweepError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SweepError::Environment(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<EnvironmentError> for SweepError {
+    fn from(e: EnvironmentError) -> Self {
+        SweepError::Environment(e)
+    }
+}
+
+/// The canonical, content-addressable form of a sweep request: the
+/// exact fields that determine a sweep's results, normalized so that
+/// equivalent requests — however their builders were called, whatever
+/// thread count they run at — encode to identical bytes and hash to the
+/// same [`key`](CanonicalSpec::key).
+///
+/// This is the cache contract of the `sweep-server`: a result computed
+/// once for a key may be returned for every later request with that key,
+/// because
+///
+/// * the sweep engine is a pure function of (scenario, environment,
+///   policies, seeds, rounds) — proven bit-for-bit across thread counts
+///   by the `sweep_parallel` suites — and
+/// * two specs with equal canonical bytes run exactly that function on
+///   exactly those inputs.
+///
+/// **What is canonical:** the scenario's antenna/flow lists, the
+/// environment's registry name, the policy names in comparison order
+/// (order matters: it is the order of the returned [`SweepStats`]), the
+/// seed list in order (seeds are positional jobs), and the round count.
+/// An empty policy list normalizes to the default comparison trio, so
+/// "no policies named" and "the default trio named explicitly" share a
+/// key.
+///
+/// **What is deliberately not:** the thread count (results are
+/// bit-identical at every value) and the channel-cache toggle (same).
+/// Everything else in [`SimConfig`] must sit at the environment's
+/// defaults — [`SweepSpec::canonical`] refuses otherwise rather than
+/// hash fields it does not encode.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CanonicalSpec {
+    /// Antenna count per node.
+    pub antennas: Vec<usize>,
+    /// Flow endpoints `(tx, rx)` as node indices.
+    pub flows: Vec<(usize, usize)>,
+    /// Registry name of the propagation environment.
+    pub environment: String,
+    /// Registry names of the policies, in comparison order (never
+    /// empty: defaults are normalized in).
+    pub policies: Vec<String>,
+    /// Seed list, in job order.
+    pub seeds: Vec<u64>,
+    /// Rounds per run.
+    pub rounds: usize,
+}
+
+/// Domain-separation prefix of the canonical byte encoding; bump the
+/// version on any change to the encoding so old cache keys can never
+/// alias new semantics.
+const CANONICAL_MAGIC: &[u8] = b"nplus-canonical-spec-v1\0";
+
+/// 128-bit FNV-1a over `bytes` — dependency-free, stable across
+/// platforms and releases (unlike `DefaultHasher`), and wide enough
+/// that cache-key collisions are not a practical concern.
+fn fnv1a_128(bytes: &[u8]) -> u128 {
+    const OFFSET: u128 = 0x6c62_272e_07bb_0142_62b8_2175_6295_c58d;
+    const PRIME: u128 = 0x0000_0000_0100_0000_0000_0000_0000_013b;
+    let mut h = OFFSET;
+    for &b in bytes {
+        h ^= b as u128;
+        h = h.wrapping_mul(PRIME);
+    }
+    h
+}
+
+impl CanonicalSpec {
+    /// Builds and fully validates a canonical spec from request parts —
+    /// the constructor the `sweep-server` protocol layer uses. An empty
+    /// `policies` list normalizes to the default comparison trio.
+    ///
+    /// # Errors
+    /// [`SweepError::InvalidSpec`] for structural problems (including an
+    /// empty seed list and zero rounds),
+    /// [`SweepError::UnknownPolicy`] / [`UnknownEnvironment`](
+    /// SweepError::UnknownEnvironment) for names outside the registries.
+    pub fn new(
+        scenario: &Scenario,
+        environment: &str,
+        policies: &[String],
+        seeds: Vec<u64>,
+        rounds: usize,
+    ) -> Result<Self, SweepError> {
+        scenario.validate().map_err(SweepError::InvalidSpec)?;
+        if environment_from_name(environment).is_none() {
+            return Err(SweepError::UnknownEnvironment(environment.to_string()));
+        }
+        let policies: Vec<String> = if policies.is_empty() {
+            DEFAULT_POLICIES
+                .iter()
+                .map(|p| p.name().to_string())
+                .collect()
+        } else {
+            for name in policies {
+                if policy_from_name(name).is_none() {
+                    return Err(SweepError::UnknownPolicy(name.clone()));
+                }
+            }
+            policies.to_vec()
+        };
+        if seeds.is_empty() {
+            return Err(SweepError::InvalidSpec("empty seed list".to_string()));
+        }
+        if rounds == 0 {
+            return Err(SweepError::InvalidSpec("zero rounds".to_string()));
+        }
+        Ok(CanonicalSpec {
+            antennas: scenario.antennas.clone(),
+            flows: scenario.flows.iter().map(|f| (f.tx, f.rx)).collect(),
+            environment: environment.to_string(),
+            policies,
+            seeds,
+            rounds,
+        })
+    }
+
+    /// The unambiguous byte encoding the [`key`](CanonicalSpec::key) is
+    /// hashed over: a version magic, then every field tagged and
+    /// length-prefixed (all integers little-endian u64), so no two
+    /// distinct specs can encode to the same bytes.
+    pub fn canonical_bytes(&self) -> Vec<u8> {
+        fn put_u64(out: &mut Vec<u8>, v: u64) {
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+        fn put_str(out: &mut Vec<u8>, s: &str) {
+            put_u64(out, s.len() as u64);
+            out.extend_from_slice(s.as_bytes());
+        }
+        let mut out = Vec::with_capacity(128);
+        out.extend_from_slice(CANONICAL_MAGIC);
+        out.push(0x01);
+        put_u64(&mut out, self.antennas.len() as u64);
+        for &a in &self.antennas {
+            put_u64(&mut out, a as u64);
+        }
+        out.push(0x02);
+        put_u64(&mut out, self.flows.len() as u64);
+        for &(tx, rx) in &self.flows {
+            put_u64(&mut out, tx as u64);
+            put_u64(&mut out, rx as u64);
+        }
+        out.push(0x03);
+        put_str(&mut out, &self.environment);
+        out.push(0x04);
+        put_u64(&mut out, self.policies.len() as u64);
+        for p in &self.policies {
+            put_str(&mut out, p);
+        }
+        out.push(0x05);
+        put_u64(&mut out, self.seeds.len() as u64);
+        for &s in &self.seeds {
+            put_u64(&mut out, s);
+        }
+        out.push(0x06);
+        put_u64(&mut out, self.rounds as u64);
+        out
+    }
+
+    /// The 128-bit content key: FNV-1a over
+    /// [`canonical_bytes`](CanonicalSpec::canonical_bytes). Equal specs
+    /// — including across builder-call orders and thread counts — get
+    /// equal keys; any change to scenario, environment, policy set,
+    /// seeds or rounds changes the key.
+    pub fn key(&self) -> u128 {
+        fnv1a_128(&self.canonical_bytes())
+    }
+
+    /// The key as 32 lower-case hex characters — what the wire protocol
+    /// and logs print.
+    pub fn key_hex(&self) -> String {
+        format!("{:032x}", self.key())
+    }
+
+    /// Reconstructs the runnable [`SweepSpec`] this canonical form
+    /// names, at an arbitrary thread count (execution detail, not
+    /// identity: results are bit-identical for every value).
+    ///
+    /// # Errors
+    /// As [`CanonicalSpec::new`] — the fields are public, so they are
+    /// re-validated rather than trusted.
+    pub fn to_spec(&self, threads: usize) -> Result<SweepSpec, SweepError> {
+        let scenario = Scenario {
+            antennas: self.antennas.clone(),
+            flows: self.flows.iter().map(|&(tx, rx)| Flow { tx, rx }).collect(),
+        };
+        scenario.validate().map_err(SweepError::InvalidSpec)?;
+        if self.seeds.is_empty() {
+            return Err(SweepError::InvalidSpec("empty seed list".to_string()));
+        }
+        if self.rounds == 0 {
+            return Err(SweepError::InvalidSpec("zero rounds".to_string()));
+        }
+        let mut spec = SweepSpec::new(scenario)
+            .environment_named(&self.environment)
+            .map_err(SweepError::UnknownEnvironment)?
+            .rounds(self.rounds)
+            .seeds(self.seeds.iter().copied())
+            .threads(threads);
+        for name in &self.policies {
+            spec = spec.policy_named(name).map_err(SweepError::UnknownPolicy)?;
+        }
+        Ok(spec)
+    }
 }
 
 /// Two-sided 95% Student-t critical values indexed by `df - 1` for
@@ -533,11 +804,14 @@ impl SweepSpec {
     /// Runs the sweep and aggregates statistics per policy.
     ///
     /// # Errors
-    /// [`EnvironmentError::TooManyNodes`] when the scenario needs more
-    /// placement slots than the environment's largest map (or the
-    /// explicit [`testbed`](SweepSpec::testbed) override) offers —
-    /// detected before any job runs.
-    pub fn try_run(&self) -> Result<Vec<SweepStats>, EnvironmentError> {
+    /// [`SweepError::InvalidSpec`] for a structurally invalid scenario
+    /// ([`Scenario::validate`]), [`SweepError::Environment`] when the
+    /// scenario needs more placement slots than the environment's
+    /// largest map (or the explicit [`testbed`](SweepSpec::testbed)
+    /// override) offers — both detected before any job runs, so a
+    /// malformed spec can never panic inside the engine.
+    pub fn try_run(&self) -> Result<Vec<SweepStats>, SweepError> {
+        self.scenario.validate().map_err(SweepError::InvalidSpec)?;
         let testbed = self.resolved_testbed()?;
         let policy_refs = self.policy_refs();
         Ok(sweep_policies(
@@ -564,7 +838,8 @@ impl SweepSpec {
     ///
     /// # Errors
     /// As [`try_run`](SweepSpec::try_run).
-    pub fn try_run_seed(&self, seed: u64) -> Result<SeedResults, EnvironmentError> {
+    pub fn try_run_seed(&self, seed: u64) -> Result<SeedResults, SweepError> {
+        self.scenario.validate().map_err(SweepError::InvalidSpec)?;
         let testbed = self.resolved_testbed()?;
         let policy_refs = self.policy_refs();
         Ok(SweepJob::in_environment(
@@ -582,6 +857,69 @@ impl SweepSpec {
     /// [`try_run_seed`](SweepSpec::try_run_seed).
     pub fn run_seed(&self, seed: u64) -> SeedResults {
         self.try_run_seed(seed).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// The spec's canonical, content-addressable form — see
+    /// [`CanonicalSpec`] for exactly what it encodes.
+    ///
+    /// Canonicalization requires the spec to be reconstructible from its
+    /// canonical form alone: the environment and every policy must carry
+    /// registry names (custom implementations must pick names the
+    /// registries don't — a collision would alias someone else's cache
+    /// entries), there must be no [`testbed`](SweepSpec::testbed)
+    /// override, and the config may deviate from the environment's
+    /// defaults only in [`rounds`](SweepSpec::rounds) and the
+    /// result-neutral channel-cache toggle.
+    ///
+    /// # Errors
+    /// [`SweepError::NotCanonical`] describing the offending part;
+    /// [`SweepError::InvalidSpec`] for a structurally invalid scenario.
+    pub fn canonical(&self) -> Result<CanonicalSpec, SweepError> {
+        if self.testbed.is_some() {
+            return Err(SweepError::NotCanonical(
+                "explicit testbed override".to_string(),
+            ));
+        }
+        let env = self.environment.as_dyn();
+        let env_name = env.name().to_string();
+        if environment_from_name(&env_name).is_none() {
+            return Err(SweepError::NotCanonical(format!(
+                "environment {env_name:?} is not in the registry"
+            )));
+        }
+        // Everything the engine reads from the config besides the round
+        // count must sit at the environment's defaults — otherwise the
+        // canonical bytes would not determine the results. The channel
+        // cache is exempt: on/off is proven bit-identical.
+        let mut base = SimConfig::default();
+        apply_environment_config(&mut base, env);
+        base.rounds = self.cfg.rounds;
+        base.cache_channels = self.cfg.cache_channels;
+        if base != self.cfg {
+            return Err(SweepError::NotCanonical(
+                "config deviates from the environment defaults (only rounds is canonical)"
+                    .to_string(),
+            ));
+        }
+        let policy_names: Vec<String> = self
+            .policies
+            .iter()
+            .map(|p| p.as_dyn().name().to_string())
+            .collect();
+        for name in &policy_names {
+            if policy_from_name(name).is_none() {
+                return Err(SweepError::NotCanonical(format!(
+                    "policy {name:?} is not in the registry"
+                )));
+            }
+        }
+        CanonicalSpec::new(
+            &self.scenario,
+            &env_name,
+            &policy_names,
+            self.seeds.clone(),
+            self.cfg.rounds,
+        )
     }
 
     fn resolved_testbed(&self) -> Result<Testbed, EnvironmentError> {
@@ -906,10 +1244,10 @@ mod tests {
         let err = SweepSpec::new(scenario).try_run().unwrap_err();
         assert_eq!(
             err,
-            nplus_channel::environment::EnvironmentError::TooManyNodes {
+            SweepError::Environment(nplus_channel::environment::EnvironmentError::TooManyNodes {
                 requested: 41,
                 capacity: 40
-            }
+            })
         );
         assert_eq!(err.to_string(), "cannot place 41 nodes on 40 locations");
         // Explicit override smaller than the scenario.
@@ -917,6 +1255,210 @@ mod tests {
         let spec = SweepSpec::new(Scenario::three_pairs()).testbed(small);
         assert!(spec.try_run().is_err());
         assert!(spec.try_run_seed(0).is_err());
+    }
+
+    /// A structurally invalid scenario — out-of-range flow endpoints,
+    /// self-flows, zero-antenna nodes — is a typed `InvalidSpec` error
+    /// from every served entry point, never a panic inside the engine.
+    #[test]
+    fn malformed_scenarios_error_instead_of_panicking() {
+        let cases: [(Scenario, &str); 4] = [
+            (
+                Scenario {
+                    antennas: vec![2, 2],
+                    flows: vec![super::super::Flow { tx: 0, rx: 7 }],
+                },
+                "outside the 2-node scenario",
+            ),
+            (
+                Scenario {
+                    antennas: vec![2, 2],
+                    flows: vec![super::super::Flow { tx: 1, rx: 1 }],
+                },
+                "transmits to itself",
+            ),
+            (
+                Scenario {
+                    antennas: vec![2, 0],
+                    flows: vec![super::super::Flow { tx: 0, rx: 1 }],
+                },
+                "antenna count 0",
+            ),
+            (
+                Scenario {
+                    antennas: vec![2, 2],
+                    flows: vec![],
+                },
+                "no flows",
+            ),
+        ];
+        for (scenario, needle) in cases {
+            let spec = SweepSpec::new(scenario.clone());
+            for err in [
+                spec.try_run().unwrap_err(),
+                spec.try_run_seed(0).unwrap_err(),
+            ] {
+                match &err {
+                    SweepError::InvalidSpec(msg) => {
+                        assert!(msg.contains(needle), "{msg:?} missing {needle:?}")
+                    }
+                    other => panic!("expected InvalidSpec, got {other:?}"),
+                }
+            }
+        }
+    }
+
+    /// The canonical key is a pure function of the spec's identity:
+    /// builder-call order and the thread count don't move it, while any
+    /// change to scenario/environment/policies/seeds/rounds does.
+    #[test]
+    fn canonical_key_identity_and_sensitivity() {
+        let base = SweepSpec::new(Scenario::three_pairs())
+            .rounds(7)
+            .seed_count(4)
+            .protocols(&[Protocol::Dot11n, Protocol::NPlus]);
+        let key = base.canonical().expect("canonicalizable").key();
+
+        // Same spec, different builder-call orders and thread counts.
+        let reordered = SweepSpec::new(Scenario::three_pairs())
+            .protocols(&[Protocol::Dot11n, Protocol::NPlus])
+            .seed_count(4)
+            .threads(2)
+            .rounds(7);
+        assert_eq!(reordered.canonical().unwrap().key(), key);
+        let by_name = SweepSpec::new(Scenario::three_pairs())
+            .environment_named("sigcomm11")
+            .unwrap()
+            .policy_named("dot11n")
+            .unwrap()
+            .policy_named("nplus")
+            .unwrap()
+            .rounds(7)
+            .seeds([0u64, 1, 2, 3]);
+        assert_eq!(by_name.canonical().unwrap().key(), key);
+
+        // An empty policy list normalizes to the explicit default trio.
+        let implicit = SweepSpec::new(Scenario::three_pairs())
+            .rounds(7)
+            .seed_count(4);
+        let explicit = SweepSpec::new(Scenario::three_pairs())
+            .rounds(7)
+            .seed_count(4)
+            .protocols(&[Protocol::Dot11n, Protocol::Beamforming, Protocol::NPlus]);
+        assert_eq!(
+            implicit.canonical().unwrap().key(),
+            explicit.canonical().unwrap().key()
+        );
+
+        // Each identity field moves the key.
+        let variants = [
+            SweepSpec::new(Scenario::ap_downlink())
+                .rounds(7)
+                .seed_count(4)
+                .protocols(&[Protocol::Dot11n, Protocol::NPlus]),
+            SweepSpec::new(Scenario::three_pairs())
+                .rounds(8)
+                .seed_count(4)
+                .protocols(&[Protocol::Dot11n, Protocol::NPlus]),
+            SweepSpec::new(Scenario::three_pairs())
+                .rounds(7)
+                .seed_count(5)
+                .protocols(&[Protocol::Dot11n, Protocol::NPlus]),
+            SweepSpec::new(Scenario::three_pairs())
+                .rounds(7)
+                .seeds([1u64, 0, 2, 3])
+                .protocols(&[Protocol::Dot11n, Protocol::NPlus]),
+            SweepSpec::new(Scenario::three_pairs())
+                .rounds(7)
+                .seed_count(4)
+                .protocols(&[Protocol::NPlus, Protocol::Dot11n]),
+            SweepSpec::new(Scenario::three_pairs())
+                .rounds(7)
+                .seed_count(4)
+                .protocols(&[Protocol::Dot11n, Protocol::NPlus])
+                .environment_named("outdoor")
+                .unwrap(),
+        ];
+        for (i, v) in variants.iter().enumerate() {
+            assert_ne!(v.canonical().unwrap().key(), key, "variant {i} collided");
+        }
+    }
+
+    /// `CanonicalSpec::to_spec` reconstructs a spec whose results are
+    /// bit-identical to the original's, at 1 and 2 threads — the
+    /// cache-correctness contract end to end.
+    #[test]
+    fn canonical_roundtrip_reproduces_results_bitwise() {
+        let spec = SweepSpec::new(Scenario::ap_downlink())
+            .rounds(4)
+            .seed_count(3)
+            .protocols(&[Protocol::NPlus, Protocol::Dot11n])
+            .environment_named("rich_scatter")
+            .unwrap();
+        let canon = spec.canonical().expect("canonicalizable");
+        let direct = spec.try_run().expect("runs");
+        for threads in [1usize, 2] {
+            let rebuilt = canon.to_spec(threads).expect("reconstructs");
+            let stats = rebuilt.try_run().expect("runs");
+            assert_eq!(direct.len(), stats.len(), "{threads} threads");
+            for (a, b) in direct.iter().zip(&stats) {
+                assert_eq!(a.policy, b.policy, "{threads} threads");
+                assert_eq!(a.mean_total_mbps, b.mean_total_mbps, "{threads} threads");
+                assert_eq!(a.ci95_total_mbps, b.ci95_total_mbps, "{threads} threads");
+                assert_eq!(a.mean_per_flow_mbps, b.mean_per_flow_mbps);
+                assert_eq!(a.mean_dof, b.mean_dof);
+                assert_eq!(a.mean_fairness.to_bits(), b.mean_fairness.to_bits());
+            }
+        }
+        // And the canonical form survives its own roundtrip.
+        assert_eq!(canon.to_spec(1).unwrap().canonical().unwrap(), canon);
+    }
+
+    /// Specs that cannot be reconstructed from names alone refuse
+    /// canonicalization with a description of the offending part.
+    #[test]
+    fn non_registry_specs_are_not_canonical() {
+        let not_canonical = |spec: &SweepSpec, needle: &str| match spec.canonical() {
+            Err(SweepError::NotCanonical(msg)) => {
+                assert!(msg.contains(needle), "{msg:?} missing {needle:?}")
+            }
+            other => panic!("expected NotCanonical({needle}), got {other:?}"),
+        };
+        not_canonical(
+            &SweepSpec::new(Scenario::three_pairs()).testbed(Testbed::sigcomm11()),
+            "testbed",
+        );
+        let tweaked_cfg = SimConfig {
+            packet_bytes: 900,
+            ..SimConfig::default()
+        };
+        not_canonical(
+            &SweepSpec::new(Scenario::three_pairs()).config(tweaked_cfg),
+            "config deviates",
+        );
+        // Invalid requests are typed errors from the constructor too.
+        assert!(matches!(
+            CanonicalSpec::new(&Scenario::three_pairs(), "vacuum", &[], vec![0], 5),
+            Err(SweepError::UnknownEnvironment(n)) if n == "vacuum"
+        ));
+        assert!(matches!(
+            CanonicalSpec::new(
+                &Scenario::three_pairs(),
+                "sigcomm11",
+                &["aloha".to_string()],
+                vec![0],
+                5
+            ),
+            Err(SweepError::UnknownPolicy(n)) if n == "aloha"
+        ));
+        assert!(matches!(
+            CanonicalSpec::new(&Scenario::three_pairs(), "sigcomm11", &[], vec![], 5),
+            Err(SweepError::InvalidSpec(m)) if m.contains("seed")
+        ));
+        assert!(matches!(
+            CanonicalSpec::new(&Scenario::three_pairs(), "sigcomm11", &[], vec![0], 0),
+            Err(SweepError::InvalidSpec(m)) if m.contains("rounds")
+        ));
     }
 
     /// Oracle plugs into sweeps like any other policy and reports under
@@ -936,5 +1478,71 @@ mod tests {
         assert!(SweepSpec::new(Scenario::three_pairs())
             .policy_named("aloha")
             .is_err());
+    }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::ProptestConfig::with_cases(64))]
+
+        /// Property form of the canonical-key contract: for arbitrary
+        /// (seeds, rounds, policy subset, environment), two specs built
+        /// with their builder calls in opposite orders — one of them at
+        /// a different thread count — hash identically, while flipping
+        /// any single identity field moves the key.
+        #[test]
+        fn canonical_key_is_order_invariant_and_field_sensitive(
+            seed_lo in 0u64..50,
+            n_seeds in 1u64..6,
+            rounds in 1usize..10,
+            policy_pick in 0usize..3,
+            env_pick in 0usize..4,
+        ) {
+            let policies: &[Protocol] = match policy_pick {
+                0 => &[Protocol::NPlus],
+                1 => &[Protocol::Dot11n, Protocol::NPlus],
+                _ => &[Protocol::Beamforming],
+            };
+            let env = BUILTIN_ENVIRONMENT_NAMES[env_pick];
+            let forward = SweepSpec::new(Scenario::three_pairs())
+                .environment_named(env).unwrap()
+                .rounds(rounds)
+                .seeds(seed_lo..seed_lo + n_seeds)
+                .protocols(policies);
+            let backward = SweepSpec::new(Scenario::three_pairs())
+                .protocols(policies)
+                .seeds(seed_lo..seed_lo + n_seeds)
+                .threads(4)
+                .rounds(rounds)
+                .environment_named(env).unwrap();
+            let key = forward.canonical().unwrap().key();
+            proptest::prop_assert_eq!(backward.canonical().unwrap().key(), key);
+
+            // Single-field flips all move the key.
+            let more_rounds = SweepSpec::new(Scenario::three_pairs())
+                .environment_named(env).unwrap()
+                .rounds(rounds + 1)
+                .seeds(seed_lo..seed_lo + n_seeds)
+                .protocols(policies);
+            proptest::prop_assert_ne!(more_rounds.canonical().unwrap().key(), key);
+            let shifted_seeds = SweepSpec::new(Scenario::three_pairs())
+                .environment_named(env).unwrap()
+                .rounds(rounds)
+                .seeds(seed_lo + 1..seed_lo + n_seeds + 1)
+                .protocols(policies);
+            proptest::prop_assert_ne!(shifted_seeds.canonical().unwrap().key(), key);
+            let extra_policy = SweepSpec::new(Scenario::three_pairs())
+                .environment_named(env).unwrap()
+                .rounds(rounds)
+                .seeds(seed_lo..seed_lo + n_seeds)
+                .protocols(policies)
+                .policy(Oracle);
+            proptest::prop_assert_ne!(extra_policy.canonical().unwrap().key(), key);
+            let other_env = BUILTIN_ENVIRONMENT_NAMES[(env_pick + 1) % 4];
+            let moved_env = SweepSpec::new(Scenario::three_pairs())
+                .environment_named(other_env).unwrap()
+                .rounds(rounds)
+                .seeds(seed_lo..seed_lo + n_seeds)
+                .protocols(policies);
+            proptest::prop_assert_ne!(moved_env.canonical().unwrap().key(), key);
+        }
     }
 }

@@ -1,0 +1,59 @@
+//! `sweep-server` — the long-running sweep service binary.
+//!
+//! ```text
+//! sweep-server [--addr HOST:PORT]
+//! ```
+//!
+//! Binds (default `127.0.0.1:4011`), prints the listening address, and
+//! serves framed JSON sweep requests with a content-addressed result
+//! cache until a `{"cmd":"shutdown"}` request arrives. Bad arguments
+//! exit 2 with a one-line message; bind failures exit 1.
+
+use nplus_server::SweepServer;
+use std::process::ExitCode;
+
+const USAGE: &str = "usage: sweep-server [--addr HOST:PORT]";
+
+fn main() -> ExitCode {
+    let mut addr = "127.0.0.1:4011".to_string();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--addr" => match args.next() {
+                Some(a) => addr = a,
+                None => return arg_error("--addr needs a HOST:PORT value"),
+            },
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            other => return arg_error(&format!("unknown argument {other:?}")),
+        }
+    }
+
+    let server = match SweepServer::bind(&addr) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("sweep-server: cannot bind {addr}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match server.local_addr() {
+        Ok(bound) => println!("sweep-server listening on {bound}"),
+        Err(e) => {
+            eprintln!("sweep-server: cannot read bound address: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    if let Err(e) = server.serve() {
+        eprintln!("sweep-server: serve loop failed: {e}");
+        return ExitCode::FAILURE;
+    }
+    println!("sweep-server: shutdown requested, exiting");
+    ExitCode::SUCCESS
+}
+
+fn arg_error(msg: &str) -> ExitCode {
+    eprintln!("sweep-server: {msg}\n{USAGE}");
+    ExitCode::from(2)
+}

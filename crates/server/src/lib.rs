@@ -1,0 +1,63 @@
+//! # nplus-server — sweep-as-a-service
+//!
+//! A long-running sweep server over the `nplus` Monte-Carlo engine:
+//! clients submit serialized sweep requests (scenario spec, environment
+//! and policy names, seeds, rounds), the server queues them onto the
+//! deterministic parallel executor and returns aggregated
+//! [`SweepStats`](nplus::sim::SweepStats) as JSON.
+//!
+//! The load-bearing feature is the **content-addressed result cache**:
+//! every request is normalized into a
+//! [`CanonicalSpec`](nplus::sim::CanonicalSpec) and keyed by the
+//! 128-bit hash of its canonical bytes. Because the sweep engine is a
+//! pure function of those fields — bit-for-bit identical across thread
+//! counts and repeat runs — a repeated request is served from the cache
+//! instantly, marked `"cache_hit": true`, and is bit-identical to the
+//! cold computation.
+//!
+//! The wire format is deliberately dependency-free: u32 big-endian
+//! length-prefixed JSON frames over TCP ([`protocol`]), parsed and
+//! written by the workspace's own ~400-line JSON module ([`json`]).
+//! Every malformed request — unframeable bytes, invalid JSON, names the
+//! registries reject, structurally invalid scenarios — maps to a typed
+//! error response; no client input reaches a panic.
+//!
+//! ## Quick start
+//!
+//! ```bash
+//! cargo run --release -p nplus-server --bin sweep-server -- --addr 127.0.0.1:4011
+//! # then, from another shell:
+//! cargo run --release -p nplus-bench --bin sweep-load -- --addr 127.0.0.1:4011
+//! ```
+//!
+//! In-process use (what the integration tests do):
+//!
+//! ```
+//! use nplus_server::{client, SweepServer};
+//!
+//! let server = SweepServer::bind("127.0.0.1:0").unwrap();
+//! let addr = server.local_addr().unwrap().to_string();
+//! let handle = std::thread::spawn(move || server.serve().unwrap());
+//! let resp = client::request_once(
+//!     &addr,
+//!     r#"{"cmd":"sweep","scenario":"pairs:2","rounds":2,"seeds":[0],"policies":["nplus"]}"#,
+//! )
+//! .unwrap();
+//! assert_eq!(resp.get("status").and_then(|s| s.as_str()), Some("ok"));
+//! client::request_once(&addr, r#"{"cmd":"shutdown"}"#).unwrap();
+//! handle.join().unwrap();
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod client;
+pub mod json;
+pub mod protocol;
+pub mod server;
+
+pub use cache::ResultCache;
+pub use json::{json_f64, Json};
+pub use protocol::{Request, SweepRequest, MAX_FRAME};
+pub use server::SweepServer;

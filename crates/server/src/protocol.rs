@@ -1,0 +1,498 @@
+//! The sweep-server wire protocol: length-prefixed JSON frames and the
+//! request/response vocabulary.
+//!
+//! ## Framing
+//!
+//! Each message is one JSON document, UTF-8, prefixed by its byte
+//! length as a big-endian `u32`. Frames above [`MAX_FRAME`] are
+//! rejected before allocation, so a hostile length prefix cannot OOM
+//! the server. A clean EOF *between* frames is a normal connection
+//! close ([`read_frame`] returns `Ok(None)`); EOF *inside* a frame is
+//! an error.
+//!
+//! ## Requests
+//!
+//! Every request is an object with a `"cmd"` member:
+//!
+//! ```json
+//! {"cmd": "sweep", "scenario": "pairs:4", "environment": "sigcomm11",
+//!  "policies": ["dot11n", "nplus"], "seeds": [0, 1, 2], "rounds": 5,
+//!  "threads": 0}
+//! {"cmd": "ping"}
+//! {"cmd": "stats"}
+//! {"cmd": "shutdown"}
+//! ```
+//!
+//! For `"sweep"`, `scenario` (the testkit grammar — see
+//! [`SCENARIO_SPEC_HELP`](nplus_testkit::SCENARIO_SPEC_HELP)) and
+//! `rounds` are required; `environment` defaults to `"sigcomm11"`,
+//! `policies` to the default comparison trio, `threads` to `0` (all
+//! cores — an execution detail, never part of the cache key), and the
+//! seed list may be given as `"seeds": [..]` or `"seed_count": n`
+//! (meaning seeds `0..n`), defaulting to `seed_count = 20`.
+//!
+//! ## Responses
+//!
+//! ```json
+//! {"status": "ok", "key": "<32 hex>", "cache_hit": false,
+//!  "elapsed_ms": 12, "stats": [{"policy": "dot11n", ...}, ...]}
+//! {"status": "error", "error": "one-line description"}
+//! ```
+//!
+//! Statistics floats that are undefined (`NaN`/`Inf` — e.g. mean
+//! fairness when no run had defined fairness) serialize as `null`,
+//! never as an invalid JSON token.
+
+use crate::json::{self, json_f64, Json};
+use nplus::sim::{CanonicalSpec, SweepStats};
+use nplus_channel::environment::environment_from_name;
+use nplus_testkit::parse_scenario_spec;
+use std::io::{self, Read, Write};
+
+/// Largest frame either side accepts (1 MiB) — far above any real
+/// request or response, far below anything that could hurt.
+pub const MAX_FRAME: usize = 1 << 20;
+
+/// Reads one length-prefixed frame. `Ok(None)` on clean EOF before any
+/// prefix byte; an error on EOF mid-frame or an oversized prefix.
+pub fn read_frame(r: &mut impl Read) -> io::Result<Option<Vec<u8>>> {
+    let mut prefix = [0u8; 4];
+    match r.read(&mut prefix)? {
+        0 => return Ok(None),
+        mut n => {
+            while n < 4 {
+                let got = r.read(&mut prefix[n..])?;
+                if got == 0 {
+                    return Err(io::Error::new(
+                        io::ErrorKind::UnexpectedEof,
+                        "EOF inside frame length prefix",
+                    ));
+                }
+                n += got;
+            }
+        }
+    }
+    let len = u32::from_be_bytes(prefix) as usize;
+    if len > MAX_FRAME {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("frame of {len} bytes exceeds the {MAX_FRAME}-byte limit"),
+        ));
+    }
+    let mut payload = vec![0u8; len];
+    r.read_exact(&mut payload)?;
+    Ok(Some(payload))
+}
+
+/// Writes one length-prefixed frame.
+///
+/// # Errors
+/// `InvalidData` for payloads above [`MAX_FRAME`]; otherwise I/O errors.
+pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> io::Result<()> {
+    if payload.len() > MAX_FRAME {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!(
+                "frame of {} bytes exceeds the {MAX_FRAME}-byte limit",
+                payload.len()
+            ),
+        ));
+    }
+    w.write_all(&(payload.len() as u32).to_be_bytes())?;
+    w.write_all(payload)?;
+    w.flush()
+}
+
+/// [`write_frame`] for a JSON value.
+pub fn write_json_frame(w: &mut impl Write, value: &Json) -> io::Result<()> {
+    write_frame(w, value.to_string_compact().as_bytes())
+}
+
+/// One parsed client request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Run (or serve from cache) a sweep.
+    Sweep(SweepRequest),
+    /// Report cache/serving counters.
+    Stats,
+    /// Liveness probe.
+    Ping,
+    /// Stop accepting connections and exit the serve loop.
+    Shutdown,
+}
+
+/// The body of a `"sweep"` request, field defaults already applied.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepRequest {
+    /// Scenario spec in the testkit grammar (`"pairs:4"`, …).
+    pub scenario: String,
+    /// Registry name of the propagation environment.
+    pub environment: String,
+    /// Registry names of the policies; empty = the default trio.
+    pub policies: Vec<String>,
+    /// Seed list, in job order.
+    pub seeds: Vec<u64>,
+    /// Rounds per run.
+    pub rounds: usize,
+    /// Worker threads (`0` = all cores). Execution detail only: not
+    /// part of the canonical key, does not change results.
+    pub threads: usize,
+}
+
+impl SweepRequest {
+    /// Resolves the textual request into the content-addressable
+    /// [`CanonicalSpec`] the cache and executor run on.
+    ///
+    /// # Errors
+    /// A one-line message for every malformed part: unknown
+    /// environment, unparseable scenario spec, unknown policy, empty
+    /// seeds, zero rounds.
+    pub fn to_canonical(&self) -> Result<CanonicalSpec, String> {
+        let env = environment_from_name(&self.environment)
+            .ok_or_else(|| format!("unknown environment {:?}", self.environment))?;
+        let scenario = parse_scenario_spec(&self.scenario, env.capacity())?;
+        CanonicalSpec::new(
+            &scenario,
+            &self.environment,
+            &self.policies,
+            self.seeds.clone(),
+            self.rounds,
+        )
+        .map_err(|e| e.to_string())
+    }
+}
+
+/// Parses one request frame.
+///
+/// # Errors
+/// A one-line message naming the first malformed part — invalid UTF-8,
+/// invalid JSON, a missing/mistyped member, an unknown command.
+pub fn parse_request(payload: &[u8]) -> Result<Request, String> {
+    let text = std::str::from_utf8(payload).map_err(|_| "request is not UTF-8".to_string())?;
+    let doc = json::parse(text).map_err(|e| format!("invalid JSON: {e}"))?;
+    let cmd = doc
+        .get("cmd")
+        .and_then(Json::as_str)
+        .ok_or_else(|| "request needs a string \"cmd\" member".to_string())?;
+    match cmd {
+        "ping" => Ok(Request::Ping),
+        "stats" => Ok(Request::Stats),
+        "shutdown" => Ok(Request::Shutdown),
+        "sweep" => parse_sweep(&doc).map(Request::Sweep),
+        other => Err(format!(
+            "unknown cmd {other:?} (try \"sweep\", \"stats\", \"ping\", \"shutdown\")"
+        )),
+    }
+}
+
+fn parse_sweep(doc: &Json) -> Result<SweepRequest, String> {
+    let scenario = doc
+        .get("scenario")
+        .and_then(Json::as_str)
+        .ok_or_else(|| "sweep needs a string \"scenario\" member".to_string())?
+        .to_string();
+    let rounds = doc
+        .get("rounds")
+        .ok_or_else(|| "sweep needs a \"rounds\" member".to_string())?
+        .as_usize()
+        .ok_or_else(|| "\"rounds\" must be a non-negative integer".to_string())?;
+    let environment = match doc.get("environment") {
+        None => "sigcomm11".to_string(),
+        Some(v) => v
+            .as_str()
+            .ok_or_else(|| "\"environment\" must be a string".to_string())?
+            .to_string(),
+    };
+    let policies = match doc.get("policies") {
+        None => Vec::new(),
+        Some(v) => v
+            .as_array()
+            .ok_or_else(|| "\"policies\" must be an array of strings".to_string())?
+            .iter()
+            .map(|p| {
+                p.as_str()
+                    .map(str::to_string)
+                    .ok_or_else(|| "\"policies\" must be an array of strings".to_string())
+            })
+            .collect::<Result<_, _>>()?,
+    };
+    let seeds = match (doc.get("seeds"), doc.get("seed_count")) {
+        (Some(_), Some(_)) => {
+            return Err("give \"seeds\" or \"seed_count\", not both".to_string());
+        }
+        (Some(v), None) => v
+            .as_array()
+            .ok_or_else(|| "\"seeds\" must be an array of integers".to_string())?
+            .iter()
+            .map(|s| {
+                s.as_u64().ok_or_else(|| {
+                    "\"seeds\" must be an array of non-negative integers".to_string()
+                })
+            })
+            .collect::<Result<_, _>>()?,
+        (None, Some(v)) => {
+            let n = v
+                .as_u64()
+                .ok_or_else(|| "\"seed_count\" must be a non-negative integer".to_string())?;
+            (0..n).collect()
+        }
+        (None, None) => (0..20).collect(),
+    };
+    let threads = match doc.get("threads") {
+        None => 0,
+        Some(v) => v
+            .as_usize()
+            .ok_or_else(|| "\"threads\" must be a non-negative integer".to_string())?,
+    };
+    Ok(SweepRequest {
+        scenario,
+        environment,
+        policies,
+        seeds,
+        rounds,
+        threads,
+    })
+}
+
+/// Serializes sweep statistics; every undefined float becomes `null`.
+pub fn stats_to_json(stats: &[SweepStats]) -> Json {
+    Json::Arr(
+        stats
+            .iter()
+            .map(|s| {
+                Json::Obj(vec![
+                    ("policy".to_string(), Json::Str(s.policy.clone())),
+                    ("n_runs".to_string(), Json::Int(s.n_runs as i64)),
+                    ("mean_total_mbps".to_string(), json_f64(s.mean_total_mbps)),
+                    ("ci95_total_mbps".to_string(), json_f64(s.ci95_total_mbps)),
+                    (
+                        "mean_per_flow_mbps".to_string(),
+                        Json::Arr(s.mean_per_flow_mbps.iter().map(|&v| json_f64(v)).collect()),
+                    ),
+                    ("mean_dof".to_string(), json_f64(s.mean_dof)),
+                    ("mean_fairness".to_string(), json_f64(s.mean_fairness)),
+                ])
+            })
+            .collect(),
+    )
+}
+
+/// The success response to a sweep request.
+pub fn sweep_response(
+    key_hex: &str,
+    cache_hit: bool,
+    elapsed_ms: u64,
+    stats: &[SweepStats],
+) -> Json {
+    Json::Obj(vec![
+        ("status".to_string(), Json::Str("ok".to_string())),
+        ("key".to_string(), Json::Str(key_hex.to_string())),
+        ("cache_hit".to_string(), Json::Bool(cache_hit)),
+        ("elapsed_ms".to_string(), Json::Int(elapsed_ms as i64)),
+        ("stats".to_string(), stats_to_json(stats)),
+    ])
+}
+
+/// The error response: one line, no panics behind it.
+pub fn error_response(message: &str) -> Json {
+    Json::Obj(vec![
+        ("status".to_string(), Json::Str("error".to_string())),
+        ("error".to_string(), Json::Str(message.to_string())),
+    ])
+}
+
+/// The `"ping"` response.
+pub fn pong_response() -> Json {
+    Json::Obj(vec![
+        ("status".to_string(), Json::Str("ok".to_string())),
+        ("pong".to_string(), Json::Bool(true)),
+    ])
+}
+
+/// The `"stats"` (serving counters) response.
+pub fn counters_response(entries: usize, hits: u64, misses: u64) -> Json {
+    Json::Obj(vec![
+        ("status".to_string(), Json::Str("ok".to_string())),
+        ("entries".to_string(), Json::Int(entries as i64)),
+        ("hits".to_string(), Json::Int(hits as i64)),
+        ("misses".to_string(), Json::Int(misses as i64)),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frames_roundtrip_and_reject_oversize() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"{\"cmd\":\"ping\"}").unwrap();
+        write_frame(&mut buf, b"").unwrap();
+        let mut r = io::Cursor::new(buf);
+        assert_eq!(
+            read_frame(&mut r).unwrap().as_deref(),
+            Some(&b"{\"cmd\":\"ping\"}"[..])
+        );
+        assert_eq!(read_frame(&mut r).unwrap().as_deref(), Some(&b""[..]));
+        assert_eq!(read_frame(&mut r).unwrap(), None); // clean EOF
+
+        // A hostile length prefix errors before allocating.
+        let mut huge = io::Cursor::new(u32::MAX.to_be_bytes().to_vec());
+        assert!(read_frame(&mut huge).is_err());
+        // EOF mid-frame is an error, not a silent truncation.
+        let mut cut = io::Cursor::new(vec![0, 0, 0, 9, b'x']);
+        assert!(read_frame(&mut cut).is_err());
+        let mut cut_prefix = io::Cursor::new(vec![0, 0]);
+        assert!(read_frame(&mut cut_prefix).is_err());
+        // Oversized outgoing payloads are refused too.
+        let mut sink = Vec::new();
+        assert!(write_frame(&mut sink, &vec![0u8; MAX_FRAME + 1]).is_err());
+    }
+
+    #[test]
+    fn requests_parse_with_documented_defaults() {
+        assert_eq!(parse_request(b"{\"cmd\":\"ping\"}").unwrap(), Request::Ping);
+        assert_eq!(
+            parse_request(b"{\"cmd\":\"stats\"}").unwrap(),
+            Request::Stats
+        );
+        assert_eq!(
+            parse_request(b"{\"cmd\":\"shutdown\"}").unwrap(),
+            Request::Shutdown
+        );
+        let full = parse_request(
+            br#"{"cmd":"sweep","scenario":"pairs:2","environment":"outdoor",
+                "policies":["nplus"],"seeds":[3,1],"rounds":4,"threads":2}"#,
+        )
+        .unwrap();
+        assert_eq!(
+            full,
+            Request::Sweep(SweepRequest {
+                scenario: "pairs:2".to_string(),
+                environment: "outdoor".to_string(),
+                policies: vec!["nplus".to_string()],
+                seeds: vec![3, 1],
+                rounds: 4,
+                threads: 2,
+            })
+        );
+        let minimal =
+            parse_request(br#"{"cmd":"sweep","scenario":"three_pairs","rounds":3}"#).unwrap();
+        match minimal {
+            Request::Sweep(r) => {
+                assert_eq!(r.environment, "sigcomm11");
+                assert!(r.policies.is_empty());
+                assert_eq!(r.seeds, (0..20).collect::<Vec<u64>>());
+                assert_eq!(r.threads, 0);
+            }
+            other => panic!("{other:?}"),
+        }
+        let counted =
+            parse_request(br#"{"cmd":"sweep","scenario":"three_pairs","rounds":3,"seed_count":5}"#)
+                .unwrap();
+        match counted {
+            Request::Sweep(r) => assert_eq!(r.seeds, vec![0, 1, 2, 3, 4]),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn malformed_requests_are_one_line_errors() {
+        for bad in [
+            &b"not json"[..],
+            b"[]",
+            b"{}",
+            b"{\"cmd\":7}",
+            b"{\"cmd\":\"warp\"}",
+            b"{\"cmd\":\"sweep\"}",
+            b"{\"cmd\":\"sweep\",\"scenario\":\"three_pairs\"}",
+            b"{\"cmd\":\"sweep\",\"scenario\":7,\"rounds\":3}",
+            b"{\"cmd\":\"sweep\",\"scenario\":\"three_pairs\",\"rounds\":-1}",
+            b"{\"cmd\":\"sweep\",\"scenario\":\"three_pairs\",\"rounds\":3,\"seeds\":[1.5]}",
+            b"{\"cmd\":\"sweep\",\"scenario\":\"three_pairs\",\"rounds\":3,\"seeds\":[1],\"seed_count\":2}",
+            b"{\"cmd\":\"sweep\",\"scenario\":\"three_pairs\",\"rounds\":3,\"policies\":[7]}",
+            b"{\"cmd\":\"sweep\",\"scenario\":\"three_pairs\",\"rounds\":3,\"threads\":\"many\"}",
+            b"\xff\xfe",
+        ] {
+            let err = parse_request(bad).unwrap_err();
+            assert!(!err.is_empty() && !err.contains('\n'), "{bad:?}: {err:?}");
+        }
+    }
+
+    #[test]
+    fn sweep_requests_resolve_to_canonical_specs() {
+        let req = SweepRequest {
+            scenario: "pairs:2".to_string(),
+            environment: "sigcomm11".to_string(),
+            policies: vec![],
+            seeds: vec![0, 1],
+            rounds: 3,
+            threads: 4,
+        };
+        let canon = req.to_canonical().unwrap();
+        assert_eq!(canon.environment, "sigcomm11");
+        assert_eq!(canon.policies, ["dot11n", "beamforming", "nplus"]);
+        assert_eq!(canon.rounds, 3);
+        // Threads never enter the canonical form.
+        let serial = SweepRequest {
+            threads: 1,
+            ..req.clone()
+        };
+        assert_eq!(serial.to_canonical().unwrap().key(), canon.key());
+        // Every malformed part maps to an error string.
+        for bad in [
+            SweepRequest {
+                environment: "vacuum".to_string(),
+                ..req.clone()
+            },
+            SweepRequest {
+                scenario: "pairs:999".to_string(),
+                ..req.clone()
+            },
+            SweepRequest {
+                policies: vec!["aloha".to_string()],
+                ..req.clone()
+            },
+            SweepRequest {
+                seeds: vec![],
+                ..req.clone()
+            },
+            SweepRequest {
+                rounds: 0,
+                ..req.clone()
+            },
+        ] {
+            assert!(bad.to_canonical().is_err(), "{bad:?}");
+        }
+    }
+
+    #[test]
+    fn undefined_stats_serialize_as_null() {
+        let stats = vec![SweepStats {
+            policy: "nplus".to_string(),
+            n_runs: 2,
+            mean_total_mbps: 0.0,
+            ci95_total_mbps: 0.0,
+            mean_per_flow_mbps: vec![0.0, f64::NAN],
+            mean_dof: f64::INFINITY,
+            mean_fairness: f64::NAN,
+        }];
+        let text = stats_to_json(&stats).to_string_compact();
+        assert!(!text.contains("NaN") && !text.contains("inf"), "{text}");
+        assert!(text.contains("\"mean_fairness\":null"), "{text}");
+        assert!(text.contains("\"mean_dof\":null"), "{text}");
+        assert!(text.contains("[0,null]"), "{text}");
+        // The whole response document stays parseable JSON.
+        let resp = sweep_response("00ff", false, 12, &stats).to_string_compact();
+        let doc = json::parse(&resp).unwrap();
+        assert_eq!(doc.get("status").and_then(Json::as_str), Some("ok"));
+        assert_eq!(doc.get("cache_hit").and_then(Json::as_bool), Some(false));
+        assert_eq!(
+            doc.get("stats")
+                .and_then(Json::as_array)
+                .and_then(|a| a[0].get("mean_fairness"))
+                .cloned(),
+            Some(Json::Null)
+        );
+    }
+}

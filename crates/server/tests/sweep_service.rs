@@ -1,0 +1,146 @@
+//! End-to-end contract of the sweep service: a repeated identical
+//! request is served from the cache, marked as a hit, and bit-identical
+//! to the cold computation — across connections and thread counts.
+
+use nplus_server::{client, Json, SweepServer};
+use std::net::SocketAddr;
+use std::thread::JoinHandle;
+
+fn start_server() -> (SocketAddr, JoinHandle<()>) {
+    let server = SweepServer::bind("127.0.0.1:0").expect("bind an ephemeral port");
+    let addr = server.local_addr().expect("bound address");
+    let handle = std::thread::spawn(move || server.serve().expect("serve loop"));
+    (addr, handle)
+}
+
+fn shutdown(addr: SocketAddr, handle: JoinHandle<()>) {
+    client::request_once(&addr.to_string(), "{\"cmd\":\"shutdown\"}").expect("shutdown");
+    handle.join().expect("serve loop exits");
+}
+
+#[test]
+fn repeated_requests_hit_the_cache_bit_identically() {
+    let (addr, handle) = start_server();
+    let addr_s = addr.to_string();
+    let request = "{\"cmd\":\"sweep\",\"scenario\":\"pairs:2\",\"rounds\":3,\
+                   \"seeds\":[0,1],\"policies\":[\"dot11n\",\"nplus\"],\"threads\":1}";
+
+    let cold = client::request_once(&addr_s, request).expect("cold request");
+    assert_eq!(cold.get("status").and_then(Json::as_str), Some("ok"));
+    assert_eq!(cold.get("cache_hit").and_then(Json::as_bool), Some(false));
+    let key = cold
+        .get("key")
+        .and_then(Json::as_str)
+        .expect("key")
+        .to_string();
+    assert_eq!(key.len(), 32, "key is 32 hex chars: {key}");
+    let cold_stats = cold.get("stats").expect("stats").clone();
+    assert_eq!(cold_stats.as_array().map(<[Json]>::len), Some(2));
+
+    // Same request again, on a new connection: a hit, same key,
+    // bit-identical serialized statistics.
+    let warm = client::request_once(&addr_s, request).expect("warm request");
+    assert_eq!(warm.get("cache_hit").and_then(Json::as_bool), Some(true));
+    assert_eq!(warm.get("key").and_then(Json::as_str), Some(key.as_str()));
+    assert_eq!(
+        warm.get("stats").expect("stats").to_string_compact(),
+        cold_stats.to_string_compact(),
+        "cached stats must be bit-identical to the cold computation"
+    );
+
+    // The same spec at a different thread count is the same key (threads
+    // are an execution detail) and still bit-identical.
+    let two_threads = request.replace("\"threads\":1", "\"threads\":2");
+    let parallel = client::request_once(&addr_s, &two_threads).expect("parallel request");
+    assert_eq!(
+        parallel.get("cache_hit").and_then(Json::as_bool),
+        Some(true)
+    );
+    assert_eq!(
+        parallel.get("key").and_then(Json::as_str),
+        Some(key.as_str())
+    );
+    assert_eq!(
+        parallel.get("stats").expect("stats").to_string_compact(),
+        cold_stats.to_string_compact()
+    );
+
+    // A genuinely different spec is a different key and a fresh miss.
+    let other = request.replace("\"rounds\":3", "\"rounds\":4");
+    let resp = client::request_once(&addr_s, &other).expect("different spec");
+    assert_eq!(resp.get("cache_hit").and_then(Json::as_bool), Some(false));
+    assert_ne!(resp.get("key").and_then(Json::as_str), Some(key.as_str()));
+
+    // Counters agree: 2 hits, 2 misses, 2 distinct entries.
+    let counters = client::request_once(&addr_s, "{\"cmd\":\"stats\"}").expect("counters");
+    assert_eq!(counters.get("entries").and_then(Json::as_u64), Some(2));
+    assert_eq!(counters.get("hits").and_then(Json::as_u64), Some(2));
+    assert_eq!(counters.get("misses").and_then(Json::as_u64), Some(2));
+    shutdown(addr, handle);
+}
+
+#[test]
+fn cached_results_match_an_in_process_run_exactly() {
+    use nplus::prelude::*;
+
+    let (addr, handle) = start_server();
+    let request = "{\"cmd\":\"sweep\",\"scenario\":\"three_pairs\",\"rounds\":2,\
+                   \"seeds\":[0],\"policies\":[\"nplus\"],\"environment\":\"outdoor\"}";
+    let served = client::request_once(&addr.to_string(), request).expect("request");
+    assert_eq!(served.get("status").and_then(Json::as_str), Some("ok"));
+
+    let local = SweepSpec::new(Scenario::three_pairs())
+        .environment_named("outdoor")
+        .expect("registry name")
+        .rounds(2)
+        .seeds([0u64])
+        .policy_named("nplus")
+        .expect("registry name")
+        .try_run()
+        .expect("local run");
+    let stats = served.get("stats").and_then(Json::as_array).expect("stats");
+    assert_eq!(stats.len(), 1);
+    assert_eq!(stats[0].get("policy").and_then(Json::as_str), Some("nplus"));
+    assert_eq!(
+        stats[0].get("mean_total_mbps").and_then(Json::as_f64),
+        Some(local[0].mean_total_mbps),
+        "served mean must equal the in-process engine exactly"
+    );
+    assert_eq!(
+        stats[0].get("n_runs").and_then(Json::as_u64),
+        Some(local[0].n_runs as u64)
+    );
+    shutdown(addr, handle);
+}
+
+#[test]
+fn one_connection_can_pipeline_requests_and_errors() {
+    let (addr, handle) = start_server();
+    let mut stream = client::connect_retry(&addr.to_string(), std::time::Duration::from_secs(5))
+        .expect("connect");
+
+    let pong = client::roundtrip(&mut stream, "{\"cmd\":\"ping\"}").expect("ping");
+    assert_eq!(pong.get("pong").and_then(Json::as_bool), Some(true));
+
+    // An error response leaves the same connection usable.
+    let err = client::roundtrip(
+        &mut stream,
+        "{\"cmd\":\"sweep\",\"scenario\":\"nope\",\"rounds\":1}",
+    )
+    .expect("error roundtrip");
+    assert_eq!(err.get("status").and_then(Json::as_str), Some("error"));
+    assert!(err
+        .get("error")
+        .and_then(Json::as_str)
+        .unwrap()
+        .contains("nope"));
+
+    let ok = client::roundtrip(
+        &mut stream,
+        "{\"cmd\":\"sweep\",\"scenario\":\"pairs:2\",\"rounds\":2,\"seeds\":[1],\"policies\":[\"dot11n\"]}",
+    )
+    .expect("sweep after error");
+    assert_eq!(ok.get("status").and_then(Json::as_str), Some("ok"));
+    drop(stream);
+    shutdown(addr, handle);
+}

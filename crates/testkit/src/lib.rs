@@ -21,9 +21,11 @@
 pub mod fixtures;
 pub mod generator;
 pub mod scenario;
+pub mod spec;
 pub mod strategies;
 
 pub use generator::ScenarioGenerator;
+pub use spec::{parse_scenario_spec, SCENARIO_SPEC_HELP};
 
 use nplus_linalg::Complex64;
 

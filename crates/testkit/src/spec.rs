@@ -1,0 +1,170 @@
+//! Textual scenario-spec parsing shared by every served front-end.
+//!
+//! The `sweep` CLI, the `sweep-server` wire protocol and the
+//! `sweep-load` generator all accept the same compact scenario grammar
+//! (`three_pairs`, `pairs:4`, `multi_ap:2x3`, `hidden:5`, `asym:3`,
+//! `dense:16`, `random:7`). This module is the one fallible parser
+//! behind all of them: every malformed spec — unparseable numbers,
+//! out-of-range family sizes — is an `Err` with a one-line message,
+//! never a panic, so a server can reject it with an error response and
+//! a CLI with a clean exit 2.
+
+use crate::generator::{ScenarioGenerator, MAX_DENSE_NODES, MAX_NODES};
+use nplus::sim::Scenario;
+
+/// The scenario grammar, one line per form — interpolated into CLI
+/// usage text and server error messages.
+pub const SCENARIO_SPEC_HELP: &str = "  three_pairs          the Fig. 3 scenario
+  ap_downlink          the Fig. 4 scenario
+  pairs:<n>            n generated tx->rx pairs, random 1-4 antennas
+  multi_ap:<a>x<c>     a generated cells of one AP + c clients
+  hidden:<n>           n generated transmitters sharing one receiver
+  asym:<n>             n generated maximally antenna-asymmetric pairs
+  dense:<n>            n-node generated mesh (even, <=32; extended map)
+  random:<seed>        a random family draw from the generator";
+
+/// Parses one operand of the scenario grammar into a [`Scenario`].
+///
+/// Generated families are seeded (generator seed 42 unless `random:`
+/// supplies one), so equal specs parse to equal scenarios everywhere —
+/// the property the server's content-addressed cache keys rely on.
+/// `env_capacity` sizes the `random:` family draw to the chosen
+/// environment's map ([`ScenarioGenerator::random_for_capacity`]); at
+/// the stock 40-slot maps the draw is bit-identical to the classic
+/// `random()` stream.
+///
+/// # Errors
+/// A one-line description of the malformed spec (unknown form, number
+/// that does not parse, family size outside its documented range).
+pub fn parse_scenario_spec(spec: &str, env_capacity: usize) -> Result<Scenario, String> {
+    fn num<T: std::str::FromStr>(s: &str, what: &str) -> Result<T, String> {
+        s.parse()
+            .map_err(|_| format!("{what} needs a number, got {s:?}"))
+    }
+    if let Some(n) = spec.strip_prefix("pairs:") {
+        let n: usize = num(n, "pairs:<n>")?;
+        if !(1..=MAX_NODES / 2).contains(&n) {
+            return Err(format!("pairs:<n> needs 1..={}", MAX_NODES / 2));
+        }
+        return Ok(ScenarioGenerator::new(42).n_pairs(n));
+    }
+    if let Some(shape) = spec.strip_prefix("multi_ap:") {
+        let (a, c) = shape
+            .split_once('x')
+            .ok_or_else(|| format!("multi_ap:<aps>x<clients> needs AxC, got {shape:?}"))?;
+        let (a, c): (usize, usize) = (num(a, "multi_ap AP count")?, num(c, "multi_ap clients")?);
+        if a < 1 || c < 1 || a * (1 + c) > MAX_NODES {
+            return Err(format!(
+                "multi_ap:<aps>x<clients> needs aps*(1+clients) in 2..={MAX_NODES}"
+            ));
+        }
+        return Ok(ScenarioGenerator::new(42).multi_ap(a, c));
+    }
+    if let Some(n) = spec.strip_prefix("hidden:") {
+        let n: usize = num(n, "hidden:<n>")?;
+        if !(2..MAX_NODES).contains(&n) {
+            return Err(format!("hidden:<n> needs 2..={}", MAX_NODES - 1));
+        }
+        return Ok(ScenarioGenerator::new(42).hidden_terminal(n));
+    }
+    if let Some(n) = spec.strip_prefix("asym:") {
+        let n: usize = num(n, "asym:<n>")?;
+        if !(1..=MAX_NODES / 2).contains(&n) {
+            return Err(format!("asym:<n> needs 1..={}", MAX_NODES / 2));
+        }
+        return Ok(ScenarioGenerator::new(42).asymmetric_antenna(n));
+    }
+    if let Some(n) = spec.strip_prefix("dense:") {
+        let n: usize = num(n, "dense:<n>")?;
+        if !(4..=MAX_DENSE_NODES).contains(&n) || !n.is_multiple_of(2) {
+            return Err(format!(
+                "dense:<n> needs an even node count in 4..={MAX_DENSE_NODES}"
+            ));
+        }
+        return Ok(ScenarioGenerator::new(42).dense(n));
+    }
+    if let Some(seed) = spec.strip_prefix("random:") {
+        let seed: u64 = num(seed, "random:<seed>")?;
+        if env_capacity < 6 {
+            return Err(format!(
+                "random: needs an environment with >= 6 placement slots, got {env_capacity}"
+            ));
+        }
+        return Ok(ScenarioGenerator::new(seed).random_for_capacity(env_capacity));
+    }
+    match spec {
+        "three_pairs" => Ok(Scenario::three_pairs()),
+        "ap_downlink" => Ok(Scenario::ap_downlink()),
+        other => Err(format!("unknown scenario spec {other:?}")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn canonical_and_generated_forms_parse() {
+        assert_eq!(
+            parse_scenario_spec("three_pairs", 40).unwrap().antennas,
+            Scenario::three_pairs().antennas
+        );
+        assert_eq!(
+            parse_scenario_spec("ap_downlink", 40).unwrap().flows,
+            Scenario::ap_downlink().flows
+        );
+        let pairs = parse_scenario_spec("pairs:4", 40).unwrap();
+        assert_eq!(pairs.antennas.len(), 8);
+        assert_eq!(pairs.flows.len(), 4);
+        // Generated specs are deterministic: same text, same scenario.
+        assert_eq!(
+            parse_scenario_spec("pairs:4", 40).unwrap().antennas,
+            pairs.antennas
+        );
+        let ap = parse_scenario_spec("multi_ap:2x3", 40).unwrap();
+        assert_eq!(ap.antennas.len(), 8);
+        assert!(parse_scenario_spec("hidden:3", 40).is_ok());
+        assert!(parse_scenario_spec("asym:2", 40).is_ok());
+        assert!(parse_scenario_spec("dense:16", 40).is_ok());
+        // random: sizes itself to the environment capacity.
+        let r = parse_scenario_spec("random:7", 8).unwrap();
+        assert!(r.antennas.len() <= 8);
+    }
+
+    #[test]
+    fn every_malformed_spec_is_an_err_not_a_panic() {
+        for bad in [
+            "pairs:",
+            "pairs:zero",
+            "pairs:0",
+            "pairs:999",
+            "multi_ap:3",
+            "multi_ap:AxB",
+            "multi_ap:9x9",
+            "hidden:1",
+            "hidden:99",
+            "hidden:abc",
+            "asym:0",
+            "asym:9",
+            "dense:3",
+            "dense:7",
+            "dense:34",
+            "random:",
+            "random:x",
+            "warehouse",
+            "",
+        ] {
+            let err = parse_scenario_spec(bad, 40).unwrap_err();
+            assert!(!err.is_empty(), "{bad:?}");
+        }
+        // Tiny environments reject the random family cleanly too.
+        assert!(parse_scenario_spec("random:1", 5).is_err());
+        // Every parsed scenario passes structural validation.
+        for good in ["pairs:2", "multi_ap:1x2", "hidden:4", "asym:3", "dense:8"] {
+            parse_scenario_spec(good, 40)
+                .unwrap()
+                .validate()
+                .unwrap_or_else(|e| panic!("{good}: {e}"));
+        }
+    }
+}
