@@ -35,10 +35,17 @@
 //!
 //! **Section 3 — environments**: times the same generated batch once
 //! per registered propagation environment (`sigcomm11`, `outdoor`,
-//! `rich_scatter`, `degraded_hardware`) through the serial `SweepSpec`
-//! path, so the per-environment cost of scenario construction and
-//! simulation shows up in the perf trajectory (`sweep_environments` in
-//! the JSON).
+//! `rich_scatter`, `degraded_hardware`, `multi_cell`) through the
+//! serial `SweepSpec` path, so the per-environment cost of scenario
+//! construction and simulation shows up in the perf trajectory
+//! (`sweep_environments` in the JSON).
+//!
+//! **Section 4 — the city-scale sparse world**: times a procedural
+//! `city:256` sweep in the `multi_cell` environment (sparse link
+//! storage — only links above the environment's received-power floor
+//! are materialised) and records the `sweep_city` row: wall clock and
+//! node-rounds/s, the throughput figure the sparse refactor is
+//! accountable for.
 //!
 //! Usage:
 //!
@@ -60,6 +67,7 @@ use nplus_channel::placement::Testbed;
 use nplus_medium::topology::{build_topology, TopologyConfig};
 use nplus_testkit::generator::ScenarioGenerator;
 use nplus_testkit::scenario::three_pairs;
+use nplus_testkit::spec::city_scenario;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::time::Instant;
@@ -72,6 +80,11 @@ const ROUNDS: usize = 40;
 /// simulated under all three protocols.
 const SWEEP_SEEDS: u64 = 12;
 const SWEEP_ROUNDS: usize = 25;
+
+/// City-scale batch shape: one placement of a procedural 256-node
+/// (32-cell) city in the sparse `multi_cell` world, n+ only.
+const CITY_NODES: usize = 256;
+const CITY_ROUNDS: usize = 4;
 
 /// One-shot `simulate` (or legacy) wall clock summed over all
 /// placements; returns (seconds, per-placement results).
@@ -367,6 +380,30 @@ fn main() {
         .collect::<Vec<_>>()
         .join(", ");
 
+    // ---- §4: the city-scale sparse world ----
+    println!(
+        "\n== perf_sweep §4: city:{CITY_NODES} in multi_cell, 1 placement x {CITY_ROUNDS} rounds, n+, best of {iters} =="
+    );
+    let city_spec = SweepSpec::new(city_scenario(CITY_NODES))
+        .rounds(CITY_ROUNDS)
+        .seed_count(1)
+        .protocols(&[Protocol::NPlus])
+        .environment_named("multi_cell")
+        .expect("builtin environment")
+        .threads(1);
+    let mut city_s = f64::INFINITY;
+    for _ in 0..iters {
+        let t = Instant::now();
+        let stats = city_spec.run();
+        city_s = city_s.min(t.elapsed().as_secs_f64());
+        assert!(
+            stats.iter().all(|s| s.mean_total_mbps.is_finite()),
+            "city sweep: non-finite statistics"
+        );
+    }
+    let city_node_rounds_per_sec = (CITY_NODES * CITY_ROUNDS) as f64 / city_s;
+    println!("city sweep:        {city_s:.4} s  ({city_node_rounds_per_sec:.1} node-rounds/s)");
+
     let mean_total: f64 =
         cached_r.iter().map(|r| r.total_mbps).sum::<f64>() / cached_r.len().max(1) as f64;
     // Policy labels via `Display` — the same names `SweepStats::policy`
@@ -374,7 +411,7 @@ fn main() {
     let policy_list: Vec<String> = protocols.iter().map(|p| format!("\"{p}\"")).collect();
     let sweep_policies = policy_list.join(", ");
     let json = format!(
-        "{{\n  \"bench\": \"sim_three_pairs_nplus\",\n  \"placements\": {N_PLACEMENTS},\n  \"rounds\": {ROUNDS},\n  \"iters\": {iters},\n  \"legacy_seconds\": {legacy_s:.6},\n  \"uncached_seconds\": {uncached_s:.6},\n  \"cached_seconds\": {cached_s:.6},\n  \"legacy_rounds_per_sec\": {legacy_rps:.3},\n  \"uncached_rounds_per_sec\": {uncached_rps:.3},\n  \"cached_rounds_per_sec\": {cached_rps:.3},\n  \"speedup\": {speedup:.3},\n  \"cache_speedup\": {cache_speedup:.3},\n  \"bit_identical\": {bit_identical},\n  \"mean_total_mbps\": {mean_total:.6},\n  \"sweep_bench\": \"sweep_pairs4_all_protocols\",\n  \"sweep_policies\": [{sweep_policies}],\n  \"sweep_seeds\": {SWEEP_SEEDS},\n  \"sweep_rounds\": {SWEEP_ROUNDS},\n  \"sweep_cores_available\": {cores},\n  \"sweep_legacy_seconds\": {sweep_legacy_s:.6},\n  \"sweep_serial_seconds\": {serial_s:.6},\n  \"sweep_2t_seconds\": {t2_s:.6},\n  \"sweep_4t_seconds\": {t4_s:.6},\n  \"sweep_speedup_vs_legacy\": {sweep_vs_legacy:.3},\n  \"multi_core_observable\": {multi_core_observable},\n  \"sweep_speedup_2t\": {speedup_2t_json},\n  \"sweep_speedup_4t\": {speedup_4t_json},\n  \"sweep_parallel_bit_identical\": {parallel_identical},\n  \"sweep_environments\": {{{sweep_environments}}}\n}}\n"
+        "{{\n  \"bench\": \"sim_three_pairs_nplus\",\n  \"placements\": {N_PLACEMENTS},\n  \"rounds\": {ROUNDS},\n  \"iters\": {iters},\n  \"legacy_seconds\": {legacy_s:.6},\n  \"uncached_seconds\": {uncached_s:.6},\n  \"cached_seconds\": {cached_s:.6},\n  \"legacy_rounds_per_sec\": {legacy_rps:.3},\n  \"uncached_rounds_per_sec\": {uncached_rps:.3},\n  \"cached_rounds_per_sec\": {cached_rps:.3},\n  \"speedup\": {speedup:.3},\n  \"cache_speedup\": {cache_speedup:.3},\n  \"bit_identical\": {bit_identical},\n  \"mean_total_mbps\": {mean_total:.6},\n  \"sweep_bench\": \"sweep_pairs4_all_protocols\",\n  \"sweep_policies\": [{sweep_policies}],\n  \"sweep_seeds\": {SWEEP_SEEDS},\n  \"sweep_rounds\": {SWEEP_ROUNDS},\n  \"sweep_cores_available\": {cores},\n  \"sweep_legacy_seconds\": {sweep_legacy_s:.6},\n  \"sweep_serial_seconds\": {serial_s:.6},\n  \"sweep_2t_seconds\": {t2_s:.6},\n  \"sweep_4t_seconds\": {t4_s:.6},\n  \"sweep_speedup_vs_legacy\": {sweep_vs_legacy:.3},\n  \"multi_core_observable\": {multi_core_observable},\n  \"sweep_speedup_2t\": {speedup_2t_json},\n  \"sweep_speedup_4t\": {speedup_4t_json},\n  \"sweep_parallel_bit_identical\": {parallel_identical},\n  \"sweep_environments\": {{{sweep_environments}}},\n  \"sweep_city\": {{\"nodes\": {CITY_NODES}, \"rounds\": {CITY_ROUNDS}, \"seconds\": {city_s:.6}, \"node_rounds_per_sec\": {city_node_rounds_per_sec:.3}}}\n}}\n"
     );
     std::fs::write(&out_path, json).expect("write BENCH_sim.json");
     println!("wrote {out_path}");

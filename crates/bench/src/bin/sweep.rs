@@ -11,7 +11,8 @@
 //!
 //! ```text
 //! cargo run --release --bin sweep -- [scenario] [n_seeds] [rounds] \
-//!     [--threads N] [--policies a,b,..] [--env name] [--json [path]]
+//!     [--threads N] [--policies a,b,..] [--env name] \
+//!     [--mobility spec] [--json [path]]
 //!
 //! where `scenario` is one of:
 //!   three_pairs          the Fig. 3 scenario (default)
@@ -22,6 +23,10 @@
 //!   asym:<n>             n generated maximally antenna-asymmetric pairs
 //!   dense:<n>            n-node generated mesh (even, ≤32; extended map)
 //!   random:<seed>        a random family draw from the generator
+//!   city:<n>             n-node procedural city (multiple of 8; needs
+//!                        `--env multi_cell` beyond 40 nodes)
+//!   load:<model>/<spec>  any form above under a traffic model
+//!                        (saturated | poisson:<mean> | bursty:<on>x<off>)
 //!
 //! Flags (positionals must precede flags):
 //!   --threads N          worker threads (default 0 = all cores; 1 = serial)
@@ -30,18 +35,20 @@
 //!                        greedy_join — anything policy_from_name knows)
 //!   --env name           propagation environment (default sigcomm11 —
 //!                        the paper's indoor world; also outdoor,
-//!                        rich_scatter, degraded_hardware — anything
-//!                        environment_from_name knows)
+//!                        rich_scatter, degraded_hardware, multi_cell —
+//!                        anything environment_from_name knows)
+//!   --mobility spec      node mobility (default static; also
+//!                        waypoint:<step_m>x<epoch_rounds>)
 //!   --json [path]        machine-readable stats to `path` (default stdout)
 //! ```
 //!
 //! Generated scenarios are seeded (generator seed 42 unless `random:`
 //! gives one), so every invocation is reproducible. A bad
-//! `--env`/`--policies` name or a scenario too large for the chosen
-//! environment's maps reports cleanly and exits 2.
+//! `--env`/`--policies`/`--mobility` name or a scenario too large for
+//! the chosen environment's maps reports cleanly and exits 2.
 
 use nplus::prelude::*;
-use nplus_testkit::{parse_scenario_spec, SCENARIO_SPEC_HELP};
+use nplus_testkit::{parse_spec, SCENARIO_SPEC_HELP};
 
 /// Reports an invalid operand the way every operator error is reported:
 /// one line on stderr, exit 2 — never a panic backtrace.
@@ -69,6 +76,8 @@ fn fmt_f64(v: f64) -> String {
 fn stats_json(
     spec: &str,
     env_name: &str,
+    traffic: TrafficModel,
+    mobility: MobilityModel,
     n_seeds: u64,
     rounds: usize,
     stats: &[SweepStats],
@@ -77,6 +86,11 @@ fn stats_json(
     out.push_str("{\n");
     out.push_str(&format!("  \"scenario\": \"{spec}\",\n"));
     out.push_str(&format!("  \"environment\": \"{env_name}\",\n"));
+    out.push_str(&format!("  \"traffic\": \"{}\",\n", traffic.spec_string()));
+    out.push_str(&format!(
+        "  \"mobility\": \"{}\",\n",
+        mobility.spec_string()
+    ));
     out.push_str(&format!("  \"seeds\": {n_seeds},\n"));
     out.push_str(&format!("  \"rounds\": {rounds},\n"));
     out.push_str("  \"protocols\": [\n");
@@ -108,6 +122,7 @@ fn main() {
     // dot11n/beamforming/nplus trio); only `--policies` overrides it.
     let mut policy_names: Vec<String> = Vec::new();
     let mut env_name: String = "sigcomm11".to_string();
+    let mut mobility = MobilityModel::Static;
     let mut json_to: Option<Option<String>> = None;
     let mut i = 1;
     while i < args.len() {
@@ -132,6 +147,13 @@ fn main() {
                     .get(i)
                     .unwrap_or_else(|| spec_error("--env needs a name"))
                     .clone();
+            }
+            "--mobility" => {
+                i += 1;
+                let s = args
+                    .get(i)
+                    .unwrap_or_else(|| spec_error("--mobility needs a spec"));
+                mobility = s.parse().unwrap_or_else(|e: String| spec_error(&e));
             }
             "--json" => {
                 // Optional path operand: the next arg, unless it is
@@ -170,12 +192,16 @@ fn main() {
             "unknown environment {env_name:?} (try {BUILTIN_ENVIRONMENT_NAMES:?})"
         ))
     });
-    let scenario = parse_scenario_spec(spec, environment.capacity())
+    let parsed = parse_spec(spec, environment.capacity())
         .unwrap_or_else(|e| spec_error(&format!("{e}\nscenario forms:\n{SCENARIO_SPEC_HELP}")));
+    let scenario = parsed.scenario;
+    let traffic = parsed.traffic.unwrap_or_default();
     let mut sweep_spec = SweepSpec::new(scenario.clone())
         .rounds(rounds)
         .seed_count(n_seeds)
-        .threads(threads);
+        .threads(threads)
+        .traffic(traffic)
+        .mobility(mobility);
     sweep_spec = sweep_spec
         .environment_named(&env_name)
         .expect("environment name validated above");
@@ -207,7 +233,7 @@ fn main() {
     });
 
     if let Some(path) = &json_to {
-        let json = stats_json(spec, &env_name, n_seeds, rounds, &stats);
+        let json = stats_json(spec, &env_name, traffic, mobility, n_seeds, rounds, &stats);
         match path {
             Some(p) => {
                 if let Err(e) = std::fs::write(p, &json) {

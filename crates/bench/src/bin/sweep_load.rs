@@ -20,7 +20,7 @@
 //! sweep-load [--addr HOST:PORT] [--requests N] [--out PATH] [--shutdown]
 //! ```
 //!
-//! `--requests` defaults to 12 (3 passes over the 4-spec mix);
+//! `--requests` defaults to 15 (3 passes over the 5-spec mix);
 //! `--shutdown` sends `{"cmd":"shutdown"}` at the end so a CI step can
 //! tear the background server down deterministically.
 
@@ -32,12 +32,14 @@ use std::time::{Duration, Instant};
 const USAGE: &str = "usage: sweep-load [--addr HOST:PORT] [--requests N] [--out PATH] [--shutdown]";
 
 /// The request mix: small, fast specs spanning scenario families,
-/// environments, policy sets and seed-list spellings.
-const SPEC_MIX: [&str; 4] = [
+/// environments, policy sets, seed-list spellings and the sparse
+/// multi-cell world with a non-default traffic model.
+const SPEC_MIX: [&str; 5] = [
     r#"{"cmd":"sweep","scenario":"pairs:2","rounds":3,"seeds":[0,1],"policies":["dot11n","nplus"],"threads":1}"#,
     r#"{"cmd":"sweep","scenario":"three_pairs","rounds":2,"seeds":[0],"policies":["nplus"],"environment":"outdoor"}"#,
     r#"{"cmd":"sweep","scenario":"hidden:3","rounds":2,"seed_count":2,"policies":["dot11n"]}"#,
     r#"{"cmd":"sweep","scenario":"asym:2","rounds":2,"seeds":[5],"policies":["beamforming"],"environment":"rich_scatter"}"#,
+    r#"{"cmd":"sweep","scenario":"load:poisson:0.5/city:16","rounds":2,"seeds":[0],"policies":["nplus"],"environment":"multi_cell"}"#,
 ];
 
 fn fail(msg: &str) -> ExitCode {
@@ -52,7 +54,7 @@ fn arg_error(msg: &str) -> ExitCode {
 
 fn main() -> ExitCode {
     let mut addr = "127.0.0.1:4011".to_string();
-    let mut requests: usize = 12;
+    let mut requests: usize = 15;
     let mut out_path = "BENCH_sim.json".to_string();
     let mut shutdown = false;
     let mut args = std::env::args().skip(1);

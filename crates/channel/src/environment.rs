@@ -183,6 +183,55 @@ pub trait ChannelEnvironment: Send + Sync {
     fn join_power_l_db(&self) -> f64 {
         DEFAULT_L_DB
     }
+
+    /// Received-power floor (dBm) below which a link is not
+    /// materialized at all: topology construction skips the fading draw
+    /// and installs nothing, and every consumer treats the absent link
+    /// as "below the floor" (no carrier sensed, no interference, no
+    /// service). `None` — the default, and the paper's worlds — keeps
+    /// today's dense all-pairs wiring bit-for-bit. Drawn losses are
+    /// converted for the comparison via
+    /// [`received_power_dbm`](ChannelEnvironment::received_power_dbm).
+    fn link_floor_dbm(&self) -> Option<f64> {
+        None
+    }
+
+    /// Hard geometric cutoff (m) for candidate links: pairs farther
+    /// apart never even get a loss draw, and sparse construction uses a
+    /// spatial grid index at this range instead of the all-pairs scan.
+    /// Only consulted when [`link_floor_dbm`](Self::link_floor_dbm) is
+    /// set; `None` considers every pair.
+    fn max_link_range(&self) -> Option<f64> {
+        None
+    }
+
+    /// Received power (dBm) corresponding to one drawn large-scale
+    /// loss, used for the [`link_floor_dbm`](Self::link_floor_dbm)
+    /// test. Defaults to the paper's USRP2 transmit power minus the
+    /// loss; environments that set a floor and transmit at a different
+    /// power must override to their own budget.
+    fn received_power_dbm(&self, loss_db: f64) -> f64 {
+        LinkBudget::usrp2().tx_power_dbm - loss_db
+    }
+
+    /// Assigns `n_nodes` scenario nodes to concrete locations on
+    /// `testbed`. Defaults to the paper's uniform random assignment
+    /// (one shuffle — RNG consumption identical to the seed code);
+    /// structured worlds whose scenario families index the map
+    /// positionally (the `multi_cell` city grid) override with the
+    /// identity layout, which consumes no RNG.
+    ///
+    /// # Errors
+    /// [`EnvironmentError::TooManyNodes`] when the map is too small.
+    fn assign_placements(
+        &self,
+        testbed: &Testbed,
+        n_nodes: usize,
+        rng: &mut dyn RngCore,
+    ) -> Result<Vec<Location>, EnvironmentError> {
+        let mut rng = rng;
+        testbed.try_random_assignment(n_nodes, &mut rng)
+    }
 }
 
 /// The protocol's cancellation-depth parameter `L`, dB. The paper uses
@@ -468,6 +517,105 @@ impl ChannelEnvironment for DegradedHardware {
     }
 }
 
+/// A procedurally generated city district: a square grid of cells 45 m
+/// apart, each one AP surrounded by seven stations 4–12 m out (the
+/// [`Testbed::multi_cell`] map, up to [`MultiCell::CAPACITY`] slots).
+/// Urban log-distance loss (exponent 3.2 LOS / 3.8 NLOS, 6 dB
+/// shadowing) over a hot 20 dBm budget, and — the point of this world —
+/// a **sparse link set**: pairs beyond [`MultiCell::MAX_LINK_RANGE_M`]
+/// are never considered, and drawn links whose received power lands
+/// below [`MultiCell::LINK_FLOOR_DBM`] are not materialized. In-cell
+/// links (≤ 12 m) always clear the floor; adjacent-cell links survive
+/// only on shadowing upswings (~1 in 6), so each node keeps a handful
+/// of neighbors instead of thousands. Placement is the identity layout
+/// (the `city:` scenario family indexes cells positionally). Registry
+/// name `"multi_cell"`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct MultiCell;
+
+impl MultiCell {
+    /// Largest node count the procedural map serves (512 cells × 8).
+    pub const CAPACITY: usize = 4096;
+    /// Links farther than this never get a loss draw (two cell rings).
+    pub const MAX_LINK_RANGE_M: f64 = 100.0;
+    /// Received-power floor: links landing below are not materialized.
+    pub const LINK_FLOOR_DBM: f64 = -95.0;
+    /// Urban log-distance model: elevated exponents, heavy shadowing.
+    pub const PATH_LOSS: PathLossModel = PathLossModel {
+        pl0_db: 68.0,
+        exponent_los: 3.2,
+        exponent_nlos: 3.5,
+        wall_loss_db: 3.0,
+        shadowing_sigma_db: 6.0,
+    };
+    /// City radios transmit hot (20 dBm) over the urban noise floor.
+    pub const BUDGET: LinkBudget = LinkBudget {
+        tx_power_dbm: 20.0,
+        noise_floor_dbm: -98.0,
+    };
+}
+
+impl ChannelEnvironment for MultiCell {
+    fn name(&self) -> &str {
+        "multi_cell"
+    }
+
+    fn capacity(&self) -> usize {
+        Self::CAPACITY
+    }
+
+    fn testbed(&self, n_nodes: usize) -> Result<Testbed, EnvironmentError> {
+        if n_nodes > Self::CAPACITY {
+            return Err(EnvironmentError::TooManyNodes {
+                requested: n_nodes,
+                capacity: Self::CAPACITY,
+            });
+        }
+        // Generate exactly enough whole cells to cover the request.
+        let cells = n_nodes.div_ceil(crate::placement::MULTI_CELL_GROUP).max(1);
+        Ok(Testbed::multi_cell(cells))
+    }
+
+    fn sample_loss_db(&self, distance_m: f64, nlos: bool, rng: &mut dyn RngCore) -> f64 {
+        let mut rng = rng;
+        Self::PATH_LOSS.sample_loss_db(distance_m, nlos, &mut rng)
+    }
+
+    fn amplitude_scale(&self, loss_db: f64) -> f64 {
+        Self::BUDGET.amplitude_scale(loss_db)
+    }
+
+    fn oscillator_offset_hz(&self, rng: &mut dyn RngCore) -> f64 {
+        OscillatorDraw::DEFAULT_UNIFORM.sample(rng)
+    }
+
+    fn link_floor_dbm(&self) -> Option<f64> {
+        Some(Self::LINK_FLOOR_DBM)
+    }
+
+    fn max_link_range(&self) -> Option<f64> {
+        Some(Self::MAX_LINK_RANGE_M)
+    }
+
+    fn received_power_dbm(&self, loss_db: f64) -> f64 {
+        Self::BUDGET.tx_power_dbm - loss_db
+    }
+
+    fn assign_placements(
+        &self,
+        testbed: &Testbed,
+        n_nodes: usize,
+        _rng: &mut dyn RngCore,
+    ) -> Result<Vec<Location>, EnvironmentError> {
+        // Identity layout: scenario node i occupies map slot i, so the
+        // `city:` family's cell structure (slot 8k = cell k's AP) maps
+        // straight onto the grid. Consumes no RNG — city topologies
+        // still vary by seed through shadowing and fading draws.
+        testbed.ensure_capacity(n_nodes)?;
+        Ok(testbed.locations()[..n_nodes].to_vec())
+    }
+}
+
 /// The paper's world as a static, for registries and defaults.
 pub static SIGCOMM11_INDOOR: Sigcomm11Indoor = Sigcomm11Indoor::new();
 /// [`OutdoorFreeSpace`] as a static.
@@ -476,23 +624,32 @@ pub static OUTDOOR_FREE_SPACE: OutdoorFreeSpace = OutdoorFreeSpace;
 pub static RICH_SCATTER: RichScatter = RichScatter;
 /// [`DegradedHardware`] as a static.
 pub static DEGRADED_HARDWARE: DegradedHardware = DegradedHardware;
+/// [`MultiCell`] as a static.
+pub static MULTI_CELL: MultiCell = MultiCell;
 
 /// The built-in environments by name, for CLI front-ends and
 /// `SweepSpec::environment_named`: `"sigcomm11"` (the default),
-/// `"outdoor"`, `"rich_scatter"`, `"degraded_hardware"`.
+/// `"outdoor"`, `"rich_scatter"`, `"degraded_hardware"`,
+/// `"multi_cell"`.
 pub fn environment_from_name(name: &str) -> Option<&'static dyn ChannelEnvironment> {
     Some(match name {
         "sigcomm11" => &SIGCOMM11_INDOOR,
         "outdoor" => &OUTDOOR_FREE_SPACE,
         "rich_scatter" => &RICH_SCATTER,
         "degraded_hardware" => &DEGRADED_HARDWARE,
+        "multi_cell" => &MULTI_CELL,
         _ => return None,
     })
 }
 
 /// Names of every built-in environment, in presentation order.
-pub const BUILTIN_ENVIRONMENT_NAMES: [&str; 4] =
-    ["sigcomm11", "outdoor", "rich_scatter", "degraded_hardware"];
+pub const BUILTIN_ENVIRONMENT_NAMES: [&str; 5] = [
+    "sigcomm11",
+    "outdoor",
+    "rich_scatter",
+    "degraded_hardware",
+    "multi_cell",
+];
 
 // One environment value is shared by every worker thread of a sweep.
 const _: () = {
@@ -501,6 +658,7 @@ const _: () = {
     assert_send_sync::<OutdoorFreeSpace>();
     assert_send_sync::<RichScatter>();
     assert_send_sync::<DegradedHardware>();
+    assert_send_sync::<MultiCell>();
     assert_send_sync::<&dyn ChannelEnvironment>();
 };
 
@@ -652,6 +810,88 @@ mod tests {
         // L follows the hardware, not the paper's 27 dB assumption.
         assert_eq!(env.join_power_l_db(), depth);
         assert!(env.join_power_l_db() < SIGCOMM11_INDOOR.join_power_l_db() - 5.0);
+    }
+
+    #[test]
+    fn dense_worlds_have_no_floor_by_default() {
+        for name in ["sigcomm11", "outdoor", "rich_scatter", "degraded_hardware"] {
+            let env = environment_from_name(name).unwrap();
+            assert_eq!(env.link_floor_dbm(), None, "{name}");
+            assert_eq!(env.max_link_range(), None, "{name}");
+        }
+        // Default received-power conversion uses the paper's 12 dBm
+        // USRP2 transmit power.
+        assert_eq!(SIGCOMM11_INDOOR.received_power_dbm(100.0), -88.0);
+    }
+
+    #[test]
+    fn default_assignment_hook_is_the_seed_shuffle_bitwise() {
+        let tb = Testbed::sigcomm11();
+        for seed in 0..20u64 {
+            let mut a = StdRng::seed_from_u64(seed);
+            let mut b = StdRng::seed_from_u64(seed);
+            let direct = tb.try_random_assignment(6, &mut a).unwrap();
+            let hooked = SIGCOMM11_INDOOR.assign_placements(&tb, 6, &mut b).unwrap();
+            for (x, y) in direct.iter().zip(&hooked) {
+                assert_eq!(x.pos.x.to_bits(), y.pos.x.to_bits());
+                assert_eq!(x.pos.y.to_bits(), y.pos.y.to_bits());
+            }
+            // And the RNGs are left in the same state.
+            assert_eq!(a.gen::<u64>(), b.gen::<u64>());
+        }
+    }
+
+    #[test]
+    fn multi_cell_is_a_sparse_city() {
+        let env = MultiCell;
+        assert_eq!(env.name(), "multi_cell");
+        assert_eq!(env.capacity(), 4096);
+        assert_eq!(env.link_floor_dbm(), Some(-95.0));
+        assert_eq!(env.max_link_range(), Some(100.0));
+        // Maps grow in whole cells sized to the request.
+        assert_eq!(env.testbed(9).unwrap().len(), 16);
+        assert_eq!(env.testbed(1024).unwrap().len(), 1024);
+        assert!(matches!(
+            env.testbed(4097),
+            Err(EnvironmentError::TooManyNodes {
+                requested: 4097,
+                capacity: 4096
+            })
+        ));
+        // Identity placement: no RNG consumed, slot i for node i.
+        let tb = env.testbed(16).unwrap();
+        let mut rng = StdRng::seed_from_u64(5);
+        let before = StdRng::seed_from_u64(5).gen::<u64>();
+        let placed = env.assign_placements(&tb, 16, &mut rng).unwrap();
+        assert_eq!(rng.gen::<u64>(), before, "identity layout draws nothing");
+        for (i, l) in placed.iter().enumerate() {
+            assert_eq!(l.pos.x.to_bits(), tb.locations()[i].pos.x.to_bits());
+        }
+        // In-cell links (<= 10 m) clear the floor by a wide margin even
+        // on shadowing downswings; a full cell spacing rarely does.
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut in_cell_ok = 0;
+        let mut cross_ok = 0;
+        let n = 2000;
+        for _ in 0..n {
+            let near = env.sample_loss_db(10.0, false, &mut rng);
+            let far = env.sample_loss_db(45.0, false, &mut rng);
+            if env.received_power_dbm(near) >= MultiCell::LINK_FLOOR_DBM {
+                in_cell_ok += 1;
+            }
+            if env.received_power_dbm(far) >= MultiCell::LINK_FLOOR_DBM {
+                cross_ok += 1;
+            }
+        }
+        assert!(
+            in_cell_ok > n * 95 / 100,
+            "in-cell survival {in_cell_ok}/{n}"
+        );
+        assert!(cross_ok < n / 2, "cross-cell survival {cross_ok}/{n}");
+        assert!(cross_ok > 0, "some cross-cell interference survives");
+        // In-cell SNR lands in an operable band.
+        let snr = mean_snr_db(&env, 8.0);
+        assert!((10.0..40.0).contains(&snr), "in-cell SNR {snr:.1} dB");
     }
 
     /// Mean link SNR (dB) at a distance under an environment, shadowing

@@ -102,6 +102,18 @@ impl FreqResponseTable {
     pub fn n_fft(&self) -> usize {
         self.n_fft
     }
+
+    /// The same table with every matrix entry scaled by the real
+    /// `factor` — the frequency-domain image of rescaling the link
+    /// amplitude, used by slow mobility to re-derive the links incident
+    /// to a moved node without re-drawing their taps.
+    pub fn scaled(&self, factor: f64) -> Self {
+        FreqResponseTable {
+            matrices: self.matrices.iter().map(|m| m.scale_re(factor)).collect(),
+            bins: self.bins.clone(),
+            n_fft: self.n_fft,
+        }
+    }
 }
 
 // Tables are read concurrently by parallel sweep workers (one channel

@@ -221,6 +221,160 @@ impl Testbed {
         // unless both are in offices adjacent to each other.
         a.nlos != b.nlos || (a.nlos && b.nlos && a.pos.distance(&b.pos) > 4.0)
     }
+
+    /// A procedurally generated city district of `n_cells` cells laid
+    /// out on a square grid with [`MULTI_CELL_SPACING_M`] between cell
+    /// centers. Each cell contributes [`MULTI_CELL_GROUP`] slots: slot
+    /// `8k` is the cell's AP at the center, slots `8k+1..8k+8` are
+    /// stations ringed 4–10 m around it (deterministic hash jitter, no
+    /// RNG), roughly a third of them behind clutter (NLOS). The map of
+    /// the `multi_cell` environment; the `city:` scenario family indexes
+    /// cells positionally, so placements use the identity assignment
+    /// rather than the paper's shuffle.
+    pub fn multi_cell(n_cells: usize) -> Self {
+        let cols = (n_cells as f64).sqrt().ceil().max(1.0) as usize;
+        let mut locations = Vec::with_capacity(n_cells * MULTI_CELL_GROUP);
+        for k in 0..n_cells {
+            let cx = (k % cols) as f64 * MULTI_CELL_SPACING_M;
+            let cy = (k / cols) as f64 * MULTI_CELL_SPACING_M;
+            locations.push(Location {
+                pos: Point::new(cx, cy),
+                nlos: false,
+            });
+            for j in 1..MULTI_CELL_GROUP {
+                let u = hash01((k * MULTI_CELL_GROUP + j) as u64);
+                let angle = j as f64 * std::f64::consts::TAU / (MULTI_CELL_GROUP - 1) as f64
+                    + u * std::f64::consts::FRAC_PI_4;
+                let radius = 4.0 + 6.0 * hash01((k * MULTI_CELL_GROUP + j) as u64 ^ 0xA5A5);
+                locations.push(Location {
+                    pos: Point::new(cx + radius * angle.cos(), cy + radius * angle.sin()),
+                    nlos: (k + j) % 3 == 0,
+                });
+            }
+        }
+        Testbed { locations }
+    }
+}
+
+/// Slots per `multi_cell` cell: one AP plus seven stations.
+pub const MULTI_CELL_GROUP: usize = 8;
+
+/// Distance between adjacent `multi_cell` cell centers (m).
+pub const MULTI_CELL_SPACING_M: f64 = 45.0;
+
+/// A deterministic unit-interval hash — procedural map jitter without
+/// touching any RNG stream (topologies stay a pure function of seed).
+fn hash01(x: u64) -> f64 {
+    let h = x
+        .wrapping_add(1)
+        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        .rotate_left(31)
+        .wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    (h >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// A uniform-bucket spatial index over placed node positions, so sparse
+/// topology construction can ask "which nodes sit within range of node
+/// `i`" without the all-pairs scan that caps dense worlds at tens of
+/// nodes.
+///
+/// Neighbor queries return indices in **ascending order** — the sparse
+/// build in `nplus-medium` iterates candidates `j > i` ascending so its
+/// RNG draw order (and therefore every topology) stays a pure function
+/// of the seed, exactly like the dense loop it replaces.
+#[derive(Debug, Clone)]
+pub struct SpatialGrid {
+    cell: f64,
+    min_x: f64,
+    min_y: f64,
+    cols: usize,
+    rows: usize,
+    buckets: Vec<Vec<usize>>,
+    points: Vec<Point>,
+}
+
+impl SpatialGrid {
+    /// Builds the index with `cell_size` meters per bucket (clamped to
+    /// a sane minimum; pick the query range for one-ring lookups).
+    pub fn build(points: &[Point], cell_size: f64) -> Self {
+        let cell = if cell_size.is_finite() && cell_size > 1e-6 {
+            cell_size
+        } else {
+            1.0
+        };
+        let (mut min_x, mut min_y) = (f64::INFINITY, f64::INFINITY);
+        let (mut max_x, mut max_y) = (f64::NEG_INFINITY, f64::NEG_INFINITY);
+        for p in points {
+            min_x = min_x.min(p.x);
+            min_y = min_y.min(p.y);
+            max_x = max_x.max(p.x);
+            max_y = max_y.max(p.y);
+        }
+        if points.is_empty() {
+            min_x = 0.0;
+            min_y = 0.0;
+            max_x = 0.0;
+            max_y = 0.0;
+        }
+        let cols = (((max_x - min_x) / cell).floor() as usize + 1).max(1);
+        let rows = (((max_y - min_y) / cell).floor() as usize + 1).max(1);
+        let mut buckets = vec![Vec::new(); cols * rows];
+        let mut grid = SpatialGrid {
+            cell,
+            min_x,
+            min_y,
+            cols,
+            rows,
+            buckets: Vec::new(),
+            points: points.to_vec(),
+        };
+        for (i, p) in points.iter().enumerate() {
+            let (bx, by) = grid.bucket_of(p);
+            buckets[by * cols + bx].push(i);
+        }
+        grid.buckets = buckets;
+        grid
+    }
+
+    fn bucket_of(&self, p: &Point) -> (usize, usize) {
+        let bx = (((p.x - self.min_x) / self.cell).floor() as usize).min(self.cols - 1);
+        let by = (((p.y - self.min_y) / self.cell).floor() as usize).min(self.rows - 1);
+        (bx, by)
+    }
+
+    /// Indices `j > i` whose position lies within `range` meters of
+    /// node `i`, in ascending order (the determinism contract above).
+    pub fn neighbors_above(&self, i: usize, range: f64) -> Vec<usize> {
+        let p = self.points[i];
+        let reach = (range / self.cell).ceil() as usize;
+        let (bx, by) = self.bucket_of(&p);
+        let x0 = bx.saturating_sub(reach);
+        let x1 = (bx + reach).min(self.cols - 1);
+        let y0 = by.saturating_sub(reach);
+        let y1 = (by + reach).min(self.rows - 1);
+        let mut out = Vec::new();
+        for y in y0..=y1 {
+            for x in x0..=x1 {
+                for &j in &self.buckets[y * self.cols + x] {
+                    if j > i && self.points[j].distance(&p) <= range {
+                        out.push(j);
+                    }
+                }
+            }
+        }
+        out.sort_unstable();
+        out
+    }
+
+    /// Number of indexed points.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// True when no points are indexed.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
 }
 
 #[cfg(test)]
@@ -345,5 +499,65 @@ mod tests {
         let tb = Testbed::sigcomm11();
         let mut rng = StdRng::seed_from_u64(0);
         let _ = tb.random_assignment(21, &mut rng);
+    }
+
+    #[test]
+    fn multi_cell_map_is_deterministic_cells_of_eight() {
+        let a = Testbed::multi_cell(128);
+        let b = Testbed::multi_cell(128);
+        assert_eq!(a.len(), 128 * MULTI_CELL_GROUP);
+        // Procedural generation is a pure function: bit-identical maps.
+        for (x, y) in a.locations().iter().zip(b.locations()) {
+            assert_eq!(x.pos.x.to_bits(), y.pos.x.to_bits());
+            assert_eq!(x.pos.y.to_bits(), y.pos.y.to_bits());
+            assert_eq!(x.nlos, y.nlos);
+        }
+        // Every station sits 4-10 m from its own AP, and adjacent APs
+        // are a full cell spacing apart.
+        for k in 0..128 {
+            let ap = a.locations()[k * MULTI_CELL_GROUP];
+            assert!(!ap.nlos, "cell {k}: AP slots are LOS");
+            for j in 1..MULTI_CELL_GROUP {
+                let d = a.locations()[k * MULTI_CELL_GROUP + j]
+                    .pos
+                    .distance(&ap.pos);
+                assert!((4.0..=10.0).contains(&d), "cell {k} station {j}: {d:.2} m");
+            }
+        }
+        let d01 = a.locations()[0]
+            .pos
+            .distance(&a.locations()[MULTI_CELL_GROUP].pos);
+        assert!((d01 - MULTI_CELL_SPACING_M).abs() < 1e-9);
+        let n_nlos = a.locations().iter().filter(|l| l.nlos).count();
+        assert!(n_nlos > 128, "clutter exists: {n_nlos} NLOS slots");
+    }
+
+    #[test]
+    fn spatial_grid_matches_brute_force_ascending() {
+        let tb = Testbed::multi_cell(64);
+        let points: Vec<Point> = tb.locations().iter().map(|l| l.pos).collect();
+        for range in [10.0, 60.0, 120.0] {
+            let grid = SpatialGrid::build(&points, range);
+            assert_eq!(grid.len(), points.len());
+            assert!(!grid.is_empty());
+            for i in 0..points.len() {
+                let got = grid.neighbors_above(i, range);
+                let want: Vec<usize> = (i + 1..points.len())
+                    .filter(|&j| points[j].distance(&points[i]) <= range)
+                    .collect();
+                assert_eq!(got, want, "node {i} at range {range}");
+            }
+        }
+    }
+
+    #[test]
+    fn spatial_grid_handles_degenerate_inputs() {
+        let empty = SpatialGrid::build(&[], 10.0);
+        assert!(empty.is_empty());
+        // All points coincident, silly cell size: still well-formed.
+        let pts = vec![Point::new(2.0, 2.0); 4];
+        let grid = SpatialGrid::build(&pts, 0.0);
+        assert_eq!(grid.neighbors_above(0, 1.0), vec![1, 2, 3]);
+        assert_eq!(grid.neighbors_above(3, 1.0), Vec::<usize>::new());
     }
 }

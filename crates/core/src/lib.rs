@@ -83,8 +83,9 @@ pub use precoder::{
     OwnReceiver, OwnReceiverRef, PrecoderError, Precoding, ProtectedReceiver, ProtectedReceiverRef,
 };
 pub use sim::{
-    simulate, simulate_policy, sweep, sweep_parallel, CanonicalSpec, Flow, Protocol, RunResult,
-    Scenario, SeedResults, SimConfig, SimEngine, SweepError, SweepJob, SweepSpec, SweepStats,
+    simulate, simulate_policy, sweep, sweep_parallel, CanonicalSpec, Flow, MobilityModel, Protocol,
+    RunResult, Scenario, SeedResults, SimConfig, SimEngine, SweepError, SweepJob, SweepSpec,
+    SweepStats, TrafficModel,
 };
 
 /// One-import surface for simulation users: the builder facade, the
@@ -111,12 +112,13 @@ pub mod prelude {
         BUILTIN_POLICY_NAMES,
     };
     pub use crate::sim::{
-        simulate, simulate_policy, sweep, sweep_parallel, CanonicalSpec, Flow, Protocol, RunResult,
-        Scenario, SeedResults, SimConfig, SimEngine, SweepError, SweepJob, SweepSpec, SweepStats,
+        simulate, simulate_policy, sweep, sweep_parallel, CanonicalSpec, Flow, MobilityModel,
+        Protocol, RunResult, Scenario, SeedResults, SimConfig, SimEngine, SweepError, SweepJob,
+        SweepSpec, SweepStats, TrafficModel,
     };
     pub use nplus_channel::environment::{
-        environment_from_name, ChannelEnvironment, DegradedHardware, EnvironmentError,
+        environment_from_name, ChannelEnvironment, DegradedHardware, EnvironmentError, MultiCell,
         OscillatorDraw, OutdoorFreeSpace, RichScatter, Sigcomm11Indoor, BUILTIN_ENVIRONMENT_NAMES,
-        DEGRADED_HARDWARE, OUTDOOR_FREE_SPACE, RICH_SCATTER, SIGCOMM11_INDOOR,
+        DEGRADED_HARDWARE, MULTI_CELL, OUTDOOR_FREE_SPACE, RICH_SCATTER, SIGCOMM11_INDOOR,
     };
 }

@@ -20,7 +20,9 @@
 //! caller-supplied tap sees exactly the events the result is built
 //! from.
 
-use super::{Protocol, RunResult, Scenario, SimConfig};
+use super::{
+    MobilityModel, Protocol, RunResult, Scenario, SimConfig, TrafficModel, BURST_ARRIVALS_PER_ROUND,
+};
 use crate::link::zf_sinr_slices;
 use crate::observer::{
     ContentionKind, ContentionRecord, GoodputAccumulator, JoinRecord, NullObserver, RoundObserver,
@@ -29,6 +31,7 @@ use crate::observer::{
 use crate::policy::{MacPolicy, PolicyView};
 use crate::power_control::{join_power_decision, JoinPowerDecision};
 use crate::precoder::{compute_precoders_ref, OwnReceiverRef, PrecoderError, ProtectedReceiverRef};
+use nplus_channel::placement::Point;
 use nplus_linalg::{CMatrix, CVector, Subspace};
 use nplus_mac::backoff::{resolve_contention, ContentionOutcome};
 use nplus_mac::frames::{AckHeader, DataHeader, ReceiverEntry};
@@ -292,18 +295,32 @@ impl<'a> SimEngine<'a> {
     }
 
     /// True per-subcarrier channel matrix between two scenario nodes —
-    /// served from the cache when enabled, recomputed otherwise (the two
-    /// are bitwise identical).
-    fn true_channel(&self, from: usize, to: usize, k_occ: usize) -> Cow<'_, CMatrix> {
-        match &self.cache {
-            Some(cache) => Cow::Borrowed(cache.matrix(from, to, k_occ)),
+    /// served from `cache` when one is active (the engine's own, or a
+    /// run's mobility-rescaled copy), recomputed from the medium
+    /// otherwise (the two are bitwise identical).
+    ///
+    /// `None` is the typed "no such link" answer: in sparse worlds it
+    /// means the link sits below the environment's received-power floor,
+    /// and every caller treats it as *nothing arrives* — no interference
+    /// contribution, no nulling constraint, no flow service — instead of
+    /// panicking on a missing cache entry.
+    fn true_channel<'c>(
+        &'c self,
+        cache: Option<&'c ChannelCache>,
+        from: usize,
+        to: usize,
+        k_occ: usize,
+    ) -> Option<Cow<'c, CMatrix>> {
+        match cache {
+            Some(cache) => cache.matrix(from, to, k_occ).map(Cow::Borrowed),
             None => {
                 let link = self
                     .topo
                     .medium
-                    .link(self.topo.nodes[from], self.topo.nodes[to])
-                    .expect("missing link");
-                Cow::Owned(link.channel_matrix(self.occ[k_occ], self.cfg.ofdm.fft_len))
+                    .link(self.topo.nodes[from], self.topo.nodes[to])?;
+                Some(Cow::Owned(
+                    link.channel_matrix(self.occ[k_occ], self.cfg.ofdm.fft_len),
+                ))
             }
         }
     }
@@ -313,21 +330,24 @@ impl<'a> SimEngine<'a> {
     /// [`perfect_knowledge`](MacPolicy::perfect_knowledge) policy.
     /// Imperfect knowledge is never cached: the hardware error draw must
     /// consume the RNG stream on every call; perfect knowledge consumes
-    /// no RNG at all.
+    /// no RNG at all. An absent link is `None` and consumes no RNG
+    /// either — below the floor there is no reverse channel to estimate
+    /// from.
     fn believed_channel(
         &self,
         policy: &dyn MacPolicy,
+        cache: Option<&ChannelCache>,
         from: usize,
         to: usize,
         k_occ: usize,
         rng: &mut StdRng,
-    ) -> CMatrix {
-        let h = self.true_channel(from, to, k_occ);
-        if policy.perfect_knowledge() {
+    ) -> Option<CMatrix> {
+        let h = self.true_channel(cache, from, to, k_occ)?;
+        Some(if policy.perfect_knowledge() {
             h.into_owned()
         } else {
             self.cfg.hardware.reciprocal_channel_knowledge(&h, rng)
-        }
+        })
     }
 
     fn n_ant(&self, node: usize) -> usize {
@@ -339,11 +359,13 @@ impl<'a> SimEngine<'a> {
     /// [`FirstPlan`]): unconstrained precoding basis, per-subcarrier
     /// unwanted spaces and arrival columns, joint-ZF rate selection —
     /// all from pure true channels, no RNG. Returns `None` when even the
-    /// most robust rate cannot be sustained (a pure topology fact,
-    /// memoized as a failure).
+    /// most robust rate cannot be sustained, or the direct link is not
+    /// modeled at all (below the floor in a sparse world) — both pure
+    /// topology facts, memoized as failures.
     fn plan_opening_single(
         &self,
         policy: &dyn MacPolicy,
+        cache: Option<&ChannelCache>,
         tx: usize,
         f: usize,
         n_streams: usize,
@@ -362,7 +384,7 @@ impl<'a> SimEngine<'a> {
 
         let mut precoders: Vec<Vec<CVector>> = vec![Vec::with_capacity(n_sc); n_streams];
         for k in 0..n_sc {
-            let h = self.true_channel(tx, rx, k);
+            let h = self.true_channel(cache, tx, rx, k)?;
             let own = [OwnReceiverRef {
                 channel: &h,
                 n_streams,
@@ -384,7 +406,7 @@ impl<'a> SimEngine<'a> {
         let mut per_stream_sinrs: Vec<Vec<f64>> = vec![Vec::with_capacity(n_sc); n_streams];
         let mut wanted: Vec<Vec<CVector>> = Vec::with_capacity(n_sc);
         for k in 0..n_sc {
-            let h = self.true_channel(tx, rx, k);
+            let h = self.true_channel(cache, tx, rx, k)?;
             let cols: Vec<CVector> = precoders.iter().map(|pc| h.mul_vec(&pc[k])).collect();
             let sinrs = zf_sinr_slices(&cols, unwanted[k].basis(), &[], 1.0);
             for (s, &v) in sinrs.iter().enumerate() {
@@ -413,6 +435,7 @@ impl<'a> SimEngine<'a> {
     fn plan_winner(
         &self,
         policy: &dyn MacPolicy,
+        cache: Option<&ChannelCache>,
         tx: usize,
         allocation: &[(usize, usize)],
         protected: &mut Vec<ReceiverState>,
@@ -439,7 +462,7 @@ impl<'a> SimEngine<'a> {
             let idx = match scratch.first_plans.iter().position(|(k, _)| *k == key) {
                 Some(i) => i,
                 None => {
-                    let plan = self.plan_opening_single(policy, tx, f, n_streams);
+                    let plan = self.plan_opening_single(policy, cache, tx, f, n_streams);
                     scratch.first_plans.push((key, plan));
                     scratch.first_plans.len() - 1
                 }
@@ -466,33 +489,47 @@ impl<'a> SimEngine<'a> {
             return Some(new_stream_ids);
         }
 
-        // Believed channels to protected receivers and own receivers.
-        let believed_protected: Vec<Vec<CMatrix>> = protected
+        // Believed channels to the protected receivers this transmitter
+        // can actually reach: a protected receiver below the winner's
+        // power floor imposes no nulling constraint (nothing arrives to
+        // leak there) and costs no hardware-error draws. A believed
+        // channel to an *own* receiver that is absent kills the whole
+        // plan — the policy asked to serve a flow whose link is below
+        // the floor.
+        let believed_protected: Vec<Option<Vec<CMatrix>>> = protected
             .iter()
             .map(|r| {
                 (0..n_sc)
-                    .map(|k| self.believed_channel(policy, tx, r.node, k, rng))
+                    .map(|k| self.believed_channel(policy, cache, tx, r.node, k, rng))
                     .collect()
             })
             .collect();
-        let believed_own: Vec<Vec<CMatrix>> = allocation
-            .iter()
-            .map(|&(f, _)| {
-                let rx = self.scenario.flows[f].rx;
-                (0..n_sc)
-                    .map(|k| self.believed_channel(policy, tx, rx, k, rng))
-                    .collect()
-            })
-            .collect();
+        let mut believed_own: Vec<Vec<CMatrix>> = Vec::with_capacity(allocation.len());
+        for &(f, _) in allocation {
+            let rx = self.scenario.flows[f].rx;
+            let mats: Option<Vec<CMatrix>> = (0..n_sc)
+                .map(|k| self.believed_channel(policy, cache, tx, rx, k, rng))
+                .collect();
+            believed_own.push(mats?);
+        }
 
         // Join power control against protected receivers (worst subcarrier
         // median is approximated by the middle subcarrier's matrix). The
         // §4 rule is a policy decision now: n+ runs it, `GreedyJoin` and
-        // the oracle (whose nulls are exact) bypass it.
-        let decision = if policy.join_power_control() && !protected.is_empty() {
+        // the oracle (whose nulls are exact) bypass it. Only audible
+        // protected receivers enter the decision.
+        let decision = if policy.join_power_control() {
             let mid = n_sc / 2;
-            let mats: Vec<&CMatrix> = believed_protected.iter().map(|v| &v[mid]).collect();
-            join_power_decision(&mats, self.cfg.l_db)
+            let mats: Vec<&CMatrix> = believed_protected
+                .iter()
+                .flatten()
+                .map(|v| &v[mid])
+                .collect();
+            if mats.is_empty() {
+                JoinPowerDecision::FullPower
+            } else {
+                join_power_decision(&mats, self.cfg.l_db)
+            }
         } else {
             JoinPowerDecision::FullPower
         };
@@ -512,7 +549,9 @@ impl<'a> SimEngine<'a> {
                     .map(|k| {
                         scratch.arrivals.clear();
                         for s in ongoing_streams.iter() {
-                            let h = self.true_channel(s.tx_node, rx, k);
+                            let Some(h) = self.true_channel(cache, s.tx_node, rx, k) else {
+                                continue; // below the floor: arrives as nothing
+                            };
                             scratch.arrivals.push(h.mul_vec(&s.precoders[k]));
                         }
                         let target = n_rx.saturating_sub(n_streams);
@@ -529,9 +568,12 @@ impl<'a> SimEngine<'a> {
         let mut own_refs: Vec<OwnReceiverRef> = Vec::with_capacity(allocation.len());
         for k in 0..n_sc {
             prot_refs.clear();
-            for (i, r) in protected.iter().enumerate() {
+            for (r, mats) in protected.iter().zip(&believed_protected) {
+                let Some(mats) = mats else {
+                    continue; // inaudible: no constraint to satisfy
+                };
                 prot_refs.push(ProtectedReceiverRef {
-                    channel: &believed_protected[i][k],
+                    channel: &mats[k],
                     unwanted: &r.unwanted[k],
                 });
             }
@@ -588,7 +630,7 @@ impl<'a> SimEngine<'a> {
                 let mut per_stream_sinrs: Vec<Vec<f64>> = vec![Vec::with_capacity(n_sc); n_streams];
                 let mut cols_per_k: Vec<Vec<CVector>> = Vec::with_capacity(n_sc);
                 for k in 0..n_sc {
-                    let h_true = self.true_channel(tx, rx, k);
+                    let h_true = self.true_channel(cache, tx, rx, k)?;
                     let mut wanted: Vec<CVector> = Vec::with_capacity(n_streams);
                     scratch.residual.clear();
                     for (other, pc) in per_stream_precoders.iter().enumerate() {
@@ -665,6 +707,7 @@ impl<'a> SimEngine<'a> {
     /// cancel, and returns delivered bits per flow.
     fn settle_round(
         &self,
+        cache: Option<&ChannelCache>,
         protected: &[ReceiverState],
         streams: &[PlannedStream],
         scratch: &mut Scratch,
@@ -700,7 +743,9 @@ impl<'a> SimEngine<'a> {
                     if s.tx_node == rx_state.node {
                         continue; // half duplex: own transmissions not heard
                     }
-                    let h = self.true_channel(s.tx_node, rx_state.node, k);
+                    let Some(h) = self.true_channel(cache, s.tx_node, rx_state.node, k) else {
+                        continue; // below the floor: no interference here
+                    };
                     let arrival = h.mul_vec(&s.precoders[k]);
                     let leak = rx_state.unwanted[k].reject(&arrival);
                     if leak.norm_sqr() > 1e-12 {
@@ -768,11 +813,62 @@ impl<'a> SimEngine<'a> {
         };
         tee.on_run_start(&meta);
         let mut scratch = Scratch::default();
+        let mut traffic = TrafficState::new(&self.cfg.traffic, self.scenario.flows.len());
+        let mut mobility = MobilityState::new_for(self);
+        let mut active: Vec<usize> = Vec::with_capacity(self.transmitters.len());
         for round in 0..self.cfg.rounds {
+            if let Some(m) = mobility.as_mut() {
+                if m.advance(round, rng) {
+                    // Channels moved: memoized opening plans are stale.
+                    scratch.first_plans.clear();
+                }
+            }
+            // The mobility-rescaled per-run cache shadows the engine's
+            // pristine one; both are absent only in the no-cache,
+            // no-mobility perf baseline.
+            let cache = match &mobility {
+                Some(m) => Some(&m.cache),
+                None => self.cache.as_ref(),
+            };
+            // Arrivals land before access: who contends this round is
+            // decided by the queues as of now. Saturated traffic keeps
+            // no queues, draws nothing, and activates everyone — the
+            // exact legacy path.
+            traffic.arrive(&self.cfg.traffic, rng);
+            active.clear();
+            active.extend(
+                self.transmitters
+                    .iter()
+                    .copied()
+                    .filter(|&t| self.flows_of[t].iter().any(|&f| traffic.has_backlog(f))),
+            );
+            if active.is_empty() {
+                // Nothing queued anywhere: the medium idles one DIFS.
+                self.emit_idle_round(round, self.cfg.timing.difs, &mut tee);
+                continue;
+            }
             if policy.omniscient() {
-                self.omniscient_round(policy, round, &mut scratch, rng, &mut tee);
+                self.omniscient_round(
+                    policy,
+                    round,
+                    cache,
+                    &active,
+                    &mut traffic,
+                    &mut scratch,
+                    rng,
+                    &mut tee,
+                );
             } else {
-                self.contended_round(policy, round, &mut scratch, rng, &mut tee);
+                self.contended_round(
+                    policy,
+                    round,
+                    cache,
+                    &active,
+                    &mut traffic,
+                    &mut scratch,
+                    rng,
+                    &mut tee,
+                );
             }
         }
         acc.finish()
@@ -846,11 +942,17 @@ impl<'a> SimEngine<'a> {
     /// One random-access round: primary CSMA contention, the winner's
     /// policy-chosen allocation, optional secondary-contention joins,
     /// settlement and airtime accounting. This is the enum-era round
-    /// loop verbatim, with the protocol decisions delegated.
+    /// loop verbatim, with the protocol decisions delegated. `active`
+    /// is the round's backlogged-transmitter set (every transmitter
+    /// under saturated traffic).
+    #[allow(clippy::too_many_arguments)]
     fn contended_round(
         &self,
         policy: &dyn MacPolicy,
         round: usize,
+        cache: Option<&ChannelCache>,
+        active: &[usize],
+        traffic: &mut TrafficState,
         scratch: &mut Scratch,
         rng: &mut StdRng,
         obs: &mut dyn RoundObserver,
@@ -860,24 +962,27 @@ impl<'a> SimEngine<'a> {
         let mut protected: Vec<ReceiverState> = Vec::new();
         let mut streams: Vec<PlannedStream> = Vec::new();
 
-        // Primary contention among all transmitters with traffic.
-        let (first, slots) = contend(&self.transmitters, &cfg.timing, rng);
+        // Primary contention among the transmitters with traffic.
+        let (first, slots) = contend(active, &cfg.timing, rng);
         obs.on_contention(&ContentionRecord {
             round,
             kind: ContentionKind::Primary,
-            n_contenders: self.transmitters.len(),
+            n_contenders: active.len(),
             winner: first,
             slots,
         });
         let mut overhead = cfg.timing.difs + slots * cfg.timing.slot;
 
-        // First winner's allocation.
-        let first_alloc = policy.primary_allocation(&view, first, round);
+        // First winner's allocation, pruned to flows with queued
+        // packets (a no-op under saturated traffic).
+        let mut first_alloc = policy.primary_allocation(&view, first, round);
+        traffic.retain_backlogged(&mut first_alloc);
 
         // Plan the first winner with a provisional body length;
         // patched below once its rates are known.
         let planned = self.plan_winner(
             policy,
+            cache,
             first,
             &first_alloc,
             &mut protected,
@@ -903,13 +1008,9 @@ impl<'a> SimEngine<'a> {
             let mut elapsed_body: usize = 0;
             loop {
                 scratch.eligible.clear();
-                scratch
-                    .eligible
-                    .extend(self.transmitters.iter().copied().filter(|&t| {
-                        t != first
-                            && streams.iter().all(|s| s.tx_node != t)
-                            && self.n_ant(t) > k_used
-                    }));
+                scratch.eligible.extend(active.iter().copied().filter(|&t| {
+                    t != first && streams.iter().all(|s| s.tx_node != t) && self.n_ant(t) > k_used
+                }));
                 if scratch.eligible.is_empty() {
                     break;
                 }
@@ -922,7 +1023,8 @@ impl<'a> SimEngine<'a> {
                     winner: joiner,
                     slots: join_slots,
                 });
-                let alloc = policy.join_allocation(&view, joiner, k_used, round);
+                let mut alloc = policy.join_allocation(&view, joiner, k_used, round);
+                traffic.retain_backlogged(&mut alloc);
                 if alloc.is_empty() {
                     obs.on_join(&JoinRecord {
                         round,
@@ -954,6 +1056,7 @@ impl<'a> SimEngine<'a> {
                 let remaining = body_symbols - elapsed_body;
                 let planned = self.plan_winner(
                     policy,
+                    cache,
                     joiner,
                     &alloc,
                     &mut protected,
@@ -988,7 +1091,8 @@ impl<'a> SimEngine<'a> {
         }
 
         // Settle: realized SINRs including residuals.
-        let round_bits = self.settle_round(&protected, &streams, scratch);
+        let round_bits = self.settle_round(cache, &protected, &streams, scratch);
+        traffic.note_serviced(streams.iter().map(|s| s.flow));
 
         // Time accounting.
         let round_samples = self.round_airtime(overhead, body_symbols);
@@ -1007,18 +1111,24 @@ impl<'a> SimEngine<'a> {
     /// consumed) and keep the schedule delivering the most bits per unit
     /// airtime. Ties keep the earlier transmitter, so the search is
     /// fully deterministic.
+    #[allow(clippy::too_many_arguments)]
     fn omniscient_round(
         &self,
         policy: &dyn MacPolicy,
         round: usize,
+        cache: Option<&ChannelCache>,
+        active: &[usize],
+        traffic: &mut TrafficState,
         scratch: &mut Scratch,
         rng: &mut StdRng,
         obs: &mut dyn RoundObserver,
     ) {
         let cfg = self.cfg;
         let mut best: Option<CandidateRound> = None;
-        for &t in &self.transmitters {
-            if let Some(cand) = self.forced_round(policy, t, round, scratch, rng) {
+        for &t in active {
+            if let Some(cand) =
+                self.forced_round(policy, t, round, cache, active, traffic, scratch, rng)
+            {
                 // Compare bits-per-sample by cross-multiplication (both
                 // sides non-negative, durations positive) — strictly
                 // greater replaces, so ties keep the earlier primary.
@@ -1036,10 +1146,11 @@ impl<'a> SimEngine<'a> {
         }
         match best {
             Some(c) => {
+                traffic.note_serviced(c.streams.iter().map(|s| s.flow));
                 obs.on_contention(&ContentionRecord {
                     round,
                     kind: ContentionKind::Scheduled,
-                    n_contenders: self.transmitters.len(),
+                    n_contenders: active.len(),
                     winner: c.primary,
                     slots: 0,
                 });
@@ -1071,11 +1182,15 @@ impl<'a> SimEngine<'a> {
     /// the lowest node index — paying handshake airtime but no backoff.
     /// Joiners whose plan fails are barred rather than retried (the
     /// scheduler knows they cannot fit).
+    #[allow(clippy::too_many_arguments)]
     fn forced_round(
         &self,
         policy: &dyn MacPolicy,
         primary: usize,
         round: usize,
+        cache: Option<&ChannelCache>,
+        active: &[usize],
+        traffic: &TrafficState,
         scratch: &mut Scratch,
         rng: &mut StdRng,
     ) -> Option<CandidateRound> {
@@ -1085,9 +1200,11 @@ impl<'a> SimEngine<'a> {
         let mut streams: Vec<PlannedStream> = Vec::new();
         let mut overhead = cfg.timing.difs; // scheduled: no backoff slots
 
-        let first_alloc = policy.primary_allocation(&view, primary, round);
+        let mut first_alloc = policy.primary_allocation(&view, primary, round);
+        traffic.retain_backlogged(&mut first_alloc);
         let first_ids = self.plan_winner(
             policy,
+            cache,
             primary,
             &first_alloc,
             &mut protected,
@@ -1106,8 +1223,7 @@ impl<'a> SimEngine<'a> {
             let mut elapsed_body: usize = 0;
             let mut barred: Vec<usize> = Vec::new();
             loop {
-                let joiner = self
-                    .transmitters
+                let joiner = active
                     .iter()
                     .copied()
                     .filter(|&t| {
@@ -1120,7 +1236,8 @@ impl<'a> SimEngine<'a> {
                 let Some(joiner) = joiner else {
                     break;
                 };
-                let alloc = policy.join_allocation(&view, joiner, k_used, round);
+                let mut alloc = policy.join_allocation(&view, joiner, k_used, round);
+                traffic.retain_backlogged(&mut alloc);
                 if alloc.is_empty() {
                     barred.push(joiner);
                     continue;
@@ -1135,6 +1252,7 @@ impl<'a> SimEngine<'a> {
                 let remaining = body_symbols - (elapsed_body + join_delay);
                 match self.plan_winner(
                     policy,
+                    cache,
                     joiner,
                     &alloc,
                     &mut protected,
@@ -1155,7 +1273,7 @@ impl<'a> SimEngine<'a> {
             }
         }
 
-        let flow_bits = self.settle_round(&protected, &streams, scratch);
+        let flow_bits = self.settle_round(cache, &protected, &streams, scratch);
         let bits_total: f64 = flow_bits.iter().sum();
         Some(CandidateRound {
             primary,
@@ -1166,6 +1284,227 @@ impl<'a> SimEngine<'a> {
             duration_samples: self.round_airtime(overhead, body_symbols),
             streams: Self::stream_records(&streams),
         })
+    }
+}
+
+/// Per-run traffic queues. Under the pinned [`TrafficModel::Saturated`]
+/// default no queues are kept, no RNG is drawn and every flow is always
+/// backlogged — the exact legacy behavior, bit-for-bit.
+struct TrafficState {
+    /// Outstanding packets per flow; `None` means saturated (every
+    /// queue reads as infinitely full).
+    backlog: Option<Vec<u64>>,
+    /// Bursty per-flow ON/OFF phase (empty for other models).
+    on: Vec<bool>,
+    /// Scratch: distinct flows serviced in the round being settled.
+    serviced: Vec<usize>,
+}
+
+impl TrafficState {
+    fn new(model: &TrafficModel, n_flows: usize) -> Self {
+        match model {
+            TrafficModel::Saturated => TrafficState {
+                backlog: None,
+                on: Vec::new(),
+                serviced: Vec::new(),
+            },
+            TrafficModel::Poisson { .. } => TrafficState {
+                backlog: Some(vec![0; n_flows]),
+                on: Vec::new(),
+                serviced: Vec::with_capacity(n_flows),
+            },
+            TrafficModel::Bursty { .. } => TrafficState {
+                backlog: Some(vec![0; n_flows]),
+                // Flows start their burst cycle ON so early rounds see
+                // traffic under any epoch length.
+                on: vec![true; n_flows],
+                serviced: Vec::with_capacity(n_flows),
+            },
+        }
+    }
+
+    fn has_backlog(&self, flow: usize) -> bool {
+        match &self.backlog {
+            None => true,
+            Some(b) => b[flow] > 0,
+        }
+    }
+
+    /// Draws this round's arrivals, in flow order. Every non-saturated
+    /// model consumes a fixed, data-independent RNG budget per round
+    /// (Bursty: exactly one uniform per flow; Poisson: the standard
+    /// product-method draw), so arrival streams never skew with what
+    /// the MAC happened to deliver.
+    fn arrive(&mut self, model: &TrafficModel, rng: &mut StdRng) {
+        match model {
+            TrafficModel::Saturated => {}
+            TrafficModel::Poisson { mean_per_round } => {
+                let backlog = self.backlog.as_mut().expect("poisson keeps queues");
+                for q in backlog.iter_mut() {
+                    *q += poisson_draw(*mean_per_round, rng);
+                }
+            }
+            TrafficModel::Bursty {
+                mean_on_rounds,
+                mean_off_rounds,
+            } => {
+                let backlog = self.backlog.as_mut().expect("bursty keeps queues");
+                for (f, q) in backlog.iter_mut().enumerate() {
+                    // Geometric dwell in each phase: leave ON with
+                    // probability 1/mean_on, OFF with 1/mean_off.
+                    let u: f64 = rng.gen();
+                    let p_leave = if self.on[f] {
+                        1.0 / mean_on_rounds
+                    } else {
+                        1.0 / mean_off_rounds
+                    };
+                    if u < p_leave {
+                        self.on[f] = !self.on[f];
+                    }
+                    if self.on[f] {
+                        *q += BURST_ARRIVALS_PER_ROUND;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Drops flows with empty queues from a policy's allocation. No-op
+    /// under saturated traffic, so legacy allocations pass untouched.
+    fn retain_backlogged(&self, alloc: &mut Vec<(usize, usize)>) {
+        if let Some(b) = &self.backlog {
+            alloc.retain(|&(f, _)| b[f] > 0);
+        }
+    }
+
+    /// One packet leaves each *distinct* serviced flow's queue (a flow
+    /// carried by several streams still delivered one packet —
+    /// [`SimEngine::open_body`] sizes the body that way).
+    fn note_serviced(&mut self, flows: impl Iterator<Item = usize>) {
+        let Some(b) = self.backlog.as_mut() else {
+            return;
+        };
+        self.serviced.clear();
+        for f in flows {
+            if !self.serviced.contains(&f) {
+                self.serviced.push(f);
+            }
+        }
+        for &f in &self.serviced {
+            b[f] = b[f].saturating_sub(1);
+        }
+    }
+}
+
+/// Knuth's product method: exact Poisson sampling with a number of
+/// uniforms that depends only on the draws themselves (never on
+/// simulation state), keeping the arrival stream reproducible.
+fn poisson_draw(mean: f64, rng: &mut StdRng) -> u64 {
+    let limit = (-mean).exp();
+    let mut k = 0u64;
+    let mut p = 1.0f64;
+    loop {
+        p *= rng.gen::<f64>();
+        if p <= limit {
+            return k;
+        }
+        k += 1;
+    }
+}
+
+/// Per-run slow-mobility state: a waypoint walker that moves one node
+/// per epoch and incrementally re-derives only the cached links
+/// incident to the mover — the city-scale point of the sparse cache.
+struct MobilityState {
+    /// The run's working cache: pristine tables rescaled to the current
+    /// positions. The engine reads every channel from here.
+    cache: ChannelCache,
+    /// The as-built tables the rescaling is always anchored to, so
+    /// factors never compound across epochs.
+    pristine: ChannelCache,
+    /// As-built node positions (the factor's `d0` anchor).
+    origin: Vec<Point>,
+    /// Current node positions.
+    positions: Vec<Point>,
+    step_m: f64,
+    epoch_rounds: usize,
+}
+
+impl MobilityState {
+    /// Large-scale path-loss exponent the rescaling assumes; amplitude
+    /// goes as `d^{-exp/2}`.
+    const PATH_LOSS_EXP: f64 = 3.0;
+    /// Distance clamp so a walker crossing its peer never divides by a
+    /// vanishing separation.
+    const MIN_DISTANCE_M: f64 = 0.1;
+
+    /// `None` unless the run's config asks for waypoint mobility —
+    /// static worlds allocate nothing and take the legacy round path.
+    fn new_for(engine: &SimEngine<'_>) -> Option<Self> {
+        let MobilityModel::Waypoint {
+            step_m,
+            epoch_rounds,
+        } = engine.cfg.mobility
+        else {
+            return None;
+        };
+        let pristine = match &engine.cache {
+            Some(c) => c.clone(),
+            // Mobility rescales tables, so it needs tables: build them
+            // even when `cache_channels` is off for perf baselines.
+            None => ChannelCache::build(engine.topo, &engine.occ, engine.cfg.ofdm.fft_len),
+        };
+        let origin: Vec<Point> = engine.topo.placements.iter().map(|l| l.pos).collect();
+        Some(MobilityState {
+            cache: pristine.clone(),
+            positions: origin.clone(),
+            origin,
+            pristine,
+            step_m,
+            epoch_rounds,
+        })
+    }
+
+    /// Advances the walk at `round`: at every epoch boundary one node
+    /// (round-robin over the topology) steps `step_m` meters in a
+    /// run-RNG-drawn uniform direction, and each cached link incident
+    /// to it is rescaled by the amplitude image of the distance change,
+    /// `(d0/d)^{exp/2}`. The link set is frozen at t=0: below-floor
+    /// links never spring to life and installed links fade rather than
+    /// vanish, so mobility changes link *strength*, never link
+    /// *existence*. Returns whether anything moved (exactly one uniform
+    /// is drawn when it did, zero otherwise).
+    fn advance(&mut self, round: usize, rng: &mut StdRng) -> bool {
+        if round == 0 || !round.is_multiple_of(self.epoch_rounds) || self.positions.is_empty() {
+            return false;
+        }
+        let mover = (round / self.epoch_rounds - 1) % self.positions.len();
+        let ang = rng.gen::<f64>() * std::f64::consts::TAU;
+        self.positions[mover].x += self.step_m * ang.cos();
+        self.positions[mover].y += self.step_m * ang.sin();
+        let touched: Vec<(usize, usize)> = self
+            .pristine
+            .links()
+            .filter(|&(f, t)| f == mover || t == mover)
+            .collect();
+        for (f, t) in touched {
+            let d0 = self.origin[f]
+                .distance(&self.origin[t])
+                .max(Self::MIN_DISTANCE_M);
+            let d = self.positions[f]
+                .distance(&self.positions[t])
+                .max(Self::MIN_DISTANCE_M);
+            // Pure per-link arithmetic (no RNG), so the HashMap's
+            // iteration order cannot affect results.
+            let factor = (d0 / d).powf(0.5 * Self::PATH_LOSS_EXP);
+            let table = self
+                .pristine
+                .table(f, t)
+                .expect("key came from pristine iteration")
+                .scaled(factor);
+            self.cache.set_table(f, t, table);
+        }
+        true
     }
 }
 
@@ -1513,5 +1852,216 @@ mod tests {
         let d = engine.run(Protocol::Dot11n, &mut StdRng::seed_from_u64(4));
         assert!(g.total_mbps.is_finite() && g.total_mbps > 0.0);
         assert!(g.mean_dof > d.mean_dof, "greedy join must still join");
+    }
+
+    /// Counts total delivered bits across a run — the load-sensitive
+    /// observable (goodput in Mb/s hides idle rounds, which cost almost
+    /// no airtime).
+    #[derive(Default)]
+    struct BitsTally {
+        total: f64,
+        idle_rounds: usize,
+    }
+
+    impl RoundObserver for BitsTally {
+        fn on_round_end(&mut self, r: &RoundRecord<'_>) {
+            self.total += r.flow_bits.iter().sum::<f64>();
+            if r.streams.is_empty() {
+                self.idle_rounds += 1;
+            }
+        }
+    }
+
+    fn three_pairs_topo(seed: u64) -> Topology {
+        let scenario = Scenario::three_pairs();
+        let tb = Testbed::sigcomm11();
+        let mut rng = StdRng::seed_from_u64(seed);
+        build_topology(
+            &tb,
+            &TopologyConfig::new(scenario.antennas.clone()),
+            10e6,
+            seed,
+            &mut rng,
+        )
+    }
+
+    /// Low-load Poisson arrivals idle most rounds and deliver strictly
+    /// fewer bits than saturated traffic — deterministically in the run
+    /// seed (arrivals come from the same RNG stream as the run).
+    #[test]
+    fn poisson_low_load_delivers_fewer_bits_deterministically() {
+        let scenario = Scenario::three_pairs();
+        let topo = three_pairs_topo(7);
+        let rounds = 16;
+        let sat_cfg = SimConfig {
+            rounds,
+            ..SimConfig::default()
+        };
+        let poi_cfg = SimConfig {
+            rounds,
+            traffic: TrafficModel::Poisson {
+                mean_per_round: 0.2,
+            },
+            ..SimConfig::default()
+        };
+        let mut sat = BitsTally::default();
+        SimEngine::new(&topo, &scenario, &sat_cfg).run_observed(
+            &NPlus,
+            &mut StdRng::seed_from_u64(2),
+            &mut sat,
+        );
+        let mut poi = BitsTally::default();
+        let a = SimEngine::new(&topo, &scenario, &poi_cfg).run_observed(
+            &NPlus,
+            &mut StdRng::seed_from_u64(2),
+            &mut poi,
+        );
+        assert!(
+            poi.total < sat.total,
+            "0.2 pkt/round Poisson delivered {} bits vs saturated {}",
+            poi.total,
+            sat.total
+        );
+        assert!(
+            poi.idle_rounds > sat.idle_rounds,
+            "low load must idle rounds"
+        );
+        // Same seed, same arrivals, same result — bit-for-bit.
+        let b = SimEngine::new(&topo, &scenario, &poi_cfg)
+            .run_policy(&NPlus, &mut StdRng::seed_from_u64(2));
+        assert_eq!(a.per_flow_mbps, b.per_flow_mbps);
+        assert_eq!(a.total_mbps.to_bits(), b.total_mbps.to_bits());
+    }
+
+    /// Bursty flows with short ON and long OFF dwells starve the queue
+    /// and deliver fewer bits than saturated traffic.
+    #[test]
+    fn bursty_traffic_starves_between_bursts() {
+        let scenario = Scenario::three_pairs();
+        let topo = three_pairs_topo(4);
+        let rounds = 16;
+        let sat_cfg = SimConfig {
+            rounds,
+            ..SimConfig::default()
+        };
+        let bur_cfg = SimConfig {
+            rounds,
+            traffic: TrafficModel::Bursty {
+                mean_on_rounds: 1.0,
+                mean_off_rounds: 1e6,
+            },
+            ..SimConfig::default()
+        };
+        let mut sat = BitsTally::default();
+        SimEngine::new(&topo, &scenario, &sat_cfg).run_observed(
+            &NPlus,
+            &mut StdRng::seed_from_u64(9),
+            &mut sat,
+        );
+        let mut bur = BitsTally::default();
+        let r = SimEngine::new(&topo, &scenario, &bur_cfg).run_observed(
+            &NPlus,
+            &mut StdRng::seed_from_u64(9),
+            &mut bur,
+        );
+        assert!(r.total_mbps.is_finite());
+        assert!(
+            bur.total < sat.total,
+            "mean-1-round bursts delivered {} bits vs saturated {}",
+            bur.total,
+            sat.total
+        );
+    }
+
+    /// Waypoint mobility perturbs results (channels really change), is
+    /// deterministic in the run seed, and is bitwise independent of the
+    /// engine-level cache toggle — the mobility path builds its own
+    /// tables when the engine has none.
+    #[test]
+    fn waypoint_mobility_changes_results_and_ignores_cache_toggle() {
+        let scenario = Scenario::three_pairs();
+        let topo = three_pairs_topo(13);
+        let rounds = 10;
+        let still_cfg = SimConfig {
+            rounds,
+            ..SimConfig::default()
+        };
+        let move_cfg = SimConfig {
+            rounds,
+            mobility: MobilityModel::Waypoint {
+                step_m: 8.0,
+                epoch_rounds: 2,
+            },
+            ..SimConfig::default()
+        };
+        let still = SimEngine::new(&topo, &scenario, &still_cfg)
+            .run_policy(&NPlus, &mut StdRng::seed_from_u64(6));
+        let moved = SimEngine::new(&topo, &scenario, &move_cfg)
+            .run_policy(&NPlus, &mut StdRng::seed_from_u64(6));
+        assert_ne!(
+            still.per_flow_mbps, moved.per_flow_mbps,
+            "8 m steps every 2 rounds left every flow untouched"
+        );
+        let moved_again = SimEngine::new(&topo, &scenario, &move_cfg)
+            .run_policy(&NPlus, &mut StdRng::seed_from_u64(6));
+        assert_eq!(moved.per_flow_mbps, moved_again.per_flow_mbps);
+        let uncached_cfg = SimConfig {
+            cache_channels: false,
+            ..move_cfg.clone()
+        };
+        let uncached = SimEngine::new(&topo, &scenario, &uncached_cfg)
+            .run_policy(&NPlus, &mut StdRng::seed_from_u64(6));
+        assert_eq!(moved.per_flow_mbps, uncached.per_flow_mbps);
+        assert_eq!(moved.total_mbps.to_bits(), uncached.total_mbps.to_bits());
+    }
+
+    /// In a sparse city world an absent link is a typed miss, not a
+    /// panic: a flow whose endpoints sit in cells beyond the link range
+    /// settles to zero goodput while in-cell flows keep delivering.
+    #[test]
+    fn sparse_world_absent_link_flows_idle_instead_of_panicking() {
+        use crate::sim::Flow;
+        use nplus_channel::environment::{ChannelEnvironment, MULTI_CELL};
+        use nplus_medium::topology::build_environment_topology;
+
+        // Four cells 45 m apart: cell 0 and cell 3 are 135 m apart,
+        // past the 100 m link range — no link is installed between them.
+        let n = 32;
+        let antennas: Vec<usize> = (0..n).map(|i| if i % 8 == 0 { 2 } else { 1 }).collect();
+        let scenario = Scenario {
+            antennas,
+            flows: vec![
+                Flow { tx: 1, rx: 0 },  // in-cell uplink, link installed
+                Flow { tx: 2, rx: 25 }, // cell 0 → cell 3, below the floor
+            ],
+        };
+        let tb = MULTI_CELL.testbed(n).unwrap();
+        let mut rng = StdRng::seed_from_u64(17);
+        let topo =
+            build_environment_topology(&MULTI_CELL, &tb, &scenario.antennas, 10e6, 17, &mut rng)
+                .unwrap();
+        assert!(
+            topo.medium.link(topo.nodes[2], topo.nodes[25]).is_none(),
+            "cross-map link unexpectedly installed"
+        );
+        let cfg = SimConfig {
+            rounds: 8,
+            ..SimConfig::default()
+        };
+        let engine = SimEngine::new(&topo, &scenario, &cfg);
+        for policy in [&NPlus as &dyn MacPolicy, &crate::policy::Dot11n, &Oracle] {
+            let r = engine.run_policy(policy, &mut StdRng::seed_from_u64(3));
+            assert!(
+                r.per_flow_mbps[0] > 0.0,
+                "{}: in-cell flow starved",
+                policy.name()
+            );
+            assert_eq!(
+                r.per_flow_mbps[1],
+                0.0,
+                "{}: flow over an absent link delivered bits",
+                policy.name()
+            );
+        }
     }
 }

@@ -258,6 +258,230 @@ impl FromStr for Protocol {
     }
 }
 
+/// Per-flow offered-load model.
+///
+/// [`Saturated`](TrafficModel::Saturated) is the paper's methodology —
+/// every flow always has a packet queued — and is the pinned default:
+/// it draws **zero** RNG and takes the exact legacy round path, so all
+/// pre-traffic results are bit-for-bit unchanged. The other models keep
+/// a per-flow packet queue in the engine: arrivals are drawn from the
+/// run RNG at the start of every round in flow order, only transmitters
+/// with backlogged flows contend, and each serviced flow drains one
+/// packet per round.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub enum TrafficModel {
+    /// Every flow is always backlogged (the paper's assumption).
+    #[default]
+    Saturated,
+    /// Independent Poisson arrivals with the given mean packets per
+    /// round per flow (Knuth sampling — deterministic in the RNG
+    /// stream).
+    Poisson {
+        /// Mean packet arrivals per round per flow (> 0, finite).
+        mean_per_round: f64,
+    },
+    /// ON/OFF bursts: while ON a flow receives
+    /// [`BURST_ARRIVALS_PER_ROUND`] packets per round, while OFF none;
+    /// dwell times are geometric with the given means (one uniform
+    /// draw per flow per round — a fixed RNG budget). Flows start ON.
+    Bursty {
+        /// Mean ON dwell in rounds (>= 1, finite).
+        mean_on_rounds: f64,
+        /// Mean OFF dwell in rounds (>= 1, finite).
+        mean_off_rounds: f64,
+    },
+}
+
+/// Packets arriving per round to a flow in the ON phase of
+/// [`TrafficModel::Bursty`].
+pub const BURST_ARRIVALS_PER_ROUND: u64 = 3;
+
+// Parameters are validated finite (see `TrafficModel::validate`), so
+// the partial equivalence is total on every value that can reach a
+// sweep — required for `CanonicalSpec`'s derived `Eq`.
+impl Eq for TrafficModel {}
+
+impl TrafficModel {
+    /// Structural validation mirroring [`Scenario::validate`]: model
+    /// parameters must be finite and positive (ON/OFF dwells at least
+    /// one round) before a spec may reach the engine.
+    ///
+    /// # Errors
+    /// A one-line human-readable description of the violation.
+    pub fn validate(&self) -> Result<(), String> {
+        match *self {
+            TrafficModel::Saturated => Ok(()),
+            TrafficModel::Poisson { mean_per_round } => {
+                if mean_per_round.is_finite() && mean_per_round > 0.0 {
+                    Ok(())
+                } else {
+                    Err(format!(
+                        "poisson mean {mean_per_round} not a positive finite"
+                    ))
+                }
+            }
+            TrafficModel::Bursty {
+                mean_on_rounds,
+                mean_off_rounds,
+            } => {
+                for (name, v) in [("on", mean_on_rounds), ("off", mean_off_rounds)] {
+                    if !v.is_finite() || v < 1.0 {
+                        return Err(format!("bursty mean {name} dwell {v} below one round"));
+                    }
+                }
+                Ok(())
+            }
+        }
+    }
+
+    /// The model's stable spec-string form — what [`FromStr`] parses
+    /// back: `saturated`, `poisson:<mean>`, `bursty:<on>x<off>`.
+    pub fn spec_string(&self) -> String {
+        match *self {
+            TrafficModel::Saturated => "saturated".to_string(),
+            TrafficModel::Poisson { mean_per_round } => format!("poisson:{mean_per_round}"),
+            TrafficModel::Bursty {
+                mean_on_rounds,
+                mean_off_rounds,
+            } => format!("bursty:{mean_on_rounds}x{mean_off_rounds}"),
+        }
+    }
+}
+
+impl fmt::Display for TrafficModel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.spec_string())
+    }
+}
+
+impl FromStr for TrafficModel {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let model = if s == "saturated" {
+            TrafficModel::Saturated
+        } else if let Some(mean) = s.strip_prefix("poisson:") {
+            let mean_per_round: f64 = mean
+                .parse()
+                .map_err(|_| format!("bad poisson mean {mean:?}"))?;
+            TrafficModel::Poisson { mean_per_round }
+        } else if let Some(dwells) = s.strip_prefix("bursty:") {
+            let (on, off) = dwells
+                .split_once('x')
+                .ok_or_else(|| format!("bursty wants <on>x<off>, got {dwells:?}"))?;
+            TrafficModel::Bursty {
+                mean_on_rounds: on.parse().map_err(|_| format!("bad on dwell {on:?}"))?,
+                mean_off_rounds: off.parse().map_err(|_| format!("bad off dwell {off:?}"))?,
+            }
+        } else {
+            return Err(format!(
+                "unknown traffic model {s:?} (expected saturated, poisson:<mean> or bursty:<on>x<off>)"
+            ));
+        };
+        model.validate()?;
+        Ok(model)
+    }
+}
+
+/// Node mobility model.
+///
+/// [`Static`](MobilityModel::Static) is the pinned default: nodes stay
+/// where the placement draw put them, zero RNG is consumed, and every
+/// pre-mobility result is bit-for-bit unchanged.
+/// [`Waypoint`](MobilityModel::Waypoint) models *slow* pedestrian drift:
+/// every `epoch_rounds` rounds one node (round-robin) steps `step_m`
+/// metres in a uniformly drawn direction, and only the cached channel
+/// tables of links touching that node are re-derived (a distance-law
+/// rescale of the pristine tables — the incremental invalidation the
+/// city-scale cache is built for). The link set itself stays frozen at
+/// its t = 0 draw: a flow whose link started below the floor does not
+/// spring to life mid-run, and a link that started above it fades
+/// rather than vanishes.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub enum MobilityModel {
+    /// Nodes never move (the paper's assumption).
+    #[default]
+    Static,
+    /// Slow round-robin waypoint drift.
+    Waypoint {
+        /// Step length in metres per epoch (> 0, finite).
+        step_m: f64,
+        /// Rounds between movement epochs (>= 1).
+        epoch_rounds: usize,
+    },
+}
+
+// As with `TrafficModel`: parameters are validated finite, making the
+// derived partial equivalence total in practice.
+impl Eq for MobilityModel {}
+
+impl MobilityModel {
+    /// Structural validation: step length finite and positive, epoch at
+    /// least one round.
+    ///
+    /// # Errors
+    /// A one-line human-readable description of the violation.
+    pub fn validate(&self) -> Result<(), String> {
+        match *self {
+            MobilityModel::Static => Ok(()),
+            MobilityModel::Waypoint {
+                step_m,
+                epoch_rounds,
+            } => {
+                if !step_m.is_finite() || step_m <= 0.0 {
+                    return Err(format!("waypoint step {step_m} not a positive finite"));
+                }
+                if epoch_rounds == 0 {
+                    return Err("waypoint epoch of zero rounds".to_string());
+                }
+                Ok(())
+            }
+        }
+    }
+
+    /// The model's stable spec-string form — what [`FromStr`] parses
+    /// back: `static`, `waypoint:<step_m>x<epoch_rounds>`.
+    pub fn spec_string(&self) -> String {
+        match *self {
+            MobilityModel::Static => "static".to_string(),
+            MobilityModel::Waypoint {
+                step_m,
+                epoch_rounds,
+            } => format!("waypoint:{step_m}x{epoch_rounds}"),
+        }
+    }
+}
+
+impl fmt::Display for MobilityModel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.spec_string())
+    }
+}
+
+impl FromStr for MobilityModel {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let model = if s == "static" {
+            MobilityModel::Static
+        } else if let Some(params) = s.strip_prefix("waypoint:") {
+            let (step, epoch) = params
+                .split_once('x')
+                .ok_or_else(|| format!("waypoint wants <step_m>x<epoch_rounds>, got {params:?}"))?;
+            MobilityModel::Waypoint {
+                step_m: step.parse().map_err(|_| format!("bad step {step:?}"))?,
+                epoch_rounds: epoch.parse().map_err(|_| format!("bad epoch {epoch:?}"))?,
+            }
+        } else {
+            return Err(format!(
+                "unknown mobility model {s:?} (expected static or waypoint:<step_m>x<epoch_rounds>)"
+            ));
+        };
+        model.validate()?;
+        Ok(model)
+    }
+}
+
 /// Simulation knobs.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SimConfig {
@@ -278,6 +502,11 @@ pub struct SimConfig {
     /// Results are bit-for-bit identical either way (only pure true
     /// channels are cached); `false` exists for the perf baseline.
     pub cache_channels: bool,
+    /// Per-flow offered load ([`TrafficModel::Saturated`] by default —
+    /// the paper's always-backlogged assumption, zero RNG).
+    pub traffic: TrafficModel,
+    /// Node mobility ([`MobilityModel::Static`] by default — zero RNG).
+    pub mobility: MobilityModel,
 }
 
 impl Default for SimConfig {
@@ -290,6 +519,8 @@ impl Default for SimConfig {
             packet_bytes: 1500,
             rounds: 40,
             cache_channels: true,
+            traffic: TrafficModel::Saturated,
+            mobility: MobilityModel::Static,
         }
     }
 }
@@ -395,5 +626,61 @@ mod tests {
         }
         let err = "802.11ax".parse::<Protocol>().unwrap_err();
         assert!(err.to_string().contains("802.11ax"));
+    }
+
+    #[test]
+    fn traffic_model_spec_strings_round_trip() {
+        for m in [
+            TrafficModel::Saturated,
+            TrafficModel::Poisson {
+                mean_per_round: 0.25,
+            },
+            TrafficModel::Bursty {
+                mean_on_rounds: 3.0,
+                mean_off_rounds: 12.5,
+            },
+        ] {
+            assert_eq!(m.spec_string().parse::<TrafficModel>(), Ok(m));
+            assert_eq!(m.to_string(), m.spec_string());
+        }
+        assert_eq!(
+            "saturated".parse::<TrafficModel>(),
+            Ok(TrafficModel::Saturated)
+        );
+        // Invalid parameters fail at parse time, not inside the engine.
+        assert!("poisson:0".parse::<TrafficModel>().is_err());
+        assert!("poisson:nan".parse::<TrafficModel>().is_err());
+        assert!("bursty:0.5x10".parse::<TrafficModel>().is_err());
+        assert!("bursty:3".parse::<TrafficModel>().is_err());
+        let err = "cbr:4".parse::<TrafficModel>().unwrap_err();
+        assert!(err.contains("cbr:4"), "{err}");
+    }
+
+    #[test]
+    fn mobility_model_spec_strings_round_trip() {
+        for m in [
+            MobilityModel::Static,
+            MobilityModel::Waypoint {
+                step_m: 1.5,
+                epoch_rounds: 8,
+            },
+        ] {
+            assert_eq!(m.spec_string().parse::<MobilityModel>(), Ok(m));
+            assert_eq!(m.to_string(), m.spec_string());
+        }
+        assert!("waypoint:0x5".parse::<MobilityModel>().is_err());
+        assert!("waypoint:2x0".parse::<MobilityModel>().is_err());
+        assert!("waypoint:2".parse::<MobilityModel>().is_err());
+        let err = "brownian".parse::<MobilityModel>().unwrap_err();
+        assert!(err.contains("brownian"), "{err}");
+    }
+
+    #[test]
+    fn model_defaults_are_the_pinned_legacy_path() {
+        assert_eq!(TrafficModel::default(), TrafficModel::Saturated);
+        assert_eq!(MobilityModel::default(), MobilityModel::Static);
+        let cfg = SimConfig::default();
+        assert_eq!(cfg.traffic, TrafficModel::Saturated);
+        assert_eq!(cfg.mobility, MobilityModel::Static);
     }
 }

@@ -14,7 +14,9 @@
 //! served entry point funnels malformed input through — no reachable
 //! panic from a bad spec.
 
-use super::{Flow, Protocol, RunResult, Scenario, SimConfig, SimEngine};
+use super::{
+    Flow, MobilityModel, Protocol, RunResult, Scenario, SimConfig, SimEngine, TrafficModel,
+};
 use crate::policy::{policy_from_name, MacPolicy, BUILTIN_POLICY_NAMES};
 use nplus_channel::environment::{
     environment_from_name, ChannelEnvironment, EnvironmentError, BUILTIN_ENVIRONMENT_NAMES,
@@ -130,10 +132,11 @@ impl From<EnvironmentError> for SweepError {
 /// **What is canonical:** the scenario's antenna/flow lists, the
 /// environment's registry name, the policy names in comparison order
 /// (order matters: it is the order of the returned [`SweepStats`]), the
-/// seed list in order (seeds are positional jobs), and the round count.
-/// An empty policy list normalizes to the default comparison trio, so
-/// "no policies named" and "the default trio named explicitly" share a
-/// key.
+/// seed list in order (seeds are positional jobs), the round count, and
+/// the traffic/mobility models (both result-determining: they change
+/// what the run RNG feeds). An empty policy list normalizes to the
+/// default comparison trio, so "no policies named" and "the default
+/// trio named explicitly" share a key.
 ///
 /// **What is deliberately not:** the thread count (results are
 /// bit-identical at every value) and the channel-cache toggle (same).
@@ -155,12 +158,19 @@ pub struct CanonicalSpec {
     pub seeds: Vec<u64>,
     /// Rounds per run.
     pub rounds: usize,
+    /// Per-flow offered load (defaults to the paper's saturated
+    /// assumption in [`CanonicalSpec::new`]).
+    pub traffic: TrafficModel,
+    /// Node mobility (defaults to static).
+    pub mobility: MobilityModel,
 }
 
 /// Domain-separation prefix of the canonical byte encoding; bump the
 /// version on any change to the encoding so old cache keys can never
-/// alias new semantics.
-const CANONICAL_MAGIC: &[u8] = b"nplus-canonical-spec-v1\0";
+/// alias new semantics. v2 added the traffic/mobility tags — every v1
+/// key (implicitly saturated/static) is deliberately invalidated rather
+/// than aliased.
+const CANONICAL_MAGIC: &[u8] = b"nplus-canonical-spec-v2\0";
 
 /// 128-bit FNV-1a over `bytes` — dependency-free, stable across
 /// platforms and releases (unlike `DefaultHasher`), and wide enough
@@ -223,7 +233,31 @@ impl CanonicalSpec {
             policies,
             seeds,
             rounds,
+            traffic: TrafficModel::Saturated,
+            mobility: MobilityModel::Static,
         })
+    }
+
+    /// Replaces the offered-load model (validated — invalid parameters
+    /// must not become cache keys).
+    ///
+    /// # Errors
+    /// [`SweepError::InvalidSpec`] with the model's own description.
+    pub fn with_traffic(mut self, traffic: TrafficModel) -> Result<Self, SweepError> {
+        traffic.validate().map_err(SweepError::InvalidSpec)?;
+        self.traffic = traffic;
+        Ok(self)
+    }
+
+    /// Replaces the mobility model (validated, as
+    /// [`with_traffic`](CanonicalSpec::with_traffic)).
+    ///
+    /// # Errors
+    /// [`SweepError::InvalidSpec`] with the model's own description.
+    pub fn with_mobility(mut self, mobility: MobilityModel) -> Result<Self, SweepError> {
+        mobility.validate().map_err(SweepError::InvalidSpec)?;
+        self.mobility = mobility;
+        Ok(self)
     }
 
     /// The unambiguous byte encoding the [`key`](CanonicalSpec::key) is
@@ -265,6 +299,37 @@ impl CanonicalSpec {
         }
         out.push(0x06);
         put_u64(&mut out, self.rounds as u64);
+        // Model parameters are hashed as IEEE-754 bit patterns: the
+        // validated domain excludes NaN/inf, so bit equality is exactly
+        // value equality and keys stay platform-stable.
+        out.push(0x07);
+        match self.traffic {
+            TrafficModel::Saturated => put_u64(&mut out, 0),
+            TrafficModel::Poisson { mean_per_round } => {
+                put_u64(&mut out, 1);
+                put_u64(&mut out, mean_per_round.to_bits());
+            }
+            TrafficModel::Bursty {
+                mean_on_rounds,
+                mean_off_rounds,
+            } => {
+                put_u64(&mut out, 2);
+                put_u64(&mut out, mean_on_rounds.to_bits());
+                put_u64(&mut out, mean_off_rounds.to_bits());
+            }
+        }
+        out.push(0x08);
+        match self.mobility {
+            MobilityModel::Static => put_u64(&mut out, 0),
+            MobilityModel::Waypoint {
+                step_m,
+                epoch_rounds,
+            } => {
+                put_u64(&mut out, 1);
+                put_u64(&mut out, step_m.to_bits());
+                put_u64(&mut out, epoch_rounds as u64);
+            }
+        }
         out
     }
 
@@ -302,10 +367,14 @@ impl CanonicalSpec {
         if self.rounds == 0 {
             return Err(SweepError::InvalidSpec("zero rounds".to_string()));
         }
+        self.traffic.validate().map_err(SweepError::InvalidSpec)?;
+        self.mobility.validate().map_err(SweepError::InvalidSpec)?;
         let mut spec = SweepSpec::new(scenario)
             .environment_named(&self.environment)
             .map_err(SweepError::UnknownEnvironment)?
             .rounds(self.rounds)
+            .traffic(self.traffic)
+            .mobility(self.mobility)
             .seeds(self.seeds.iter().copied())
             .threads(threads);
         for name in &self.policies {
@@ -747,6 +816,22 @@ impl SweepSpec {
         self
     }
 
+    /// Sets the per-flow offered-load model. Like
+    /// [`rounds`](SweepSpec::rounds) this is a canonical field: a
+    /// non-default model changes the sweep's content key rather than
+    /// making the spec uncacheable.
+    pub fn traffic(mut self, traffic: TrafficModel) -> Self {
+        self.cfg.traffic = traffic;
+        self
+    }
+
+    /// Sets the node mobility model (canonical, like
+    /// [`traffic`](SweepSpec::traffic)).
+    pub fn mobility(mut self, mobility: MobilityModel) -> Self {
+        self.cfg.mobility = mobility;
+        self
+    }
+
     /// Adds one policy to the comparison, in call order.
     pub fn policy(mut self, policy: impl MacPolicy + 'static) -> Self {
         self.policies.push(PolicyEntry::Owned(Box::new(policy)));
@@ -812,6 +897,7 @@ impl SweepSpec {
     /// malformed spec can never panic inside the engine.
     pub fn try_run(&self) -> Result<Vec<SweepStats>, SweepError> {
         self.scenario.validate().map_err(SweepError::InvalidSpec)?;
+        self.validate_models()?;
         let testbed = self.resolved_testbed()?;
         let policy_refs = self.policy_refs();
         Ok(sweep_policies(
@@ -840,6 +926,7 @@ impl SweepSpec {
     /// As [`try_run`](SweepSpec::try_run).
     pub fn try_run_seed(&self, seed: u64) -> Result<SeedResults, SweepError> {
         self.scenario.validate().map_err(SweepError::InvalidSpec)?;
+        self.validate_models()?;
         let testbed = self.resolved_testbed()?;
         let policy_refs = self.policy_refs();
         Ok(SweepJob::in_environment(
@@ -875,6 +962,10 @@ impl SweepSpec {
     /// [`SweepError::NotCanonical`] describing the offending part;
     /// [`SweepError::InvalidSpec`] for a structurally invalid scenario.
     pub fn canonical(&self) -> Result<CanonicalSpec, SweepError> {
+        // Validate models first: a NaN parameter would otherwise trip
+        // the config-equality check below (NaN != NaN) and misreport an
+        // invalid spec as merely non-canonical.
+        self.validate_models()?;
         if self.testbed.is_some() {
             return Err(SweepError::NotCanonical(
                 "explicit testbed override".to_string(),
@@ -895,9 +986,12 @@ impl SweepSpec {
         apply_environment_config(&mut base, env);
         base.rounds = self.cfg.rounds;
         base.cache_channels = self.cfg.cache_channels;
+        base.traffic = self.cfg.traffic;
+        base.mobility = self.cfg.mobility;
         if base != self.cfg {
             return Err(SweepError::NotCanonical(
-                "config deviates from the environment defaults (only rounds is canonical)"
+                "config deviates from the environment defaults (only rounds, traffic and \
+                 mobility are canonical)"
                     .to_string(),
             ));
         }
@@ -919,7 +1013,23 @@ impl SweepSpec {
             &policy_names,
             self.seeds.clone(),
             self.cfg.rounds,
-        )
+        )?
+        .with_traffic(self.cfg.traffic)?
+        .with_mobility(self.cfg.mobility)
+    }
+
+    /// Rejects unvalidatable traffic/mobility parameters before any job
+    /// runs (a NaN Poisson mean would hang the arrival sampler; better a
+    /// typed error than an engine misbehaving).
+    fn validate_models(&self) -> Result<(), SweepError> {
+        self.cfg
+            .traffic
+            .validate()
+            .map_err(SweepError::InvalidSpec)?;
+        self.cfg
+            .mobility
+            .validate()
+            .map_err(SweepError::InvalidSpec)
     }
 
     fn resolved_testbed(&self) -> Result<Testbed, EnvironmentError> {
@@ -1412,6 +1522,77 @@ mod tests {
         }
         // And the canonical form survives its own roundtrip.
         assert_eq!(canon.to_spec(1).unwrap().canonical().unwrap(), canon);
+    }
+
+    /// Traffic and mobility are canonical (key-moving) fields, not
+    /// canonicalization failures: non-default models encode into the
+    /// key, parameter changes move it, and the full round-trip through
+    /// `to_spec` reproduces results bitwise.
+    #[test]
+    fn traffic_and_mobility_are_canonical_fields() {
+        let fresh = || {
+            SweepSpec::new(Scenario::three_pairs())
+                .rounds(5)
+                .seed_count(2)
+                .protocol(Protocol::NPlus)
+        };
+        let key = fresh().canonical().unwrap().key();
+        let poisson = TrafficModel::Poisson {
+            mean_per_round: 0.5,
+        };
+        let waypoint = MobilityModel::Waypoint {
+            step_m: 2.0,
+            epoch_rounds: 4,
+        };
+
+        let p_spec = fresh().traffic(poisson);
+        let p_canon = p_spec
+            .canonical()
+            .expect("non-default traffic is canonical");
+        assert_eq!(p_canon.traffic, poisson);
+        assert_ne!(p_canon.key(), key, "traffic model must move the key");
+
+        let m_canon = fresh().mobility(waypoint).canonical().unwrap();
+        assert_eq!(m_canon.mobility, waypoint);
+        assert_ne!(m_canon.key(), key, "mobility model must move the key");
+        assert_ne!(m_canon.key(), p_canon.key());
+
+        // Parameters are part of the identity, not just the variant.
+        let p2 = fresh()
+            .traffic(TrafficModel::Poisson {
+                mean_per_round: 0.7,
+            })
+            .canonical()
+            .unwrap();
+        assert_ne!(p2.key(), p_canon.key(), "poisson mean must move the key");
+
+        // Round-trip: the reconstructed spec reruns bitwise.
+        let direct = p_spec.try_run().expect("runs");
+        let rebuilt = p_canon.to_spec(2).expect("reconstructs").try_run().unwrap();
+        for (a, b) in direct.iter().zip(&rebuilt) {
+            assert_eq!(a.mean_total_mbps, b.mean_total_mbps);
+            assert_eq!(a.mean_per_flow_mbps, b.mean_per_flow_mbps);
+        }
+        assert_eq!(p_canon.to_spec(1).unwrap().canonical().unwrap(), p_canon);
+
+        // Invalid model parameters are typed errors everywhere.
+        let bad = TrafficModel::Poisson {
+            mean_per_round: f64::NAN,
+        };
+        assert!(matches!(
+            fresh().traffic(bad).try_run(),
+            Err(SweepError::InvalidSpec(_))
+        ));
+        assert!(matches!(
+            fresh().traffic(bad).canonical(),
+            Err(SweepError::InvalidSpec(_))
+        ));
+        assert!(matches!(
+            CanonicalSpec::new(&Scenario::three_pairs(), "sigcomm11", &[], vec![0], 5)
+                .unwrap()
+                .with_traffic(bad),
+            Err(SweepError::InvalidSpec(_))
+        ));
     }
 
     /// Specs that cannot be reconstructed from names alone refuse

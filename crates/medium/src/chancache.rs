@@ -1,25 +1,35 @@
 //! Per-topology cache of pure channel frequency responses.
 //!
-//! A [`ChannelCache`] holds one [`FreqResponseTable`] per directed node
-//! pair of a built [`Topology`], keyed by the node's *position* in the
-//! topology's node list (the same index the protocol simulator's
-//! scenarios use). Only the **pure true channels** are cached — they are
-//! deterministic functions of the drawn taps — while believed channels
-//! (hardware error) keep drawing from the caller's RNG on every lookup,
-//! so seeded simulations stay bit-for-bit identical with and without the
-//! cache.
+//! A [`ChannelCache`] holds one [`FreqResponseTable`] per **installed**
+//! directed node pair of a built [`Topology`], keyed by the node's
+//! *position* in the topology's node list (the same index the protocol
+//! simulator's scenarios use). Storage is sparse — a map over the
+//! medium's real link set — so city-scale worlds that materialize only
+//! links above their power floor pay for the links they have, not the
+//! `n²` table a dense `Vec` would allocate. Only the **pure true
+//! channels** are cached — they are deterministic functions of the
+//! drawn taps — while believed channels (hardware error) keep drawing
+//! from the caller's RNG on every lookup, so seeded simulations stay
+//! bit-for-bit identical with and without the cache.
+//!
+//! Lookups are fallible by design: [`ChannelCache::matrix`] returns
+//! `None` for an absent link instead of panicking, and the engine
+//! treats that as "below the floor" (nothing sensed, nothing
+//! delivered).
 
 use crate::topology::Topology;
 use nplus_channel::freq_table::FreqResponseTable;
 use nplus_linalg::CMatrix;
+use std::collections::HashMap;
 
-/// Cached per-subcarrier channel matrices for every directed link of a
-/// topology.
+/// Cached per-subcarrier channel matrices for every installed directed
+/// link of a topology.
 #[derive(Debug, Clone)]
 pub struct ChannelCache {
-    /// `tables[from * n_nodes + to]`; `None` on the diagonal and for
-    /// unmodeled links.
-    tables: Vec<Option<FreqResponseTable>>,
+    /// One table per installed directed link, keyed by `(from, to)`
+    /// node positions. Absent key = link below the environment's floor
+    /// (or the diagonal).
+    tables: HashMap<(usize, usize), FreqResponseTable>,
     n_nodes: usize,
     bins: Vec<usize>,
 }
@@ -27,21 +37,22 @@ pub struct ChannelCache {
 impl ChannelCache {
     /// Evaluates every installed directed link of `topo` on the given
     /// FFT `bins` of an `n_fft` grid (one pass over each link's taps).
+    /// Visits the medium's sparse link set directly — cost scales with
+    /// links installed, not nodes squared.
     pub fn build(topo: &Topology, bins: &[usize], n_fft: usize) -> Self {
         let n = topo.nodes.len();
-        let mut tables = Vec::with_capacity(n * n);
-        for from in 0..n {
-            for to in 0..n {
-                if from == to {
-                    tables.push(None);
-                    continue;
-                }
-                tables.push(
-                    topo.medium
-                        .link(topo.nodes[from], topo.nodes[to])
-                        .map(|link| FreqResponseTable::new(link, bins, n_fft)),
-                );
-            }
+        let index: HashMap<_, _> = topo
+            .nodes
+            .iter()
+            .enumerate()
+            .map(|(i, &id)| (id, i))
+            .collect();
+        let mut tables = HashMap::with_capacity(topo.medium.n_links());
+        for ((from, to), link) in topo.medium.links() {
+            let (Some(&fi), Some(&ti)) = (index.get(&from), index.get(&to)) else {
+                continue; // link between nodes outside this topology's list
+            };
+            tables.insert((fi, ti), FreqResponseTable::new(link, bins, n_fft));
         }
         ChannelCache {
             tables,
@@ -53,18 +64,17 @@ impl ChannelCache {
     /// The cached table of the directed link `from → to` (node positions
     /// in the topology's node list), if that link is modeled.
     pub fn table(&self, from: usize, to: usize) -> Option<&FreqResponseTable> {
-        self.tables[from * self.n_nodes + to].as_ref()
+        self.tables.get(&(from, to))
     }
 
     /// The cached channel matrix of link `from → to` at bin position
     /// `pos` (index into the `bins` slice the cache was built with).
     ///
-    /// Panics when the link is not modeled — same contract as the
-    /// simulator's direct lookup.
-    pub fn matrix(&self, from: usize, to: usize, pos: usize) -> &CMatrix {
-        self.table(from, to)
-            .expect("missing link in channel cache")
-            .matrix(pos)
+    /// `None` when the link is not modeled — in sparse worlds that
+    /// means "below the environment's power floor", and consumers skip
+    /// the link instead of panicking.
+    pub fn matrix(&self, from: usize, to: usize, pos: usize) -> Option<&CMatrix> {
+        self.table(from, to).map(|t| t.matrix(pos))
     }
 
     /// The FFT bins the cache covers, in request order.
@@ -75,6 +85,25 @@ impl ChannelCache {
     /// Number of nodes the cache spans.
     pub fn n_nodes(&self) -> usize {
         self.n_nodes
+    }
+
+    /// Number of cached directed links (both directions counted) — the
+    /// sparsity observable city-scale tests assert on.
+    pub fn n_links(&self) -> usize {
+        self.tables.len()
+    }
+
+    /// Iterates the cached directed link keys `(from, to)` in arbitrary
+    /// order. Mobility uses this to find the links incident to a moved
+    /// node without scanning `n²` pairs.
+    pub fn links(&self) -> impl Iterator<Item = (usize, usize)> + '_ {
+        self.tables.keys().copied()
+    }
+
+    /// Replaces (or installs) the table of the directed link
+    /// `from → to`. Mobility rescales moved links through this.
+    pub fn set_table(&mut self, from: usize, to: usize, table: FreqResponseTable) {
+        self.tables.insert((from, to), table);
     }
 }
 
@@ -88,7 +117,8 @@ const _: () = {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::topology::{build_topology, TopologyConfig};
+    use crate::topology::{build_environment_topology, build_topology, TopologyConfig};
+    use nplus_channel::environment::{ChannelEnvironment, MULTI_CELL};
     use nplus_channel::placement::Testbed;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
@@ -108,18 +138,24 @@ mod tests {
             for to in 0..3 {
                 if from == to {
                     assert!(cache.table(from, to).is_none());
+                    assert!(cache.matrix(from, to, 0).is_none());
                     continue;
                 }
                 let link = topo.medium.link(topo.nodes[from], topo.nodes[to]).unwrap();
                 for (pos, &k) in bins.iter().enumerate() {
                     let direct = link.channel_matrix(k, 64);
                     assert!(
-                        cache.matrix(from, to, pos).approx_eq(&direct, 0.0),
+                        cache
+                            .matrix(from, to, pos)
+                            .expect("dense world: every off-diagonal link cached")
+                            .approx_eq(&direct, 0.0),
                         "link {from}->{to} bin {k}"
                     );
                 }
             }
         }
+        // Dense world: all n(n-1) directed links cached.
+        assert_eq!(cache.n_links(), 6);
     }
 
     #[test]
@@ -130,7 +166,38 @@ mod tests {
         assert_eq!(cache.n_nodes(), 3);
         assert_eq!(cache.bins(), &[0, 10]);
         // 1-antenna node 0 transmitting to 3-antenna node 2: 3×1.
-        assert_eq!(cache.matrix(0, 2, 0).shape(), (3, 1));
-        assert_eq!(cache.matrix(2, 0, 0).shape(), (1, 3));
+        assert_eq!(cache.matrix(0, 2, 0).unwrap().shape(), (3, 1));
+        assert_eq!(cache.matrix(2, 0, 0).unwrap().shape(), (1, 3));
+    }
+
+    /// In a floored world the cache stores only what the medium
+    /// installed, and absent links answer `None` instead of panicking.
+    #[test]
+    fn sparse_world_caches_only_installed_links() {
+        let n = 32; // 4 multi-cell cells
+        let antennas: Vec<usize> = (0..n).map(|i| if i % 8 == 0 { 2 } else { 1 }).collect();
+        let tb = MULTI_CELL.testbed(n).unwrap();
+        let mut rng = StdRng::seed_from_u64(3);
+        let topo =
+            build_environment_topology(&MULTI_CELL, &tb, &antennas, 10e6, 3, &mut rng).unwrap();
+        let cache = ChannelCache::build(&topo, &[0, 7, 21], 64);
+        assert_eq!(cache.n_links(), topo.medium.n_links());
+        assert!(
+            cache.n_links() < n * (n - 1) / 2,
+            "cache not sparse: {} links",
+            cache.n_links()
+        );
+        // A pair across the map is below the floor almost surely; find
+        // one absent link and check the typed miss.
+        let mut saw_miss = false;
+        for i in 0..n {
+            for j in 0..n {
+                if i != j && cache.table(i, j).is_none() {
+                    assert!(cache.matrix(i, j, 0).is_none());
+                    saw_miss = true;
+                }
+            }
+        }
+        assert!(saw_miss, "city world unexpectedly dense");
     }
 }

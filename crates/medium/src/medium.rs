@@ -139,6 +139,20 @@ impl Medium {
         self.links.get(&(from, to))
     }
 
+    /// Iterates every installed directed link as `((from, to), link)`.
+    /// Sparse worlds install only the pairs above their power floor, so
+    /// this is how consumers (the channel cache) visit the real link
+    /// set without an all-pairs scan. Iteration order is unspecified —
+    /// callers must not let it feed anything RNG-bearing.
+    pub fn links(&self) -> impl Iterator<Item = ((NodeId, NodeId), &MimoLink)> {
+        self.links.iter().map(|(&k, v)| (k, v))
+    }
+
+    /// Number of installed directed links (both directions counted).
+    pub fn n_links(&self) -> usize {
+        self.links.len()
+    }
+
     /// Schedules a transmission. Streams must be one per antenna.
     pub fn transmit(&mut self, tx: Transmission) {
         assert_eq!(

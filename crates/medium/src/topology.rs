@@ -20,7 +20,7 @@ use nplus_channel::environment::{
 };
 use nplus_channel::mimo::MimoLink;
 use nplus_channel::pathloss::{LinkBudget, PathLossModel};
-use nplus_channel::placement::{Location, Testbed};
+use nplus_channel::placement::{Location, Point, SpatialGrid, Testbed};
 use rand::{Rng, RngCore};
 
 /// Configuration of a topology draw under the paper's indoor world —
@@ -65,11 +65,25 @@ pub struct Topology {
     pub placements: Vec<Location>,
 }
 
-/// Draws a placement on `testbed` and wires all pairwise links through
-/// the environment's hooks: placement shuffle, one oscillator draw per
-/// node, then one loss draw plus one fading draw per link `(i, j)`,
-/// `i < j` — a fixed consumption order, so topologies are a pure
+/// Draws a placement on `testbed` and wires links through the
+/// environment's hooks: placement assignment
+/// ([`ChannelEnvironment::assign_placements`] — the paper's shuffle by
+/// default), one oscillator draw per node, then one loss draw (plus one
+/// fading draw for every materialized link) per pair `(i, j)`, `i < j`
+/// ascending — a fixed consumption order, so topologies are a pure
 /// function of `(environment, testbed, antennas, seed, rng state)`.
+///
+/// Link storage is **sparse**: when the environment sets
+/// [`link_floor_dbm`](ChannelEnvironment::link_floor_dbm), candidate
+/// pairs come from a [`SpatialGrid`] at
+/// [`max_link_range`](ChannelEnvironment::max_link_range) (all pairs
+/// when `None`), each candidate gets its loss draw in the same
+/// ascending order the dense loop uses, and only links whose received
+/// power clears the floor get a fading draw and a slot in the medium.
+/// The default `link_floor_dbm() == None` runs the dense all-pairs loop
+/// unchanged — bit-for-bit the pre-sparse wiring — and a floor set
+/// below every link budget (with no range cutoff) reproduces it
+/// exactly too, since the candidate set and draw order coincide.
 ///
 /// `testbed` is passed explicitly (rather than taken from
 /// [`ChannelEnvironment::testbed`]) so callers can override the map;
@@ -90,7 +104,7 @@ pub fn build_environment_topology(
     rng: &mut dyn RngCore,
 ) -> Result<Topology, EnvironmentError> {
     let n = antennas.len();
-    let placements = testbed.try_random_assignment(n, &mut &mut *rng)?;
+    let placements = env.assign_placements(testbed, n, rng)?;
     let mut medium = Medium::new(sample_rate_hz, seed);
     let nodes: Vec<NodeId> = antennas
         .iter()
@@ -100,15 +114,41 @@ pub fn build_environment_topology(
         })
         .collect();
 
-    for i in 0..n {
-        for j in (i + 1)..n {
-            let d = placements[i].pos.distance(&placements[j].pos);
-            let nlos = env.link_is_nlos(testbed, &placements[i], &placements[j]);
-            let loss = env.sample_loss_db(d, nlos, rng);
-            let amp = env.amplitude_scale(loss);
-            let profile = env.delay_profile(nlos);
-            let link = MimoLink::sample(antennas[i], antennas[j], amp, &profile, &mut &mut *rng);
-            medium.set_link(nodes[i], nodes[j], link);
+    let wire = |i: usize, j: usize, medium: &mut Medium, rng: &mut dyn RngCore| {
+        let d = placements[i].pos.distance(&placements[j].pos);
+        let nlos = env.link_is_nlos(testbed, &placements[i], &placements[j]);
+        let loss = env.sample_loss_db(d, nlos, rng);
+        if let Some(floor) = env.link_floor_dbm() {
+            if env.received_power_dbm(loss) < floor {
+                return; // below the floor: no fading draw, no link
+            }
+        }
+        let amp = env.amplitude_scale(loss);
+        let profile = env.delay_profile(nlos);
+        let link = MimoLink::sample(antennas[i], antennas[j], amp, &profile, &mut &mut *rng);
+        medium.set_link(nodes[i], nodes[j], link);
+    };
+
+    match env.link_floor_dbm().and(env.max_link_range()) {
+        Some(range) => {
+            // Sparse construction: a grid index answers "who is within
+            // range of i", ascending — same draw order as the dense
+            // loop restricted to the candidate set.
+            let points: Vec<Point> = placements.iter().map(|l| l.pos).collect();
+            let grid = SpatialGrid::build(&points, range);
+            for i in 0..n {
+                for j in grid.neighbors_above(i, range) {
+                    wire(i, j, &mut medium, rng);
+                }
+            }
+        }
+        None => {
+            // Dense candidate set (also the floor-only sparse case).
+            for i in 0..n {
+                for j in (i + 1)..n {
+                    wire(i, j, &mut medium, rng);
+                }
+            }
         }
     }
 
@@ -139,7 +179,14 @@ pub fn build_topology<R: Rng>(
         ..Sigcomm11Indoor::new()
     };
     build_environment_topology(&env, testbed, &config.antennas, sample_rate_hz, seed, rng)
-        .unwrap_or_else(|e| panic!("{e}"))
+        .unwrap_or_else(|e| {
+            panic!(
+                "build_topology: cannot place {} nodes on the {}-slot {} testbed: {e}",
+                config.antennas.len(),
+                testbed.len(),
+                env.name()
+            )
+        })
 }
 
 // The parallel sweep engine builds and consumes topologies on scoped
@@ -344,6 +391,169 @@ mod tests {
             in_range as f64 / total as f64 > 0.85,
             "only {in_range}/{total} links in range"
         );
+    }
+
+    /// The indoor world with a received-power floor bolted on — the
+    /// test double for the sparse≡dense identity contract.
+    struct FlooredIndoor {
+        floor_dbm: f64,
+        max_range: Option<f64>,
+    }
+
+    impl ChannelEnvironment for FlooredIndoor {
+        fn name(&self) -> &str {
+            "floored_indoor"
+        }
+        fn capacity(&self) -> usize {
+            SIGCOMM11_INDOOR.capacity()
+        }
+        fn testbed(&self, n: usize) -> Result<Testbed, EnvironmentError> {
+            SIGCOMM11_INDOOR.testbed(n)
+        }
+        fn sample_loss_db(&self, d: f64, nlos: bool, rng: &mut dyn RngCore) -> f64 {
+            SIGCOMM11_INDOOR.sample_loss_db(d, nlos, rng)
+        }
+        fn amplitude_scale(&self, loss_db: f64) -> f64 {
+            SIGCOMM11_INDOOR.amplitude_scale(loss_db)
+        }
+        fn oscillator_offset_hz(&self, rng: &mut dyn RngCore) -> f64 {
+            SIGCOMM11_INDOOR.oscillator_offset_hz(rng)
+        }
+        fn link_floor_dbm(&self) -> Option<f64> {
+            Some(self.floor_dbm)
+        }
+        fn max_link_range(&self) -> Option<f64> {
+            self.max_range
+        }
+    }
+
+    /// With the floor set below every conceivable link budget (and no
+    /// range cutoff), the sparse path visits the same candidates in the
+    /// same order and draws identically — topologies are bit-for-bit
+    /// the dense world's.
+    #[test]
+    fn floor_below_every_budget_is_dense_bitwise() {
+        let antennas = vec![1, 2, 3, 2, 1, 2];
+        let tb = Testbed::sigcomm11();
+        let sparse_env = FlooredIndoor {
+            floor_dbm: -1e9,
+            max_range: None,
+        };
+        for seed in 0..8u64 {
+            let mut ra = StdRng::seed_from_u64(seed);
+            let mut rb = StdRng::seed_from_u64(seed);
+            let dense =
+                build_environment_topology(&SIGCOMM11_INDOOR, &tb, &antennas, 10e6, seed, &mut ra)
+                    .unwrap();
+            let sparse =
+                build_environment_topology(&sparse_env, &tb, &antennas, 10e6, seed, &mut rb)
+                    .unwrap();
+            for i in 0..antennas.len() {
+                assert_eq!(
+                    dense.placements[i].pos.x.to_bits(),
+                    sparse.placements[i].pos.x.to_bits()
+                );
+                for j in 0..antennas.len() {
+                    if i == j {
+                        continue;
+                    }
+                    let hd = dense
+                        .medium
+                        .link(dense.nodes[i], dense.nodes[j])
+                        .unwrap()
+                        .channel_matrix(11, 64);
+                    let hs = sparse
+                        .medium
+                        .link(sparse.nodes[i], sparse.nodes[j])
+                        .unwrap()
+                        .channel_matrix(11, 64);
+                    assert!(hd.approx_eq(&hs, 0.0), "seed {seed} link {i}->{j}");
+                }
+            }
+            // Both paths consumed the RNG identically.
+            use rand::Rng;
+            assert_eq!(ra.gen::<u64>(), rb.gen::<u64>());
+        }
+    }
+
+    /// A high floor prunes links — and every skipped link costs exactly
+    /// one loss draw (no fading), keeping the stream deterministic.
+    #[test]
+    fn floor_prunes_far_links_but_keeps_near_ones() {
+        let antennas = vec![1; 12];
+        let tb = Testbed::sigcomm11();
+        // 12 dBm tx - ~55 dB near-field loss keeps only short links.
+        let env = FlooredIndoor {
+            floor_dbm: -68.0,
+            max_range: None,
+        };
+        let mut rng = StdRng::seed_from_u64(2);
+        let topo = build_environment_topology(&env, &tb, &antennas, 10e6, 2, &mut rng).unwrap();
+        let n_links = count_links(&topo);
+        assert!(n_links < 12 * 11 / 2, "floor pruned nothing: {n_links}");
+        // Determinism: same seed, same sparse world.
+        let mut rng2 = StdRng::seed_from_u64(2);
+        let topo2 = build_environment_topology(&env, &tb, &antennas, 10e6, 2, &mut rng2).unwrap();
+        assert_eq!(n_links, count_links(&topo2));
+    }
+
+    /// The multi-cell city world builds a genuinely sparse medium: every
+    /// station keeps its own AP, almost nobody keeps a link across town.
+    #[test]
+    fn multi_cell_topology_is_sparse_with_cells_intact() {
+        use nplus_channel::environment::MULTI_CELL;
+        let n = 64; // 8 cells of 1 AP + 7 stations
+        let antennas: Vec<usize> = (0..n).map(|i| if i % 8 == 0 { 4 } else { 1 }).collect();
+        let tb = MULTI_CELL.testbed(n).unwrap();
+        let mut rng = StdRng::seed_from_u64(7);
+        let topo =
+            build_environment_topology(&MULTI_CELL, &tb, &antennas, 10e6, 7, &mut rng).unwrap();
+        let n_links = count_links(&topo);
+        assert!(
+            n_links < n * (n - 1) / 4,
+            "city world is not sparse: {n_links} of {} pairs",
+            n * (n - 1) / 2
+        );
+        // Almost every station hears its own AP (a rare deep-shadowed
+        // station is honestly disconnected — the engine skips it).
+        let mut heard = 0;
+        let mut stations = 0;
+        for cell in 0..n / 8 {
+            let ap = topo.nodes[cell * 8];
+            for j in 1..8 {
+                stations += 1;
+                if topo.medium.link(topo.nodes[cell * 8 + j], ap).is_some() {
+                    heard += 1;
+                }
+            }
+        }
+        assert!(
+            heard * 10 >= stations * 9,
+            "only {heard}/{stations} stations hear their AP"
+        );
+        // And some cross-cell interference survives the floor.
+        let mut cross = 0;
+        for i in 0..n {
+            for j in (i + 1)..n {
+                if i / 8 != j / 8 && topo.medium.link(topo.nodes[i], topo.nodes[j]).is_some() {
+                    cross += 1;
+                }
+            }
+        }
+        assert!(cross > 0, "no cross-cell links at all");
+    }
+
+    fn count_links(topo: &Topology) -> usize {
+        let n = topo.nodes.len();
+        let mut count = 0;
+        for i in 0..n {
+            for j in (i + 1)..n {
+                if topo.medium.link(topo.nodes[i], topo.nodes[j]).is_some() {
+                    count += 1;
+                }
+            }
+        }
+        count
     }
 
     /// The new environments keep link SNRs in an operable band too.

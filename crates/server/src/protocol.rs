@@ -24,12 +24,18 @@
 //! ```
 //!
 //! For `"sweep"`, `scenario` (the testkit grammar — see
-//! [`SCENARIO_SPEC_HELP`](nplus_testkit::SCENARIO_SPEC_HELP)) and
-//! `rounds` are required; `environment` defaults to `"sigcomm11"`,
-//! `policies` to the default comparison trio, `threads` to `0` (all
-//! cores — an execution detail, never part of the cache key), and the
-//! seed list may be given as `"seeds": [..]` or `"seed_count": n`
-//! (meaning seeds `0..n`), defaulting to `seed_count = 20`.
+//! [`SCENARIO_SPEC_HELP`](nplus_testkit::SCENARIO_SPEC_HELP), including
+//! `city:<n>` and the `load:<model>/` traffic prefix) and `rounds` are
+//! required; `environment` defaults to `"sigcomm11"`, `policies` to
+//! the default comparison trio, `threads` to `0` (all cores — an
+//! execution detail, never part of the cache key), and the seed list
+//! may be given as `"seeds": [..]` or `"seed_count": n` (meaning seeds
+//! `0..n`), defaulting to `seed_count = 20`. Optional `"traffic"`
+//! (`"saturated"`, `"poisson:<mean>"`, `"bursty:<on>x<off>"`) and
+//! `"mobility"` (`"static"`, `"waypoint:<step>x<epoch>"`) members set
+//! the traffic and mobility models — both are canonical cache-key
+//! fields. Giving both a `load:` scenario prefix and a `"traffic"`
+//! member is an error.
 //!
 //! ## Responses
 //!
@@ -44,9 +50,9 @@
 //! never as an invalid JSON token.
 
 use crate::json::{self, json_f64, Json};
-use nplus::sim::{CanonicalSpec, SweepStats};
+use nplus::sim::{CanonicalSpec, MobilityModel, SweepStats, TrafficModel};
 use nplus_channel::environment::environment_from_name;
-use nplus_testkit::parse_scenario_spec;
+use nplus_testkit::parse_spec;
 use std::io::{self, Read, Write};
 
 /// Largest frame either side accepts (1 MiB) — far above any real
@@ -134,6 +140,11 @@ pub struct SweepRequest {
     pub seeds: Vec<u64>,
     /// Rounds per run.
     pub rounds: usize,
+    /// Traffic model from the `"traffic"` member; `None` = saturated
+    /// (unless the scenario spec carries a `load:` prefix).
+    pub traffic: Option<TrafficModel>,
+    /// Mobility model from the `"mobility"` member; `None` = static.
+    pub mobility: Option<MobilityModel>,
     /// Worker threads (`0` = all cores). Execution detail only: not
     /// part of the canonical key, does not change results.
     pub threads: usize,
@@ -150,14 +161,25 @@ impl SweepRequest {
     pub fn to_canonical(&self) -> Result<CanonicalSpec, String> {
         let env = environment_from_name(&self.environment)
             .ok_or_else(|| format!("unknown environment {:?}", self.environment))?;
-        let scenario = parse_scenario_spec(&self.scenario, env.capacity())?;
+        let parsed = parse_spec(&self.scenario, env.capacity())?;
+        if parsed.traffic.is_some() && self.traffic.is_some() {
+            return Err(
+                "give the traffic model in the load: scenario prefix or the \"traffic\" \
+                 member, not both"
+                    .to_string(),
+            );
+        }
+        let traffic = parsed.traffic.or(self.traffic).unwrap_or_default();
+        let mobility = self.mobility.unwrap_or_default();
         CanonicalSpec::new(
-            &scenario,
+            &parsed.scenario,
             &self.environment,
             &self.policies,
             self.seeds.clone(),
             self.rounds,
         )
+        .and_then(|c| c.with_traffic(traffic))
+        .and_then(|c| c.with_mobility(mobility))
         .map_err(|e| e.to_string())
     }
 }
@@ -238,6 +260,22 @@ fn parse_sweep(doc: &Json) -> Result<SweepRequest, String> {
         }
         (None, None) => (0..20).collect(),
     };
+    let traffic = match doc.get("traffic") {
+        None => None,
+        Some(v) => Some(
+            v.as_str()
+                .ok_or_else(|| "\"traffic\" must be a string".to_string())?
+                .parse::<TrafficModel>()?,
+        ),
+    };
+    let mobility = match doc.get("mobility") {
+        None => None,
+        Some(v) => Some(
+            v.as_str()
+                .ok_or_else(|| "\"mobility\" must be a string".to_string())?
+                .parse::<MobilityModel>()?,
+        ),
+    };
     let threads = match doc.get("threads") {
         None => 0,
         Some(v) => v
@@ -250,6 +288,8 @@ fn parse_sweep(doc: &Json) -> Result<SweepRequest, String> {
         policies,
         seeds,
         rounds,
+        traffic,
+        mobility,
         threads,
     })
 }
@@ -373,6 +413,8 @@ mod tests {
                 policies: vec!["nplus".to_string()],
                 seeds: vec![3, 1],
                 rounds: 4,
+                traffic: None,
+                mobility: None,
                 threads: 2,
             })
         );
@@ -383,7 +425,32 @@ mod tests {
                 assert_eq!(r.environment, "sigcomm11");
                 assert!(r.policies.is_empty());
                 assert_eq!(r.seeds, (0..20).collect::<Vec<u64>>());
+                assert_eq!(r.traffic, None);
+                assert_eq!(r.mobility, None);
                 assert_eq!(r.threads, 0);
+            }
+            other => panic!("{other:?}"),
+        }
+        let modeled = parse_request(
+            br#"{"cmd":"sweep","scenario":"city:16","environment":"multi_cell","rounds":3,
+                "traffic":"poisson:0.5","mobility":"waypoint:2x4"}"#,
+        )
+        .unwrap();
+        match modeled {
+            Request::Sweep(r) => {
+                assert_eq!(
+                    r.traffic,
+                    Some(TrafficModel::Poisson {
+                        mean_per_round: 0.5
+                    })
+                );
+                assert_eq!(
+                    r.mobility,
+                    Some(MobilityModel::Waypoint {
+                        step_m: 2.0,
+                        epoch_rounds: 4
+                    })
+                );
             }
             other => panic!("{other:?}"),
         }
@@ -412,6 +479,9 @@ mod tests {
             b"{\"cmd\":\"sweep\",\"scenario\":\"three_pairs\",\"rounds\":3,\"seeds\":[1],\"seed_count\":2}",
             b"{\"cmd\":\"sweep\",\"scenario\":\"three_pairs\",\"rounds\":3,\"policies\":[7]}",
             b"{\"cmd\":\"sweep\",\"scenario\":\"three_pairs\",\"rounds\":3,\"threads\":\"many\"}",
+            b"{\"cmd\":\"sweep\",\"scenario\":\"three_pairs\",\"rounds\":3,\"traffic\":7}",
+            b"{\"cmd\":\"sweep\",\"scenario\":\"three_pairs\",\"rounds\":3,\"traffic\":\"cbr:4\"}",
+            b"{\"cmd\":\"sweep\",\"scenario\":\"three_pairs\",\"rounds\":3,\"mobility\":\"brownian\"}",
             b"\xff\xfe",
         ] {
             let err = parse_request(bad).unwrap_err();
@@ -427,6 +497,8 @@ mod tests {
             policies: vec![],
             seeds: vec![0, 1],
             rounds: 3,
+            traffic: None,
+            mobility: None,
             threads: 4,
         };
         let canon = req.to_canonical().unwrap();
@@ -439,6 +511,37 @@ mod tests {
             ..req.clone()
         };
         assert_eq!(serial.to_canonical().unwrap().key(), canon.key());
+        // Traffic and mobility ARE canonical: they move the key, and
+        // the load: scenario prefix is the same key as the member form.
+        let poisson = TrafficModel::Poisson {
+            mean_per_round: 0.5,
+        };
+        let member = SweepRequest {
+            traffic: Some(poisson),
+            ..req.clone()
+        };
+        let member_key = member.to_canonical().unwrap().key();
+        assert_ne!(member_key, canon.key());
+        let prefixed = SweepRequest {
+            scenario: "load:poisson:0.5/pairs:2".to_string(),
+            ..req.clone()
+        };
+        assert_eq!(prefixed.to_canonical().unwrap().key(), member_key);
+        let moving = SweepRequest {
+            mobility: Some(MobilityModel::Waypoint {
+                step_m: 2.0,
+                epoch_rounds: 4,
+            }),
+            ..req.clone()
+        };
+        assert_ne!(moving.to_canonical().unwrap().key(), canon.key());
+        // Both spellings at once is ambiguous, hence an error.
+        let both = SweepRequest {
+            scenario: "load:saturated/pairs:2".to_string(),
+            traffic: Some(poisson),
+            ..req.clone()
+        };
+        assert!(both.to_canonical().is_err());
         // Every malformed part maps to an error string.
         for bad in [
             SweepRequest {

@@ -25,7 +25,7 @@ pub mod spec;
 pub mod strategies;
 
 pub use generator::ScenarioGenerator;
-pub use spec::{parse_scenario_spec, SCENARIO_SPEC_HELP};
+pub use spec::{city_scenario, parse_scenario_spec, parse_spec, ParsedSpec, SCENARIO_SPEC_HELP};
 
 use nplus_linalg::Complex64;
 

@@ -139,8 +139,10 @@ proptest! {
                 if from == to { continue; }
                 let link = topo.medium.link(topo.nodes[from], topo.nodes[to]).unwrap();
                 for (pos, &k) in bins.iter().enumerate() {
+                    let cached = cache.matrix(from, to, pos);
+                    prop_assert!(cached.is_some(), "dense link {}->{} missing from cache", from, to);
                     prop_assert!(
-                        cache.matrix(from, to, pos).approx_eq(&link.channel_matrix(k, 64), 1e-12),
+                        cached.unwrap().approx_eq(&link.channel_matrix(k, 64), 1e-12),
                         "link {}->{} bin {}", from, to, k
                     );
                 }
