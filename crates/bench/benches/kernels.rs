@@ -7,8 +7,8 @@
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use nplus::carrier_sense::MultiDimCarrierSense;
 use nplus::precoder::{compute_precoders, OwnReceiver, ProtectedReceiver};
-use nplus::sim::{Protocol, SimConfig};
-use nplus_linalg::{null_space, CMatrix, Complex64, Subspace};
+use nplus::sim::{Protocol, SimConfig, SinrGrid};
+use nplus_linalg::{null_space, CMatrix, CMatrixSoA, CVector, Complex64, Subspace};
 use nplus_phy::convolutional::{encode, viterbi_decode};
 use nplus_phy::fft::{fft_in_place, ifft};
 use nplus_phy::params::OfdmConfig;
@@ -85,6 +85,39 @@ fn bench_projection(c: &mut Criterion) {
     c.bench_function("ifft_64_reference", |b| b.iter(|| ifft(&block)));
 }
 
+/// The SoA vs scalar head-to-head on the engine's innermost kernel: the
+/// per-subcarrier matrix-vector multiply (channel x precoder). The AoS
+/// variant is the scalar loop over interleaved `Complex64` entries the
+/// engine ran before the split-storage overhaul; the SoA variant is the
+/// split re/im `mul_vec_into` the hot path consumes today.
+fn bench_matvec_soa_vs_aos(c: &mut Criterion) {
+    let mut rng = nplus_testkit::rng(8);
+    let aos = random_matrix(4, 4, &mut rng);
+    let soa = CMatrixSoA::from_aos(&aos);
+    let x: CVector = random_matrix(4, 1, &mut rng).col(0);
+
+    c.bench_function("matvec_4x4_aos_scalar", |b| {
+        b.iter(|| {
+            let mut out = CVector::zeros(4);
+            for i in 0..4 {
+                let mut acc = Complex64::ZERO;
+                for (j, e) in x.iter().enumerate() {
+                    acc += aos[(i, j)] * *e;
+                }
+                out[i] = acc;
+            }
+            out
+        })
+    });
+    let mut out = CVector::zeros(4);
+    c.bench_function("matvec_4x4_soa_split", |b| {
+        b.iter(|| {
+            soa.mul_vec_into(&x, &mut out);
+            out[0]
+        })
+    });
+}
+
 fn bench_sim_round(c: &mut Criterion) {
     let built = three_pairs(6);
     let cfg = SimConfig {
@@ -93,6 +126,15 @@ fn bench_sim_round(c: &mut Criterion) {
     };
     c.bench_function("nplus_round_three_pairs", |b| {
         b.iter(|| built.run_with(Protocol::NPlus, &cfg, 7))
+    });
+    // The decimated SINR tier on the same round (the opt-in fast path).
+    let dec_cfg = SimConfig {
+        rounds: 1,
+        sinr_grid: SinrGrid::Decimated(4),
+        ..SimConfig::default()
+    };
+    c.bench_function("nplus_round_three_pairs_decimated4", |b| {
+        b.iter(|| built.run_with(Protocol::NPlus, &dec_cfg, 7))
     });
 }
 
@@ -103,6 +145,7 @@ criterion_group!(
     bench_precoder,
     bench_viterbi,
     bench_projection,
+    bench_matvec_soa_vs_aos,
     bench_sim_round
 );
 criterion_main!(benches);

@@ -1,7 +1,11 @@
-//! Perf tracking for the round simulator and the sweep engine, in two
-//! sections, both emitted into `BENCH_sim.json`:
+//! Perf tracking for the round simulator and the sweep engine, emitted
+//! into `BENCH_sim.json` as reproducible arithmetic: every section
+//! records its raw iteration counts next to the wall-clock seconds, so
+//! each `*_rounds_per_sec` / `speedup` row can be re-derived from the
+//! numbers in the file, and any ratio whose denominator run was skipped
+//! is `null` rather than a stale or misleading number.
 //!
-//! **Section 1 — the round engine** (unchanged from PR 2): times
+//! **Section 1 — the round engine** (unchanged shape since PR 2): times
 //! `simulate` on the Fig. 3 scenario (40 rounds, n+, default config)
 //! across a batch of random placements in three variants:
 //!
@@ -9,67 +13,69 @@
 //!   (`nplus_bench::legacy`): per-call channel recomputation,
 //!   per-subcarrier clones, per-stream pseudo-inverses, no opening-plan
 //!   memo;
-//! * **uncached** — the new `SimEngine` with the channel cache disabled
-//!   (isolates the cache win from the engine restructuring);
-//! * **cached** — the new engine as shipped.
+//! * **uncached** — the current `SimEngine` with the channel cache
+//!   disabled: every believed/true channel is converted from the AoS
+//!   `MimoLink` evaluation on the fly;
+//! * **cached** — the engine as shipped, consuming the precomputed SoA
+//!   frequency tables.
 //!
-//! `speedup` in the JSON is aggregate cached-vs-legacy wall clock over
-//! all placements; `cache_speedup` is aggregate cached-vs-uncached. The
-//! cached and uncached runs must produce bit-for-bit identical
-//! `RunResult`s on every placement — the binary asserts it.
+//! The cached and uncached runs must produce bit-for-bit identical
+//! `RunResult`s on every placement — the binary asserts it. Because the
+//! uncached path converts from AoS sources per call while the cached
+//! path reads SoA tables, this assertion is the end-to-end SoA≡AoS
+//! bitwise smoke check CI relies on.
 //!
 //! **Section 2 — the sweep engine**: times a generated-scenario
-//! Monte-Carlo batch (all three protocols per seed) through
+//! Monte-Carlo batch (all three protocols per seed) through the legacy
+//! simulator loop, the serial `sweep` path, and `sweep_parallel` at 2
+//! and 4 threads. Parallel must equal serial bitwise (asserted).
+//! Speedup ratios are `null` when the machine cannot observe them.
 //!
-//! * the **legacy** simulator driven by the same per-seed loop,
-//! * the **serial** `sweep` path (1 thread), and
-//! * `sweep_parallel` at **2 and 4 threads**.
+//! **Section 3 — environments**: the same batch once per registered
+//! propagation environment through the serial `SweepSpec` path.
 //!
-//! The parallel runs must produce `SweepStats` bit-for-bit identical to
-//! the serial run — asserted, not eyeballed — and the JSON records the
-//! speedup-vs-threads row. Speedup ratios are only reported when the
-//! machine has enough cores to observe them (`sweep_speedup_2t` needs
-//! 2, `sweep_speedup_4t` needs 4); below that they are `null` and
-//! `multi_core_observable` is `false` — the raw seconds rows stay, and
-//! the determinism assertion still bites.
+//! **Section 4 — the city-scale sparse world**: a procedural `city:256`
+//! sweep in the `multi_cell` environment.
 //!
-//! **Section 3 — environments**: times the same generated batch once
-//! per registered propagation environment (`sigcomm11`, `outdoor`,
-//! `rich_scatter`, `degraded_hardware`, `multi_cell`) through the
-//! serial `SweepSpec` path, so the per-environment cost of scenario
-//! construction and simulation shows up in the perf trajectory
-//! (`sweep_environments` in the JSON).
+//! **Section 5 — kernels**: nanoseconds per matrix-vector multiply for
+//! the scalar AoS kernel vs the split-complex SoA kernel, with the raw
+//! iteration counts.
 //!
-//! **Section 4 — the city-scale sparse world**: times a procedural
-//! `city:256` sweep in the `multi_cell` environment (sparse link
-//! storage — only links above the environment's received-power floor
-//! are materialised) and records the `sweep_city` row: wall clock and
-//! node-rounds/s, the throughput figure the sparse refactor is
-//! accountable for.
+//! **Section 6 — the decimated SINR tier**: the Section-1 workload with
+//! `SinrGrid::Decimated(4)`, recorded against both the full-grid run and
+//! the frozen pre-SoA baseline rows, plus an assertion that the
+//! decimated tier keys differently in the canonical spec (the server
+//! cache must never conflate tiers).
 //!
 //! Usage:
 //!
 //! ```text
-//! cargo run --release --bin perf_sweep -- [iters] [out_path]
+//! cargo run --release --bin perf_sweep -- [--quick] [iters] [out_path]
 //! ```
 //!
 //! `iters` (default 3) is how many timed repetitions the best-of is
-//! taken over; `out_path` defaults to `BENCH_sim.json`. CI runs this as
-//! a smoke step with `iters = 1`; no thresholds are enforced — the JSON
-//! is the perf trajectory record.
+//! taken over; `out_path` defaults to `BENCH_sim.json`. `--quick` is
+//! the CI smoke mode: one iteration, the slow legacy/sweep sections are
+//! skipped (their rows become `null`), while the SoA≡AoS bitwise
+//! assertion, the kernels section and the decimated-tier key assertion
+//! still run. No thresholds are enforced — the JSON is the perf
+//! trajectory record.
 
 use nplus::sim::{
-    simulate, sweep_parallel, Protocol, RunResult, Scenario, SimConfig, SweepSpec, SweepStats,
+    simulate, sweep_parallel, Protocol, RunResult, Scenario, SimConfig, SinrGrid, SweepSpec,
+    SweepStats,
 };
 use nplus_bench::legacy::simulate_legacy;
 use nplus_channel::environment::BUILTIN_ENVIRONMENT_NAMES;
 use nplus_channel::placement::Testbed;
+use nplus_linalg::{CMatrix, CMatrixSoA, CVector};
 use nplus_medium::topology::{build_topology, TopologyConfig};
 use nplus_testkit::generator::ScenarioGenerator;
 use nplus_testkit::scenario::three_pairs;
 use nplus_testkit::spec::city_scenario;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use std::hint::black_box;
 use std::time::Instant;
 
 const N_PLACEMENTS: u64 = 8;
@@ -85,6 +91,21 @@ const SWEEP_ROUNDS: usize = 25;
 /// (32-cell) city in the sparse `multi_cell` world, n+ only.
 const CITY_NODES: usize = 256;
 const CITY_ROUNDS: usize = 4;
+
+/// Kernel micro-bench shape: one 4x4 matrix-vector multiply per
+/// iteration (the largest shape the testbed's antenna counts produce).
+const KERNEL_ITERS: usize = 2_000_000;
+const KERNEL_DIM: usize = 4;
+
+/// Decimation stride of the benchmarked SINR tier (the error-budget
+/// proptest pins the same k).
+const DECIMATION: usize = 4;
+
+/// Frozen pre-SoA baseline rows from the committed BENCH_sim.json of
+/// PR 6/7 — the denominators the tentpole's speedup target is measured
+/// against. Frozen as constants so the ratio survives regeneration.
+const FROZEN_CACHED_RPS: f64 = 2638.22;
+const FROZEN_LEGACY_RPS: f64 = 534.771;
 
 /// One-shot `simulate` (or legacy) wall clock summed over all
 /// placements; returns (seconds, per-placement results).
@@ -205,14 +226,73 @@ fn time_legacy_sweep(
     best
 }
 
+/// Nanoseconds per op for the scalar-AoS vs split-SoA matrix-vector
+/// kernels, measured over [`KERNEL_ITERS`] iterations each. Both loops
+/// accumulate into a live sink so the optimizer cannot elide the work.
+fn time_kernels() -> (f64, f64) {
+    let mut rng = nplus_testkit::rng(0xD00D);
+    let aos = nplus_testkit::fixtures::random_matrix(KERNEL_DIM, KERNEL_DIM, &mut rng);
+    let soa = CMatrixSoA::from_aos(&aos);
+    let x: CVector = nplus_testkit::fixtures::random_matrix(KERNEL_DIM, 1, &mut rng).col(0);
+
+    let aos_mul = |m: &CMatrix, v: &CVector| -> CVector {
+        let mut out = CVector::zeros(m.rows());
+        for i in 0..m.rows() {
+            let mut acc = nplus_linalg::Complex64::ZERO;
+            for (j, e) in v.iter().enumerate() {
+                acc += m[(i, j)] * *e;
+            }
+            out[i] = acc;
+        }
+        out
+    };
+
+    let t = Instant::now();
+    let mut sink = 0.0f64;
+    for _ in 0..KERNEL_ITERS {
+        let y = aos_mul(black_box(&aos), black_box(&x));
+        sink += y[0].re;
+    }
+    let aos_ns = t.elapsed().as_secs_f64() * 1e9 / KERNEL_ITERS as f64;
+    black_box(sink);
+
+    let t = Instant::now();
+    let mut out = CVector::zeros(KERNEL_DIM);
+    let mut sink = 0.0f64;
+    for _ in 0..KERNEL_ITERS {
+        black_box(&soa).mul_vec_into(black_box(&x), &mut out);
+        sink += out[0].re;
+    }
+    let soa_ns = t.elapsed().as_secs_f64() * 1e9 / KERNEL_ITERS as f64;
+    black_box(sink);
+
+    (aos_ns, soa_ns)
+}
+
+/// `{v:.prec$}` or the literal `null` for a skipped measurement.
+fn json_opt(v: Option<f64>, prec: usize) -> String {
+    match v {
+        Some(x) => format!("{x:.prec$}"),
+        None => "null".to_string(),
+    }
+}
+
 fn main() {
-    let args: Vec<String> = std::env::args().collect();
-    let iters: usize = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(3);
-    let out_path = args
-        .get(2)
-        .map(String::as_str)
-        .unwrap_or("BENCH_sim.json")
-        .to_string();
+    let mut iters: usize = 3;
+    let mut out_path = "BENCH_sim.json".to_string();
+    let mut quick = false;
+    for arg in std::env::args().skip(1) {
+        if arg == "--quick" {
+            quick = true;
+        } else if let Ok(n) = arg.parse::<usize>() {
+            iters = n;
+        } else {
+            out_path = arg;
+        }
+    }
+    if quick {
+        iters = 1;
+    }
 
     let cached_cfg = SimConfig {
         rounds: ROUNDS,
@@ -224,12 +304,20 @@ fn main() {
     };
 
     println!(
-        "== perf_sweep §1: Fig. 3 scenario, {N_PLACEMENTS} placements x {ROUNDS} rounds, n+, best of {iters} =="
+        "== perf_sweep §1: Fig. 3 scenario, {N_PLACEMENTS} placements x {ROUNDS} rounds, n+, best of {iters}{} ==",
+        if quick { " (quick: legacy skipped)" } else { "" }
     );
-    let (legacy_s, _) = best_of(&cached_cfg, true, iters);
+    let legacy_s: Option<f64> = if quick {
+        None
+    } else {
+        Some(best_of(&cached_cfg, true, iters).0)
+    };
     let (uncached_s, uncached_r) = best_of(&uncached_cfg, false, iters);
     let (cached_s, cached_r) = best_of(&cached_cfg, false, iters);
 
+    // The SoA≡AoS bitwise smoke check: the cached run consumes the
+    // precomputed SoA tables, the uncached run converts every matrix
+    // from its AoS source on the fly — identical results or abort.
     let bit_identical = cached_r.iter().zip(&uncached_r).all(|(c, u)| {
         c.per_flow_mbps == u.per_flow_mbps
             && c.total_mbps == u.total_mbps
@@ -237,20 +325,29 @@ fn main() {
     });
     assert!(
         bit_identical,
-        "channel cache changed results across the placement batch"
+        "SoA channel tables changed results vs the AoS source path"
     );
 
     let total_rounds = (N_PLACEMENTS as usize * ROUNDS) as f64;
-    let legacy_rps = total_rounds / legacy_s;
+    let legacy_rps = legacy_s.map(|s| total_rounds / s);
     let cached_rps = total_rounds / cached_s;
     let uncached_rps = total_rounds / uncached_s;
-    let speedup = legacy_s / cached_s;
+    let speedup = legacy_s.map(|s| s / cached_s);
     let cache_speedup = uncached_s / cached_s;
-    println!("legacy (pre-PR):  {legacy_s:.4} s  ({legacy_rps:.1} rounds/s)");
+    match (legacy_s, legacy_rps) {
+        (Some(s), Some(rps)) => println!("legacy (pre-PR):  {s:.4} s  ({rps:.1} rounds/s)"),
+        _ => println!("legacy (pre-PR):  skipped (--quick)"),
+    }
     println!("uncached engine:  {uncached_s:.4} s  ({uncached_rps:.1} rounds/s)");
     println!("cached engine:    {cached_s:.4} s  ({cached_rps:.1} rounds/s)");
-    println!("speedup vs legacy:   {speedup:.2}x");
+    if let Some(sp) = speedup {
+        println!("speedup vs legacy:   {sp:.2}x");
+    }
     println!("speedup vs uncached: {cache_speedup:.2}x  (bit-identical results: {bit_identical})");
+    println!(
+        "speedup vs frozen cached baseline ({FROZEN_CACHED_RPS} rounds/s): {:.2}x",
+        cached_rps / FROZEN_CACHED_RPS
+    );
 
     // ---- §2: the sweep engine on a generated-scenario batch ----
     let sweep_scenario = ScenarioGenerator::new(42).n_pairs(4);
@@ -263,146 +360,233 @@ fn main() {
     let testbed = Testbed::fitting(sweep_scenario.antennas.len());
     let cores = nplus::executor::resolve_threads(0);
 
-    println!(
-        "\n== perf_sweep §2: generated pairs:4 batch, {SWEEP_SEEDS} seeds x {SWEEP_ROUNDS} rounds x 3 protocols, best of {iters} ({cores} cores available) =="
-    );
-    let sweep_legacy_s = time_legacy_sweep(
-        &testbed,
-        &sweep_scenario,
-        &sweep_cfg,
-        &protocols,
-        &seeds,
-        iters,
-    );
-    let (serial_s, serial_stats) = time_sweep(
-        &testbed,
-        &sweep_scenario,
-        &sweep_cfg,
-        &protocols,
-        &seeds,
-        1,
-        iters,
-    );
-    let (t2_s, t2_stats) = time_sweep(
-        &testbed,
-        &sweep_scenario,
-        &sweep_cfg,
-        &protocols,
-        &seeds,
-        2,
-        iters,
-    );
-    let (t4_s, t4_stats) = time_sweep(
-        &testbed,
-        &sweep_scenario,
-        &sweep_cfg,
-        &protocols,
-        &seeds,
-        4,
-        iters,
-    );
+    struct SweepSection {
+        legacy_s: Option<f64>,
+        serial_s: f64,
+        t2_s: f64,
+        t4_s: f64,
+        parallel_identical: bool,
+    }
+    let sweep_section: Option<SweepSection> = if quick {
+        println!("\n== perf_sweep §2: skipped (--quick) ==");
+        None
+    } else {
+        println!(
+            "\n== perf_sweep §2: generated pairs:4 batch, {SWEEP_SEEDS} seeds x {SWEEP_ROUNDS} rounds x 3 protocols, best of {iters} ({cores} cores available) =="
+        );
+        let sweep_legacy_s = time_legacy_sweep(
+            &testbed,
+            &sweep_scenario,
+            &sweep_cfg,
+            &protocols,
+            &seeds,
+            iters,
+        );
+        let (serial_s, serial_stats) = time_sweep(
+            &testbed,
+            &sweep_scenario,
+            &sweep_cfg,
+            &protocols,
+            &seeds,
+            1,
+            iters,
+        );
+        let (t2_s, t2_stats) = time_sweep(
+            &testbed,
+            &sweep_scenario,
+            &sweep_cfg,
+            &protocols,
+            &seeds,
+            2,
+            iters,
+        );
+        let (t4_s, t4_stats) = time_sweep(
+            &testbed,
+            &sweep_scenario,
+            &sweep_cfg,
+            &protocols,
+            &seeds,
+            4,
+            iters,
+        );
+        let parallel_identical =
+            stats_identical(&serial_stats, &t2_stats) && stats_identical(&serial_stats, &t4_stats);
+        assert!(
+            parallel_identical,
+            "sweep_parallel changed results vs the serial sweep"
+        );
+        let sweep_vs_legacy = sweep_legacy_s / serial_s;
+        println!("legacy sweep loop: {sweep_legacy_s:.4} s");
+        println!("serial sweep:      {serial_s:.4} s  ({sweep_vs_legacy:.2}x vs legacy)");
+        println!(
+            "2 threads:         {t2_s:.4} s  ({})",
+            if cores >= 2 {
+                format!("{:.2}x vs serial", serial_s / t2_s)
+            } else {
+                format!("speedup unobservable on {cores} core(s)")
+            }
+        );
+        println!(
+            "4 threads:         {t4_s:.4} s  ({})",
+            if cores >= 4 {
+                format!("{:.2}x vs serial", serial_s / t4_s)
+            } else {
+                format!("speedup unobservable on {cores} core(s)")
+            }
+        );
+        println!("parallel == serial bitwise: {parallel_identical}");
+        Some(SweepSection {
+            legacy_s: Some(sweep_legacy_s),
+            serial_s,
+            t2_s,
+            t4_s,
+            parallel_identical,
+        })
+    };
 
-    let parallel_identical =
-        stats_identical(&serial_stats, &t2_stats) && stats_identical(&serial_stats, &t4_stats);
-    assert!(
-        parallel_identical,
-        "sweep_parallel changed results vs the serial sweep"
-    );
-
-    // Honest multi-core reporting: a speedup row is only a measurement
-    // of parallel scaling when the machine can actually run that many
-    // workers at once. On a box with fewer cores the raw seconds are
-    // still real (and recorded below), but the ratio says nothing about
-    // the executor — so the JSON carries `null` there instead of a
-    // number that would be read as "no speedup".
-    let speedup_2t = serial_s / t2_s;
-    let speedup_4t = serial_s / t4_s;
+    // Honest ratio reporting: a ratio is only emitted when both its
+    // numerator and denominator runs actually happened (and, for the
+    // thread-scaling rows, when the machine can observe the scaling).
     let multi_core_observable = cores >= 2;
-    let speedup_2t_json = if cores >= 2 {
-        format!("{speedup_2t:.3}")
-    } else {
-        "null".to_string()
+    let sweep_legacy_seconds = sweep_section.as_ref().and_then(|s| s.legacy_s);
+    let sweep_serial_seconds = sweep_section.as_ref().map(|s| s.serial_s);
+    let sweep_2t_seconds = sweep_section.as_ref().map(|s| s.t2_s);
+    let sweep_4t_seconds = sweep_section.as_ref().map(|s| s.t4_s);
+    let sweep_vs_legacy = match (sweep_legacy_seconds, sweep_serial_seconds) {
+        (Some(l), Some(s)) => Some(l / s),
+        _ => None,
     };
-    let speedup_4t_json = if cores >= 4 {
-        format!("{speedup_4t:.3}")
-    } else {
-        "null".to_string()
+    let speedup_2t = match (sweep_serial_seconds, sweep_2t_seconds) {
+        (Some(s), Some(t)) if cores >= 2 => Some(s / t),
+        _ => None,
     };
-    let sweep_vs_legacy = sweep_legacy_s / serial_s;
-    println!("legacy sweep loop: {sweep_legacy_s:.4} s");
-    println!("serial sweep:      {serial_s:.4} s  ({sweep_vs_legacy:.2}x vs legacy)");
-    println!(
-        "2 threads:         {t2_s:.4} s  ({})",
-        if cores >= 2 {
-            format!("{speedup_2t:.2}x vs serial")
-        } else {
-            format!("speedup unobservable on {cores} core(s)")
-        }
-    );
-    println!(
-        "4 threads:         {t4_s:.4} s  ({})",
-        if cores >= 4 {
-            format!("{speedup_4t:.2}x vs serial")
-        } else {
-            format!("speedup unobservable on {cores} core(s)")
-        }
-    );
-    println!("parallel == serial bitwise: {parallel_identical}");
+    let speedup_4t = match (sweep_serial_seconds, sweep_4t_seconds) {
+        (Some(s), Some(t)) if cores >= 4 => Some(s / t),
+        _ => None,
+    };
+    let parallel_identical_json = match &sweep_section {
+        Some(s) => s.parallel_identical.to_string(),
+        None => "null".to_string(),
+    };
 
     // ---- §3: the same batch once per propagation environment ----
-    println!(
-        "\n== perf_sweep §3: pairs:4 batch per environment, {SWEEP_SEEDS} seeds x {SWEEP_ROUNDS} rounds x 3 protocols, best of {iters} =="
-    );
-    let mut env_rows: Vec<(String, f64)> = Vec::new();
-    for name in BUILTIN_ENVIRONMENT_NAMES {
-        let spec = SweepSpec::new(sweep_scenario.clone())
-            .rounds(SWEEP_ROUNDS)
-            .seeds(seeds.iter().copied())
-            .protocols(&protocols)
-            .environment_named(name)
-            .expect("builtin environment");
+    let sweep_environments = if quick {
+        println!("\n== perf_sweep §3: skipped (--quick) ==");
+        String::new()
+    } else {
+        println!(
+            "\n== perf_sweep §3: pairs:4 batch per environment, {SWEEP_SEEDS} seeds x {SWEEP_ROUNDS} rounds x 3 protocols, best of {iters} =="
+        );
+        let mut env_rows: Vec<(String, f64)> = Vec::new();
+        for name in BUILTIN_ENVIRONMENT_NAMES {
+            let spec = SweepSpec::new(sweep_scenario.clone())
+                .rounds(SWEEP_ROUNDS)
+                .seeds(seeds.iter().copied())
+                .protocols(&protocols)
+                .environment_named(name)
+                .expect("builtin environment");
+            let mut best = f64::INFINITY;
+            for _ in 0..iters {
+                let t = Instant::now();
+                let stats = spec.run();
+                best = best.min(t.elapsed().as_secs_f64());
+                assert!(
+                    stats.iter().all(|s| s.mean_total_mbps.is_finite()),
+                    "{name}: non-finite sweep statistics"
+                );
+            }
+            println!("{name:>18}: {best:.4} s");
+            env_rows.push((name.to_string(), best));
+        }
+        env_rows
+            .iter()
+            .map(|(name, secs)| format!("\"{name}\": {secs:.6}"))
+            .collect::<Vec<_>>()
+            .join(", ")
+    };
+
+    // ---- §4: the city-scale sparse world ----
+    let city_s: Option<f64> = if quick {
+        println!("\n== perf_sweep §4: skipped (--quick) ==");
+        None
+    } else {
+        println!(
+            "\n== perf_sweep §4: city:{CITY_NODES} in multi_cell, 1 placement x {CITY_ROUNDS} rounds, n+, best of {iters} =="
+        );
+        let city_spec = SweepSpec::new(city_scenario(CITY_NODES))
+            .rounds(CITY_ROUNDS)
+            .seed_count(1)
+            .protocols(&[Protocol::NPlus])
+            .environment_named("multi_cell")
+            .expect("builtin environment")
+            .threads(1);
         let mut best = f64::INFINITY;
         for _ in 0..iters {
             let t = Instant::now();
-            let stats = spec.run();
+            let stats = city_spec.run();
             best = best.min(t.elapsed().as_secs_f64());
             assert!(
                 stats.iter().all(|s| s.mean_total_mbps.is_finite()),
-                "{name}: non-finite sweep statistics"
+                "city sweep: non-finite statistics"
             );
         }
-        println!("{name:>18}: {best:.4} s");
-        env_rows.push((name.to_string(), best));
-    }
-    let sweep_environments = env_rows
-        .iter()
-        .map(|(name, secs)| format!("\"{name}\": {secs:.6}"))
-        .collect::<Vec<_>>()
-        .join(", ");
+        let nrps = (CITY_NODES * CITY_ROUNDS) as f64 / best;
+        println!("city sweep:        {best:.4} s  ({nrps:.1} node-rounds/s)");
+        Some(best)
+    };
+    let city_node_rounds_per_sec = city_s.map(|s| (CITY_NODES * CITY_ROUNDS) as f64 / s);
 
-    // ---- §4: the city-scale sparse world ----
+    // ---- §5: kernels, AoS vs SoA ----
+    println!("\n== perf_sweep §5: {KERNEL_DIM}x{KERNEL_DIM} matrix-vector kernel, {KERNEL_ITERS} iters each ==");
+    let (kernel_aos_ns, kernel_soa_ns) = time_kernels();
+    let kernel_speedup = kernel_aos_ns / kernel_soa_ns;
+    println!("scalar AoS: {kernel_aos_ns:.2} ns/op");
+    println!("split SoA:  {kernel_soa_ns:.2} ns/op  ({kernel_speedup:.2}x)");
+
+    // ---- §6: the decimated SINR tier on the §1 workload ----
     println!(
-        "\n== perf_sweep §4: city:{CITY_NODES} in multi_cell, 1 placement x {CITY_ROUNDS} rounds, n+, best of {iters} =="
+        "\n== perf_sweep §6: Fig. 3 scenario, SinrGrid::Decimated({DECIMATION}), {N_PLACEMENTS} placements x {ROUNDS} rounds, best of {iters} =="
     );
-    let city_spec = SweepSpec::new(city_scenario(CITY_NODES))
-        .rounds(CITY_ROUNDS)
+    let decimated_cfg = SimConfig {
+        sinr_grid: SinrGrid::Decimated(DECIMATION),
+        ..cached_cfg.clone()
+    };
+    let (dec_s, dec_r) = best_of(&decimated_cfg, false, iters);
+    let dec_rps = total_rounds / dec_s;
+    assert!(
+        dec_r.iter().all(|r| r.total_mbps.is_finite()),
+        "decimated tier produced non-finite goodput"
+    );
+    // The server cache must never conflate the tiers: the decimated
+    // spec keys differently from the full-grid spec.
+    let full_key = SweepSpec::new(Scenario::three_pairs())
+        .rounds(ROUNDS)
         .seed_count(1)
-        .protocols(&[Protocol::NPlus])
-        .environment_named("multi_cell")
-        .expect("builtin environment")
-        .threads(1);
-    let mut city_s = f64::INFINITY;
-    for _ in 0..iters {
-        let t = Instant::now();
-        let stats = city_spec.run();
-        city_s = city_s.min(t.elapsed().as_secs_f64());
-        assert!(
-            stats.iter().all(|s| s.mean_total_mbps.is_finite()),
-            "city sweep: non-finite statistics"
-        );
-    }
-    let city_node_rounds_per_sec = (CITY_NODES * CITY_ROUNDS) as f64 / city_s;
-    println!("city sweep:        {city_s:.4} s  ({city_node_rounds_per_sec:.1} node-rounds/s)");
+        .canonical()
+        .expect("canonicalizable")
+        .key();
+    let dec_key = SweepSpec::new(Scenario::three_pairs())
+        .rounds(ROUNDS)
+        .seed_count(1)
+        .sinr_grid(SinrGrid::Decimated(DECIMATION))
+        .canonical()
+        .expect("canonicalizable")
+        .key();
+    let keys_distinct = full_key != dec_key;
+    assert!(
+        keys_distinct,
+        "decimated tier aliased the full-grid canonical cache key"
+    );
+    let dec_vs_full = cached_s / dec_s;
+    println!(
+        "decimated engine: {dec_s:.4} s  ({dec_rps:.1} rounds/s, {dec_vs_full:.2}x vs full grid)"
+    );
+    println!(
+        "vs frozen cached baseline ({FROZEN_CACHED_RPS} rounds/s): {:.2}x; vs frozen legacy ({FROZEN_LEGACY_RPS} rounds/s): {:.2}x",
+        dec_rps / FROZEN_CACHED_RPS,
+        dec_rps / FROZEN_LEGACY_RPS
+    );
+    println!("canonical keys distinct from full grid: {keys_distinct}");
 
     let mean_total: f64 =
         cached_r.iter().map(|r| r.total_mbps).sum::<f64>() / cached_r.len().max(1) as f64;
@@ -410,9 +594,30 @@ fn main() {
     // and the sweep binary's JSON report (no hand-rolled Debug strings).
     let policy_list: Vec<String> = protocols.iter().map(|p| format!("\"{p}\"")).collect();
     let sweep_policies = policy_list.join(", ");
+    let sweep_total_runs = SWEEP_SEEDS as usize * protocols.len();
+    let city_json = match (city_s, city_node_rounds_per_sec) {
+        (Some(s), Some(nrps)) => format!(
+            "{{\"nodes\": {CITY_NODES}, \"rounds\": {CITY_ROUNDS}, \"seconds\": {s:.6}, \"node_rounds_per_sec\": {nrps:.3}}}"
+        ),
+        _ => "null".to_string(),
+    };
     let json = format!(
-        "{{\n  \"bench\": \"sim_three_pairs_nplus\",\n  \"placements\": {N_PLACEMENTS},\n  \"rounds\": {ROUNDS},\n  \"iters\": {iters},\n  \"legacy_seconds\": {legacy_s:.6},\n  \"uncached_seconds\": {uncached_s:.6},\n  \"cached_seconds\": {cached_s:.6},\n  \"legacy_rounds_per_sec\": {legacy_rps:.3},\n  \"uncached_rounds_per_sec\": {uncached_rps:.3},\n  \"cached_rounds_per_sec\": {cached_rps:.3},\n  \"speedup\": {speedup:.3},\n  \"cache_speedup\": {cache_speedup:.3},\n  \"bit_identical\": {bit_identical},\n  \"mean_total_mbps\": {mean_total:.6},\n  \"sweep_bench\": \"sweep_pairs4_all_protocols\",\n  \"sweep_policies\": [{sweep_policies}],\n  \"sweep_seeds\": {SWEEP_SEEDS},\n  \"sweep_rounds\": {SWEEP_ROUNDS},\n  \"sweep_cores_available\": {cores},\n  \"sweep_legacy_seconds\": {sweep_legacy_s:.6},\n  \"sweep_serial_seconds\": {serial_s:.6},\n  \"sweep_2t_seconds\": {t2_s:.6},\n  \"sweep_4t_seconds\": {t4_s:.6},\n  \"sweep_speedup_vs_legacy\": {sweep_vs_legacy:.3},\n  \"multi_core_observable\": {multi_core_observable},\n  \"sweep_speedup_2t\": {speedup_2t_json},\n  \"sweep_speedup_4t\": {speedup_4t_json},\n  \"sweep_parallel_bit_identical\": {parallel_identical},\n  \"sweep_environments\": {{{sweep_environments}}},\n  \"sweep_city\": {{\"nodes\": {CITY_NODES}, \"rounds\": {CITY_ROUNDS}, \"seconds\": {city_s:.6}, \"node_rounds_per_sec\": {city_node_rounds_per_sec:.3}}}\n}}\n"
+        "{{\n  \"bench\": \"sim_three_pairs_nplus\",\n  \"placements\": {N_PLACEMENTS},\n  \"rounds\": {ROUNDS},\n  \"total_rounds\": {total_rounds},\n  \"iters\": {iters},\n  \"quick\": {quick},\n  \"legacy_seconds\": {legacy_seconds},\n  \"uncached_seconds\": {uncached_s:.6},\n  \"cached_seconds\": {cached_s:.6},\n  \"legacy_rounds_per_sec\": {legacy_rps_json},\n  \"uncached_rounds_per_sec\": {uncached_rps:.3},\n  \"cached_rounds_per_sec\": {cached_rps:.3},\n  \"speedup\": {speedup_json},\n  \"cache_speedup\": {cache_speedup:.3},\n  \"bit_identical\": {bit_identical},\n  \"mean_total_mbps\": {mean_total:.6},\n  \"frozen_baseline\": {{\"cached_rounds_per_sec\": {FROZEN_CACHED_RPS}, \"legacy_rounds_per_sec\": {FROZEN_LEGACY_RPS}}},\n  \"speedup_vs_frozen_cached\": {vs_frozen:.3},\n  \"sweep_bench\": \"sweep_pairs4_all_protocols\",\n  \"sweep_policies\": [{sweep_policies}],\n  \"sweep_seeds\": {SWEEP_SEEDS},\n  \"sweep_rounds\": {SWEEP_ROUNDS},\n  \"sweep_total_runs\": {sweep_total_runs},\n  \"sweep_cores_available\": {cores},\n  \"sweep_legacy_seconds\": {sweep_legacy_json},\n  \"sweep_serial_seconds\": {sweep_serial_json},\n  \"sweep_2t_seconds\": {sweep_2t_json},\n  \"sweep_4t_seconds\": {sweep_4t_json},\n  \"sweep_speedup_vs_legacy\": {sweep_vs_legacy_json},\n  \"multi_core_observable\": {multi_core_observable},\n  \"sweep_speedup_2t\": {speedup_2t_json},\n  \"sweep_speedup_4t\": {speedup_4t_json},\n  \"sweep_parallel_bit_identical\": {parallel_identical_json},\n  \"sweep_environments\": {{{sweep_environments}}},\n  \"sweep_city\": {city_json},\n  \"kernels\": {{\"bench\": \"matvec_{KERNEL_DIM}x{KERNEL_DIM}\", \"iters\": {KERNEL_ITERS}, \"aos_ns_per_op\": {kernel_aos_ns:.3}, \"soa_ns_per_op\": {kernel_soa_ns:.3}, \"soa_speedup\": {kernel_speedup:.3}}},\n  \"sinr_grid\": {{\"tier\": \"decimated:{DECIMATION}\", \"placements\": {N_PLACEMENTS}, \"rounds\": {ROUNDS}, \"total_rounds\": {total_rounds}, \"seconds\": {dec_s:.6}, \"rounds_per_sec\": {dec_rps:.3}, \"speedup_vs_full_grid\": {dec_vs_full:.3}, \"speedup_vs_frozen_cached\": {dec_vs_frozen_cached:.3}, \"speedup_vs_frozen_legacy\": {dec_vs_frozen_legacy:.3}, \"canonical_keys_distinct\": {keys_distinct}}}\n}}\n",
+        legacy_seconds = json_opt(legacy_s, 6),
+        legacy_rps_json = json_opt(legacy_rps, 3),
+        speedup_json = json_opt(speedup, 3),
+        vs_frozen = cached_rps / FROZEN_CACHED_RPS,
+        sweep_legacy_json = json_opt(sweep_legacy_seconds, 6),
+        sweep_serial_json = json_opt(sweep_serial_seconds, 6),
+        sweep_2t_json = json_opt(sweep_2t_seconds, 6),
+        sweep_4t_json = json_opt(sweep_4t_seconds, 6),
+        sweep_vs_legacy_json = json_opt(sweep_vs_legacy, 3),
+        speedup_2t_json = json_opt(speedup_2t, 3),
+        speedup_4t_json = json_opt(speedup_4t, 3),
+        dec_vs_frozen_cached = dec_rps / FROZEN_CACHED_RPS,
+        dec_vs_frozen_legacy = dec_rps / FROZEN_LEGACY_RPS,
     );
+
     std::fs::write(&out_path, json).expect("write BENCH_sim.json");
     println!("wrote {out_path}");
 }

@@ -1,0 +1,104 @@
+//! The per-run arena contract: after the warm-up rounds have grown the
+//! `Scratch` pools and the round buffers to their high-water marks, a
+//! steady-state round performs **zero** heap allocations. Verified with
+//! a counting global allocator and a round observer that snapshots the
+//! allocation counter at every round boundary.
+//!
+//! This file holds exactly one `#[test]` so no concurrent test can
+//! pollute the global counter.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use nplus::observer::{RoundObserver, RoundRecord};
+use nplus::sim::{Protocol, SimConfig, SimEngine};
+use nplus_channel::placement::Testbed;
+use nplus_medium::topology::{build_topology, TopologyConfig};
+use nplus_testkit::generator::ScenarioGenerator;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Counts every `alloc`/`realloc` call (deallocations are free to
+/// remain — the arena claim is about *acquiring* memory per round).
+struct CountingAlloc;
+
+static ALLOC_CALLS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+/// Snapshots the global allocation counter at every round end, into
+/// storage preallocated before the run (so the ledger itself never
+/// allocates mid-run).
+struct AllocLedger {
+    counts: Vec<u64>,
+}
+
+impl RoundObserver for AllocLedger {
+    fn on_round_end(&mut self, _ev: &RoundRecord) {
+        self.counts.push(ALLOC_CALLS.load(Ordering::Relaxed));
+    }
+}
+
+#[test]
+fn steady_state_rounds_allocate_nothing() {
+    const ROUNDS: usize = 400;
+    const WARMUP: usize = 300;
+
+    // A 32-node dense scenario: 16 contending pairs keep every pool in
+    // the engine (streams, receiver states, believed-channel arrays,
+    // join bookkeeping) exercised each round. Warm-up must outlast the
+    // opening-plan memo's fill — every transmitter has to win primary
+    // contention at least once (coupon collector over 16 contenders)
+    // before the last first-win stops populating it.
+    let scenario = ScenarioGenerator::new(7).dense(32);
+    let testbed = Testbed::fitting(scenario.antennas.len());
+    let cfg = SimConfig {
+        rounds: ROUNDS,
+        ..SimConfig::default()
+    };
+    let mut placement_rng = StdRng::seed_from_u64(3);
+    let topo = build_topology(
+        &testbed,
+        &TopologyConfig::new(scenario.antennas.clone()),
+        cfg.ofdm.bandwidth_hz,
+        3,
+        &mut placement_rng,
+    );
+    let engine = SimEngine::new(&topo, &scenario, &cfg);
+
+    let mut ledger = AllocLedger {
+        counts: Vec::with_capacity(ROUNDS + 1),
+    };
+    let mut rng = StdRng::seed_from_u64(11);
+    let result = engine.run_observed(Protocol::NPlus.policy(), &mut rng, &mut ledger);
+    assert!(result.total_mbps.is_finite());
+    assert_eq!(ledger.counts.len(), ROUNDS);
+
+    // Every round after warm-up must leave the counter untouched.
+    let steady = ledger.counts[WARMUP - 1];
+    for (round, &count) in ledger.counts.iter().enumerate().skip(WARMUP) {
+        assert_eq!(
+            count,
+            steady,
+            "round {round} allocated {} time(s) after warm-up (round {} -> {})",
+            count - steady,
+            WARMUP - 1,
+            round,
+        );
+    }
+}

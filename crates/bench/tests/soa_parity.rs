@@ -1,0 +1,93 @@
+//! SoA ≡ AoS bitwise parity, property-tested across the whole policy
+//! registry: sweeping with the channel cache on (the engine consumes
+//! precomputed split-complex SoA tables) must equal sweeping with the
+//! cache off (every matrix converted from its AoS `MimoLink` evaluation
+//! on the fly) bit for bit, and the answer must not depend on the
+//! worker-thread count. Scenarios are drawn from the generator family,
+//! including the sparse procedural `city:` world.
+
+use nplus::policy::BUILTIN_POLICY_NAMES;
+use nplus::sim::{SimConfig, SweepSpec, SweepStats};
+use nplus_testkit::generator::ScenarioGenerator;
+use nplus_testkit::spec::city_scenario;
+use proptest::prelude::*;
+
+/// Bitwise equality of two sweep-stat lists (same shape as the
+/// perf_sweep determinism assert: every float must match exactly).
+fn stats_bitwise_eq(a: &[SweepStats], b: &[SweepStats]) -> bool {
+    a.len() == b.len()
+        && a.iter().zip(b).all(|(x, y)| {
+            x.policy == y.policy
+                && x.n_runs == y.n_runs
+                && x.mean_total_mbps.to_bits() == y.mean_total_mbps.to_bits()
+                && x.ci95_total_mbps.to_bits() == y.ci95_total_mbps.to_bits()
+                && x.mean_per_flow_mbps.len() == y.mean_per_flow_mbps.len()
+                && x.mean_per_flow_mbps
+                    .iter()
+                    .zip(&y.mean_per_flow_mbps)
+                    .all(|(p, q)| p.to_bits() == q.to_bits())
+                && x.mean_dof.to_bits() == y.mean_dof.to_bits()
+                && x.mean_fairness.to_bits() == y.mean_fairness.to_bits()
+        })
+}
+
+/// Builds the all-policy spec for one generated scenario.
+fn spec_for(kind: u8, gen_seed: u64, rounds: usize, cfg: SimConfig) -> SweepSpec {
+    let mut generator = ScenarioGenerator::new(gen_seed);
+    let (scenario, environment) = match kind {
+        0 => (generator.n_pairs(2), None),
+        1 => (generator.n_pairs(3), None),
+        2 => (generator.hidden_terminal(3), None),
+        3 => (generator.dense(8), None),
+        // The sparse city world: links below the power floor are absent,
+        // exercising the typed no-such-link path of the SoA cache.
+        _ => (city_scenario(16), Some("multi_cell")),
+    };
+    let mut spec = SweepSpec::new(scenario)
+        .rounds(rounds)
+        .seeds([gen_seed, gen_seed ^ 0xBEEF])
+        .config(cfg);
+    if let Some(env) = environment {
+        spec = spec.environment_named(env).expect("builtin environment");
+    }
+    for name in BUILTIN_POLICY_NAMES {
+        spec = spec.policy_named(name).expect("builtin policy");
+    }
+    spec
+}
+
+proptest! {
+    // Each case runs 5 policies x 2 seeds x 4 sweep variants; a small
+    // case count already covers every scenario family thanks to the
+    // explicit `kind` strategy.
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    #[test]
+    fn cached_soa_equals_aos_conversion_across_threads(
+        kind in 0u8..5,
+        gen_seed in 0u64..1_000,
+        rounds in 3usize..7,
+    ) {
+        let cached_cfg = SimConfig::default();
+        let uncached_cfg = SimConfig { cache_channels: false, ..SimConfig::default() };
+
+        let cached_1t = spec_for(kind, gen_seed, rounds, cached_cfg.clone()).threads(1).run();
+        let cached_2t = spec_for(kind, gen_seed, rounds, cached_cfg).threads(2).run();
+        let uncached_1t = spec_for(kind, gen_seed, rounds, uncached_cfg.clone()).threads(1).run();
+        let uncached_2t = spec_for(kind, gen_seed, rounds, uncached_cfg).threads(2).run();
+
+        prop_assert!(cached_1t.iter().all(|s| s.mean_total_mbps.is_finite()));
+        prop_assert!(
+            stats_bitwise_eq(&cached_1t, &uncached_1t),
+            "SoA tables diverged from the AoS conversion path (kind {kind}, seed {gen_seed})"
+        );
+        prop_assert!(
+            stats_bitwise_eq(&cached_1t, &cached_2t),
+            "cached sweep depends on thread count (kind {kind}, seed {gen_seed})"
+        );
+        prop_assert!(
+            stats_bitwise_eq(&uncached_1t, &uncached_2t),
+            "uncached sweep depends on thread count (kind {kind}, seed {gen_seed})"
+        );
+    }
+}

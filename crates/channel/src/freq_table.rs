@@ -17,14 +17,20 @@
 //! checks end-to-end.
 
 use crate::mimo::MimoLink;
-use nplus_linalg::{CMatrix, Complex64};
+use nplus_linalg::{CMatrix, CMatrixSoA, Complex64};
 
 /// Frequency responses of one [`MimoLink`], evaluated once for a fixed
 /// set of FFT bins (normally the occupied subcarriers).
+///
+/// Matrices are stored in split (structure-of-arrays) layout so the
+/// engine's precoder/ZF-SINR hot path consumes them without conversion;
+/// the build still runs the exact interleaved tap accumulation below and
+/// converts value-for-value, so lookups remain bit-identical to
+/// [`MimoLink::channel_matrix`].
 #[derive(Debug, Clone)]
 pub struct FreqResponseTable {
     /// One `N_rx × M_tx` matrix per requested bin, in request order.
-    matrices: Vec<CMatrix>,
+    matrices: Vec<CMatrixSoA>,
     /// The FFT bins the table covers, in request order.
     bins: Vec<usize>,
     /// FFT grid size the bins index into.
@@ -67,7 +73,7 @@ impl FreqResponseTable {
                     h[(rx, tx)] = acc.scale(amplitude);
                 }
             }
-            matrices.push(h);
+            matrices.push(CMatrixSoA::from_aos(&h));
         }
         FreqResponseTable {
             matrices,
@@ -78,13 +84,13 @@ impl FreqResponseTable {
 
     /// The channel matrix of the `pos`-th requested bin (position in the
     /// `bins` slice given to [`FreqResponseTable::new`], *not* the raw
-    /// FFT bin index).
-    pub fn matrix(&self, pos: usize) -> &CMatrix {
+    /// FFT bin index), in split storage.
+    pub fn matrix(&self, pos: usize) -> &CMatrixSoA {
         &self.matrices[pos]
     }
 
     /// All matrices, in bin-request order.
-    pub fn matrices(&self) -> &[CMatrix] {
+    pub fn matrices(&self) -> &[CMatrixSoA] {
         &self.matrices
     }
 
@@ -150,12 +156,12 @@ mod tests {
                         // Bitwise equality, not approximate: the cached
                         // path must be indistinguishable from recompute.
                         assert_eq!(
-                            cached[(r, c)].re.to_bits(),
+                            cached.get(r, c).re.to_bits(),
                             direct[(r, c)].re.to_bits(),
                             "bin {k} entry ({r},{c}) re"
                         );
                         assert_eq!(
-                            cached[(r, c)].im.to_bits(),
+                            cached.get(r, c).im.to_bits(),
                             direct[(r, c)].im.to_bits(),
                             "bin {k} entry ({r},{c}) im"
                         );
@@ -185,6 +191,9 @@ mod tests {
         let bins = vec![10usize];
         let t1 = FreqResponseTable::new(&link, &bins, 64);
         let t2 = FreqResponseTable::new(&half, &bins, 64);
-        assert!(t2.matrix(0).approx_eq(&t1.matrix(0).scale_re(0.5), 1e-12));
+        assert!(t2
+            .matrix(0)
+            .to_aos()
+            .approx_eq(&t1.matrix(0).scale_re(0.5).to_aos(), 1e-12));
     }
 }

@@ -22,7 +22,7 @@
 //! *two* estimated quantities (`U^⊥` and `H`).
 
 use crate::pathloss::sample_normal;
-use nplus_linalg::{c64, CMatrix, Complex64};
+use nplus_linalg::{c64, CMatrix, CMatrixSoA, Complex64};
 use rand::Rng;
 
 /// Radio hardware quality knobs.
@@ -134,6 +134,54 @@ impl HardwareProfile {
         let mut estimated = self.corrupt_estimate(h_true, rng);
         self.apply_calibration_error_in_place(&mut estimated, rng);
         estimated
+    }
+
+    /// Split-storage, pooled sibling of
+    /// [`HardwareProfile::corrupt_estimate`]: writes the corrupted
+    /// estimate into `out` (buffers reused). Identical entry arithmetic
+    /// and the identical row-major RNG draw order (two normals per
+    /// entry), so seeded results match the interleaved path bit for bit.
+    pub fn corrupt_estimate_into<R: Rng>(&self, h: &CMatrixSoA, rng: &mut R, out: &mut CMatrixSoA) {
+        let err_amp = 10f64.powf(-self.estimation_snr_db / 20.0);
+        out.assign_from(h);
+        for i in 0..h.rows() {
+            for j in 0..h.cols() {
+                let scale = h.get(i, j).abs() * err_amp / 2f64.sqrt();
+                let e = c64(sample_normal(rng), sample_normal(rng)).scale(scale);
+                out.set(i, j, out.get(i, j) + e);
+            }
+        }
+    }
+
+    /// Split-storage sibling of
+    /// [`HardwareProfile::apply_calibration_error_in_place`] — identical
+    /// arithmetic and RNG draws (including the no-draw early return when
+    /// the calibration residual is zero).
+    pub fn apply_calibration_error_soa_in_place<R: Rng>(&self, h: &mut CMatrixSoA, rng: &mut R) {
+        if self.calibration_error_std == 0.0 {
+            return;
+        }
+        let s = self.calibration_error_std / 2f64.sqrt();
+        for i in 0..h.rows() {
+            for j in 0..h.cols() {
+                let eps = c64(sample_normal(rng), sample_normal(rng)).scale(s);
+                h.set(i, j, h.get(i, j) * (Complex64::ONE + eps));
+            }
+        }
+    }
+
+    /// Split-storage, pooled sibling of
+    /// [`HardwareProfile::reciprocal_channel_knowledge`]: estimation
+    /// noise then calibration residual, into a reusable buffer, with the
+    /// same composed RNG stream as the interleaved path.
+    pub fn reciprocal_channel_knowledge_into<R: Rng>(
+        &self,
+        h_true: &CMatrixSoA,
+        rng: &mut R,
+        out: &mut CMatrixSoA,
+    ) {
+        self.corrupt_estimate_into(h_true, rng, out);
+        self.apply_calibration_error_soa_in_place(out, rng);
     }
 
     /// Adds transmit-chain EVM noise to a per-antenna sample stream:
@@ -255,6 +303,44 @@ mod tests {
         let zero = CMatrix::zeros(2, 2);
         let out = p.apply_calibration_error(&zero, &mut rng);
         assert!(out.approx_eq(&zero, 1e-12));
+    }
+
+    #[test]
+    fn soa_impairments_match_interleaved_bitwise() {
+        let p = HardwareProfile::default();
+        let mut rng_a = StdRng::seed_from_u64(77);
+        let h = random_h(&mut rng_a);
+        let hs = CMatrixSoA::from_aos(&h);
+        // Same seed, two paths: the RNG streams must stay in lockstep.
+        let mut r1 = StdRng::seed_from_u64(9);
+        let mut r2 = StdRng::seed_from_u64(9);
+        let expect = p.reciprocal_channel_knowledge(&h, &mut r1);
+        let mut out = CMatrixSoA::default();
+        p.reciprocal_channel_knowledge_into(&hs, &mut r2, &mut out);
+        for i in 0..h.rows() {
+            for j in 0..h.cols() {
+                assert_eq!(out.get(i, j).re.to_bits(), expect[(i, j)].re.to_bits());
+                assert_eq!(out.get(i, j).im.to_bits(), expect[(i, j)].im.to_bits());
+            }
+        }
+        // After both paths the RNGs must agree on the next draw.
+        assert_eq!(
+            sample_normal(&mut r1).to_bits(),
+            sample_normal(&mut r2).to_bits()
+        );
+        // Zero calibration residual must not consume RNG state.
+        let quiet = HardwareProfile {
+            calibration_error_std: 0.0,
+            ..p
+        };
+        let mut r3 = StdRng::seed_from_u64(10);
+        let mut r4 = StdRng::seed_from_u64(10);
+        let mut copy = out.clone();
+        quiet.apply_calibration_error_soa_in_place(&mut copy, &mut r3);
+        assert_eq!(
+            sample_normal(&mut r3).to_bits(),
+            sample_normal(&mut r4).to_bits()
+        );
     }
 
     #[test]

@@ -18,7 +18,9 @@
 //! (hardware error) is *not* known to the receiver and degrades the SINR
 //! — exactly the 0.8/1.3 dB effect of Fig. 11.
 
-use nplus_linalg::{pinv, CMatrix, CVector, Complex64, Subspace};
+use nplus_linalg::{
+    pinv, pinv_into, CMatrix, CMatrixSoA, CVector, Complex64, PinvWorkspace, Subspace,
+};
 use nplus_phy::esnr::effective_snr;
 use nplus_phy::modulation::Modulation;
 use nplus_phy::rates::{RateIndex, RATE_TABLE};
@@ -104,6 +106,69 @@ pub fn zf_sinr_slices(
         .collect()
 }
 
+/// Reusable buffers for [`zf_sinr_slices_into`] — one per engine, reused
+/// across every (round × receiver × subcarrier) evaluation.
+#[derive(Debug, Clone, Default)]
+pub struct ZfWorkspace {
+    a: CMatrixSoA,
+    pinv: PinvWorkspace,
+}
+
+/// Pooled sibling of [`zf_sinr_slices`]: identical arithmetic through the
+/// split-storage pseudo-inverse kernel (`pinv_into` replicates `pinv`
+/// operation for operation), with the ZF matrix assembled into a reusable
+/// buffer and the SINRs written into `out`. Seeded results are bit-for-bit
+/// the allocating path's.
+pub fn zf_sinr_slices_into(
+    wanted: &[CVector],
+    known_interference: &[CVector],
+    residual_interference: &[CVector],
+    noise_power: f64,
+    ws: &mut ZfWorkspace,
+    out: &mut Vec<f64>,
+) {
+    out.clear();
+    let n_wanted = wanted.len();
+    if n_wanted == 0 {
+        return;
+    }
+    let n_ant = wanted[0].len();
+    let n_cols = n_wanted + known_interference.len();
+    if n_cols > n_ant {
+        // Over-subscribed receive space: undecodable.
+        out.resize(n_wanted, 0.0);
+        return;
+    }
+    // Assemble the ZF matrix column by column (wanted, then known
+    // interference) — the same values `from_col_refs` lays out.
+    ws.a.reset(n_ant, n_cols);
+    for (j, v) in wanted.iter().chain(known_interference).enumerate() {
+        for (i, z) in v.iter().enumerate() {
+            ws.a.set(i, j, *z);
+        }
+    }
+    if pinv_into(&ws.a, &mut ws.pinv).is_err() {
+        out.resize(n_wanted, 0.0);
+        return;
+    }
+    let w = &ws.pinv.out;
+    for i in 0..n_wanted {
+        // ZF: row · wanted_i = 1 by construction; noise and residual
+        // interference pass through the filter (same row-walk as
+        // `zf_sinr_slices`).
+        let noise: f64 = (0..n_ant).map(|j| w.get(i, j).norm_sqr()).sum::<f64>() * noise_power;
+        let mut resid = 0.0f64;
+        for r in residual_interference {
+            let mut acc = Complex64::ZERO;
+            for j in 0..n_ant {
+                acc += w.get(i, j) * r[j];
+            }
+            resid += acc.norm_sqr();
+        }
+        out.push(1.0 / (noise + resid).max(1e-300));
+    }
+}
+
 /// Reduces per-subcarrier SINRs of one stream to a rate choice.
 ///
 /// `per_subcarrier_sinr[k]` is the stream's SINR on occupied subcarrier
@@ -114,9 +179,16 @@ pub fn select_stream_rate(per_subcarrier_sinr: &[f64]) -> Option<RateIndex> {
         return None;
     }
     let mut best = None;
+    // The 8 rate entries share 4 modulations, and the ESNR is a pure
+    // function of (modulation, SINR track) — evaluate each modulation's
+    // BER fold and inversion once and reuse it for both coding rates.
+    let mut esnr_db_by_mod: [Option<f64>; 4] = [None; 4];
     for (idx, mcs) in RATE_TABLE.iter().enumerate() {
-        let esnr = effective_snr(mcs.modulation, per_subcarrier_sinr);
-        let esnr_db = 10.0 * esnr.max(1e-300).log10();
+        let slot = &mut esnr_db_by_mod[mcs.modulation as usize];
+        let esnr_db = *slot.get_or_insert_with(|| {
+            let esnr = effective_snr(mcs.modulation, per_subcarrier_sinr);
+            10.0 * esnr.max(1e-300).log10()
+        });
         if esnr_db >= RATE_ESNR_THRESHOLDS_DB[idx] {
             best = Some(idx);
         }
@@ -254,6 +326,48 @@ mod tests {
         assert_eq!(r_high, Some(7));
         let dead = vec![0.01; 52];
         assert_eq!(select_stream_rate(&dead), None);
+    }
+
+    /// The pooled split-storage ZF path is bit-for-bit the allocating
+    /// path, including the degenerate (empty / oversubscribed / singular)
+    /// branches.
+    #[test]
+    fn pooled_zf_matches_allocating_bitwise() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut ws = ZfWorkspace::default();
+        let mut out = Vec::new();
+        let rv = |n: usize, rng: &mut StdRng| {
+            CVector::from_vec(
+                (0..n)
+                    .map(|_| c64(rng.gen::<f64>() - 0.5, rng.gen()))
+                    .collect(),
+            )
+        };
+        for _ in 0..200 {
+            let n_ant = rng.gen_range(1..=4usize);
+            let n_wanted = rng.gen_range(0..=n_ant + 1);
+            let n_known = rng.gen_range(0..=2usize);
+            let n_resid = rng.gen_range(0..=2usize);
+            let wanted: Vec<CVector> = (0..n_wanted).map(|_| rv(n_ant, &mut rng)).collect();
+            let known: Vec<CVector> = (0..n_known).map(|_| rv(n_ant, &mut rng)).collect();
+            let resid: Vec<CVector> = (0..n_resid).map(|_| rv(n_ant, &mut rng)).collect();
+            let reference = zf_sinr_slices(&wanted, &known, &resid, 1.0);
+            zf_sinr_slices_into(&wanted, &known, &resid, 1.0, &mut ws, &mut out);
+            assert_eq!(reference.len(), out.len());
+            for (a, b) in reference.iter().zip(&out) {
+                assert_eq!(a.to_bits(), b.to_bits());
+            }
+        }
+        // A duplicated column makes the Gram matrix singular: both paths
+        // must agree on the zero fallback.
+        let v = rv(3, &mut rng);
+        let dup = [v.clone(), v.clone()];
+        let reference = zf_sinr_slices(&dup, &[], &[], 1.0);
+        zf_sinr_slices_into(&dup, &[], &[], 1.0, &mut ws, &mut out);
+        assert_eq!(reference, out);
+        assert_eq!(out, vec![0.0, 0.0]);
     }
 
     #[test]

@@ -6,7 +6,7 @@
 //! `policy_regression` integration suite pins their results bit-for-bit
 //! against values recorded from the enum-era implementation.
 
-use super::{MacPolicy, PolicyView};
+use super::{AllocScratch, MacPolicy, PolicyView};
 
 /// The paper's contribution (§3): the first winner behaves like
 /// 802.11n, later winners join through the precoder after §4 join
@@ -26,6 +26,29 @@ impl MacPolicy for NPlus {
         round: usize,
     ) -> Vec<(usize, usize)> {
         view.fair_allocation(tx, 0, round)
+    }
+
+    fn primary_allocation_into(
+        &self,
+        view: &PolicyView,
+        tx: usize,
+        round: usize,
+        ws: &mut AllocScratch,
+        out: &mut Vec<(usize, usize)>,
+    ) {
+        view.fair_allocation_into(tx, 0, round, ws, out);
+    }
+
+    fn join_allocation_into(
+        &self,
+        view: &PolicyView,
+        tx: usize,
+        k_used: usize,
+        round: usize,
+        ws: &mut AllocScratch,
+        out: &mut Vec<(usize, usize)>,
+    ) {
+        view.fair_allocation_into(tx, k_used, round, ws, out);
     }
 
     fn allows_join(&self) -> bool {
@@ -51,6 +74,17 @@ impl MacPolicy for Dot11n {
     ) -> Vec<(usize, usize)> {
         view.single_flow_allocation(tx, round)
     }
+
+    fn primary_allocation_into(
+        &self,
+        view: &PolicyView,
+        tx: usize,
+        round: usize,
+        _ws: &mut AllocScratch,
+        out: &mut Vec<(usize, usize)>,
+    ) {
+        view.single_flow_allocation_into(tx, round, out);
+    }
 }
 
 /// Baseline: multi-user beamforming (the paper's \[7\], Aryafar et al.).
@@ -71,6 +105,17 @@ impl MacPolicy for Beamforming {
         round: usize,
     ) -> Vec<(usize, usize)> {
         view.fair_allocation(tx, 0, round)
+    }
+
+    fn primary_allocation_into(
+        &self,
+        view: &PolicyView,
+        tx: usize,
+        round: usize,
+        ws: &mut AllocScratch,
+        out: &mut Vec<(usize, usize)>,
+    ) {
+        view.fair_allocation_into(tx, 0, round, ws, out);
     }
 }
 
@@ -95,6 +140,29 @@ impl MacPolicy for GreedyJoin {
         round: usize,
     ) -> Vec<(usize, usize)> {
         view.fair_allocation(tx, 0, round)
+    }
+
+    fn primary_allocation_into(
+        &self,
+        view: &PolicyView,
+        tx: usize,
+        round: usize,
+        ws: &mut AllocScratch,
+        out: &mut Vec<(usize, usize)>,
+    ) {
+        view.fair_allocation_into(tx, 0, round, ws, out);
+    }
+
+    fn join_allocation_into(
+        &self,
+        view: &PolicyView,
+        tx: usize,
+        k_used: usize,
+        round: usize,
+        ws: &mut AllocScratch,
+        out: &mut Vec<(usize, usize)>,
+    ) {
+        view.fair_allocation_into(tx, k_used, round, ws, out);
     }
 
     fn allows_join(&self) -> bool {

@@ -35,6 +35,16 @@ use crate::link::select_stream_rate;
 use crate::sim::Scenario;
 use nplus_phy::rates::RateIndex;
 
+/// Reusable buffers for the pooled allocation hooks
+/// ([`MacPolicy::primary_allocation_into`] and friends). The engine
+/// keeps one per run so steady-state rounds allocate nothing; the
+/// allocating convenience methods build a throwaway one internally.
+#[derive(Debug, Clone, Default)]
+pub struct AllocScratch {
+    caps: Vec<usize>,
+    alloc: Vec<usize>,
+}
+
 /// The read-only slice of engine state a policy decides from: the
 /// scenario's antenna counts and flows, plus the shared fair-allocation
 /// helper the built-in policies are defined in terms of.
@@ -76,25 +86,42 @@ impl<'a> PolicyView<'a> {
         k_ongoing: usize,
         round: usize,
     ) -> Vec<(usize, usize)> {
+        let mut ws = AllocScratch::default();
+        let mut out = Vec::new();
+        self.fair_allocation_into(tx, k_ongoing, round, &mut ws, &mut out);
+        out
+    }
+
+    /// Pooled form of [`fair_allocation`](PolicyView::fair_allocation):
+    /// identical greedy rotation, writing into caller-owned buffers so
+    /// steady-state rounds allocate nothing.
+    pub fn fair_allocation_into(
+        &self,
+        tx: usize,
+        k_ongoing: usize,
+        round: usize,
+        ws: &mut AllocScratch,
+        out: &mut Vec<(usize, usize)>,
+    ) {
+        out.clear();
         let flows = &self.flows_of[tx];
         let m = self.n_ant(tx).saturating_sub(k_ongoing);
         if m == 0 || flows.is_empty() {
-            return Vec::new();
+            return;
         }
-        let caps: Vec<usize> = flows
-            .iter()
-            .map(|&f| {
-                let rx = self.scenario.flows[f].rx;
-                self.n_ant(rx).saturating_sub(k_ongoing.min(self.n_ant(rx)))
-            })
-            .collect();
-        let mut alloc = vec![0usize; flows.len()];
+        ws.caps.clear();
+        ws.caps.extend(flows.iter().map(|&f| {
+            let rx = self.scenario.flows[f].rx;
+            self.n_ant(rx).saturating_sub(k_ongoing.min(self.n_ant(rx)))
+        }));
+        ws.alloc.clear();
+        ws.alloc.resize(flows.len(), 0);
         let mut remaining = m;
         let mut i = round % flows.len();
         let mut stalled = 0;
         while remaining > 0 && stalled < flows.len() {
-            if alloc[i] < caps[i] {
-                alloc[i] += 1;
+            if ws.alloc[i] < ws.caps[i] {
+                ws.alloc[i] += 1;
                 remaining -= 1;
                 stalled = 0;
             } else {
@@ -102,26 +129,41 @@ impl<'a> PolicyView<'a> {
             }
             i = (i + 1) % flows.len();
         }
-        flows
-            .iter()
-            .zip(alloc)
-            .filter(|(_, a)| *a > 0)
-            .map(|(&f, a)| (f, a))
-            .collect()
+        out.extend(
+            flows
+                .iter()
+                .zip(&ws.alloc)
+                .filter(|(_, &a)| a > 0)
+                .map(|(&f, &a)| (f, a)),
+        );
     }
 
     /// Stock 802.11n's allocation: one receiver per transmission
     /// opportunity, rotated across the transmitter's flows, with
     /// `min(M_tx, N_rx)` streams to it.
     pub fn single_flow_allocation(&self, tx: usize, round: usize) -> Vec<(usize, usize)> {
+        let mut out = Vec::new();
+        self.single_flow_allocation_into(tx, round, &mut out);
+        out
+    }
+
+    /// Pooled form of
+    /// [`single_flow_allocation`](PolicyView::single_flow_allocation).
+    pub fn single_flow_allocation_into(
+        &self,
+        tx: usize,
+        round: usize,
+        out: &mut Vec<(usize, usize)>,
+    ) {
+        out.clear();
         let flows = &self.flows_of[tx];
         if flows.is_empty() {
-            return Vec::new();
+            return;
         }
         let f = flows[round % flows.len()];
         let rx = self.scenario.flows[f].rx;
         let n = self.n_ant(tx).min(self.n_ant(rx));
-        vec![(f, n)]
+        out.push((f, n));
     }
 }
 
@@ -144,6 +186,25 @@ pub trait MacPolicy: Send + Sync {
     fn primary_allocation(&self, view: &PolicyView, tx: usize, round: usize)
         -> Vec<(usize, usize)>;
 
+    /// Pooled form of [`primary_allocation`](MacPolicy::primary_allocation):
+    /// the engine's hot path calls this with reusable buffers so
+    /// steady-state rounds allocate nothing. The default delegates to
+    /// the allocating method (correct for any policy, but allocates);
+    /// every built-in overrides it with the pooled view helpers.
+    /// Overrides must produce the exact pairs `primary_allocation`
+    /// returns.
+    fn primary_allocation_into(
+        &self,
+        view: &PolicyView,
+        tx: usize,
+        round: usize,
+        _ws: &mut AllocScratch,
+        out: &mut Vec<(usize, usize)>,
+    ) {
+        out.clear();
+        out.extend(self.primary_allocation(view, tx, round));
+    }
+
     /// Whether later winners may join mid-round through secondary
     /// contention (n+'s defining feature). Defaults to `false`.
     fn allows_join(&self) -> bool {
@@ -160,6 +221,25 @@ pub trait MacPolicy: Send + Sync {
         round: usize,
     ) -> Vec<(usize, usize)> {
         view.fair_allocation(tx, k_used, round)
+    }
+
+    /// Pooled form of [`join_allocation`](MacPolicy::join_allocation),
+    /// with the same override contract as
+    /// [`primary_allocation_into`](MacPolicy::primary_allocation_into):
+    /// the default delegates to the allocating method (correct for any
+    /// override of `join_allocation`, but allocates), and the built-in
+    /// joiners override it with the pooled fair allocator.
+    fn join_allocation_into(
+        &self,
+        view: &PolicyView,
+        tx: usize,
+        k_used: usize,
+        round: usize,
+        _ws: &mut AllocScratch,
+        out: &mut Vec<(usize, usize)>,
+    ) {
+        out.clear();
+        out.extend(self.join_allocation(view, tx, k_used, round));
     }
 
     /// Whether joiners run §4 join power control against protected
@@ -264,6 +344,36 @@ mod tests {
         // AP2 (3 ant) -> client (2 ant): min(3, 2) = 2 streams, rotating.
         assert_eq!(view.single_flow_allocation(2, 0), vec![(1, 2)]);
         assert_eq!(view.single_flow_allocation(2, 1), vec![(2, 2)]);
+    }
+
+    #[test]
+    fn pooled_allocators_match_allocating_forms() {
+        let scenario = Scenario::ap_downlink();
+        let flows_of = view_fixture(&scenario);
+        let view = PolicyView::new(&scenario, &flows_of);
+        let mut ws = AllocScratch::default();
+        let mut out = Vec::new();
+        for tx in 0..scenario.antennas.len() {
+            for k in 0..4 {
+                for round in 0..5 {
+                    view.fair_allocation_into(tx, k, round, &mut ws, &mut out);
+                    assert_eq!(out, view.fair_allocation(tx, k, round));
+                }
+            }
+            for round in 0..5 {
+                view.single_flow_allocation_into(tx, round, &mut out);
+                assert_eq!(out, view.single_flow_allocation(tx, round));
+                for name in BUILTIN_POLICY_NAMES {
+                    let p = policy_from_name(name).unwrap();
+                    p.primary_allocation_into(&view, tx, round, &mut ws, &mut out);
+                    assert_eq!(out, p.primary_allocation(&view, tx, round));
+                    for k in 0..4 {
+                        p.join_allocation_into(&view, tx, k, round, &mut ws, &mut out);
+                        assert_eq!(out, p.join_allocation(&view, tx, k, round));
+                    }
+                }
+            }
+        }
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! The omniscient-scheduler upper bound (§6.3–§6.4).
 
-use super::{MacPolicy, PolicyView};
+use super::{AllocScratch, MacPolicy, PolicyView};
 
 /// The paper's upper bound: a central scheduler with perfect channel
 /// knowledge and zero contention overhead.
@@ -36,6 +36,29 @@ impl MacPolicy for Oracle {
         round: usize,
     ) -> Vec<(usize, usize)> {
         view.fair_allocation(tx, 0, round)
+    }
+
+    fn primary_allocation_into(
+        &self,
+        view: &PolicyView,
+        tx: usize,
+        round: usize,
+        ws: &mut AllocScratch,
+        out: &mut Vec<(usize, usize)>,
+    ) {
+        view.fair_allocation_into(tx, 0, round, ws, out);
+    }
+
+    fn join_allocation_into(
+        &self,
+        view: &PolicyView,
+        tx: usize,
+        k_used: usize,
+        round: usize,
+        ws: &mut AllocScratch,
+        out: &mut Vec<(usize, usize)>,
+    ) {
+        view.fair_allocation_into(tx, k_used, round, ws, out);
     }
 
     fn allows_join(&self) -> bool {

@@ -13,7 +13,7 @@
 //! 2. if any exceeds `L`, scaling its transmit power down so the worst
 //!    one equals `L` — it contends (and transmits) at that lower power.
 
-use nplus_linalg::CMatrix;
+use nplus_linalg::{CMatrix, CMatrixSoA};
 
 /// The protocol's cancellation-depth parameter, dB — re-exported from
 /// the environment layer, which owns the single definition shared with
@@ -25,6 +25,15 @@ pub use nplus_channel::environment::DEFAULT_L_DB;
 /// receiver with believed channel `h` (`N × M`), before any precoding:
 /// the average over transmit directions, `‖H‖_F² / M`.
 pub fn expected_interference_power(h: &CMatrix) -> f64 {
+    let m = h.cols().max(1);
+    h.frobenius_norm().powi(2) / m as f64
+}
+
+/// Split-storage sibling of [`expected_interference_power`] for channels
+/// served straight from the cache's structure-of-arrays tables. The
+/// Frobenius norm sums `re² + im²` in the same row-major entry order, so
+/// the value is bit-identical to the interleaved path's.
+pub fn expected_interference_power_soa(h: &CMatrixSoA) -> f64 {
     let m = h.cols().max(1);
     h.frobenius_norm().powi(2) / m as f64
 }
@@ -59,11 +68,19 @@ impl JoinPowerDecision {
 /// protected receivers (noise-normalized units: `|h|² = SNR`);
 /// `l_db` is the cancellation depth.
 pub fn join_power_decision(believed_channels: &[&CMatrix], l_db: f64) -> JoinPowerDecision {
-    let l_lin = 10f64.powf(l_db / 10.0);
     let worst = believed_channels
         .iter()
         .map(|h| expected_interference_power(h))
         .fold(0.0f64, f64::max);
+    join_power_decision_from_worst(worst, l_db)
+}
+
+/// The §4 rule applied to an already-reduced worst-case interference
+/// power. Callers that fold `worst` incrementally (the engine's pooled
+/// join planner, which never materializes a channel list) share the exact
+/// threshold/scaling arithmetic of [`join_power_decision`] through this.
+pub fn join_power_decision_from_worst(worst: f64, l_db: f64) -> JoinPowerDecision {
+    let l_lin = 10f64.powf(l_db / 10.0);
     if worst <= l_lin {
         JoinPowerDecision::FullPower
     } else {

@@ -17,7 +17,10 @@
 //! an empty unwanted space is everything, so the constraint rows are all
 //! of `H`), which keeps the implementation unified.
 
-use nplus_linalg::{null_space, CMatrix, CVector, Subspace};
+use nplus_linalg::{
+    mul_into, null_space, null_space_into, CMatrix, CMatrixSoA, CVector, NullspaceWorkspace,
+    Subspace, SubspaceWorkspace, VecPool,
+};
 
 /// A receiver of an *ongoing* transmission that must be protected.
 #[derive(Debug, Clone)]
@@ -285,6 +288,197 @@ pub fn compute_precoders_ref(
     })
 }
 
+/// Split-storage view of a protected receiver: the channel comes straight
+/// from the cache's structure-of-arrays tables, the unwanted space from
+/// the engine's pooled round state.
+#[derive(Debug, Clone, Copy)]
+pub struct ProtectedReceiverSoARef<'a> {
+    /// The believed forward channel (`N × M`), split storage.
+    pub channel: &'a CMatrixSoA,
+    /// The receiver's unwanted space `U` (ambient `N`).
+    pub unwanted: &'a Subspace,
+}
+
+impl ProtectedReceiverSoARef<'_> {
+    /// The number of independent linear constraints this receiver imposes
+    /// (its wanted-stream count `n = N − dim U`).
+    pub fn n_constraints(&self) -> usize {
+        self.channel.rows() - self.unwanted.dim()
+    }
+}
+
+/// Split-storage view of an own receiver (see [`ProtectedReceiverSoARef`]).
+#[derive(Debug, Clone, Copy)]
+pub struct OwnReceiverSoARef<'a> {
+    /// Forward channel to this receiver (`N × M`), split storage.
+    pub channel: &'a CMatrixSoA,
+    /// Streams destined to this receiver.
+    pub n_streams: usize,
+    /// The receiver's unwanted space.
+    pub unwanted: &'a Subspace,
+}
+
+/// Reusable buffers for [`compute_precoders_into`] — one per engine,
+/// holding the high-water allocations of every per-subcarrier precoder
+/// solve of a run.
+#[derive(Debug, Clone, Default)]
+pub struct PrecoderWorkspace {
+    shared: CMatrixSoA,
+    rows: CMatrixSoA,
+    cons: CMatrixSoA,
+    rowop: CMatrixSoA,
+    uperp: Subspace,
+    sub_ws: SubspaceWorkspace,
+    ns_ws: NullspaceWorkspace,
+    basis: Vec<CVector>,
+    /// The per-stream pre-coding vectors after a successful call, streams
+    /// ordered receiver-by-receiver exactly like [`Precoding::vectors`].
+    pub out: VecPool<CVector>,
+}
+
+/// The constraint rows `U^⊥ H` (or `H` for nulling) into a pooled buffer,
+/// through the split-storage kernels: `complement_into`, the conjugated
+/// row operator and `mul_into` each replicate their interleaved sibling
+/// operation for operation, so the rows are bit-identical to
+/// [`ProtectedReceiverRef::constraint_rows`].
+fn constraint_rows_into_soa(
+    channel: &CMatrixSoA,
+    unwanted: &Subspace,
+    out: &mut CMatrixSoA,
+    uperp: &mut Subspace,
+    sub_ws: &mut SubspaceWorkspace,
+    rowop: &mut CMatrixSoA,
+) {
+    if unwanted.is_zero() {
+        out.assign_from(channel);
+    } else {
+        unwanted.complement_into(uperp, sub_ws);
+        uperp.row_operator_into(rowop);
+        mul_into(rowop, channel, out);
+    }
+}
+
+/// Pooled split-storage form of [`compute_precoders_ref`]: the identical
+/// constraint assembly, null-space solve and power normalization, with
+/// every intermediate written into reusable `ws` buffers and the vectors
+/// left in `ws.out`. Seeded results are bit-for-bit the allocating
+/// path's. (`stream_owner` bookkeeping is omitted — the engine's hot path
+/// tracks ownership through its allocation list.)
+///
+/// # Errors
+/// Exactly as [`compute_precoders_ref`].
+pub fn compute_precoders_into(
+    m_antennas: usize,
+    protected: &[ProtectedReceiverSoARef],
+    own: &[OwnReceiverSoARef],
+    ws: &mut PrecoderWorkspace,
+) -> Result<(), PrecoderError> {
+    compute_precoders_into_with(
+        m_antennas,
+        protected.len(),
+        |i| protected[i],
+        own.len(),
+        |i| own[i],
+        ws,
+    )
+}
+
+/// Accessor-closure form of [`compute_precoders_into`]: the caller hands
+/// index→view closures instead of slices, so the engine can feed its
+/// flat pooled storage (believed channels in `[receiver × bin]` arrays,
+/// unwanted spaces in pooled round state) without materializing a
+/// `Vec` of views per solve. Identical constraint assembly and solve
+/// order — views are fetched by ascending index exactly as the slice
+/// form iterates — so results stay bit-for-bit.
+///
+/// # Errors
+/// Exactly as [`compute_precoders_ref`].
+pub fn compute_precoders_into_with<'a>(
+    m_antennas: usize,
+    n_protected: usize,
+    protected: impl Fn(usize) -> ProtectedReceiverSoARef<'a>,
+    n_own: usize,
+    own: impl Fn(usize) -> OwnReceiverSoARef<'a>,
+    ws: &mut PrecoderWorkspace,
+) -> Result<(), PrecoderError> {
+    ws.out.clear();
+    // Shared constraints: every ongoing receiver constrains every stream.
+    ws.shared.reset(0, m_antennas);
+    let mut k = 0usize;
+    for p_idx in 0..n_protected {
+        let p = protected(p_idx);
+        assert_eq!(
+            p.channel.cols(),
+            m_antennas,
+            "protected channel columns must equal tx antennas"
+        );
+        constraint_rows_into_soa(
+            p.channel,
+            p.unwanted,
+            &mut ws.cons,
+            &mut ws.uperp,
+            &mut ws.sub_ws,
+            &mut ws.rowop,
+        );
+        ws.shared.append_rows(&ws.cons);
+        k += p.n_constraints();
+    }
+    if k >= m_antennas {
+        return Err(PrecoderError::NoDegreesOfFreedom);
+    }
+
+    for r_idx in 0..n_own {
+        let r = own(r_idx);
+        if r.n_streams == 0 {
+            continue;
+        }
+        assert_eq!(
+            r.channel.cols(),
+            m_antennas,
+            "own channel columns must equal tx antennas"
+        );
+        // Per-stream constraints: the shared rows plus alignment into the
+        // unwanted space of every *other* own receiver (Claim 3.5's lower
+        // block).
+        ws.rows.assign_from(&ws.shared);
+        for o_idx in 0..n_own {
+            if o_idx == r_idx {
+                continue;
+            }
+            let other = own(o_idx);
+            constraint_rows_into_soa(
+                other.channel,
+                other.unwanted,
+                &mut ws.cons,
+                &mut ws.uperp,
+                &mut ws.sub_ws,
+                &mut ws.rowop,
+            );
+            ws.rows.append_rows(&ws.cons);
+        }
+        let available = null_space_into(&ws.rows, &mut ws.ns_ws, &mut ws.basis);
+        if available < r.n_streams {
+            return Err(PrecoderError::TooManyStreams {
+                requested: r.n_streams,
+                available,
+            });
+        }
+        for i in 0..r.n_streams {
+            ws.out.push_slot().copy_from(&ws.basis[i]);
+        }
+    }
+
+    // Power normalization: unit total transmit power split evenly across
+    // streams (each basis vector is already unit-norm).
+    if !ws.out.is_empty() {
+        let scale = 1.0 / (ws.out.len() as f64).sqrt();
+        for v in ws.out.as_mut_slice() {
+            v.scale_re_in_place(scale);
+        }
+    }
+    Ok(())
+}
+
 /// Residual interference power (linear, relative to a unit-power stream)
 /// that the pre-coding vector `v` leaks into the *wanted* space of a
 /// protected receiver whose true channel is `h_true`. This is the
@@ -526,6 +720,87 @@ mod tests {
         // Total power across streams is 1.
         let total: f64 = p.vectors.iter().map(|v| v.norm_sqr()).sum();
         assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    /// The pooled split-storage precoder is bit-for-bit the allocating
+    /// path across random constraint mixes, including both error kinds.
+    #[test]
+    fn pooled_precoder_matches_allocating_bitwise() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let mut ws = PrecoderWorkspace::default();
+        for trial in 0..150 {
+            let m_ant = rng.gen_range(1..=4usize);
+            let n_protected = rng.gen_range(0..=2usize);
+            let n_own = rng.gen_range(1..=2usize);
+            let protected: Vec<ProtectedReceiver> = (0..n_protected)
+                .map(|_| {
+                    let n_rx = rng.gen_range(1..=3usize);
+                    let ch = random_channel(n_rx, m_ant, &mut rng);
+                    if rng.gen_bool(0.5) && n_rx > 1 {
+                        let dir = random_channel(n_rx, 1, &mut rng).col(0);
+                        ProtectedReceiver::aligning(ch, Subspace::span(n_rx, &[dir]))
+                    } else {
+                        ProtectedReceiver::nulling(ch)
+                    }
+                })
+                .collect();
+            let own: Vec<OwnReceiver> = (0..n_own)
+                .map(|_| {
+                    let n_rx = rng.gen_range(1..=3usize);
+                    OwnReceiver {
+                        channel: random_channel(n_rx, m_ant, &mut rng),
+                        n_streams: rng.gen_range(0..=2usize),
+                        unwanted: Subspace::zero(n_rx),
+                    }
+                })
+                .collect();
+            let reference = compute_precoders(m_ant, &protected, &own);
+
+            let soa_prot: Vec<(CMatrixSoA, Subspace)> = protected
+                .iter()
+                .map(|p| (CMatrixSoA::from_aos(&p.channel), p.unwanted.clone()))
+                .collect();
+            let soa_own: Vec<(CMatrixSoA, usize, Subspace)> = own
+                .iter()
+                .map(|r| {
+                    (
+                        CMatrixSoA::from_aos(&r.channel),
+                        r.n_streams,
+                        r.unwanted.clone(),
+                    )
+                })
+                .collect();
+            let prot_refs: Vec<ProtectedReceiverSoARef> = soa_prot
+                .iter()
+                .map(|(c, u)| ProtectedReceiverSoARef {
+                    channel: c,
+                    unwanted: u,
+                })
+                .collect();
+            let own_refs: Vec<OwnReceiverSoARef> = soa_own
+                .iter()
+                .map(|(c, n, u)| OwnReceiverSoARef {
+                    channel: c,
+                    n_streams: *n,
+                    unwanted: u,
+                })
+                .collect();
+            let pooled = compute_precoders_into(m_ant, &prot_refs, &own_refs, &mut ws);
+            match (&reference, &pooled) {
+                (Ok(p), Ok(())) => {
+                    assert_eq!(p.vectors.len(), ws.out.len(), "trial {trial}");
+                    for (a, b) in p.vectors.iter().zip(ws.out.iter()) {
+                        assert_eq!(a.len(), b.len());
+                        for (x, y) in a.iter().zip(b.iter()) {
+                            assert_eq!(x.re.to_bits(), y.re.to_bits(), "trial {trial}");
+                            assert_eq!(x.im.to_bits(), y.im.to_bits(), "trial {trial}");
+                        }
+                    }
+                }
+                (Err(e), Err(f)) => assert_eq!(e, f, "trial {trial}"),
+                other => panic!("trial {trial}: outcome mismatch {other:?}"),
+            }
+        }
     }
 
     /// Residual metric is monotone in channel-knowledge error.

@@ -21,20 +21,26 @@
 //! from.
 
 use super::{
-    MobilityModel, Protocol, RunResult, Scenario, SimConfig, TrafficModel, BURST_ARRIVALS_PER_ROUND,
+    MobilityModel, Protocol, RunResult, Scenario, SimConfig, SinrGrid, TrafficModel,
+    BURST_ARRIVALS_PER_ROUND,
 };
-use crate::link::zf_sinr_slices;
+use crate::link::{zf_sinr_slices, zf_sinr_slices_into, ZfWorkspace};
 use crate::observer::{
     ContentionKind, ContentionRecord, GoodputAccumulator, JoinRecord, NullObserver, RoundObserver,
     RoundRecord, RunMeta, StreamRecord, Tee,
 };
-use crate::policy::{MacPolicy, PolicyView};
-use crate::power_control::{join_power_decision, JoinPowerDecision};
-use crate::precoder::{compute_precoders_ref, OwnReceiverRef, PrecoderError, ProtectedReceiverRef};
+use crate::policy::{AllocScratch, MacPolicy, PolicyView};
+use crate::power_control::{
+    expected_interference_power_soa, join_power_decision_from_worst, JoinPowerDecision,
+};
+use crate::precoder::{
+    compute_precoders_into, compute_precoders_into_with, OwnReceiverSoARef, PrecoderError,
+    PrecoderWorkspace, ProtectedReceiverSoARef,
+};
 use nplus_channel::placement::Point;
-use nplus_linalg::{CMatrix, CVector, Subspace};
-use nplus_mac::backoff::{resolve_contention, ContentionOutcome};
-use nplus_mac::frames::{AckHeader, DataHeader, ReceiverEntry};
+use nplus_linalg::{CMatrixSoA, CVector, Subspace, SubspaceWorkspace, VecPool};
+use nplus_mac::backoff::{resolve_contention_in, LeanResolution};
+use nplus_mac::frames::{AckHeader, DataHeader};
 use nplus_mac::timing::SampleTiming;
 use nplus_medium::chancache::ChannelCache;
 use nplus_medium::topology::Topology;
@@ -45,12 +51,15 @@ use rand::rngs::StdRng;
 use rand::Rng;
 use std::borrow::Cow;
 
-/// One planned concurrent stream.
+/// One planned concurrent stream. Pooled: the slot (and each precoder's
+/// heap buffer) is retained across rounds by the run's [`RoundBufs`].
+#[derive(Default)]
 struct PlannedStream {
     flow: usize,
-    /// Per occupied-subcarrier pre-coding vector (len 52), scaled by the
-    /// transmitter's per-stream power and join-power factor.
-    precoders: Vec<CVector>,
+    /// Per evaluated-bin pre-coding vector (one per [`SimEngine::eval_pos`]
+    /// entry), scaled by the transmitter's per-stream power and join-power
+    /// factor.
+    precoders: VecPool<CVector>,
     /// Chosen rate.
     rate: RateIndex,
     /// Transmitting node (scenario index).
@@ -67,16 +76,37 @@ struct PlannedStream {
 /// (`stream_ids`); the other transmission's arrivals land in this
 /// state's unwanted space (it was constructed to contain them) or leak
 /// as residual interference.
+/// Pooled like [`PlannedStream`]: `unwanted`/`wanted` grow once to the
+/// engine's evaluated-bin count and are then reassigned in place every
+/// round, so the steady state allocates nothing.
+#[derive(Default)]
 struct ReceiverState {
     node: usize,
     /// Ids (into the round's stream list) of the streams this state
     /// decodes: exactly the columns of `wanted`, in order.
     stream_ids: Vec<usize>,
-    /// Advertised unwanted space per occupied subcarrier.
+    /// Advertised unwanted space per evaluated bin.
     unwanted: Vec<Subspace>,
-    /// Wanted effective channels per subcarrier (columns appended as this
-    /// receiver's streams are planned).
-    wanted: Vec<Vec<CVector>>,
+    /// Wanted effective channels per evaluated bin (columns appended as
+    /// this receiver's streams are planned).
+    wanted: Vec<VecPool<CVector>>,
+}
+
+impl ReceiverState {
+    /// Ensures the per-bin vectors cover `n_eval` slots (allocating only
+    /// on first growth — never shrinking, so slot buffers survive) and
+    /// clears the wanted columns for the round being planned.
+    fn reset_bins(&mut self, n_eval: usize) {
+        while self.unwanted.len() < n_eval {
+            self.unwanted.push(Subspace::default());
+        }
+        while self.wanted.len() < n_eval {
+            self.wanted.push(VecPool::default());
+        }
+        for w in &mut self.wanted[..n_eval] {
+            w.clear();
+        }
+    }
 }
 
 /// A memoized opening plan: the full per-subcarrier planning result of a
@@ -97,15 +127,28 @@ struct FirstPlan {
     wanted: Vec<Vec<CVector>>,
 }
 
-/// Per-run scratch buffers, reused across rounds and subcarriers so the
-/// hot path performs no per-subcarrier allocations for arrivals,
-/// interference lists or SINR accumulation.
+/// Reusable buffers for [`extend_unwanted_into`]: the base span, its
+/// complement, and the candidate basis being assembled.
+#[derive(Default)]
+struct UnwantedWorkspace {
+    base: Subspace,
+    free: Subspace,
+    cand: VecPool<CVector>,
+    sub_ws: SubspaceWorkspace,
+    w: CVector,
+}
+
+/// The per-run arena: every buffer the round loop touches, reused across
+/// rounds, bins and receivers so the steady state performs **zero**
+/// allocations (proven by the counting-allocator test in `nplus-bench`).
+/// Buffers grow to the run's high-water mark during the first rounds and
+/// are only cleared — never shrunk or dropped — afterwards.
 #[derive(Default)]
 struct Scratch {
-    /// Ongoing-stream arrival vectors at one receiver, one subcarrier.
-    arrivals: Vec<CVector>,
+    /// Ongoing-stream arrival vectors at one receiver, one bin.
+    arrivals: VecPool<CVector>,
     /// Residual (unknown) interference leaks.
-    residual: Vec<CVector>,
+    residual: VecPool<CVector>,
     /// Secondary-contention eligible transmitters.
     eligible: Vec<usize>,
     /// Stream counts per receiver for handshake sizing.
@@ -115,6 +158,43 @@ struct Scratch {
     /// Memoized opening plans keyed by `(tx, flow, n_streams)`; `None`
     /// records a rate-selection failure (also a pure topology fact).
     first_plans: Vec<((usize, usize, usize), Option<FirstPlan>)>,
+    /// Believed channels to protected receivers, flat `[p * n_eval + e]`.
+    bp: Vec<CMatrixSoA>,
+    /// Audibility per protected receiver (`false`: below the floor, no
+    /// nulling constraint and no further believed-channel draws).
+    bp_ok: Vec<bool>,
+    /// Indices of the audible protected receivers.
+    audible: Vec<usize>,
+    /// Believed channels to own receivers, flat `[i * n_eval + e]`.
+    bo: Vec<CMatrixSoA>,
+    /// One arrival vector (`H · v`) being inspected.
+    arr_tmp: CVector,
+    /// Per-bin SINRs out of one joint-ZF solve.
+    sinr_tmp: Vec<f64>,
+    /// Per-stream SINR tracks across evaluated bins.
+    sinr_acc: Vec<Vec<f64>>,
+    /// Full-grid SINR buffer for decimated-grid interpolation.
+    interp: Vec<f64>,
+    unw_ws: UnwantedWorkspace,
+    prec_ws: PrecoderWorkspace,
+    zf_ws: ZfWorkspace,
+}
+
+/// Round-lifetime pools owned by [`SimEngine::run_observed`]: the stream
+/// and receiver-state lists the enum-era engine allocated fresh each
+/// round, plus the contention, allocation and settlement buffers.
+#[derive(Default)]
+struct RoundBufs {
+    protected: VecPool<ReceiverState>,
+    streams: VecPool<PlannedStream>,
+    first_alloc: Vec<(usize, usize)>,
+    join_alloc: Vec<(usize, usize)>,
+    alloc_ws: AllocScratch,
+    round_bits: Vec<f64>,
+    records: Vec<StreamRecord>,
+    /// Contention windows / backoff draws for [`contend`].
+    cws: Vec<u32>,
+    draws: Vec<u32>,
 }
 
 /// One fully evaluated omniscient-scheduler candidate: the outcome of
@@ -130,30 +210,72 @@ struct CandidateRound {
     streams: Vec<StreamRecord>,
 }
 
-/// Extends the span of `existing` with directions orthogonal to both
-/// `existing` and `wanted`, up to `target_dim` dimensions.
-fn extend_unwanted(
+/// Extends the span of `existing` with directions orthogonal to it, up
+/// to `target_dim` dimensions, writing the result into `out` through the
+/// pooled subspace kernels (`assign_span`, `complement_into`). The
+/// arithmetic — one span, one complement, one re-span of the assembled
+/// basis — replicates the old allocating `extend_unwanted` operation for
+/// operation, so results are bit-identical.
+fn extend_unwanted_into(
     ambient: usize,
     existing: &[CVector],
-    wanted: &[CVector],
     target_dim: usize,
-) -> Subspace {
-    let base = Subspace::span(ambient, existing);
-    if base.dim() >= target_dim {
-        return base;
+    out: &mut Subspace,
+    ws: &mut UnwantedWorkspace,
+) {
+    ws.base.assign_span(ambient, existing, &mut ws.w);
+    if ws.base.dim() >= target_dim {
+        out.assign_from(&ws.base);
+        return;
     }
-    let mut all = existing.to_vec();
-    all.extend(wanted.to_vec());
-    let occupied = Subspace::span(ambient, &all);
-    let free = occupied.complement();
-    let mut basis = base.basis().to_vec();
-    for b in free.basis() {
-        if basis.len() >= target_dim {
+    ws.base.complement_into(&mut ws.free, &mut ws.sub_ws);
+    ws.cand.clear();
+    for b in ws.base.basis() {
+        ws.cand.push_slot().copy_from(b);
+    }
+    for b in ws.free.basis() {
+        if ws.cand.len() >= target_dim {
             break;
         }
-        basis.push(b.clone());
+        ws.cand.push_slot().copy_from(b);
     }
-    Subspace::span(ambient, &basis)
+    out.assign_span(ambient, ws.cand.as_slice(), &mut ws.w);
+}
+
+/// Piecewise-geometric interpolation of a decimated SINR track back onto
+/// the full occupied-bin grid: exact at every evaluated bin, constant
+/// past the last one, log-domain (dB-linear) between bins. SINR fades
+/// are multiplicative, so interpolating in the log domain tracks the
+/// dips between evaluated bins far better than linear-in-linear — which
+/// systematically overestimates frequency-selective notches and with
+/// them the ESNR the rate ladder sees. Only the [`SinrGrid::Decimated`]
+/// tier runs this — under [`SinrGrid::Full`] the track is already
+/// full-grid and is passed through untouched (zero float operations,
+/// preserving bit identity).
+fn interpolate_track(eval_pos: &[usize], vals: &[f64], n_sc: usize, out: &mut Vec<f64>) {
+    debug_assert_eq!(eval_pos.len(), vals.len());
+    out.clear();
+    let mut seg = 0usize;
+    for k in 0..n_sc {
+        while seg + 1 < eval_pos.len() && eval_pos[seg + 1] <= k {
+            seg += 1;
+        }
+        let v = if seg + 1 >= eval_pos.len() || k == eval_pos[seg] {
+            vals[seg]
+        } else {
+            let (k0, k1) = (eval_pos[seg], eval_pos[seg + 1]);
+            let t = (k - k0) as f64 / (k1 - k0) as f64;
+            // v0^(1-t) * v1^t, guarded against non-positive inputs (the
+            // SINR kernel floors at 1/1e300, but a caller-supplied track
+            // must not produce NaN): fall back to linear there.
+            if vals[seg] > 0.0 && vals[seg + 1] > 0.0 {
+                (vals[seg].ln() * (1.0 - t) + vals[seg + 1].ln() * t).exp()
+            } else {
+                vals[seg] + (vals[seg + 1] - vals[seg]) * t
+            }
+        };
+        out.push(v);
+    }
 }
 
 /// Success probability of a stream: 1 dB linear ramp below the rate's
@@ -166,21 +288,34 @@ fn success_prob(esnr_db: f64, rate: RateIndex) -> f64 {
 
 /// Resolves contention among `contenders` (scenario node indices),
 /// doubling windows on collisions. Returns `(winner, slots_elapsed)`.
-fn contend(contenders: &[usize], timing: &SampleTiming, rng: &mut StdRng) -> (usize, u64) {
-    let mut cw: Vec<u32> = vec![timing.cw_min; contenders.len()];
+/// Runs on the lean [`resolve_contention_in`] kernel with caller-pooled
+/// window/draw buffers; colliders are recovered from the draws
+/// (`draws[i] == slots`), so outcomes and RNG consumption are bit-exact
+/// with the old collision-list form.
+fn contend(
+    contenders: &[usize],
+    timing: &SampleTiming,
+    cws: &mut Vec<u32>,
+    draws: &mut Vec<u32>,
+    rng: &mut StdRng,
+) -> (usize, u64) {
+    cws.clear();
+    cws.resize(contenders.len(), timing.cw_min);
     let mut slots_total: u64 = 0;
     for _ in 0..32 {
-        match resolve_contention(&cw, rng) {
-            ContentionOutcome::Winner { index, slots } => {
+        match resolve_contention_in(cws, rng, draws) {
+            LeanResolution::Winner { index, slots } => {
                 return (contenders[index], slots_total + slots as u64);
             }
-            ContentionOutcome::Collision { indices, slots } => {
+            LeanResolution::Collision { slots } => {
                 slots_total += slots as u64 + 20; // collided headers waste air
-                for i in indices {
-                    cw[i] = (cw[i] * 2 + 1).min(timing.cw_max);
+                for (cw, &d) in cws.iter_mut().zip(draws.iter()) {
+                    if d == slots {
+                        *cw = (*cw * 2 + 1).min(timing.cw_max);
+                    }
                 }
             }
-            ContentionOutcome::Idle => unreachable!("contenders nonempty"),
+            LeanResolution::Idle => unreachable!("contenders nonempty"),
         }
     }
     // Window exhausted without a unique winner: pick uniformly. A
@@ -212,32 +347,14 @@ fn handshake_symbols(cfg: &SimConfig, streams_per_rx: &[usize], blob_bytes: usiz
     } else {
         streams_per_rx
     };
-    let hdr = DataHeader {
-        src: 0,
-        receivers: per_rx
-            .iter()
-            .map(|&n| ReceiverEntry {
-                dst: 0,
-                n_streams: n.max(1) as u8,
-            })
-            .collect(),
-        n_antennas: 3,
-        duration_symbols: 0,
-        seq: 0,
-    };
-    let hdr_bits = hdr.to_bytes().len() * 8;
+    // Frame sizes via the codecs' closed forms (`encoded_len` is pinned
+    // bit-for-bit against `to_bytes().len()` by the frames tests), so the
+    // hot path never materializes header byte vectors.
+    let hdr_bits = DataHeader::encoded_len(per_rx.len()) * 8;
     let base = BASE_RATE.data_bits_per_symbol();
     let ack_symbols: usize = per_rx
         .iter()
-        .map(|&n| {
-            let ack = AckHeader {
-                src: 0,
-                dst: 0,
-                rate_indices: vec![0; n.max(1)],
-                alignment_blob: vec![0; blob_bytes],
-            };
-            (ack.to_bytes().len() * 8).div_ceil(base)
-        })
+        .map(|&n| (AckHeader::encoded_len(n.max(1), blob_bytes) * 8).div_ceil(base))
         .sum();
     let sifs_syms = (cfg.timing.sifs as usize).div_ceil(cfg.timing.symbol as usize);
     hdr_bits.div_ceil(base) + ack_symbols + 2 * sifs_syms
@@ -259,6 +376,10 @@ pub struct SimEngine<'a> {
     cfg: &'a SimConfig,
     /// Occupied subcarrier indices (FFT bins), in order.
     occ: Vec<usize>,
+    /// Positions (into `occ`) of the bins the SINR grid evaluates: the
+    /// identity under [`SinrGrid::Full`], every `k`-th bin under
+    /// [`SinrGrid::Decimated`].
+    eval_pos: Vec<usize>,
     /// Distinct transmitter node indices with traffic.
     transmitters: Vec<usize>,
     /// Flow indices per scenario node (empty for non-transmitters).
@@ -271,6 +392,10 @@ impl<'a> SimEngine<'a> {
     /// Builds the engine for one topology/scenario/config triple.
     pub fn new(topo: &'a Topology, scenario: &'a Scenario, cfg: &'a SimConfig) -> Self {
         let occ = occupied_subcarrier_indices();
+        let eval_pos: Vec<usize> = match cfg.sinr_grid {
+            SinrGrid::Full => (0..occ.len()).collect(),
+            SinrGrid::Decimated(k) => (0..occ.len()).step_by(k.max(1)).collect(),
+        };
         let cache = if cfg.cache_channels {
             Some(ChannelCache::build(topo, &occ, cfg.ofdm.fft_len))
         } else {
@@ -285,7 +410,27 @@ impl<'a> SimEngine<'a> {
                 .map(|n| scenario.flows_of(n))
                 .collect(),
             occ,
+            eval_pos,
             cache,
+        }
+    }
+
+    /// Number of evaluated bins (`occ.len()` under the full grid).
+    fn n_eval(&self) -> usize {
+        self.eval_pos.len()
+    }
+
+    /// The full-grid SINR track a rate decision sees: pass-through under
+    /// [`SinrGrid::Full`] (zero float operations — the legacy bitwise
+    /// path), linear interpolation across the evaluated bins under
+    /// [`SinrGrid::Decimated`].
+    fn rate_sinrs<'s>(&self, per_eval: &'s [f64], interp: &'s mut Vec<f64>) -> &'s [f64] {
+        match self.cfg.sinr_grid {
+            SinrGrid::Full => per_eval,
+            SinrGrid::Decimated(_) => {
+                interpolate_track(&self.eval_pos, per_eval, self.occ.len(), interp);
+                interp
+            }
         }
     }
 
@@ -310,7 +455,7 @@ impl<'a> SimEngine<'a> {
         from: usize,
         to: usize,
         k_occ: usize,
-    ) -> Option<Cow<'c, CMatrix>> {
+    ) -> Option<Cow<'c, CMatrixSoA>> {
         match cache {
             Some(cache) => cache.matrix(from, to, k_occ).map(Cow::Borrowed),
             None => {
@@ -318,22 +463,23 @@ impl<'a> SimEngine<'a> {
                     .topo
                     .medium
                     .link(self.topo.nodes[from], self.topo.nodes[to])?;
-                Some(Cow::Owned(
-                    link.channel_matrix(self.occ[k_occ], self.cfg.ofdm.fft_len),
-                ))
+                Some(Cow::Owned(CMatrixSoA::from_aos(
+                    &link.channel_matrix(self.occ[k_occ], self.cfg.ofdm.fft_len),
+                )))
             }
         }
     }
 
     /// What a transmitter believes the channel is: reciprocity plus
-    /// hardware error, per subcarrier — or the exact true channel for a
+    /// hardware error, per bin — or the exact true channel for a
     /// [`perfect_knowledge`](MacPolicy::perfect_knowledge) policy.
     /// Imperfect knowledge is never cached: the hardware error draw must
     /// consume the RNG stream on every call; perfect knowledge consumes
-    /// no RNG at all. An absent link is `None` and consumes no RNG
-    /// either — below the floor there is no reverse channel to estimate
-    /// from.
-    fn believed_channel(
+    /// no RNG at all. An absent link returns `false` (and leaves `out`
+    /// untouched) and consumes no RNG either — below the floor there is
+    /// no reverse channel to estimate from.
+    #[allow(clippy::too_many_arguments)]
+    fn believed_channel_into(
         &self,
         policy: &dyn MacPolicy,
         cache: Option<&ChannelCache>,
@@ -341,13 +487,19 @@ impl<'a> SimEngine<'a> {
         to: usize,
         k_occ: usize,
         rng: &mut StdRng,
-    ) -> Option<CMatrix> {
-        let h = self.true_channel(cache, from, to, k_occ)?;
-        Some(if policy.perfect_knowledge() {
-            h.into_owned()
+        out: &mut CMatrixSoA,
+    ) -> bool {
+        let Some(h) = self.true_channel(cache, from, to, k_occ) else {
+            return false;
+        };
+        if policy.perfect_knowledge() {
+            out.assign_from(&h);
         } else {
-            self.cfg.hardware.reciprocal_channel_knowledge(&h, rng)
-        })
+            self.cfg
+                .hardware
+                .reciprocal_channel_knowledge_into(&h, rng, out);
+        }
+        true
     }
 
     fn n_ant(&self, node: usize) -> usize {
@@ -370,30 +522,40 @@ impl<'a> SimEngine<'a> {
         f: usize,
         n_streams: usize,
     ) -> Option<FirstPlan> {
-        let n_sc = self.occ.len();
+        let n_eval = self.n_eval();
         let m_tx = self.n_ant(tx);
         let rx = self.scenario.flows[f].rx;
         let n_rx = self.n_ant(rx);
         let target = n_rx.saturating_sub(n_streams);
 
+        // Cold path, executed once per (tx, flow, n_streams) key per run:
+        // local workspaces and owned result vectors are fine here — the
+        // hot path only ever copies out of the memoized plan.
+        let mut unw_ws = UnwantedWorkspace::default();
+        let mut prec_ws = PrecoderWorkspace::default();
+
         // No ongoing arrivals: the advertised unwanted space is the same
-        // construction on every subcarrier.
-        let unwanted: Vec<Subspace> = (0..n_sc)
-            .map(|_| extend_unwanted(n_rx, &[], &[], target))
+        // construction on every bin.
+        let unwanted: Vec<Subspace> = (0..n_eval)
+            .map(|_| {
+                let mut s = Subspace::default();
+                extend_unwanted_into(n_rx, &[], target, &mut s, &mut unw_ws);
+                s
+            })
             .collect();
 
-        let mut precoders: Vec<Vec<CVector>> = vec![Vec::with_capacity(n_sc); n_streams];
-        for k in 0..n_sc {
+        let mut precoders: Vec<Vec<CVector>> = vec![Vec::with_capacity(n_eval); n_streams];
+        for (e, &k) in self.eval_pos.iter().enumerate() {
             let h = self.true_channel(cache, tx, rx, k)?;
-            let own = [OwnReceiverRef {
+            let own = [OwnReceiverSoARef {
                 channel: &h,
                 n_streams,
-                unwanted: &unwanted[k],
+                unwanted: &unwanted[e],
             }];
-            match compute_precoders_ref(m_tx, &[], &own) {
-                Ok(p) => {
-                    for (i, v) in p.vectors.into_iter().enumerate() {
-                        precoders[i].push(v);
+            match compute_precoders_into(m_tx, &[], &own, &mut prec_ws) {
+                Ok(()) => {
+                    for (i, v) in prec_ws.out.iter().enumerate() {
+                        precoders[i].push(v.clone());
                     }
                 }
                 Err(_) => return None,
@@ -403,20 +565,21 @@ impl<'a> SimEngine<'a> {
         // Joint-ZF rate selection against the pure channel (no ongoing
         // interference, no residuals — the receiver decodes its own
         // streams against its unwanted-space basis).
-        let mut per_stream_sinrs: Vec<Vec<f64>> = vec![Vec::with_capacity(n_sc); n_streams];
-        let mut wanted: Vec<Vec<CVector>> = Vec::with_capacity(n_sc);
-        for k in 0..n_sc {
+        let mut per_stream_sinrs: Vec<Vec<f64>> = vec![Vec::with_capacity(n_eval); n_streams];
+        let mut wanted: Vec<Vec<CVector>> = Vec::with_capacity(n_eval);
+        for (e, &k) in self.eval_pos.iter().enumerate() {
             let h = self.true_channel(cache, tx, rx, k)?;
-            let cols: Vec<CVector> = precoders.iter().map(|pc| h.mul_vec(&pc[k])).collect();
-            let sinrs = zf_sinr_slices(&cols, unwanted[k].basis(), &[], 1.0);
+            let cols: Vec<CVector> = precoders.iter().map(|pc| h.mul_vec(&pc[e])).collect();
+            let sinrs = zf_sinr_slices(&cols, unwanted[e].basis(), &[], 1.0);
             for (s, &v) in sinrs.iter().enumerate() {
                 per_stream_sinrs[s].push(v);
             }
             wanted.push(cols);
         }
+        let mut interp = Vec::new();
         let mut rates = Vec::with_capacity(n_streams);
         for sinrs in &per_stream_sinrs {
-            rates.push(policy.select_rate(sinrs)?);
+            rates.push(policy.select_rate(self.rate_sinrs(sinrs, &mut interp))?);
         }
         Some(FirstPlan {
             precoders,
@@ -428,9 +591,11 @@ impl<'a> SimEngine<'a> {
 
     /// Plans the transmission of one winner: computes precoders against
     /// the currently protected receivers, registers the new receiver
-    /// state, and returns the planned streams. Returns `None` if the
-    /// winner cannot join (no DoF, rate selection failure, or precoder
-    /// degeneracy).
+    /// state, and returns the planned streams as the contiguous id range
+    /// `[start, end)` they occupy in `streams` (ids are always appended
+    /// sequentially). Returns `None` — with `protected`/`streams` rolled
+    /// back to their entry state — if the winner cannot join (no DoF,
+    /// rate selection failure, or precoder degeneracy).
     #[allow(clippy::too_many_arguments)]
     fn plan_winner(
         &self,
@@ -438,18 +603,20 @@ impl<'a> SimEngine<'a> {
         cache: Option<&ChannelCache>,
         tx: usize,
         allocation: &[(usize, usize)],
-        protected: &mut Vec<ReceiverState>,
-        ongoing_streams: &mut Vec<PlannedStream>,
+        protected: &mut VecPool<ReceiverState>,
+        streams: &mut VecPool<PlannedStream>,
         body_symbols_left: usize,
         scratch: &mut Scratch,
         rng: &mut StdRng,
-    ) -> Option<Vec<usize>> {
-        let n_sc = self.occ.len();
+    ) -> Option<(usize, usize)> {
+        let n_eval = self.n_eval();
         let m_tx = self.n_ant(tx);
         let total_new: usize = allocation.iter().map(|(_, n)| n).sum();
         if total_new == 0 {
             return None;
         }
+        let stream_base = streams.len();
+        let rs_base = protected.len();
 
         // Opening a round with one receiver and nothing to protect: the
         // whole plan is a pure function of the topology (see
@@ -469,49 +636,75 @@ impl<'a> SimEngine<'a> {
             };
             let plan = scratch.first_plans[idx].1.as_ref()?;
             let rx = self.scenario.flows[f].rx;
-            let mut new_stream_ids = Vec::with_capacity(n_streams);
             for s in 0..n_streams {
-                new_stream_ids.push(ongoing_streams.len());
-                ongoing_streams.push(PlannedStream {
-                    flow: f,
-                    precoders: plan.precoders[s].clone(),
-                    rate: plan.rates[s],
-                    tx_node: tx,
-                    active_symbols: body_symbols_left,
-                });
+                let slot = streams.push_slot();
+                slot.flow = f;
+                slot.rate = plan.rates[s];
+                slot.tx_node = tx;
+                slot.active_symbols = body_symbols_left;
+                slot.precoders.clear();
+                for pc in &plan.precoders[s] {
+                    slot.precoders.push_slot().copy_from(pc);
+                }
             }
-            protected.push(ReceiverState {
-                node: rx,
-                stream_ids: new_stream_ids.clone(),
-                unwanted: plan.unwanted.clone(),
-                wanted: plan.wanted.clone(),
-            });
-            return Some(new_stream_ids);
+            let rs = protected.push_slot();
+            rs.node = rx;
+            rs.stream_ids.clear();
+            rs.stream_ids.extend(stream_base..stream_base + n_streams);
+            rs.reset_bins(n_eval);
+            for e in 0..n_eval {
+                rs.unwanted[e].assign_from(&plan.unwanted[e]);
+                for c in &plan.wanted[e] {
+                    rs.wanted[e].push_slot().copy_from(c);
+                }
+            }
+            return Some((stream_base, stream_base + n_streams));
         }
 
         // Believed channels to the protected receivers this transmitter
         // can actually reach: a protected receiver below the winner's
         // power floor imposes no nulling constraint (nothing arrives to
-        // leak there) and costs no hardware-error draws. A believed
-        // channel to an *own* receiver that is absent kills the whole
-        // plan — the policy asked to serve a flow whose link is below
-        // the floor.
-        let believed_protected: Vec<Option<Vec<CMatrix>>> = protected
-            .iter()
-            .map(|r| {
-                (0..n_sc)
-                    .map(|k| self.believed_channel(policy, cache, tx, r.node, k, rng))
-                    .collect()
-            })
-            .collect();
-        let mut believed_own: Vec<Vec<CMatrix>> = Vec::with_capacity(allocation.len());
-        for &(f, _) in allocation {
-            let rx = self.scenario.flows[f].rx;
-            let mats: Option<Vec<CMatrix>> = (0..n_sc)
-                .map(|k| self.believed_channel(policy, cache, tx, rx, k, rng))
-                .collect();
-            believed_own.push(mats?);
+        // leak there) and costs no hardware-error draws — the per-bin
+        // loop stops at the first absent bin exactly like the old
+        // short-circuiting `collect::<Option<Vec<_>>>()`, so the RNG
+        // stream is untouched. A believed channel to an *own* receiver
+        // that is absent kills the whole plan — the policy asked to
+        // serve a flow whose link is below the floor.
+        let n_prot = protected.len();
+        while scratch.bp.len() < n_prot * n_eval {
+            scratch.bp.push(CMatrixSoA::default());
         }
+        scratch.bp_ok.clear();
+        for p in 0..n_prot {
+            let node = protected[p].node;
+            let mut ok = true;
+            for e in 0..n_eval {
+                let k = self.eval_pos[e];
+                let out = &mut scratch.bp[p * n_eval + e];
+                if !self.believed_channel_into(policy, cache, tx, node, k, rng, out) {
+                    ok = false;
+                    break;
+                }
+            }
+            scratch.bp_ok.push(ok);
+        }
+        while scratch.bo.len() < allocation.len() * n_eval {
+            scratch.bo.push(CMatrixSoA::default());
+        }
+        for (i, &(f, _)) in allocation.iter().enumerate() {
+            let rx = self.scenario.flows[f].rx;
+            for e in 0..n_eval {
+                let k = self.eval_pos[e];
+                let out = &mut scratch.bo[i * n_eval + e];
+                if !self.believed_channel_into(policy, cache, tx, rx, k, rng, out) {
+                    return None;
+                }
+            }
+        }
+        scratch.audible.clear();
+        scratch
+            .audible
+            .extend((0..n_prot).filter(|&p| scratch.bp_ok[p]));
 
         // Join power control against protected receivers (worst subcarrier
         // median is approximated by the middle subcarrier's matrix). The
@@ -519,16 +712,19 @@ impl<'a> SimEngine<'a> {
         // the oracle (whose nulls are exact) bypass it. Only audible
         // protected receivers enter the decision.
         let decision = if policy.join_power_control() {
-            let mid = n_sc / 2;
-            let mats: Vec<&CMatrix> = believed_protected
-                .iter()
-                .flatten()
-                .map(|v| &v[mid])
-                .collect();
-            if mats.is_empty() {
+            let mid = n_eval / 2;
+            if scratch.audible.is_empty() {
                 JoinPowerDecision::FullPower
             } else {
-                join_power_decision(&mats, self.cfg.l_db)
+                // Fold the worst-case interference power incrementally
+                // (starting from 0.0, exactly like `join_power_decision`'s
+                // fold) instead of materializing a matrix list.
+                let mut worst = 0.0f64;
+                for &p in &scratch.audible {
+                    let pow = expected_interference_power_soa(&scratch.bp[p * n_eval + mid]);
+                    worst = f64::max(worst, pow);
+                }
+                join_power_decision_from_worst(worst, self.cfg.l_db)
             }
         } else {
             JoinPowerDecision::FullPower
@@ -539,65 +735,103 @@ impl<'a> SimEngine<'a> {
         // true arrivals it already sees, extended to its spare dimension
         // count. (The receiver estimates these from overheard headers;
         // estimation is near-exact and the codec round-trip is tested
-        // separately.)
-        let own_unwanted: Vec<Vec<Subspace>> = allocation
-            .iter()
-            .map(|&(f, n_streams)| {
-                let rx = self.scenario.flows[f].rx;
-                let n_rx = self.n_ant(rx);
-                (0..n_sc)
-                    .map(|k| {
-                        scratch.arrivals.clear();
-                        for s in ongoing_streams.iter() {
-                            let Some(h) = self.true_channel(cache, s.tx_node, rx, k) else {
-                                continue; // below the floor: arrives as nothing
-                            };
-                            scratch.arrivals.push(h.mul_vec(&s.precoders[k]));
-                        }
-                        let target = n_rx.saturating_sub(n_streams);
-                        extend_unwanted(n_rx, &scratch.arrivals, &[], target)
-                    })
-                    .collect()
-            })
-            .collect();
+        // separately.) The receiver states are pushed as pooled shells
+        // now — their unwanted spaces assigned in place, wanted columns
+        // and stream ids filled during rate selection below — and rolled
+        // back wholesale on any failure. Only pre-existing streams are
+        // live in `streams` at this point, exactly the set the old code
+        // iterated as `ongoing_streams`.
+        for &(f, n_streams) in allocation {
+            let rx = self.scenario.flows[f].rx;
+            let n_rx = self.n_ant(rx);
+            let target = n_rx.saturating_sub(n_streams);
+            let rs = protected.push_slot();
+            rs.node = rx;
+            rs.stream_ids.clear();
+            rs.reset_bins(n_eval);
+            for e in 0..n_eval {
+                let k = self.eval_pos[e];
+                scratch.arrivals.clear();
+                for s in streams.as_slice() {
+                    let Some(h) = self.true_channel(cache, s.tx_node, rx, k) else {
+                        continue; // below the floor: arrives as nothing
+                    };
+                    h.mul_vec_into(&s.precoders[e], scratch.arrivals.push_slot());
+                }
+                extend_unwanted_into(
+                    n_rx,
+                    scratch.arrivals.as_slice(),
+                    target,
+                    &mut rs.unwanted[e],
+                    &mut scratch.unw_ws,
+                );
+            }
+        }
 
-        // Per-subcarrier precoding (borrowed views — no per-subcarrier
-        // clones of channel matrices or subspaces).
-        let mut per_stream_precoders: Vec<Vec<CVector>> = vec![Vec::with_capacity(n_sc); total_new];
-        let mut prot_refs: Vec<ProtectedReceiverRef> = Vec::with_capacity(protected.len());
-        let mut own_refs: Vec<OwnReceiverRef> = Vec::with_capacity(allocation.len());
-        for k in 0..n_sc {
-            prot_refs.clear();
-            for (r, mats) in protected.iter().zip(&believed_protected) {
-                let Some(mats) = mats else {
-                    continue; // inaudible: no constraint to satisfy
-                };
-                prot_refs.push(ProtectedReceiverRef {
-                    channel: &mats[k],
-                    unwanted: &r.unwanted[k],
-                });
+        // Push the new stream slots so the per-bin precoding loop can
+        // fill them in place.
+        for &(f, n_streams) in allocation {
+            for _ in 0..n_streams {
+                let slot = streams.push_slot();
+                slot.flow = f;
+                slot.rate = 0;
+                slot.tx_node = tx;
+                slot.active_symbols = body_symbols_left;
+                slot.precoders.clear();
             }
-            own_refs.clear();
-            for (i, &(_, n_streams)) in allocation.iter().enumerate() {
-                own_refs.push(OwnReceiverRef {
-                    channel: &believed_own[i][k],
-                    n_streams,
-                    unwanted: &own_unwanted[i][k],
-                });
-            }
-            match compute_precoders_ref(m_tx, &prot_refs, &own_refs) {
-                Ok(p) => {
-                    for (i, v) in p.vectors.into_iter().enumerate() {
-                        per_stream_precoders[i].push(v.scale_re(amp));
+        }
+
+        // Per-bin precoding through the split-storage kernels, with
+        // accessor closures reading straight out of the flat pooled
+        // believed-channel arrays — no per-bin view lists, no clones.
+        for e in 0..n_eval {
+            let result = {
+                let Scratch {
+                    bp,
+                    bo,
+                    audible,
+                    prec_ws,
+                    ..
+                } = &mut *scratch;
+                let bp: &[CMatrixSoA] = bp;
+                let bo: &[CMatrixSoA] = bo;
+                let audible: &[usize] = audible;
+                let (prot_states, own_states) = protected.as_slice().split_at(rs_base);
+                compute_precoders_into_with(
+                    m_tx,
+                    audible.len(),
+                    |i| {
+                        let p = audible[i];
+                        ProtectedReceiverSoARef {
+                            channel: &bp[p * n_eval + e],
+                            unwanted: &prot_states[p].unwanted[e],
+                        }
+                    },
+                    allocation.len(),
+                    |i| OwnReceiverSoARef {
+                        channel: &bo[i * n_eval + e],
+                        n_streams: allocation[i].1,
+                        unwanted: &own_states[i].unwanted[e],
+                    },
+                    prec_ws,
+                )
+            };
+            match result {
+                Ok(()) => {
+                    for i in 0..total_new {
+                        streams[stream_base + i]
+                            .precoders
+                            .push_slot()
+                            .assign_scale_re(&scratch.prec_ws.out[i], amp);
                     }
                 }
                 Err(PrecoderError::NoDegreesOfFreedom | PrecoderError::TooManyStreams { .. }) => {
+                    streams.truncate(stream_base);
+                    protected.truncate(rs_base);
                     return None;
                 }
             }
         }
-        drop(prot_refs);
-        drop(own_refs);
 
         // Rate selection per stream: SINR at the owning receiver with
         // current ongoing interference (known to the receiver) — §3.4: the
@@ -612,108 +846,101 @@ impl<'a> SimEngine<'a> {
         // into the unwanted space (covered by its basis) or nulled, and
         // whatever leaks outside is residual interference the receiver
         // cannot cancel.
-        let mut stream_rates: Vec<RateIndex> = Vec::with_capacity(total_new);
-        // Wanted arrival columns per own receiver and subcarrier, kept so
-        // registration reuses the true-channel products computed here.
-        let mut wanted_cols: Vec<Vec<Vec<CVector>>> = Vec::with_capacity(allocation.len());
-        {
-            // Stream index ranges per own-receiver.
-            let mut ranges: Vec<(usize, usize)> = Vec::with_capacity(allocation.len());
-            let mut acc = 0usize;
-            for &(_, n_streams) in allocation {
-                ranges.push((acc, acc + n_streams));
-                acc += n_streams;
-            }
-            for (i, &(f, n_streams)) in allocation.iter().enumerate() {
-                let rx = self.scenario.flows[f].rx;
-                let (lo, hi) = ranges[i];
-                let mut per_stream_sinrs: Vec<Vec<f64>> = vec![Vec::with_capacity(n_sc); n_streams];
-                let mut cols_per_k: Vec<Vec<CVector>> = Vec::with_capacity(n_sc);
-                for k in 0..n_sc {
-                    let h_true = self.true_channel(cache, tx, rx, k)?;
-                    let mut wanted: Vec<CVector> = Vec::with_capacity(n_streams);
-                    scratch.residual.clear();
-                    for (other, pc) in per_stream_precoders.iter().enumerate() {
-                        if pc.is_empty() {
-                            continue;
-                        }
-                        let arrival = h_true.mul_vec(&pc[k]);
-                        if other >= lo && other < hi {
-                            // Sibling destined to this receiver: a wanted
-                            // ZF column (jointly decoded).
-                            wanted.push(arrival);
-                        } else {
-                            // Destined elsewhere: aligned part lives
-                            // inside the unwanted space (already a
-                            // column); only the hardware-error leak
-                            // outside it degrades this receiver.
-                            let leak = own_unwanted[i][k].reject(&arrival);
-                            if leak.norm_sqr() > 1e-9 {
-                                scratch.residual.push(leak);
-                            }
-                        }
-                    }
-                    let sinrs =
-                        zf_sinr_slices(&wanted, own_unwanted[i][k].basis(), &scratch.residual, 1.0);
-                    for (s, &v) in sinrs.iter().enumerate() {
-                        per_stream_sinrs[s].push(v);
-                    }
-                    cols_per_k.push(wanted);
-                }
-                for sinrs in &per_stream_sinrs {
-                    match policy.select_rate(sinrs) {
-                        Some(r) => stream_rates.push(r),
-                        None => return None,
-                    }
-                }
-                wanted_cols.push(cols_per_k);
-            }
-        }
-
-        // Register everything.
-        let mut new_stream_ids = Vec::with_capacity(total_new);
-        let mut stream_idx = 0usize;
-        for ((&(f, n_streams), unwanted), wanted) in
-            allocation.iter().zip(own_unwanted).zip(wanted_cols)
-        {
+        // The wanted arrival columns land directly in the pooled
+        // receiver states (exactly the true-channel products the old
+        // code kept in `wanted_cols` for registration), and the rates in
+        // the already-pushed stream slots — a failure truncates both
+        // pools back to the entry state, leaving the caller's view
+        // untouched just like the old early `return None`.
+        let mut lo = 0usize;
+        for (i, &(f, n_streams)) in allocation.iter().enumerate() {
             let rx = self.scenario.flows[f].rx;
-            let mut stream_ids = Vec::with_capacity(n_streams);
-            for _s in 0..n_streams {
-                stream_ids.push(ongoing_streams.len());
-                new_stream_ids.push(ongoing_streams.len());
-                ongoing_streams.push(PlannedStream {
-                    flow: f,
-                    precoders: std::mem::take(&mut per_stream_precoders[stream_idx]),
-                    rate: stream_rates[stream_idx],
-                    tx_node: tx,
-                    active_symbols: body_symbols_left,
-                });
-                stream_idx += 1;
+            let hi = lo + n_streams;
+            while scratch.sinr_acc.len() < n_streams {
+                scratch.sinr_acc.push(Vec::new());
             }
-            // New protected receiver: its wanted effective channels are
-            // exactly the arrival columns computed during rate selection.
-            protected.push(ReceiverState {
-                node: rx,
-                stream_ids,
-                unwanted,
-                wanted,
-            });
+            for acc in &mut scratch.sinr_acc[..n_streams] {
+                acc.clear();
+            }
+            for e in 0..n_eval {
+                let k = self.eval_pos[e];
+                let Some(h_true) = self.true_channel(cache, tx, rx, k) else {
+                    streams.truncate(stream_base);
+                    protected.truncate(rs_base);
+                    return None;
+                };
+                scratch.residual.clear();
+                for other in 0..total_new {
+                    h_true.mul_vec_into(
+                        &streams[stream_base + other].precoders[e],
+                        &mut scratch.arr_tmp,
+                    );
+                    if other >= lo && other < hi {
+                        // Sibling destined to this receiver: a wanted
+                        // ZF column (jointly decoded).
+                        protected[rs_base + i].wanted[e]
+                            .push_slot()
+                            .copy_from(&scratch.arr_tmp);
+                    } else {
+                        // Destined elsewhere: aligned part lives inside
+                        // the unwanted space (already a column); only the
+                        // hardware-error leak outside it degrades this
+                        // receiver.
+                        let slot = scratch.residual.push_slot();
+                        protected[rs_base + i].unwanted[e].reject_into(&scratch.arr_tmp, slot);
+                        if slot.norm_sqr() <= 1e-9 {
+                            scratch.residual.pop_slot();
+                        }
+                    }
+                }
+                {
+                    let rs = &protected[rs_base + i];
+                    zf_sinr_slices_into(
+                        rs.wanted[e].as_slice(),
+                        rs.unwanted[e].basis(),
+                        scratch.residual.as_slice(),
+                        1.0,
+                        &mut scratch.zf_ws,
+                        &mut scratch.sinr_tmp,
+                    );
+                }
+                for (s, &v) in scratch.sinr_tmp.iter().enumerate() {
+                    scratch.sinr_acc[s].push(v);
+                }
+            }
+            for s in 0..n_streams {
+                let rate =
+                    policy.select_rate(self.rate_sinrs(&scratch.sinr_acc[s], &mut scratch.interp));
+                match rate {
+                    Some(r) => streams[stream_base + lo + s].rate = r,
+                    None => {
+                        streams.truncate(stream_base);
+                        protected.truncate(rs_base);
+                        return None;
+                    }
+                }
+            }
+            let rs = &mut protected[rs_base + i];
+            rs.stream_ids.clear();
+            rs.stream_ids.extend(stream_base + lo..stream_base + hi);
+            lo = hi;
         }
-        Some(new_stream_ids)
+        Some((stream_base, stream_base + total_new))
     }
 
     /// Evaluates the realized per-stream ESNRs at every receiver,
     /// including the residual interference the precoding failed to
     /// cancel, and returns delivered bits per flow.
-    fn settle_round(
+    fn settle_round_into(
         &self,
         cache: Option<&ChannelCache>,
         protected: &[ReceiverState],
         streams: &[PlannedStream],
         scratch: &mut Scratch,
-    ) -> Vec<f64> {
-        let n_sc = self.occ.len();
-        let mut bits = vec![0.0; self.scenario.flows.len()];
+        bits: &mut Vec<f64>,
+    ) {
+        bits.clear();
+        bits.resize(self.scenario.flows.len(), 0.0);
         for rx_state in protected {
             // Streams this state decodes: exactly the ones registered
             // with it. Matching by receiver *node* here would break the
@@ -729,10 +956,16 @@ impl<'a> SimEngine<'a> {
             if scratch.my_streams.is_empty() {
                 continue;
             }
-            // Per-stream SINR across subcarriers.
-            let mut per_stream_sinrs: Vec<Vec<f64>> =
-                vec![Vec::with_capacity(n_sc); scratch.my_streams.len()];
-            for k in 0..n_sc {
+            // Per-stream SINR across evaluated bins, in the pooled
+            // accumulators.
+            let n_mine = scratch.my_streams.len();
+            while scratch.sinr_acc.len() < n_mine {
+                scratch.sinr_acc.push(Vec::new());
+            }
+            for acc in &mut scratch.sinr_acc[..n_mine] {
+                acc.clear();
+            }
+            for (e, &k) in self.eval_pos.iter().enumerate() {
                 // Residual interference: arrivals of *other* transmitters'
                 // streams outside the advertised unwanted space.
                 scratch.residual.clear();
@@ -746,32 +979,35 @@ impl<'a> SimEngine<'a> {
                     let Some(h) = self.true_channel(cache, s.tx_node, rx_state.node, k) else {
                         continue; // below the floor: no interference here
                     };
-                    let arrival = h.mul_vec(&s.precoders[k]);
-                    let leak = rx_state.unwanted[k].reject(&arrival);
-                    if leak.norm_sqr() > 1e-12 {
-                        scratch.residual.push(leak);
+                    h.mul_vec_into(&s.precoders[e], &mut scratch.arr_tmp);
+                    let slot = scratch.residual.push_slot();
+                    rx_state.unwanted[e].reject_into(&scratch.arr_tmp, slot);
+                    if slot.norm_sqr() <= 1e-12 {
+                        scratch.residual.pop_slot();
                     }
                 }
-                let sinrs = zf_sinr_slices(
-                    &rx_state.wanted[k],
-                    rx_state.unwanted[k].basis(),
-                    &scratch.residual,
+                zf_sinr_slices_into(
+                    rx_state.wanted[e].as_slice(),
+                    rx_state.unwanted[e].basis(),
+                    scratch.residual.as_slice(),
                     1.0,
+                    &mut scratch.zf_ws,
+                    &mut scratch.sinr_tmp,
                 );
-                for (si, &v) in sinrs.iter().enumerate() {
-                    per_stream_sinrs[si].push(v);
+                for (si, &v) in scratch.sinr_tmp.iter().enumerate() {
+                    scratch.sinr_acc[si].push(v);
                 }
             }
             for (si, &stream_id) in scratch.my_streams.iter().enumerate() {
                 let s = &streams[stream_id];
                 let mcs = RATE_TABLE[s.rate];
-                let esnr = nplus_phy::esnr::effective_snr(mcs.modulation, &per_stream_sinrs[si]);
+                let track = self.rate_sinrs(&scratch.sinr_acc[si], &mut scratch.interp);
+                let esnr = nplus_phy::esnr::effective_snr(mcs.modulation, track);
                 let esnr_db = 10.0 * esnr.max(1e-300).log10();
                 let p = success_prob(esnr_db, s.rate);
                 bits[s.flow] += (s.active_symbols * mcs.data_bits_per_symbol()) as f64 * p;
             }
         }
-        bits
     }
 
     /// Simulates `cfg.rounds` rounds of the given protocol and returns
@@ -813,6 +1049,7 @@ impl<'a> SimEngine<'a> {
         };
         tee.on_run_start(&meta);
         let mut scratch = Scratch::default();
+        let mut bufs = RoundBufs::default();
         let mut traffic = TrafficState::new(&self.cfg.traffic, self.scenario.flows.len());
         let mut mobility = MobilityState::new_for(self);
         let mut active: Vec<usize> = Vec::with_capacity(self.transmitters.len());
@@ -844,7 +1081,7 @@ impl<'a> SimEngine<'a> {
             );
             if active.is_empty() {
                 // Nothing queued anywhere: the medium idles one DIFS.
-                self.emit_idle_round(round, self.cfg.timing.difs, &mut tee);
+                self.emit_idle_round(round, self.cfg.timing.difs, &mut bufs.round_bits, &mut tee);
                 continue;
             }
             if policy.omniscient() {
@@ -855,6 +1092,7 @@ impl<'a> SimEngine<'a> {
                     &active,
                     &mut traffic,
                     &mut scratch,
+                    &mut bufs,
                     rng,
                     &mut tee,
                 );
@@ -866,6 +1104,7 @@ impl<'a> SimEngine<'a> {
                     &active,
                     &mut traffic,
                     &mut scratch,
+                    &mut bufs,
                     rng,
                     &mut tee,
                 );
@@ -875,13 +1114,21 @@ impl<'a> SimEngine<'a> {
     }
 
     /// A round nobody managed to use: charge the airtime, settle nothing.
-    fn emit_idle_round(&self, round: usize, duration_samples: u64, obs: &mut dyn RoundObserver) {
-        let zeros = vec![0.0; self.scenario.flows.len()];
+    /// `bits` is the caller's pooled per-flow buffer (zeroed here).
+    fn emit_idle_round(
+        &self,
+        round: usize,
+        duration_samples: u64,
+        bits: &mut Vec<f64>,
+        obs: &mut dyn RoundObserver,
+    ) {
+        bits.clear();
+        bits.resize(self.scenario.flows.len(), 0.0);
         obs.on_round_end(&RoundRecord {
             round,
             body_symbols: 0,
             duration_samples,
-            flow_bits: &zeros,
+            flow_bits: bits,
             streams: &[],
         });
     }
@@ -894,8 +1141,8 @@ impl<'a> SimEngine<'a> {
     fn open_body(
         &self,
         first_alloc: &[(usize, usize)],
-        first_ids: &[usize],
-        streams: &mut [PlannedStream],
+        first_range: (usize, usize),
+        streams: &mut VecPool<PlannedStream>,
         scratch: &mut Scratch,
     ) -> (u64, usize) {
         let cfg = self.cfg;
@@ -905,13 +1152,12 @@ impl<'a> SimEngine<'a> {
             .extend(first_alloc.iter().map(|&(_, n)| n));
         let handshake_samples = cfg.timing.symbol
             * handshake_symbols(cfg, &scratch.streams_per_rx, TYPICAL_BLOB_BYTES) as u64;
-        let first_rate_sum: usize = first_ids
-            .iter()
-            .map(|&i| RATE_TABLE[streams[i].rate].data_bits_per_symbol())
+        let first_rate_sum: usize = (first_range.0..first_range.1)
+            .map(|i| RATE_TABLE[streams[i].rate].data_bits_per_symbol())
             .sum();
         let packet_bits = cfg.packet_bytes * 8 * first_alloc.len();
         let body_symbols = packet_bits.div_ceil(first_rate_sum.max(1));
-        for &i in first_ids {
+        for i in first_range.0..first_range.1 {
             streams[i].active_symbols = body_symbols;
         }
         (handshake_samples, body_symbols)
@@ -926,17 +1172,24 @@ impl<'a> SimEngine<'a> {
         overhead + cfg.timing.symbol * (body_symbols + ack_syms) as u64 + cfg.timing.difs
     }
 
-    /// The round's final per-stream ledger, in planning order.
+    /// The round's final per-stream ledger, in planning order, into the
+    /// caller's pooled buffer.
+    fn stream_records_into(streams: &[PlannedStream], out: &mut Vec<StreamRecord>) {
+        out.clear();
+        out.extend(streams.iter().map(|s| StreamRecord {
+            flow: s.flow,
+            tx: s.tx_node,
+            rate: s.rate,
+            active_symbols: s.active_symbols,
+        }));
+    }
+
+    /// Owning form of [`stream_records_into`] for the omniscient path,
+    /// whose candidate rounds outlive the pooled buffers.
     fn stream_records(streams: &[PlannedStream]) -> Vec<StreamRecord> {
-        streams
-            .iter()
-            .map(|s| StreamRecord {
-                flow: s.flow,
-                tx: s.tx_node,
-                rate: s.rate,
-                active_symbols: s.active_symbols,
-            })
-            .collect()
+        let mut out = Vec::new();
+        Self::stream_records_into(streams, &mut out);
+        out
     }
 
     /// One random-access round: primary CSMA contention, the winner's
@@ -954,16 +1207,17 @@ impl<'a> SimEngine<'a> {
         active: &[usize],
         traffic: &mut TrafficState,
         scratch: &mut Scratch,
+        bufs: &mut RoundBufs,
         rng: &mut StdRng,
         obs: &mut dyn RoundObserver,
     ) {
         let cfg = self.cfg;
         let view = self.policy_view();
-        let mut protected: Vec<ReceiverState> = Vec::new();
-        let mut streams: Vec<PlannedStream> = Vec::new();
+        bufs.protected.clear();
+        bufs.streams.clear();
 
         // Primary contention among the transmitters with traffic.
-        let (first, slots) = contend(active, &cfg.timing, rng);
+        let (first, slots) = contend(active, &cfg.timing, &mut bufs.cws, &mut bufs.draws, rng);
         obs.on_contention(&ContentionRecord {
             round,
             kind: ContentionKind::Primary,
@@ -975,8 +1229,14 @@ impl<'a> SimEngine<'a> {
 
         // First winner's allocation, pruned to flows with queued
         // packets (a no-op under saturated traffic).
-        let mut first_alloc = policy.primary_allocation(&view, first, round);
-        traffic.retain_backlogged(&mut first_alloc);
+        policy.primary_allocation_into(
+            &view,
+            first,
+            round,
+            &mut bufs.alloc_ws,
+            &mut bufs.first_alloc,
+        );
+        traffic.retain_backlogged(&mut bufs.first_alloc);
 
         // Plan the first winner with a provisional body length;
         // patched below once its rates are known.
@@ -984,38 +1244,46 @@ impl<'a> SimEngine<'a> {
             policy,
             cache,
             first,
-            &first_alloc,
-            &mut protected,
-            &mut streams,
+            &bufs.first_alloc,
+            &mut bufs.protected,
+            &mut bufs.streams,
             usize::MAX,
             scratch,
             rng,
         );
-        let Some(first_ids) = planned else {
+        let Some(first_range) = planned else {
             // Even the first winner could not transmit (degenerate
             // channels): charge the overhead and move on.
-            self.emit_idle_round(round, overhead + cfg.timing.difs, obs);
+            self.emit_idle_round(round, overhead + cfg.timing.difs, &mut bufs.round_bits, obs);
             return;
         };
         let (handshake_samples, body_symbols) =
-            self.open_body(&first_alloc, &first_ids, &mut streams, scratch);
+            self.open_body(&bufs.first_alloc, first_range, &mut bufs.streams, scratch);
         overhead += handshake_samples;
 
         // Secondary contention (joining policies only): remaining
         // transmitters join through the precoder.
         if policy.allows_join() {
-            let mut k_used: usize = streams.len();
+            let mut k_used: usize = bufs.streams.len();
             let mut elapsed_body: usize = 0;
             loop {
                 scratch.eligible.clear();
                 scratch.eligible.extend(active.iter().copied().filter(|&t| {
-                    t != first && streams.iter().all(|s| s.tx_node != t) && self.n_ant(t) > k_used
+                    t != first
+                        && bufs.streams.iter().all(|s| s.tx_node != t)
+                        && self.n_ant(t) > k_used
                 }));
                 if scratch.eligible.is_empty() {
                     break;
                 }
                 let n_contenders = scratch.eligible.len();
-                let (joiner, join_slots) = contend(&scratch.eligible, &cfg.timing, rng);
+                let (joiner, join_slots) = contend(
+                    &scratch.eligible,
+                    &cfg.timing,
+                    &mut bufs.cws,
+                    &mut bufs.draws,
+                    rng,
+                );
                 obs.on_contention(&ContentionRecord {
                     round,
                     kind: ContentionKind::Join,
@@ -1023,9 +1291,16 @@ impl<'a> SimEngine<'a> {
                     winner: joiner,
                     slots: join_slots,
                 });
-                let mut alloc = policy.join_allocation(&view, joiner, k_used, round);
-                traffic.retain_backlogged(&mut alloc);
-                if alloc.is_empty() {
+                policy.join_allocation_into(
+                    &view,
+                    joiner,
+                    k_used,
+                    round,
+                    &mut bufs.alloc_ws,
+                    &mut bufs.join_alloc,
+                );
+                traffic.retain_backlogged(&mut bufs.join_alloc);
+                if bufs.join_alloc.is_empty() {
                     obs.on_join(&JoinRecord {
                         round,
                         tx: joiner,
@@ -1034,11 +1309,13 @@ impl<'a> SimEngine<'a> {
                     });
                     break;
                 }
-                let requested: usize = alloc.iter().map(|&(_, n)| n).sum();
+                let requested: usize = bufs.join_alloc.iter().map(|&(_, n)| n).sum();
                 // The join consumes body time: contention + its
                 // handshake, sized by the actual allocation.
                 scratch.streams_per_rx.clear();
-                scratch.streams_per_rx.extend(alloc.iter().map(|&(_, n)| n));
+                scratch
+                    .streams_per_rx
+                    .extend(bufs.join_alloc.iter().map(|&(_, n)| n));
                 let hs = handshake_symbols(cfg, &scratch.streams_per_rx, TYPICAL_BLOB_BYTES);
                 let join_delay = ((join_slots * cfg.timing.slot) as usize)
                     .div_ceil(cfg.timing.symbol as usize)
@@ -1058,22 +1335,22 @@ impl<'a> SimEngine<'a> {
                     policy,
                     cache,
                     joiner,
-                    &alloc,
-                    &mut protected,
-                    &mut streams,
+                    &bufs.join_alloc,
+                    &mut bufs.protected,
+                    &mut bufs.streams,
                     remaining,
                     scratch,
                     rng,
                 );
                 match planned {
-                    Some(ids) => {
+                    Some((j0, j1)) => {
                         obs.on_join(&JoinRecord {
                             round,
                             tx: joiner,
-                            n_streams: ids.len(),
+                            n_streams: j1 - j0,
                             accepted: true,
                         });
-                        k_used += ids.len();
+                        k_used += j1 - j0;
                     }
                     None => {
                         // Joiner declined (power control / degenerate):
@@ -1091,18 +1368,24 @@ impl<'a> SimEngine<'a> {
         }
 
         // Settle: realized SINRs including residuals.
-        let round_bits = self.settle_round(cache, &protected, &streams, scratch);
-        traffic.note_serviced(streams.iter().map(|s| s.flow));
+        self.settle_round_into(
+            cache,
+            bufs.protected.as_slice(),
+            bufs.streams.as_slice(),
+            scratch,
+            &mut bufs.round_bits,
+        );
+        traffic.note_serviced(bufs.streams.iter().map(|s| s.flow));
 
         // Time accounting.
         let round_samples = self.round_airtime(overhead, body_symbols);
-        let records = Self::stream_records(&streams);
+        Self::stream_records_into(bufs.streams.as_slice(), &mut bufs.records);
         obs.on_round_end(&RoundRecord {
             round,
             body_symbols,
             duration_samples: round_samples,
-            flow_bits: &round_bits,
-            streams: &records,
+            flow_bits: &bufs.round_bits,
+            streams: &bufs.records,
         });
     }
 
@@ -1120,6 +1403,7 @@ impl<'a> SimEngine<'a> {
         active: &[usize],
         traffic: &mut TrafficState,
         scratch: &mut Scratch,
+        bufs: &mut RoundBufs,
         rng: &mut StdRng,
         obs: &mut dyn RoundObserver,
     ) {
@@ -1127,7 +1411,7 @@ impl<'a> SimEngine<'a> {
         let mut best: Option<CandidateRound> = None;
         for &t in active {
             if let Some(cand) =
-                self.forced_round(policy, t, round, cache, active, traffic, scratch, rng)
+                self.forced_round(policy, t, round, cache, active, traffic, scratch, bufs, rng)
             {
                 // Compare bits-per-sample by cross-multiplication (both
                 // sides non-negative, durations positive) — strictly
@@ -1172,7 +1456,12 @@ impl<'a> SimEngine<'a> {
             }
             // No candidate could transmit at all: an idle DIFS-bounded
             // round, mirroring the contended path's failure charge.
-            None => self.emit_idle_round(round, cfg.timing.difs + cfg.timing.difs, obs),
+            None => self.emit_idle_round(
+                round,
+                cfg.timing.difs + cfg.timing.difs,
+                &mut bufs.round_bits,
+                obs,
+            ),
         }
     }
 
@@ -1192,34 +1481,41 @@ impl<'a> SimEngine<'a> {
         active: &[usize],
         traffic: &TrafficState,
         scratch: &mut Scratch,
+        bufs: &mut RoundBufs,
         rng: &mut StdRng,
     ) -> Option<CandidateRound> {
         let cfg = self.cfg;
         let view = self.policy_view();
-        let mut protected: Vec<ReceiverState> = Vec::new();
-        let mut streams: Vec<PlannedStream> = Vec::new();
+        bufs.protected.clear();
+        bufs.streams.clear();
         let mut overhead = cfg.timing.difs; // scheduled: no backoff slots
 
-        let mut first_alloc = policy.primary_allocation(&view, primary, round);
-        traffic.retain_backlogged(&mut first_alloc);
-        let first_ids = self.plan_winner(
+        policy.primary_allocation_into(
+            &view,
+            primary,
+            round,
+            &mut bufs.alloc_ws,
+            &mut bufs.first_alloc,
+        );
+        traffic.retain_backlogged(&mut bufs.first_alloc);
+        let first_range = self.plan_winner(
             policy,
             cache,
             primary,
-            &first_alloc,
-            &mut protected,
-            &mut streams,
+            &bufs.first_alloc,
+            &mut bufs.protected,
+            &mut bufs.streams,
             usize::MAX,
             scratch,
             rng,
         )?;
         let (handshake_samples, body_symbols) =
-            self.open_body(&first_alloc, &first_ids, &mut streams, scratch);
+            self.open_body(&bufs.first_alloc, first_range, &mut bufs.streams, scratch);
         overhead += handshake_samples;
 
         let mut joins: Vec<(usize, usize)> = Vec::new();
         if policy.allows_join() {
-            let mut k_used: usize = streams.len();
+            let mut k_used: usize = bufs.streams.len();
             let mut elapsed_body: usize = 0;
             let mut barred: Vec<usize> = Vec::new();
             loop {
@@ -1229,21 +1525,30 @@ impl<'a> SimEngine<'a> {
                     .filter(|&t| {
                         t != primary
                             && !barred.contains(&t)
-                            && streams.iter().all(|s| s.tx_node != t)
+                            && bufs.streams.iter().all(|s| s.tx_node != t)
                             && self.n_ant(t) > k_used
                     })
                     .max_by_key(|&t| (self.n_ant(t), std::cmp::Reverse(t)));
                 let Some(joiner) = joiner else {
                     break;
                 };
-                let mut alloc = policy.join_allocation(&view, joiner, k_used, round);
-                traffic.retain_backlogged(&mut alloc);
-                if alloc.is_empty() {
+                policy.join_allocation_into(
+                    &view,
+                    joiner,
+                    k_used,
+                    round,
+                    &mut bufs.alloc_ws,
+                    &mut bufs.join_alloc,
+                );
+                traffic.retain_backlogged(&mut bufs.join_alloc);
+                if bufs.join_alloc.is_empty() {
                     barred.push(joiner);
                     continue;
                 }
                 scratch.streams_per_rx.clear();
-                scratch.streams_per_rx.extend(alloc.iter().map(|&(_, n)| n));
+                scratch
+                    .streams_per_rx
+                    .extend(bufs.join_alloc.iter().map(|&(_, n)| n));
                 let join_delay =
                     handshake_symbols(cfg, &scratch.streams_per_rx, TYPICAL_BLOB_BYTES);
                 if elapsed_body + join_delay >= body_symbols {
@@ -1254,17 +1559,17 @@ impl<'a> SimEngine<'a> {
                     policy,
                     cache,
                     joiner,
-                    &alloc,
-                    &mut protected,
-                    &mut streams,
+                    &bufs.join_alloc,
+                    &mut bufs.protected,
+                    &mut bufs.streams,
                     remaining,
                     scratch,
                     rng,
                 ) {
-                    Some(ids) => {
+                    Some((j0, j1)) => {
                         elapsed_body += join_delay;
-                        joins.push((joiner, ids.len()));
-                        k_used += ids.len();
+                        joins.push((joiner, j1 - j0));
+                        k_used += j1 - j0;
                     }
                     // The scheduler is omniscient: a join that cannot be
                     // planned is never attempted, so it costs no airtime.
@@ -1273,7 +1578,16 @@ impl<'a> SimEngine<'a> {
             }
         }
 
-        let flow_bits = self.settle_round(cache, &protected, &streams, scratch);
+        // Candidate rounds outlive the pooled buffers (the best one is
+        // kept across the whole primary sweep), so they own their bits.
+        let mut flow_bits = Vec::new();
+        self.settle_round_into(
+            cache,
+            bufs.protected.as_slice(),
+            bufs.streams.as_slice(),
+            scratch,
+            &mut flow_bits,
+        );
         let bits_total: f64 = flow_bits.iter().sum();
         Some(CandidateRound {
             primary,
@@ -1282,7 +1596,7 @@ impl<'a> SimEngine<'a> {
             flow_bits,
             body_symbols,
             duration_samples: self.round_airtime(overhead, body_symbols),
-            streams: Self::stream_records(&streams),
+            streams: Self::stream_records(bufs.streams.as_slice()),
         })
     }
 }
@@ -1540,6 +1854,7 @@ mod tests {
     use super::*;
     use crate::policy::{GreedyJoin, NPlus, Oracle};
     use nplus_channel::placement::Testbed;
+    use nplus_mac::frames::ReceiverEntry;
     use nplus_medium::topology::{build_topology, TopologyConfig};
     use rand::SeedableRng;
 
@@ -1667,8 +1982,9 @@ mod tests {
         let contenders = [10usize, 11, 12, 13];
         let mut rng = StdRng::seed_from_u64(77);
         let mut wins = [0usize; 4];
+        let (mut cws, mut draws) = (Vec::new(), Vec::new());
         for _ in 0..400 {
-            let (winner, _) = contend(&contenders, &timing, &mut rng);
+            let (winner, _) = contend(&contenders, &timing, &mut cws, &mut draws, &mut rng);
             wins[winner - 10] += 1;
         }
         // The old code gave all 400 wins to index 0.
@@ -2063,5 +2379,63 @@ mod tests {
                 policy.name()
             );
         }
+    }
+
+    /// The decimated-grid interpolator reproduces the evaluated bins
+    /// exactly and stays within the track's range between them.
+    #[test]
+    fn interpolate_track_is_exact_at_evaluated_bins() {
+        let eval_pos = vec![0usize, 4, 8, 12];
+        let vals = [10.0, 2.0, 6.0, 4.0];
+        let mut out = Vec::new();
+        interpolate_track(&eval_pos, &vals, 15, &mut out);
+        assert_eq!(out.len(), 15);
+        for (i, &k) in eval_pos.iter().enumerate() {
+            assert_eq!(out[k].to_bits(), vals[i].to_bits(), "bin {k} not exact");
+        }
+        // Midpoint of a segment is the *geometric* mean of its endpoints
+        // (log-domain interpolation — fades are multiplicative).
+        assert!((out[2] - (10.0f64 * 2.0).sqrt()).abs() < 1e-12);
+        // Past the last evaluated bin: held flat.
+        assert_eq!(out[13].to_bits(), vals[3].to_bits());
+        assert_eq!(out[14].to_bits(), vals[3].to_bits());
+        // Within range everywhere.
+        for &v in &out {
+            assert!((2.0..=10.0).contains(&v));
+        }
+    }
+
+    /// `SinrGrid::Decimated(k)` runs end-to-end, produces positive
+    /// finite goodput, and lands near the full-grid result (the SINR
+    /// tracks are smooth across neighbouring OFDM bins).
+    #[test]
+    fn decimated_grid_tracks_full_grid() {
+        let scenario = Scenario::three_pairs();
+        let topo = three_pairs_topo(11);
+        let full_cfg = SimConfig {
+            rounds: 10,
+            ..SimConfig::default()
+        };
+        let dec_cfg = SimConfig {
+            sinr_grid: SinrGrid::Decimated(4),
+            ..full_cfg.clone()
+        };
+        let full = SimEngine::new(&topo, &scenario, &full_cfg)
+            .run_policy(&NPlus, &mut StdRng::seed_from_u64(8));
+        let dec = SimEngine::new(&topo, &scenario, &dec_cfg)
+            .run_policy(&NPlus, &mut StdRng::seed_from_u64(8));
+        assert!(dec.total_mbps.is_finite() && dec.total_mbps > 0.0);
+        let rel = (dec.total_mbps - full.total_mbps).abs() / full.total_mbps;
+        assert!(
+            rel < 0.25,
+            "decimated {:.2} Mb/s vs full {:.2} Mb/s ({:.0}% apart)",
+            dec.total_mbps,
+            full.total_mbps,
+            rel * 100.0
+        );
+        // Decimated runs are themselves deterministic.
+        let again = SimEngine::new(&topo, &scenario, &dec_cfg)
+            .run_policy(&NPlus, &mut StdRng::seed_from_u64(8));
+        assert_eq!(dec.total_mbps.to_bits(), again.total_mbps.to_bits());
     }
 }

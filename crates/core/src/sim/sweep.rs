@@ -15,7 +15,8 @@
 //! panic from a bad spec.
 
 use super::{
-    Flow, MobilityModel, Protocol, RunResult, Scenario, SimConfig, SimEngine, TrafficModel,
+    Flow, MobilityModel, Protocol, RunResult, Scenario, SimConfig, SimEngine, SinrGrid,
+    TrafficModel,
 };
 use crate::policy::{policy_from_name, MacPolicy, BUILTIN_POLICY_NAMES};
 use nplus_channel::environment::{
@@ -163,14 +164,19 @@ pub struct CanonicalSpec {
     pub traffic: TrafficModel,
     /// Node mobility (defaults to static).
     pub mobility: MobilityModel,
+    /// SINR evaluation tier (defaults to the exact full grid). A
+    /// decimated tier is a different approximation, so it is part of
+    /// the spec's identity — the result cache must never serve a
+    /// decimated run for a full-grid request or vice versa.
+    pub sinr_grid: SinrGrid,
 }
 
 /// Domain-separation prefix of the canonical byte encoding; bump the
 /// version on any change to the encoding so old cache keys can never
-/// alias new semantics. v2 added the traffic/mobility tags — every v1
-/// key (implicitly saturated/static) is deliberately invalidated rather
-/// than aliased.
-const CANONICAL_MAGIC: &[u8] = b"nplus-canonical-spec-v2\0";
+/// alias new semantics. v2 added the traffic/mobility tags; v3 adds the
+/// SINR-grid tier tag — every v2 key (implicitly full-grid) is
+/// deliberately invalidated rather than aliased.
+const CANONICAL_MAGIC: &[u8] = b"nplus-canonical-spec-v3\0";
 
 /// 128-bit FNV-1a over `bytes` — dependency-free, stable across
 /// platforms and releases (unlike `DefaultHasher`), and wide enough
@@ -235,6 +241,7 @@ impl CanonicalSpec {
             rounds,
             traffic: TrafficModel::Saturated,
             mobility: MobilityModel::Static,
+            sinr_grid: SinrGrid::Full,
         })
     }
 
@@ -257,6 +264,17 @@ impl CanonicalSpec {
     pub fn with_mobility(mut self, mobility: MobilityModel) -> Result<Self, SweepError> {
         mobility.validate().map_err(SweepError::InvalidSpec)?;
         self.mobility = mobility;
+        Ok(self)
+    }
+
+    /// Replaces the SINR evaluation tier (validated, as
+    /// [`with_traffic`](CanonicalSpec::with_traffic)).
+    ///
+    /// # Errors
+    /// [`SweepError::InvalidSpec`] with the tier's own description.
+    pub fn with_sinr_grid(mut self, sinr_grid: SinrGrid) -> Result<Self, SweepError> {
+        sinr_grid.validate().map_err(SweepError::InvalidSpec)?;
+        self.sinr_grid = sinr_grid;
         Ok(self)
     }
 
@@ -330,6 +348,14 @@ impl CanonicalSpec {
                 put_u64(&mut out, epoch_rounds as u64);
             }
         }
+        out.push(0x09);
+        match self.sinr_grid {
+            SinrGrid::Full => put_u64(&mut out, 0),
+            SinrGrid::Decimated(k) => {
+                put_u64(&mut out, 1);
+                put_u64(&mut out, k as u64);
+            }
+        }
         out
     }
 
@@ -369,12 +395,14 @@ impl CanonicalSpec {
         }
         self.traffic.validate().map_err(SweepError::InvalidSpec)?;
         self.mobility.validate().map_err(SweepError::InvalidSpec)?;
+        self.sinr_grid.validate().map_err(SweepError::InvalidSpec)?;
         let mut spec = SweepSpec::new(scenario)
             .environment_named(&self.environment)
             .map_err(SweepError::UnknownEnvironment)?
             .rounds(self.rounds)
             .traffic(self.traffic)
             .mobility(self.mobility)
+            .sinr_grid(self.sinr_grid)
             .seeds(self.seeds.iter().copied())
             .threads(threads);
         for name in &self.policies {
@@ -832,6 +860,15 @@ impl SweepSpec {
         self
     }
 
+    /// Sets the SINR evaluation tier (canonical, like
+    /// [`traffic`](SweepSpec::traffic)): [`SinrGrid::Decimated`] trades
+    /// a bounded goodput error for a large planning speed-up, and keys
+    /// differently in the result cache than the exact full grid.
+    pub fn sinr_grid(mut self, sinr_grid: SinrGrid) -> Self {
+        self.cfg.sinr_grid = sinr_grid;
+        self
+    }
+
     /// Adds one policy to the comparison, in call order.
     pub fn policy(mut self, policy: impl MacPolicy + 'static) -> Self {
         self.policies.push(PolicyEntry::Owned(Box::new(policy)));
@@ -988,10 +1025,11 @@ impl SweepSpec {
         base.cache_channels = self.cfg.cache_channels;
         base.traffic = self.cfg.traffic;
         base.mobility = self.cfg.mobility;
+        base.sinr_grid = self.cfg.sinr_grid;
         if base != self.cfg {
             return Err(SweepError::NotCanonical(
-                "config deviates from the environment defaults (only rounds, traffic and \
-                 mobility are canonical)"
+                "config deviates from the environment defaults (only rounds, traffic, \
+                 mobility and the SINR grid are canonical)"
                     .to_string(),
             ));
         }
@@ -1015,7 +1053,8 @@ impl SweepSpec {
             self.cfg.rounds,
         )?
         .with_traffic(self.cfg.traffic)?
-        .with_mobility(self.cfg.mobility)
+        .with_mobility(self.cfg.mobility)?
+        .with_sinr_grid(self.cfg.sinr_grid)
     }
 
     /// Rejects unvalidatable traffic/mobility parameters before any job
@@ -1028,6 +1067,10 @@ impl SweepSpec {
             .map_err(SweepError::InvalidSpec)?;
         self.cfg
             .mobility
+            .validate()
+            .map_err(SweepError::InvalidSpec)?;
+        self.cfg
+            .sinr_grid
             .validate()
             .map_err(SweepError::InvalidSpec)
     }
@@ -1591,6 +1634,49 @@ mod tests {
             CanonicalSpec::new(&Scenario::three_pairs(), "sigcomm11", &[], vec![0], 5)
                 .unwrap()
                 .with_traffic(bad),
+            Err(SweepError::InvalidSpec(_))
+        ));
+    }
+
+    /// The SINR grid tier is a canonical (key-moving) field: a decimated
+    /// run can never be served from a full-grid cache entry, the k
+    /// parameter is part of the identity, and the round-trip through
+    /// `to_spec` preserves the tier.
+    #[test]
+    fn sinr_grid_is_a_canonical_field() {
+        let fresh = || {
+            SweepSpec::new(Scenario::three_pairs())
+                .rounds(5)
+                .seed_count(2)
+                .protocol(Protocol::NPlus)
+        };
+        let full_key = fresh().canonical().unwrap().key();
+        let dec = fresh().sinr_grid(SinrGrid::Decimated(4));
+        let dec_canon = dec.canonical().expect("decimated tier is canonical");
+        assert_eq!(dec_canon.sinr_grid, SinrGrid::Decimated(4));
+        assert_ne!(dec_canon.key(), full_key, "tier must move the key");
+        let dec8 = fresh()
+            .sinr_grid(SinrGrid::Decimated(8))
+            .canonical()
+            .unwrap();
+        assert_ne!(dec8.key(), dec_canon.key(), "k must move the key");
+
+        // Round-trip: tier survives reconstruction and reruns bitwise.
+        let rebuilt = dec_canon.to_spec(1).expect("reconstructs");
+        assert_eq!(rebuilt.canonical().unwrap(), dec_canon);
+        let direct = dec.try_run().expect("runs");
+        let again = rebuilt.try_run().expect("runs");
+        for (a, b) in direct.iter().zip(&again) {
+            assert_eq!(a.mean_total_mbps.to_bits(), b.mean_total_mbps.to_bits());
+        }
+
+        // Invalid tiers are typed errors everywhere.
+        assert!(matches!(
+            fresh().sinr_grid(SinrGrid::Decimated(1)).try_run(),
+            Err(SweepError::InvalidSpec(_))
+        ));
+        assert!(matches!(
+            fresh().sinr_grid(SinrGrid::Decimated(0)).canonical(),
             Err(SweepError::InvalidSpec(_))
         ));
     }

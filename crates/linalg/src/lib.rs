@@ -25,7 +25,9 @@
 pub mod complex;
 pub mod matrix;
 pub mod nullspace;
+pub mod pool;
 pub mod qr;
+pub mod soa;
 pub mod solve;
 pub mod subspace;
 pub mod vector;
@@ -33,12 +35,19 @@ pub mod vector;
 pub use complex::{c64, Complex64};
 pub use matrix::CMatrix;
 pub use nullspace::{is_null_space_of, null_space, nullity};
-pub use qr::{column_space, is_orthonormal, orthonormalize, qr, row_space, Qr};
+pub use pool::VecPool;
+pub use qr::{
+    column_space, is_orthonormal, orthonormalize, orthonormalize_into, qr, row_space, Qr,
+};
+pub use soa::{
+    hermitian_into, mul_into, null_space_into, pinv_into, qr_soa, row_echelon_into,
+    soa_default_tolerance, CMatrixSoA, NullspaceWorkspace, PinvWorkspace,
+};
 pub use solve::{
     default_tolerance, determinant, inverse, lstsq, pinv, rank, row_echelon, solve, solve_many,
     LinalgError,
 };
-pub use subspace::{principal_angle, residual_power_db, sin_angle, Subspace};
+pub use subspace::{principal_angle, residual_power_db, sin_angle, Subspace, SubspaceWorkspace};
 pub use vector::CVector;
 
 /// Converts a linear power ratio to decibels.

@@ -161,6 +161,22 @@ impl CMatrix {
         (0..self.rows).map(|i| self[(i, j)]).collect()
     }
 
+    /// Borrowed view of row `i` — the zero-copy sibling of
+    /// [`CMatrix::row`] for hot paths that only need to read the entries.
+    #[inline]
+    pub fn row_ref(&self, i: usize) -> &[Complex64] {
+        assert!(i < self.rows, "row {i} out of range ({} rows)", self.rows);
+        &self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Iterator over the entries of column `j` — the zero-copy sibling of
+    /// [`CMatrix::col`].
+    #[inline]
+    pub fn col_iter(&self, j: usize) -> impl Iterator<Item = &Complex64> + '_ {
+        assert!(j < self.cols, "col {j} out of range ({} cols)", self.cols);
+        self.data.iter().skip(j).step_by(self.cols.max(1))
+    }
+
     /// Replaces row `i` with the given vector.
     pub fn set_row(&mut self, i: usize, v: &CVector) {
         assert_eq!(v.len(), self.cols, "set_row: dimension mismatch");
@@ -569,6 +585,20 @@ mod tests {
         let borrowed = CMatrix::from_col_refs(&[&c0, &c1]);
         assert!(owned.approx_eq(&borrowed, 0.0));
         assert_eq!(CMatrix::from_col_refs(&[]).shape(), (0, 0));
+    }
+
+    #[test]
+    fn borrowed_views_match_copying_accessors() {
+        let a = sample();
+        for i in 0..2 {
+            assert_eq!(a.row_ref(i), a.row(i).as_slice());
+        }
+        for j in 0..3 {
+            let via_iter: Vec<Complex64> = a.col_iter(j).copied().collect();
+            assert_eq!(via_iter, a.col(j).into_vec());
+        }
+        let empty = CMatrix::zeros(0, 3);
+        assert_eq!(empty.col_iter(2).count(), 0);
     }
 
     #[test]

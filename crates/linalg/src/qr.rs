@@ -31,15 +31,37 @@ pub struct Qr {
 /// machine precision.
 pub fn orthonormalize(vectors: &[CVector], tol: f64) -> Vec<CVector> {
     let mut basis: Vec<CVector> = Vec::with_capacity(vectors.len());
+    let mut w = CVector::default();
+    let dim = orthonormalize_into(vectors, tol, &mut basis, &mut w);
+    debug_assert_eq!(dim, basis.len());
+    basis
+}
+
+/// Pooled sibling of [`orthonormalize`]: writes the basis into reusable
+/// slots of `basis` (slots past the returned dimension are retained as
+/// spare capacity, never shrunk) using `w` as the Gram–Schmidt work
+/// vector. Performs the exact same floating-point operation sequence as
+/// [`orthonormalize`], so results are bit-for-bit identical; the only
+/// difference is that no allocation happens once the slots have grown to
+/// their high-water capacity.
+///
+/// Returns the basis dimension; `basis[..dim]` is the orthonormal basis.
+pub fn orthonormalize_into(
+    vectors: &[CVector],
+    tol: f64,
+    basis: &mut Vec<CVector>,
+    w: &mut CVector,
+) -> usize {
+    let mut dim = 0usize;
     for v in vectors {
         let original_norm = v.norm();
         if original_norm <= tol {
             continue;
         }
-        let mut w = v.clone();
+        w.copy_from(v);
         // Two passes of MGS ("twice is enough" — Kahan/Parlett).
         for _ in 0..2 {
-            for b in &basis {
+            for b in &basis[..dim] {
                 let k = w.dot(b);
                 w.axpy(-k, b);
             }
@@ -48,9 +70,17 @@ pub fn orthonormalize(vectors: &[CVector], tol: f64) -> Vec<CVector> {
         if w.norm() <= tol.max(original_norm * 1e-12) {
             continue;
         }
-        basis.push(w.normalized());
+        // `CVector::normalized` recomputes the norm and scales by its
+        // reciprocal; replicate that exactly into the pooled slot.
+        let n = w.norm();
+        assert!(n > 1e-300, "cannot normalize a zero vector");
+        if dim == basis.len() {
+            basis.push(CVector::default());
+        }
+        basis[dim].assign_scale_re(w, 1.0 / n);
+        dim += 1;
     }
-    basis
+    dim
 }
 
 /// Thin, rank-revealing QR of `a` via modified Gram–Schmidt on the columns.

@@ -9,17 +9,24 @@
 
 use crate::matrix::CMatrix;
 use crate::nullspace::null_space;
-use crate::qr::{is_orthonormal, orthonormalize};
+use crate::qr::{is_orthonormal, orthonormalize, orthonormalize_into};
+use crate::soa::{null_space_into, CMatrixSoA, NullspaceWorkspace};
 use crate::vector::CVector;
 
 /// A linear subspace of `C^n`, stored as an orthonormal basis.
 ///
 /// The zero subspace is represented by an empty basis; the ambient
 /// dimension is always tracked so complements remain well-defined.
-#[derive(Debug, Clone)]
+///
+/// Storage uses logical-length semantics so a `Subspace` slot can be
+/// reused round after round without reallocating: `basis` may hold spare
+/// vectors past `dim` retained from earlier, larger uses. All accessors
+/// see only the live prefix `basis[..dim]`.
+#[derive(Debug, Clone, Default)]
 pub struct Subspace {
     ambient: usize,
     basis: Vec<CVector>,
+    dim: usize,
 }
 
 impl Subspace {
@@ -28,6 +35,7 @@ impl Subspace {
         Subspace {
             ambient,
             basis: Vec::new(),
+            dim: 0,
         }
     }
 
@@ -36,6 +44,7 @@ impl Subspace {
         Subspace {
             ambient,
             basis: (0..ambient).map(|i| CVector::unit(ambient, i)).collect(),
+            dim: ambient,
         }
     }
 
@@ -45,15 +54,13 @@ impl Subspace {
         for v in vectors {
             assert_eq!(v.len(), ambient, "span: vector dimension != ambient");
         }
-        let scale = vectors
-            .iter()
-            .map(|v| v.norm())
-            .fold(0.0f64, f64::max)
-            .max(1e-300);
-        let tol = scale * ambient as f64 * f64::EPSILON;
+        let tol = span_tolerance(ambient, vectors);
+        let basis = orthonormalize(vectors, tol);
+        let dim = basis.len();
         Subspace {
             ambient,
-            basis: orthonormalize(vectors, tol),
+            basis,
+            dim,
         }
     }
 
@@ -73,7 +80,56 @@ impl Subspace {
         for v in &basis {
             assert_eq!(v.len(), ambient);
         }
-        Subspace { ambient, basis }
+        let dim = basis.len();
+        Subspace {
+            ambient,
+            basis,
+            dim,
+        }
+    }
+
+    /// Pooled sibling of [`Subspace::zero`]: reuses `self`'s slots.
+    pub fn assign_zero(&mut self, ambient: usize) {
+        self.ambient = ambient;
+        self.dim = 0;
+    }
+
+    /// Pooled sibling of [`Subspace::full`]: reuses `self`'s slots.
+    pub fn assign_full(&mut self, ambient: usize) {
+        self.ambient = ambient;
+        for i in 0..ambient {
+            if i == self.basis.len() {
+                self.basis.push(CVector::default());
+            }
+            self.basis[i].assign_zeros(ambient);
+            self.basis[i][i] = crate::complex::Complex64::ONE;
+        }
+        self.dim = ambient;
+    }
+
+    /// Pooled sibling of `clone_from` that keeps spare slots: copies the
+    /// live basis of `src` into reusable slots of `self`.
+    pub fn assign_from(&mut self, src: &Subspace) {
+        self.ambient = src.ambient;
+        for (i, b) in src.basis().iter().enumerate() {
+            if i == self.basis.len() {
+                self.basis.push(CVector::default());
+            }
+            self.basis[i].copy_from(b);
+        }
+        self.dim = src.dim;
+    }
+
+    /// Pooled sibling of [`Subspace::span`]: same tolerance and the same
+    /// Gram–Schmidt operation sequence (via `orthonormalize_into`), so the
+    /// resulting basis is bit-identical; `w` is the reusable work vector.
+    pub fn assign_span(&mut self, ambient: usize, vectors: &[CVector], w: &mut CVector) {
+        for v in vectors {
+            assert_eq!(v.len(), ambient, "span: vector dimension != ambient");
+        }
+        let tol = span_tolerance(ambient, vectors);
+        self.ambient = ambient;
+        self.dim = orthonormalize_into(vectors, tol, &mut self.basis, w);
     }
 
     /// Dimension of the ambient space.
@@ -85,34 +141,34 @@ impl Subspace {
     /// Dimension of the subspace itself.
     #[inline]
     pub fn dim(&self) -> usize {
-        self.basis.len()
+        self.dim
     }
 
     /// True for the zero subspace.
     #[inline]
     pub fn is_zero(&self) -> bool {
-        self.basis.is_empty()
+        self.dim == 0
     }
 
     /// True when the subspace is all of `C^ambient`.
     #[inline]
     pub fn is_full(&self) -> bool {
-        self.basis.len() == self.ambient
+        self.dim == self.ambient
     }
 
     /// The orthonormal basis vectors.
     #[inline]
     pub fn basis(&self) -> &[CVector] {
-        &self.basis
+        &self.basis[..self.dim]
     }
 
     /// Basis as a matrix whose *columns* are the basis vectors
     /// (`ambient × dim`).
     pub fn basis_matrix(&self) -> CMatrix {
-        if self.basis.is_empty() {
+        if self.dim == 0 {
             CMatrix::zeros(self.ambient, 0)
         } else {
-            CMatrix::from_cols(&self.basis)
+            CMatrix::from_cols(self.basis())
         }
     }
 
@@ -124,6 +180,18 @@ impl Subspace {
         self.basis_matrix().hermitian()
     }
 
+    /// Pooled split-storage sibling of [`Subspace::row_operator`]: writes
+    /// the `dim × ambient` conjugated-basis row operator into `out`.
+    /// Entry values are identical (conjugation is an exact sign flip).
+    pub fn row_operator_into(&self, out: &mut CMatrixSoA) {
+        out.reset(self.dim, self.ambient);
+        for (i, b) in self.basis().iter().enumerate() {
+            for (j, z) in b.iter().enumerate() {
+                out.set(i, j, z.conj());
+            }
+        }
+    }
+
     /// Orthogonal complement within the ambient space.
     ///
     /// Computed as the null space of the row operator, so
@@ -133,17 +201,33 @@ impl Subspace {
             return Subspace::full(self.ambient);
         }
         let ns = null_space(&self.row_operator());
+        let dim = ns.len();
         Subspace {
             ambient: self.ambient,
             basis: ns,
+            dim,
         }
+    }
+
+    /// Pooled sibling of [`Subspace::complement`], writing into reusable
+    /// slots of `out`. Runs the identical null-space operation sequence
+    /// (via the split-storage kernels), so the complement basis is
+    /// bit-for-bit the same as the allocating path's.
+    pub fn complement_into(&self, out: &mut Subspace, ws: &mut SubspaceWorkspace) {
+        if self.is_zero() {
+            out.assign_full(self.ambient);
+            return;
+        }
+        self.row_operator_into(&mut ws.rowop);
+        out.ambient = self.ambient;
+        out.dim = null_space_into(&ws.rowop, &mut ws.ns, &mut out.basis);
     }
 
     /// Projects `v` onto the subspace.
     pub fn project(&self, v: &CVector) -> CVector {
         assert_eq!(v.len(), self.ambient, "project: dimension mismatch");
         let mut out = CVector::zeros(self.ambient);
-        for b in &self.basis {
+        for b in self.basis() {
             let k = v.dot(b);
             out.axpy(k, b);
         }
@@ -155,11 +239,22 @@ impl Subspace {
     pub fn reject(&self, v: &CVector) -> CVector {
         assert_eq!(v.len(), self.ambient, "reject: dimension mismatch");
         let mut out = v.clone();
-        for b in &self.basis {
+        for b in self.basis() {
             let k = out.dot(b);
             out.axpy(-k, b);
         }
         out
+    }
+
+    /// Pooled sibling of [`Subspace::reject`]: identical arithmetic, with
+    /// the output written into a reusable buffer instead of a fresh clone.
+    pub fn reject_into(&self, v: &CVector, out: &mut CVector) {
+        assert_eq!(v.len(), self.ambient, "reject: dimension mismatch");
+        out.copy_from(v);
+        for b in self.basis() {
+            let k = out.dot(b);
+            out.axpy(-k, b);
+        }
     }
 
     /// Coordinates of `v` in the subspace basis (a `dim`-vector). This is
@@ -167,7 +262,7 @@ impl Subspace {
     /// spanned directions is annihilated when applied to the complement.
     pub fn coordinates(&self, v: &CVector) -> CVector {
         assert_eq!(v.len(), self.ambient, "coordinates: dimension mismatch");
-        self.basis.iter().map(|b| v.dot(b)).collect()
+        self.basis().iter().map(|b| v.dot(b)).collect()
     }
 
     /// Projection matrix `P = B B^H` onto the subspace (`ambient × ambient`).
@@ -186,8 +281,8 @@ impl Subspace {
     /// The sum (union-span) of two subspaces of the same ambient space.
     pub fn sum(&self, other: &Subspace) -> Subspace {
         assert_eq!(self.ambient, other.ambient, "sum: ambient mismatch");
-        let mut all = self.basis.clone();
-        all.extend(other.basis.iter().cloned());
+        let mut all = self.basis().to_vec();
+        all.extend(other.basis().iter().cloned());
         Subspace::span(self.ambient, &all)
     }
 
@@ -200,6 +295,25 @@ impl Subspace {
         }
         self.project(v).norm_sqr() / total
     }
+}
+
+/// The span tolerance shared by [`Subspace::span`] and
+/// [`Subspace::assign_span`]: `max|v| · ambient · eps`, floored at
+/// `1e-300`. Kept in one place so the two paths cannot drift.
+fn span_tolerance(ambient: usize, vectors: &[CVector]) -> f64 {
+    let scale = vectors
+        .iter()
+        .map(|v| v.norm())
+        .fold(0.0f64, f64::max)
+        .max(1e-300);
+    scale * ambient as f64 * f64::EPSILON
+}
+
+/// Reusable buffers for [`Subspace::complement_into`].
+#[derive(Debug, Clone, Default)]
+pub struct SubspaceWorkspace {
+    rowop: CMatrixSoA,
+    ns: NullspaceWorkspace,
 }
 
 /// Angle `θ` between two vectors (paper Fig. 7): the decode-SNR of
@@ -357,6 +471,68 @@ mod tests {
         assert!(s.power_fraction(&outside) < TOL);
         let mixed = CVector::from_reals(&[1.0, 1.0]);
         assert!((s.power_fraction(&mixed) - 0.5).abs() < TOL);
+    }
+
+    #[test]
+    fn pooled_ops_match_allocating_ops_bitwise() {
+        let vs = [
+            v3((0.8, 0.1), (-0.2, 0.6), (0.4, -0.3)),
+            v3((0.1, -0.5), (0.7, 0.2), (-0.3, 0.3)),
+        ];
+        let expect = Subspace::span(3, &vs);
+        let mut s = Subspace::default();
+        let mut w = CVector::default();
+        s.assign_span(3, &vs, &mut w);
+        assert_eq!(s.dim(), expect.dim());
+        for (a, b) in s.basis().iter().zip(expect.basis()) {
+            for i in 0..a.len() {
+                assert_eq!(a[i].re.to_bits(), b[i].re.to_bits());
+                assert_eq!(a[i].im.to_bits(), b[i].im.to_bits());
+            }
+        }
+        // Pooled complement vs allocating complement.
+        let cexpect = expect.complement();
+        let mut c = Subspace::default();
+        let mut ws = SubspaceWorkspace::default();
+        s.complement_into(&mut c, &mut ws);
+        assert_eq!(c.dim(), cexpect.dim());
+        for (a, b) in c.basis().iter().zip(cexpect.basis()) {
+            for i in 0..a.len() {
+                assert_eq!(a[i].re.to_bits(), b[i].re.to_bits());
+                assert_eq!(a[i].im.to_bits(), b[i].im.to_bits());
+            }
+        }
+        // Pooled reject vs allocating reject.
+        let v = v3((0.3, -0.4), (1.2, 0.0), (0.0, 0.9));
+        let rexpect = s.reject(&v);
+        let mut r = CVector::default();
+        s.reject_into(&v, &mut r);
+        assert_eq!(r, rexpect);
+        // Reuse after a larger assignment must not leak stale slots.
+        let mut reused = Subspace::default();
+        reused.assign_full(3);
+        reused.assign_from(&expect);
+        assert_eq!(reused.dim(), expect.dim());
+        assert_eq!(reused.basis().len(), expect.dim());
+        reused.assign_zero(3);
+        assert!(reused.is_zero());
+        assert!(reused.basis().is_empty());
+    }
+
+    #[test]
+    fn row_operator_into_matches_row_operator() {
+        let vs = [v3((1.0, 0.0), (1.0, 1.0), (0.0, 0.0))];
+        let s = Subspace::span(3, &vs);
+        let expect = s.row_operator();
+        let mut out = CMatrixSoA::default();
+        s.row_operator_into(&mut out);
+        assert_eq!(out.shape(), (expect.rows(), expect.cols()));
+        for i in 0..expect.rows() {
+            for j in 0..expect.cols() {
+                assert_eq!(out.get(i, j).re.to_bits(), expect[(i, j)].re.to_bits());
+                assert_eq!(out.get(i, j).im.to_bits(), expect[(i, j)].im.to_bits());
+            }
+        }
     }
 
     #[test]

@@ -157,6 +157,42 @@ impl CVector {
         out
     }
 
+    /// Reuses `self`'s buffer to become a copy of `src` — the pooled
+    /// sibling of `clone()`. Allocation-free once the buffer has grown
+    /// to `src.len()` capacity.
+    pub fn copy_from(&mut self, src: &CVector) {
+        self.data.clear();
+        self.data.extend_from_slice(&src.data);
+    }
+
+    /// Reuses `self`'s buffer to become `src.scale_re(k)` without
+    /// allocating at steady state. Entry arithmetic is identical to
+    /// [`CVector::scale_re`] (each entry scaled by the same real factor).
+    pub fn assign_scale_re(&mut self, src: &CVector, k: f64) {
+        self.data.clear();
+        self.data.extend(src.data.iter().map(|z| z.scale(k)));
+    }
+
+    /// Reuses `self`'s buffer to become the zero vector of dimension `n`.
+    pub fn assign_zeros(&mut self, n: usize) {
+        self.data.clear();
+        self.data.resize(n, Complex64::ZERO);
+    }
+
+    /// Scales every entry by a real factor in place — the pooled sibling
+    /// of [`CVector::scale_re`], with identical per-entry arithmetic.
+    pub fn scale_re_in_place(&mut self, k: f64) {
+        for z in &mut self.data {
+            *z = z.scale(k);
+        }
+    }
+
+    /// Appends an entry, growing the buffer if needed.
+    #[inline]
+    pub fn push(&mut self, z: Complex64) {
+        self.data.push(z);
+    }
+
     /// Approximate equality within absolute tolerance on every entry.
     pub fn approx_eq(&self, other: &CVector, tol: f64) -> bool {
         self.len() == other.len()

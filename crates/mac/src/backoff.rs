@@ -121,11 +121,113 @@ pub fn resolve_contention<R: Rng>(cws: &[u32], rng: &mut R) -> ContentionOutcome
     }
 }
 
+/// Allocation-free outcome of one slotted contention round: like
+/// [`ContentionOutcome`], but a collision reports only the winning slot —
+/// callers that need the colliding set scan the `draws` buffer they
+/// passed to [`resolve_contention_in`] for entries equal to `slots`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LeanResolution {
+    /// Exactly one contender reached zero first; it wins the medium.
+    Winner {
+        /// Index (into the contenders slice) of the winner.
+        index: usize,
+        /// Number of idle slots that elapsed before the win.
+        slots: u32,
+    },
+    /// Two or more contenders reached zero in the same slot (the slot is
+    /// the minimum draw; colliders are the `draws` entries equal to it).
+    Collision {
+        /// Slot at which they collided.
+        slots: u32,
+    },
+    /// No contenders.
+    Idle,
+}
+
+/// Pooled sibling of [`resolve_contention`]: identical RNG draw order
+/// (one uniform `0..=cw` per contender, in slice order) and identical
+/// winner/collision decision, with the draws written into a reusable
+/// buffer instead of a fresh `Vec`. Seeded outcomes match
+/// [`resolve_contention`] exactly.
+pub fn resolve_contention_in<R: Rng>(
+    cws: &[u32],
+    rng: &mut R,
+    draws: &mut Vec<u32>,
+) -> LeanResolution {
+    if cws.is_empty() {
+        return LeanResolution::Idle;
+    }
+    draws.clear();
+    draws.extend(cws.iter().map(|&cw| rng.gen_range(0..=cw)));
+    let min = *draws.iter().min().unwrap();
+    let mut winner = None;
+    let mut ties = 0usize;
+    for (i, &d) in draws.iter().enumerate() {
+        if d == min {
+            ties += 1;
+            if ties == 1 {
+                winner = Some(i);
+            }
+        }
+    }
+    if ties == 1 {
+        LeanResolution::Winner {
+            index: winner.unwrap(),
+            slots: min,
+        }
+    } else {
+        LeanResolution::Collision { slots: min }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
+
+    #[test]
+    fn lean_resolution_matches_allocating_resolution() {
+        let mut r1 = StdRng::seed_from_u64(42);
+        let mut r2 = StdRng::seed_from_u64(42);
+        let mut draws = Vec::new();
+        for round in 0..2000 {
+            let n = 1 + (round % 5);
+            let cws: Vec<u32> = (0..n).map(|i| 15 + (i as u32 % 3) * 16).collect();
+            let full = resolve_contention(&cws, &mut r1);
+            let lean = resolve_contention_in(&cws, &mut r2, &mut draws);
+            match (&full, lean) {
+                (
+                    ContentionOutcome::Winner { index, slots },
+                    LeanResolution::Winner {
+                        index: li,
+                        slots: ls,
+                    },
+                ) => {
+                    assert_eq!((*index, *slots), (li, ls));
+                }
+                (
+                    ContentionOutcome::Collision { indices, slots },
+                    LeanResolution::Collision { slots: ls },
+                ) => {
+                    assert_eq!(*slots, ls);
+                    // Colliders are recoverable from the draws buffer.
+                    let scanned: Vec<usize> = draws
+                        .iter()
+                        .enumerate()
+                        .filter(|(_, &d)| d == ls)
+                        .map(|(i, _)| i)
+                        .collect();
+                    assert_eq!(&scanned, indices);
+                }
+                other => panic!("outcome mismatch: {other:?}"),
+            }
+        }
+        assert_eq!(
+            resolve_contention_in(&[], &mut r2, &mut draws),
+            LeanResolution::Idle
+        );
+    }
 
     #[test]
     fn counter_counts_down_to_zero() {

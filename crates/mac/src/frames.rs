@@ -96,6 +96,16 @@ impl DataHeader {
         self.receivers.iter().map(|r| r.n_streams as usize).sum()
     }
 
+    /// Serialized length in bytes of a data header with `n_receivers`
+    /// entries, CRC included — pure arithmetic for air-time accounting,
+    /// so hot paths never materialize the byte vector. Pinned against
+    /// [`DataHeader::to_bytes`] by test.
+    pub const fn encoded_len(n_receivers: usize) -> usize {
+        // type(1) + src(2) + antennas(1) + duration(2) + seq(2)
+        // + count(1) + 3 per receiver + CRC-32(4).
+        13 + 3 * n_receivers
+    }
+
     /// Serializes with a trailing CRC-32.
     pub fn to_bytes(&self) -> Vec<u8> {
         let mut b = Vec::with_capacity(16 + 3 * self.receivers.len());
@@ -149,6 +159,15 @@ impl DataHeader {
 }
 
 impl AckHeader {
+    /// Serialized length in bytes of an ACK header carrying `n_rates`
+    /// rate indices and an `blob_len`-byte alignment blob, CRC included —
+    /// the allocation-free sibling of `to_bytes().len()`, pinned by test.
+    pub const fn encoded_len(n_rates: usize, blob_len: usize) -> usize {
+        // type(1) + src(2) + dst(2) + n_rates(1) + rates + blob_len(2)
+        // + blob + CRC-32(4).
+        12 + n_rates + blob_len
+    }
+
     /// Serializes with a trailing CRC-32.
     pub fn to_bytes(&self) -> Vec<u8> {
         let mut b = Vec::with_capacity(11 + self.rate_indices.len() + self.alignment_blob.len());
@@ -285,6 +304,34 @@ mod tests {
         // BPSK-1/2 OFDM symbol payload (24 bits... 3 bytes per symbol ->
         // header occupies a handful of symbols at base rate).
         assert_eq!(h.to_bytes().len(), 16);
+    }
+
+    #[test]
+    fn encoded_len_matches_serialization() {
+        for n_rx in 1..4usize {
+            let h = DataHeader {
+                src: 1,
+                receivers: (0..n_rx)
+                    .map(|i| ReceiverEntry {
+                        dst: i as Addr,
+                        n_streams: 1,
+                    })
+                    .collect(),
+                n_antennas: 2,
+                duration_symbols: 77,
+                seq: 5,
+            };
+            assert_eq!(h.to_bytes().len(), DataHeader::encoded_len(n_rx));
+        }
+        for (n_rates, blob) in [(1usize, 0usize), (2, 62), (3, 100)] {
+            let h = AckHeader {
+                src: 3,
+                dst: 7,
+                rate_indices: vec![4; n_rates],
+                alignment_blob: vec![0xAB; blob],
+            };
+            assert_eq!(h.to_bytes().len(), AckHeader::encoded_len(n_rates, blob));
+        }
     }
 
     #[test]

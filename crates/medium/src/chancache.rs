@@ -19,7 +19,7 @@
 
 use crate::topology::Topology;
 use nplus_channel::freq_table::FreqResponseTable;
-use nplus_linalg::CMatrix;
+use nplus_linalg::CMatrixSoA;
 use std::collections::HashMap;
 
 /// Cached per-subcarrier channel matrices for every installed directed
@@ -72,8 +72,9 @@ impl ChannelCache {
     ///
     /// `None` when the link is not modeled — in sparse worlds that
     /// means "below the environment's power floor", and consumers skip
-    /// the link instead of panicking.
-    pub fn matrix(&self, from: usize, to: usize, pos: usize) -> Option<&CMatrix> {
+    /// the link instead of panicking. Matrices are served in split
+    /// (structure-of-arrays) storage, ready for the engine's kernels.
+    pub fn matrix(&self, from: usize, to: usize, pos: usize) -> Option<&CMatrixSoA> {
         self.table(from, to).map(|t| t.matrix(pos))
     }
 
@@ -148,6 +149,7 @@ mod tests {
                         cache
                             .matrix(from, to, pos)
                             .expect("dense world: every off-diagonal link cached")
+                            .to_aos()
                             .approx_eq(&direct, 0.0),
                         "link {from}->{to} bin {k}"
                     );

@@ -74,10 +74,20 @@ pub fn snr_for_ber(m: Modulation, target_ber: f64) -> f64 {
     }
     for _ in 0..200 {
         let mid = (lo * hi).sqrt(); // geometric bisection for dB-scale
+                                    // Once the midpoint collapses onto an endpoint the iteration is
+                                    // at its fixed point: every further pass recomputes the same
+                                    // `mid` and reassigns the same endpoint (`sqrt(x*x) == x` holds
+                                    // exactly in this bracket), so the final answer is already
+                                    // determined — apply this pass's assignment and stop. Bitwise
+                                    // identical to running out the full 200 passes.
+        let converged = mid == lo || mid == hi;
         if ber_awgn(m, mid) > target {
             lo = mid;
         } else {
             hi = mid;
+        }
+        if converged {
+            break;
         }
     }
     (lo * hi).sqrt()

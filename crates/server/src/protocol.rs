@@ -33,9 +33,11 @@
 //! `0..n`), defaulting to `seed_count = 20`. Optional `"traffic"`
 //! (`"saturated"`, `"poisson:<mean>"`, `"bursty:<on>x<off>"`) and
 //! `"mobility"` (`"static"`, `"waypoint:<step>x<epoch>"`) members set
-//! the traffic and mobility models — both are canonical cache-key
-//! fields. Giving both a `load:` scenario prefix and a `"traffic"`
-//! member is an error.
+//! the traffic and mobility models, and an optional `"sinr_grid"`
+//! (`"full"`, `"decimated:<k>"`) member selects the SINR evaluation
+//! tier — all three are canonical cache-key fields, so a decimated run
+//! is never served from a full-grid cache entry. Giving both a `load:`
+//! scenario prefix and a `"traffic"` member is an error.
 //!
 //! ## Responses
 //!
@@ -50,7 +52,7 @@
 //! never as an invalid JSON token.
 
 use crate::json::{self, json_f64, Json};
-use nplus::sim::{CanonicalSpec, MobilityModel, SweepStats, TrafficModel};
+use nplus::sim::{CanonicalSpec, MobilityModel, SinrGrid, SweepStats, TrafficModel};
 use nplus_channel::environment::environment_from_name;
 use nplus_testkit::parse_spec;
 use std::io::{self, Read, Write};
@@ -145,6 +147,9 @@ pub struct SweepRequest {
     pub traffic: Option<TrafficModel>,
     /// Mobility model from the `"mobility"` member; `None` = static.
     pub mobility: Option<MobilityModel>,
+    /// SINR evaluation tier from the `"sinr_grid"` member; `None` =
+    /// the exact full grid.
+    pub sinr_grid: Option<SinrGrid>,
     /// Worker threads (`0` = all cores). Execution detail only: not
     /// part of the canonical key, does not change results.
     pub threads: usize,
@@ -180,6 +185,7 @@ impl SweepRequest {
         )
         .and_then(|c| c.with_traffic(traffic))
         .and_then(|c| c.with_mobility(mobility))
+        .and_then(|c| c.with_sinr_grid(self.sinr_grid.unwrap_or_default()))
         .map_err(|e| e.to_string())
     }
 }
@@ -276,6 +282,14 @@ fn parse_sweep(doc: &Json) -> Result<SweepRequest, String> {
                 .parse::<MobilityModel>()?,
         ),
     };
+    let sinr_grid = match doc.get("sinr_grid") {
+        None => None,
+        Some(v) => Some(
+            v.as_str()
+                .ok_or_else(|| "\"sinr_grid\" must be a string".to_string())?
+                .parse::<SinrGrid>()?,
+        ),
+    };
     let threads = match doc.get("threads") {
         None => 0,
         Some(v) => v
@@ -290,6 +304,7 @@ fn parse_sweep(doc: &Json) -> Result<SweepRequest, String> {
         rounds,
         traffic,
         mobility,
+        sinr_grid,
         threads,
     })
 }
@@ -415,6 +430,7 @@ mod tests {
                 rounds: 4,
                 traffic: None,
                 mobility: None,
+                sinr_grid: None,
                 threads: 2,
             })
         );
@@ -427,17 +443,19 @@ mod tests {
                 assert_eq!(r.seeds, (0..20).collect::<Vec<u64>>());
                 assert_eq!(r.traffic, None);
                 assert_eq!(r.mobility, None);
+                assert_eq!(r.sinr_grid, None);
                 assert_eq!(r.threads, 0);
             }
             other => panic!("{other:?}"),
         }
         let modeled = parse_request(
             br#"{"cmd":"sweep","scenario":"city:16","environment":"multi_cell","rounds":3,
-                "traffic":"poisson:0.5","mobility":"waypoint:2x4"}"#,
+                "traffic":"poisson:0.5","mobility":"waypoint:2x4","sinr_grid":"decimated:4"}"#,
         )
         .unwrap();
         match modeled {
             Request::Sweep(r) => {
+                assert_eq!(r.sinr_grid, Some(SinrGrid::Decimated(4)));
                 assert_eq!(
                     r.traffic,
                     Some(TrafficModel::Poisson {
@@ -482,6 +500,8 @@ mod tests {
             b"{\"cmd\":\"sweep\",\"scenario\":\"three_pairs\",\"rounds\":3,\"traffic\":7}",
             b"{\"cmd\":\"sweep\",\"scenario\":\"three_pairs\",\"rounds\":3,\"traffic\":\"cbr:4\"}",
             b"{\"cmd\":\"sweep\",\"scenario\":\"three_pairs\",\"rounds\":3,\"mobility\":\"brownian\"}",
+            b"{\"cmd\":\"sweep\",\"scenario\":\"three_pairs\",\"rounds\":3,\"sinr_grid\":7}",
+            b"{\"cmd\":\"sweep\",\"scenario\":\"three_pairs\",\"rounds\":3,\"sinr_grid\":\"decimated:1\"}",
             b"\xff\xfe",
         ] {
             let err = parse_request(bad).unwrap_err();
@@ -499,6 +519,7 @@ mod tests {
             rounds: 3,
             traffic: None,
             mobility: None,
+            sinr_grid: None,
             threads: 4,
         };
         let canon = req.to_canonical().unwrap();
@@ -535,6 +556,19 @@ mod tests {
             ..req.clone()
         };
         assert_ne!(moving.to_canonical().unwrap().key(), canon.key());
+        // The SINR grid tier is canonical too: a decimated request must
+        // never alias the full-grid cache entry, and k is part of it.
+        let decimated = SweepRequest {
+            sinr_grid: Some(SinrGrid::Decimated(4)),
+            ..req.clone()
+        };
+        let dec_key = decimated.to_canonical().unwrap().key();
+        assert_ne!(dec_key, canon.key());
+        let decimated8 = SweepRequest {
+            sinr_grid: Some(SinrGrid::Decimated(8)),
+            ..req.clone()
+        };
+        assert_ne!(decimated8.to_canonical().unwrap().key(), dec_key);
         // Both spellings at once is ambiguous, hence an error.
         let both = SweepRequest {
             scenario: "load:saturated/pairs:2".to_string(),

@@ -118,7 +118,7 @@ proptest! {
         for (pos, &k) in bins.iter().enumerate() {
             let direct = link.channel_matrix(k, 64);
             prop_assert!(
-                table.matrix(pos).approx_eq(&direct, 1e-12),
+                table.matrix(pos).to_aos().approx_eq(&direct, 1e-12),
                 "bin {} mismatch", k
             );
         }
@@ -142,7 +142,7 @@ proptest! {
                     let cached = cache.matrix(from, to, pos);
                     prop_assert!(cached.is_some(), "dense link {}->{} missing from cache", from, to);
                     prop_assert!(
-                        cached.unwrap().approx_eq(&link.channel_matrix(k, 64), 1e-12),
+                        cached.unwrap().to_aos().approx_eq(&link.channel_matrix(k, 64), 1e-12),
                         "link {}->{} bin {}", from, to, k
                     );
                 }
