@@ -1,0 +1,151 @@
+//! Diagnostics and the two output formats.
+//!
+//! Human output is one `file:line: RULE contract — detail` line per
+//! finding; `--json` emits a single document with a stable member
+//! order, written by a ~40-line escaper in the house style of the
+//! server's dependency-free `json` module (output only — the analyzer
+//! never parses JSON). Findings are always sorted by
+//! `(file, line, rule)` so reports diff cleanly between runs.
+
+use crate::rules::RuleId;
+use std::fmt::Write as _;
+
+/// One finding: a rule, a place, and a message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// The violated rule.
+    pub rule: RuleId,
+    /// Workspace-relative path of the file.
+    pub file: String,
+    /// 1-based line of the finding.
+    pub line: u32,
+    /// What exactly matched.
+    pub message: String,
+}
+
+impl Diagnostic {
+    /// Builds a diagnostic (used by the engine and by tests).
+    pub fn new(rule: RuleId, file: &str, line: u32, message: String) -> Diagnostic {
+        Diagnostic {
+            rule,
+            file: file.to_string(),
+            line,
+            message,
+        }
+    }
+
+    /// The canonical one-line rendering.
+    pub fn render(&self) -> String {
+        format!(
+            "{}:{}: {} {} — {}",
+            self.file,
+            self.line,
+            self.rule.code(),
+            self.rule.contract(),
+            self.message
+        )
+    }
+}
+
+/// Sorts findings into report order: file, then line, then rule.
+pub fn sort_diagnostics(diags: &mut [Diagnostic]) {
+    diags.sort_by(|a, b| (a.file.as_str(), a.line, a.rule).cmp(&(b.file.as_str(), b.line, b.rule)));
+}
+
+/// Renders the human report: one line per finding plus a summary line.
+pub fn render_human(diags: &[Diagnostic], files_scanned: usize, suppressed: usize) -> String {
+    let mut out = String::new();
+    for d in diags {
+        let _ = writeln!(out, "{}", d.render());
+    }
+    let _ = writeln!(
+        out,
+        "analyze: {} finding(s), {} suppressed, {} file(s) scanned",
+        diags.len(),
+        suppressed,
+        files_scanned
+    );
+    out
+}
+
+/// Renders the JSON report with a fixed member order:
+/// `{"version":…,"files_scanned":…,"suppressed":…,"findings":[…]}`.
+pub fn render_json(diags: &[Diagnostic], files_scanned: usize, suppressed: usize) -> String {
+    let mut out = String::new();
+    let _ = write!(
+        out,
+        "{{\"version\":1,\"files_scanned\":{files_scanned},\"suppressed\":{suppressed},\"findings\":["
+    );
+    for (i, d) in diags.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("{\"rule\":");
+        write_json_str(&mut out, d.rule.code());
+        out.push_str(",\"file\":");
+        write_json_str(&mut out, &d.file);
+        let _ = write!(out, ",\"line\":{}", d.line);
+        out.push_str(",\"contract\":");
+        write_json_str(&mut out, d.rule.contract());
+        out.push_str(",\"message\":");
+        write_json_str(&mut out, &d.message);
+        out.push('}');
+    }
+    out.push_str("]}");
+    out
+}
+
+fn write_json_str(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reports_are_sorted_and_stable() {
+        let mut diags = vec![
+            Diagnostic::new(RuleId::Srv001, "b.rs", 9, "x".to_string()),
+            Diagnostic::new(RuleId::Det001, "a.rs", 12, "y".to_string()),
+            Diagnostic::new(RuleId::Det001, "a.rs", 3, "z".to_string()),
+        ];
+        sort_diagnostics(&mut diags);
+        let files: Vec<_> = diags.iter().map(|d| (d.file.as_str(), d.line)).collect();
+        assert_eq!(files, [("a.rs", 3), ("a.rs", 12), ("b.rs", 9)]);
+        let human = render_human(&diags, 3, 1);
+        assert!(human.contains("a.rs:3: DET001"));
+        assert!(human.ends_with("3 finding(s), 1 suppressed, 3 file(s) scanned\n"));
+    }
+
+    #[test]
+    fn json_member_order_is_fixed_and_escaped() {
+        let diags = vec![Diagnostic::new(
+            RuleId::Hyg003,
+            "crates/x/src/lib.rs",
+            4,
+            "`println!` with \"quotes\"\tand tabs".to_string(),
+        )];
+        let json = render_json(&diags, 10, 0);
+        assert!(json.starts_with("{\"version\":1,\"files_scanned\":10,\"suppressed\":0,"));
+        assert!(json.contains("\"rule\":\"HYG003\""));
+        assert!(json.contains("\\\"quotes\\\""));
+        assert!(json.contains("\\t"));
+        // No raw control bytes survive.
+        assert!(!json.chars().any(|c| (c as u32) < 0x20));
+    }
+}

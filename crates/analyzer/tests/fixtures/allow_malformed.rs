@@ -1,0 +1,28 @@
+//~ kind=lib profile=detcore
+// ALW001/ALW002 positives: malformed suppressions are findings
+// themselves, and the finding they failed to suppress still fires.
+
+fn missing_reason_marker() {
+    // nplus:allow(DET001)
+    let _ = std::time::Instant::now();
+}
+
+fn blank_reason() {
+    // nplus:allow(DET001):
+    let _ = std::time::Instant::now();
+}
+
+fn unknown_rule() {
+    // nplus:allow(DET999): no such rule exists.
+    let _ = 0;
+}
+
+fn alw_rules_cannot_be_allowed() {
+    // nplus:allow(ALW001): meta-suppression is rejected.
+    let _ = 0;
+}
+
+fn well_formed_is_clean() {
+    // nplus:allow(DET002): fixture demonstrating the happy path.
+    let mut rng = rand::thread_rng();
+}

@@ -1,0 +1,29 @@
+//~ kind=lib profile=detcore
+// DET001 positives and negatives: wall-clock reads in deterministic
+// core code. This file is a fixture — it is never compiled.
+
+fn bad_instant() -> std::time::Instant {
+    std::time::Instant::now() //~ DET001
+}
+
+fn bad_system_time() -> u64 {
+    let t = std::time::SystemTime::now(); //~ DET001
+    0
+}
+
+fn allowed_with_reason() {
+    // nplus:allow(DET001): fixture demonstrating a justified clock read.
+    let _ = std::time::Instant::now();
+}
+
+fn negative_mentions_in_comment_and_string() {
+    // Instant::now() in a comment is fine.
+    let _ = "Instant::now() in a string is fine";
+}
+
+#[cfg(test)]
+mod tests {
+    fn clocks_are_fine_in_tests() {
+        let _ = std::time::Instant::now();
+    }
+}

@@ -1,0 +1,25 @@
+//~ kind=lib profile=detcore
+// DET002 positives and negatives: ambient-entropy RNG construction.
+
+fn bad_thread_rng() {
+    let mut rng = rand::thread_rng(); //~ DET002
+}
+
+fn bad_from_entropy() {
+    let mut rng = StdRng::from_entropy(); //~ DET002
+}
+
+fn bad_os_rng() {
+    let mut rng = OsRng; //~ DET002
+}
+
+fn seeded_is_fine(seed: u64) {
+    let mut rng = StdRng::seed_from_u64(seed);
+}
+
+#[cfg(test)]
+mod tests {
+    fn entropy_is_fine_in_tests() {
+        let mut rng = rand::thread_rng();
+    }
+}

@@ -1,0 +1,37 @@
+//~ kind=lib profile=detcore
+// DET003 positives and negatives: iterating unordered maps in the
+// deterministic core.
+
+use std::collections::{BTreeMap, HashMap, HashSet};
+
+fn bad_method_iteration(table: HashMap<u32, f64>) -> f64 {
+    table.values().sum() //~ DET003
+}
+
+fn bad_for_loop() {
+    let set: HashSet<u32> = HashSet::new();
+    for x in &set {} //~ DET003
+}
+
+fn bad_keys_walk() {
+    let table: HashMap<u32, f64> = HashMap::new();
+    let ks: Vec<u32> = table.keys().copied().collect(); //~ DET003
+}
+
+fn lookups_are_fine(table: HashMap<u32, f64>) -> Option<f64> {
+    table.get(&7).copied()
+}
+
+// Name tracking is file-global (token heuristic, no scopes): an
+// ordered map must not reuse a name that was HashMap-typed elsewhere
+// in the file, or it inherits the taint. Hence `ordered`, not `table`.
+fn ordered_maps_are_fine(ordered: BTreeMap<u32, f64>) -> f64 {
+    ordered.values().sum()
+}
+
+fn allowed_when_order_is_erased(table: HashMap<u32, f64>) -> Vec<u32> {
+    // nplus:allow(DET003): order is erased by the sort below.
+    let mut ks: Vec<u32> = table.keys().copied().collect();
+    ks.sort_unstable();
+    ks
+}

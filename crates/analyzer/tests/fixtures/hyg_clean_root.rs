@@ -1,0 +1,7 @@
+//~ kind=libroot profile=hygiene
+// All-negative fixture: a crate root that satisfies every hygiene rule.
+#![forbid(unsafe_code)]
+
+fn quiet_and_safe() -> u32 {
+    7
+}

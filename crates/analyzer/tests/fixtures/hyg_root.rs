@@ -1,0 +1,20 @@
+//~ kind=libroot profile=hygiene
+// HYG001/HYG002/HYG003 positives: a crate root missing the forbid
+// header, carrying unsafe and printing from library code.
+//~ HYG001 (no `#![forbid(unsafe_code)]` anywhere in this file)
+
+fn bad_unsafe(p: *const u32) -> u32 {
+    unsafe { *p } //~ HYG002
+}
+
+fn bad_println() {
+    println!("debug debris"); //~ HYG003
+}
+
+fn bad_dbg(x: u32) -> u32 {
+    dbg!(x) //~ HYG003
+}
+
+fn eprintln_is_fine() {
+    eprintln!("operational log line");
+}

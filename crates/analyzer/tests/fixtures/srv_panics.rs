@@ -1,0 +1,38 @@
+//~ kind=lib profile=serving
+// SRV001/SRV002/SRV003 positives and negatives: the panic-free serving
+// surface.
+
+fn bad_unwrap(x: Option<u32>) -> u32 {
+    x.unwrap() //~ SRV001
+}
+
+fn bad_expect(x: Option<u32>) -> u32 {
+    x.expect("present") //~ SRV001
+}
+
+fn bad_panic() {
+    panic!("boom"); //~ SRV002
+}
+
+fn bad_unreachable() {
+    unreachable!(); //~ SRV002
+}
+
+fn bad_todo() {
+    todo!() //~ SRV002
+}
+
+fn bad_exit() {
+    std::process::exit(1); //~ SRV003
+}
+
+fn typed_errors_are_fine(x: Option<u32>) -> Result<u32, String> {
+    x.ok_or_else(|| "absent".to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    fn panics_are_fine_in_tests(x: Option<u32>) -> u32 {
+        x.unwrap()
+    }
+}

@@ -1,0 +1,52 @@
+//! The lexer's only hard contract: it never panics, whatever bytes it
+//! is fed. The analyzer runs over every file in the tree — including
+//! ones mid-edit, truncated, or not Rust at all — and a lexer panic
+//! would turn a hygiene check into a build breaker.
+
+use nplus_analyzer::lexer::lex;
+use proptest::prelude::*;
+
+/// Characters that stress the lexer's tricky paths: string/char
+/// delimiters, escapes, raw-string hashes, comment openers/closers and
+/// multi-byte UTF-8.
+const SPICE: &[char] = &[
+    '"', '\'', '\\', '#', 'r', 'b', '/', '*', '!', '(', ')', '\n', 'é', '∀', '𝕏', '\u{0}',
+];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// Arbitrary bytes, lossily decoded: the lexer terminates and every
+    /// token's span is in-bounds and non-inverted.
+    #[test]
+    fn arbitrary_bytes_lex_without_panicking(
+        bytes in proptest::collection::vec(any::<u8>(), 0..256),
+    ) {
+        let src = String::from_utf8_lossy(&bytes).into_owned();
+        for t in lex(&src) {
+            prop_assert!(t.start <= t.end && t.end <= src.len());
+        }
+    }
+
+    /// Delimiter-heavy soup: unterminated strings, half-open raw
+    /// strings, nested comment openers — the paths a uniform byte
+    /// distribution almost never reaches.
+    #[test]
+    fn delimiter_soup_lexes_without_panicking(
+        picks in proptest::collection::vec((0usize..SPICE.len(), any::<bool>()), 0..128),
+    ) {
+        let mut src = String::new();
+        for (i, pad) in picks {
+            src.push(SPICE[i]);
+            if pad {
+                src.push('x');
+            }
+        }
+        for t in lex(&src) {
+            prop_assert!(t.start <= t.end && t.end <= src.len());
+            // Spans must also land on char boundaries, or Token::text
+            // would silently return "" for real tokens.
+            prop_assert!(src.is_char_boundary(t.start) && src.is_char_boundary(t.end));
+        }
+    }
+}

@@ -18,9 +18,12 @@ pub fn percentiles(samples: &mut [f64], points: &[f64]) -> Vec<(f64, f64)> {
 
 /// Prints one CDF as "p value" rows under a header.
 pub fn print_cdf(label: &str, samples: &mut [f64]) {
+    // nplus:allow(HYG003): stdout IS the product — the figure binaries' shared report printer.
     println!("\n# CDF: {label}  (n={})", samples.len());
+    // nplus:allow(HYG003): figure-binary report printer (see above).
     println!("{:>6} {:>12}", "p", "value");
     for (p, v) in percentiles(samples, &[0.05, 0.1, 0.25, 0.5, 0.75, 0.9, 0.95]) {
+        // nplus:allow(HYG003): figure-binary report printer (see above).
         println!("{p:>6.2} {v:>12.3}");
     }
 }

@@ -28,7 +28,6 @@
 //! * [`noise`] — calibrated complex AWGN.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
 
 pub mod cfo;
 pub mod environment;

@@ -51,7 +51,6 @@
 //! ```
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
 
 pub mod carrier_sense;
 pub mod executor;

@@ -20,7 +20,6 @@
 //! tested for the small (≤ 4×4 per subcarrier) matrices MIMO LANs use.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
 
 pub mod complex;
 pub mod matrix;

@@ -22,7 +22,6 @@
 //! with the precoder and the medium.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
 
 pub mod backoff;
 pub mod fragment;

@@ -6,15 +6,21 @@
 //! receiver.
 
 use crate::fragment::QueuedPacket;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Transmit queue with ack/retransmission tracking, per receiver.
+///
+/// Both maps are `BTreeMap`s: every iteration over them (traffic
+/// checks, timeout scans) is then in key order by construction, so the
+/// queue satisfies the determinism contract without sort-on-iterate.
+/// The maps hold at most a few dozen destinations, far below where
+/// hashing would win.
 #[derive(Debug, Default)]
 pub struct RetransmitQueue {
     /// Per-destination FIFO of unacked packets.
-    queues: HashMap<u16, Vec<QueuedPacket>>,
+    queues: BTreeMap<u16, Vec<QueuedPacket>>,
     /// Packets sent and awaiting ack: (dst, seq) → payload snapshot.
-    in_flight: HashMap<(u16, u16), Vec<u8>>,
+    in_flight: BTreeMap<(u16, u16), Vec<u8>>,
     next_seq: u16,
     /// Counters for stats.
     pub delivered: usize,
@@ -74,13 +80,12 @@ impl RetransmitQueue {
     /// Ack timeout: requeue every in-flight packet for `dst` at the front
     /// of its queue (oldest first), to be reconsidered at the next win.
     pub fn on_timeout(&mut self, dst: u16) {
-        let mut expired: Vec<(u16, Vec<u8>)> = self
+        // BTreeMap range: the dst's packets, already seq-ascending.
+        let expired: Vec<(u16, Vec<u8>)> = self
             .in_flight
-            .iter()
-            .filter(|((d, _), _)| *d == dst)
+            .range((dst, 0)..=(dst, u16::MAX))
             .map(|((_, s), p)| (*s, p.clone()))
             .collect();
-        expired.sort_by_key(|(s, _)| *s);
         for (seq, _) in &expired {
             self.in_flight.remove(&(dst, *seq));
         }

@@ -30,6 +30,10 @@ pub struct ChannelCache {
     /// node positions. Absent key = link below the environment's floor
     /// (or the diagonal).
     tables: HashMap<(usize, usize), FreqResponseTable>,
+    /// The table keys in ascending order — [`ChannelCache::links`]
+    /// iterates this, never the map, so link walks are deterministic
+    /// while lookups stay O(1) on the hash map.
+    keys: Vec<(usize, usize)>,
     n_nodes: usize,
     bins: Vec<usize>,
 }
@@ -48,14 +52,20 @@ impl ChannelCache {
             .map(|(i, &id)| (id, i))
             .collect();
         let mut tables = HashMap::with_capacity(topo.medium.n_links());
+        let mut keys = Vec::with_capacity(topo.medium.n_links());
         for ((from, to), link) in topo.medium.links() {
             let (Some(&fi), Some(&ti)) = (index.get(&from), index.get(&to)) else {
                 continue; // link between nodes outside this topology's list
             };
             tables.insert((fi, ti), FreqResponseTable::new(link, bins, n_fft));
+            keys.push((fi, ti));
         }
+        // The medium iterates in NodeId order; positions may permute
+        // that, so sort once here (O(E log E) at build, free afterward).
+        keys.sort_unstable();
         ChannelCache {
             tables,
+            keys,
             n_nodes: n,
             bins: bins.to_vec(),
         }
@@ -94,17 +104,23 @@ impl ChannelCache {
         self.tables.len()
     }
 
-    /// Iterates the cached directed link keys `(from, to)` in arbitrary
+    /// Iterates the cached directed link keys `(from, to)` in ascending
     /// order. Mobility uses this to find the links incident to a moved
-    /// node without scanning `n²` pairs.
+    /// node without scanning `n²` pairs; the sorted key list makes the
+    /// walk deterministic regardless of hash-map layout.
     pub fn links(&self) -> impl Iterator<Item = (usize, usize)> + '_ {
-        self.tables.keys().copied()
+        self.keys.iter().copied()
     }
 
     /// Replaces (or installs) the table of the directed link
-    /// `from → to`. Mobility rescales moved links through this.
+    /// `from → to`. Mobility rescales moved links through this; a
+    /// genuinely new key binary-search-inserts into the sorted key
+    /// list, so [`ChannelCache::links`] order survives installs.
     pub fn set_table(&mut self, from: usize, to: usize, table: FreqResponseTable) {
-        self.tables.insert((from, to), table);
+        if self.tables.insert((from, to), table).is_none() {
+            let at = self.keys.partition_point(|&k| k < (from, to));
+            self.keys.insert(at, (from, to));
+        }
     }
 }
 
@@ -170,6 +186,32 @@ mod tests {
         // 1-antenna node 0 transmitting to 3-antenna node 2: 3×1.
         assert_eq!(cache.matrix(0, 2, 0).unwrap().shape(), (3, 1));
         assert_eq!(cache.matrix(2, 0, 0).unwrap().shape(), (1, 3));
+    }
+
+    /// `links()` iterates in ascending key order, and installing a new
+    /// table through `set_table` keeps that order — the walk mobility
+    /// does every epoch is deterministic by construction (DET003).
+    #[test]
+    fn link_keys_iterate_sorted_and_survive_installs() {
+        let topo = built();
+        let bins = vec![0usize, 10];
+        let mut cache = ChannelCache::build(&topo, &bins, 64);
+        let keys: Vec<_> = cache.links().collect();
+        let mut sorted = keys.clone();
+        sorted.sort_unstable();
+        assert_eq!(keys, sorted, "build must leave keys sorted");
+        assert_eq!(keys.len(), 6);
+        // Replacing an existing table must not duplicate its key;
+        // installing a brand-new one must land in sorted position.
+        let table = cache.table(0, 1).unwrap().clone();
+        cache.set_table(2, 1, table.clone());
+        assert_eq!(cache.links().count(), 6);
+        cache.set_table(0, 0, table);
+        let keys: Vec<_> = cache.links().collect();
+        assert_eq!(keys.first(), Some(&(0, 0)));
+        let mut sorted = keys.clone();
+        sorted.sort_unstable();
+        assert_eq!(keys, sorted, "set_table must keep keys sorted");
     }
 
     /// In a floored world the cache stores only what the medium

@@ -16,7 +16,6 @@
 //! harness regenerates is reproducible.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
 
 pub mod chancache;
 pub mod medium;

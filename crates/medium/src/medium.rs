@@ -139,13 +139,18 @@ impl Medium {
         self.links.get(&(from, to))
     }
 
-    /// Iterates every installed directed link as `((from, to), link)`.
-    /// Sparse worlds install only the pairs above their power floor, so
-    /// this is how consumers (the channel cache) visit the real link
-    /// set without an all-pairs scan. Iteration order is unspecified —
-    /// callers must not let it feed anything RNG-bearing.
+    /// Iterates every installed directed link as `((from, to), link)`,
+    /// in ascending `(from, to)` order. Sparse worlds install only the
+    /// pairs above their power floor, so this is how consumers (the
+    /// channel cache) visit the real link set without an all-pairs
+    /// scan. The sort costs `O(E log E)` once per call — `links()` is a
+    /// build-time walk, never on the per-sample capture path, which
+    /// keeps the map itself a `HashMap` for its O(1) hot-path lookups.
     pub fn links(&self) -> impl Iterator<Item = ((NodeId, NodeId), &MimoLink)> {
-        self.links.iter().map(|(&k, v)| (k, v))
+        // nplus:allow(DET003): order is erased by the sort below.
+        let mut entries: Vec<_> = self.links.iter().map(|(&k, v)| (k, v)).collect();
+        entries.sort_unstable_by_key(|&(k, _)| k);
+        entries.into_iter()
     }
 
     /// Number of installed directed links (both directions counted).

@@ -22,7 +22,6 @@
 //! * [`params`], [`rates`] — OFDM geometry and the 8-rate 802.11 menu.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
 
 pub mod bits;
 pub mod chanest;

@@ -17,7 +17,7 @@
 use nplus::sim::SweepStats;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 
 /// Shared map from canonical key to computed statistics, with hit/miss
 /// counters. Cheap to clone behind an `Arc`; all methods take `&self`.
@@ -34,6 +34,16 @@ impl ResultCache {
         Self::default()
     }
 
+    /// The entries map, recovering from a poisoned lock instead of
+    /// panicking (SRV002): the map is only ever mutated by a single
+    /// `insert`/`or_insert_with`, which cannot leave it in a torn
+    /// state, so the data behind a poisoned mutex is still valid —
+    /// a worker that panicked mid-request must not take the whole
+    /// serving surface down with it.
+    fn entries(&self) -> MutexGuard<'_, HashMap<u128, Arc<Vec<SweepStats>>>> {
+        self.entries.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
     /// Looks up `key`; on a miss runs `compute` (outside the lock) and
     /// stores the result. Returns the served statistics and whether
     /// they came from the cache.
@@ -46,13 +56,13 @@ impl ResultCache {
         key: u128,
         compute: impl FnOnce() -> Result<Vec<SweepStats>, E>,
     ) -> Result<(Arc<Vec<SweepStats>>, bool), E> {
-        if let Some(found) = self.entries.lock().expect("cache lock").get(&key) {
+        if let Some(found) = self.entries().get(&key) {
             self.hits.fetch_add(1, Ordering::Relaxed);
             return Ok((Arc::clone(found), true));
         }
         let computed = Arc::new(compute()?);
         self.misses.fetch_add(1, Ordering::Relaxed);
-        let mut entries = self.entries.lock().expect("cache lock");
+        let mut entries = self.entries();
         // First insert wins: a racing computation of the same key
         // produced bit-identical results, keep whichever landed.
         let stored = entries.entry(key).or_insert_with(|| Arc::clone(&computed));
@@ -61,7 +71,16 @@ impl ResultCache {
 
     /// Number of cached keys.
     pub fn len(&self) -> usize {
-        self.entries.lock().expect("cache lock").len()
+        self.entries().len()
+    }
+
+    /// The cached canonical keys in ascending order — the `stats`
+    /// command reports these, and sorting makes the response
+    /// byte-identical regardless of insertion order or hash layout.
+    pub fn sorted_keys(&self) -> Vec<u128> {
+        let mut keys: Vec<u128> = self.entries().keys().copied().collect();
+        keys.sort_unstable();
+        keys
     }
 
     /// Whether nothing has been cached yet.

@@ -14,10 +14,12 @@ use std::time::Duration;
 /// # Errors
 /// The last connection error once the deadline passes.
 pub fn connect_retry(addr: &str, wait: Duration) -> io::Result<TcpStream> {
+    // nplus:allow(DET001): real network retry deadline — nothing simulated depends on this clock.
     let deadline = std::time::Instant::now() + wait;
     loop {
         match TcpStream::connect(addr) {
             Ok(stream) => return Ok(stream),
+            // nplus:allow(DET001): same retry deadline (see above).
             Err(e) if std::time::Instant::now() >= deadline => return Err(e),
             Err(_) => std::thread::sleep(Duration::from_millis(25)),
         }

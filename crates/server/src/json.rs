@@ -355,7 +355,12 @@ impl Parser<'_> {
                     // always a char boundary walk).
                     let rest = &self.bytes[self.pos..];
                     let s = std::str::from_utf8(rest).map_err(|_| "invalid utf-8".to_string())?;
-                    let c = s.chars().next().unwrap();
+                    // `rest` is non-empty (peek saw a byte), so a scalar
+                    // exists; a typed error keeps the parser panic-free
+                    // even if that invariant ever breaks.
+                    let Some(c) = s.chars().next() else {
+                        return self.err("truncated string");
+                    };
                     out.push(c);
                     self.pos += c.len_utf8();
                 }
@@ -372,11 +377,17 @@ impl Parser<'_> {
             return self.err("truncated unicode escape");
         }
         let digits = &self.bytes[start..end];
-        if !digits.iter().all(u8::is_ascii_hexdigit) {
-            return self.err("invalid unicode escape");
+        // Fold the nibbles directly — no str round-trip, no panic path.
+        let mut v: u32 = 0;
+        for &d in digits {
+            let nibble = match d {
+                b'0'..=b'9' => u32::from(d - b'0'),
+                b'a'..=b'f' => u32::from(d - b'a') + 10,
+                b'A'..=b'F' => u32::from(d - b'A') + 10,
+                _ => return self.err("invalid unicode escape"),
+            };
+            v = (v << 4) | nibble;
         }
-        let hex = std::str::from_utf8(digits).expect("hex digits are ASCII");
-        let v = u32::from_str_radix(hex, 16).expect("checked hex digits");
         self.pos = end;
         Ok(v)
     }
@@ -397,7 +408,9 @@ impl Parser<'_> {
                 _ => break,
             }
         }
-        let text = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap();
+        // The scanned range is ASCII sign/digit/exponent bytes only.
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| format!("invalid number at byte {start}"))?;
         if !fractional {
             if let Ok(i) = text.parse::<i64>() {
                 return Ok(Json::Int(i));

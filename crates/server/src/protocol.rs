@@ -365,12 +365,23 @@ pub fn pong_response() -> Json {
 }
 
 /// The `"stats"` (serving counters) response.
-pub fn counters_response(entries: usize, hits: u64, misses: u64) -> Json {
+pub fn counters_response(entries: usize, hits: u64, misses: u64, keys: &[u128]) -> Json {
     Json::Obj(vec![
         ("status".to_string(), Json::Str("ok".to_string())),
         ("entries".to_string(), Json::Int(entries as i64)),
         ("hits".to_string(), Json::Int(hits as i64)),
         ("misses".to_string(), Json::Int(misses as i64)),
+        // Cached canonical keys, pre-sorted by the cache: the whole
+        // response is byte-identical for a given cache state, however
+        // the entries were inserted.
+        (
+            "keys".to_string(),
+            Json::Arr(
+                keys.iter()
+                    .map(|k| Json::Str(format!("{k:032x}")))
+                    .collect(),
+            ),
+        ),
     ])
 }
 

@@ -106,7 +106,12 @@ fn handle_connection(
         let response = match parse_request(&payload) {
             Err(msg) => error_response(&msg),
             Ok(Request::Ping) => pong_response(),
-            Ok(Request::Stats) => counters_response(cache.len(), cache.hits(), cache.misses()),
+            Ok(Request::Stats) => counters_response(
+                cache.len(),
+                cache.hits(),
+                cache.misses(),
+                &cache.sorted_keys(),
+            ),
             Ok(Request::Shutdown) => {
                 stop.store(true, Ordering::SeqCst);
                 write_json_frame(&mut stream, &pong_response())?;
@@ -135,6 +140,7 @@ fn serve_sweep(req: &SweepRequest, cache: &ResultCache) -> crate::json::Json {
         Ok(c) => c,
         Err(msg) => return error_response(&msg),
     };
+    // nplus:allow(DET001): elapsed_ms is honest serving latency — it never feeds the result.
     let started = Instant::now();
     let served = cache.get_or_compute(canon.key(), || {
         canon

@@ -76,6 +76,28 @@ fn repeated_requests_hit_the_cache_bit_identically() {
     assert_eq!(counters.get("entries").and_then(Json::as_u64), Some(2));
     assert_eq!(counters.get("hits").and_then(Json::as_u64), Some(2));
     assert_eq!(counters.get("misses").and_then(Json::as_u64), Some(2));
+
+    // The stats response is deterministic: cached keys come back in
+    // ascending order (not hash-map order), so the serialized response
+    // is byte-identical between consecutive calls on the same state.
+    let keys: Vec<&str> = counters
+        .get("keys")
+        .and_then(Json::as_array)
+        .expect("keys")
+        .iter()
+        .filter_map(Json::as_str)
+        .collect();
+    assert_eq!(keys.len(), 2);
+    assert!(keys.contains(&key.as_str()), "stats lists the cached key");
+    let mut sorted = keys.clone();
+    sorted.sort_unstable();
+    assert_eq!(keys, sorted, "stats keys must be sorted");
+    let again = client::request_once(&addr_s, "{\"cmd\":\"stats\"}").expect("counters again");
+    assert_eq!(
+        again.to_string_compact(),
+        counters.to_string_compact(),
+        "stats response must serialize byte-identically"
+    );
     shutdown(addr, handle);
 }
 

@@ -18,6 +18,8 @@
 //!   multi-AP scenario families (1–4 antennas, ≤16 nodes) for the
 //!   Monte-Carlo sweep binaries.
 
+#![forbid(unsafe_code)]
+
 pub mod fixtures;
 pub mod generator;
 pub mod scenario;

@@ -25,7 +25,9 @@ pub const BANDWIDTH_HZ: f64 = 10e6;
 /// A scenario placed on the SIGCOMM'11 testbed, ready to simulate.
 #[derive(Debug)]
 pub struct BuiltScenario {
+    /// The traffic/antenna description being simulated.
     pub scenario: Scenario,
+    /// Its placement on the testbed map, with per-link channels.
     pub topology: Topology,
 }
 
@@ -106,14 +108,20 @@ pub fn ap_downlink(placement_seed: u64) -> BuiltScenario {
 /// sample-level medium with strong links everywhere.
 #[derive(Debug)]
 pub struct TwoPairMedium {
+    /// The sample-level medium holding all four nodes.
     pub medium: Medium,
+    /// Single-antenna transmitter of pair 1.
     pub tx1: NodeId,
+    /// Single-antenna receiver of pair 1.
     pub rx1: NodeId,
+    /// Two-antenna transmitter of pair 2.
     pub tx2: NodeId,
+    /// Two-antenna receiver of pair 2.
     pub rx2: NodeId,
 }
 
 impl TwoPairMedium {
+    /// All four nodes in `[tx1, rx1, tx2, rx2]` order.
     pub fn nodes(&self) -> [NodeId; 4] {
         [self.tx1, self.rx1, self.tx2, self.rx2]
     }
@@ -185,10 +193,15 @@ pub fn two_pair_medium(seed: u64) -> TwoPairMedium {
 /// projection orthogonal to tx1's signal.
 #[derive(Debug)]
 pub struct SensingTrio {
+    /// The sample-level medium holding all three transmitters.
     pub medium: Medium,
+    /// tx3's carrier-sense front end, pre-loaded with tx1's direction.
     pub sensor: MultiDimCarrierSense,
+    /// Strong single-antenna occupant.
     pub tx1: NodeId,
+    /// Weak two-antenna joiner.
     pub tx2: NodeId,
+    /// Three-antenna node doing the sensing.
     pub tx3: NodeId,
 }
 

@@ -19,6 +19,8 @@
 //! assert_eq!(stats.last().unwrap().policy, "oracle");
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub use nplus as core;
 pub use nplus_channel as channel;
 pub use nplus_linalg as linalg;

@@ -1,0 +1,86 @@
+//! Iteration-order regression pins (DESIGN.md §11 satellite).
+//!
+//! The determinism contract bans *observable* unordered-map iteration,
+//! and PR 9 reworks the two remaining sites — [`Medium::links`] and
+//! `ChannelCache::links` — onto sorted key lists. These tests pin the
+//! full sweep statistics of a city-scale sparse sweep and a
+//! mobility-bearing sweep (the two paths that consume those iterators)
+//! to digests captured *before* the rework, proving the sorted storage
+//! is bit-for-bit identical to the historical HashMap order, not merely
+//! self-consistent.
+//!
+//! The digest folds every statistic through `f64::to_bits`, so no
+//! tolerance can hide a divergence and NaN fairness still pins.
+
+use nplus::prelude::*;
+use nplus_testkit::city_scenario;
+
+/// FNV-1a over the bit patterns of every field of every stat.
+fn digest(stats: &[SweepStats]) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = OFFSET;
+    let mut eat = |bytes: &[u8]| {
+        for &b in bytes {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(PRIME);
+        }
+    };
+    for s in stats {
+        eat(s.policy.as_bytes());
+        eat(&(s.n_runs as u64).to_le_bytes());
+        eat(&s.mean_total_mbps.to_bits().to_le_bytes());
+        eat(&s.ci95_total_mbps.to_bits().to_le_bytes());
+        eat(&s.mean_dof.to_bits().to_le_bytes());
+        eat(&s.mean_fairness.to_bits().to_le_bytes());
+        for f in &s.mean_per_flow_mbps {
+            eat(&f.to_bits().to_le_bytes());
+        }
+    }
+    h
+}
+
+/// 256-node procedural city on the sparse multi-cell world: the sweep
+/// builds a sparse `Medium`, walks `Medium::links()` into the
+/// `ChannelCache`, and runs both protocols over it. Digest captured on
+/// the pre-rework HashMap storage.
+#[test]
+fn city_sweep_statistics_are_pinned() {
+    let stats = SweepSpec::new(city_scenario(256))
+        .rounds(2)
+        .seed_count(2)
+        .protocols(&[Protocol::Dot11n, Protocol::NPlus])
+        .environment_named("multi_cell")
+        .unwrap()
+        .threads(1)
+        .run();
+    assert_eq!(
+        digest(&stats),
+        0x22de_8138_c9a2_bcd8,
+        "city sweep statistics changed bit-for-bit (digest {:#x})",
+        digest(&stats)
+    );
+}
+
+/// Waypoint mobility consumes `ChannelCache::links()` every epoch to
+/// find the moved node's incident links and rescale their tables.
+/// Digest captured on the pre-rework HashMap key order.
+#[test]
+fn mobility_sweep_statistics_are_pinned() {
+    let stats = SweepSpec::new(Scenario::three_pairs())
+        .rounds(8)
+        .seed_count(3)
+        .protocols(&[Protocol::Dot11n, Protocol::NPlus])
+        .mobility(MobilityModel::Waypoint {
+            step_m: 2.0,
+            epoch_rounds: 2,
+        })
+        .threads(1)
+        .run();
+    assert_eq!(
+        digest(&stats),
+        0xcd9c_fb43_2930_7244,
+        "mobility sweep statistics changed bit-for-bit (digest {:#x})",
+        digest(&stats)
+    );
+}
