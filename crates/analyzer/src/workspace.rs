@@ -1,12 +1,15 @@
 //! Workspace walking and per-crate rule profiles.
 //!
-//! Three profiles exist (DESIGN.md §11):
+//! Four profiles exist (DESIGN.md §11):
 //!
 //! * **deterministic core** — `crates/linalg`, `crates/phy`,
 //!   `crates/channel`, `crates/medium`, `crates/mac`, `crates/core`:
 //!   wall-clock/entropy rules plus the unordered-iteration rule;
 //! * **serving surface** — `crates/server`: wall-clock/entropy rules
 //!   plus the panic-free rules (`SRV…`) on non-bin library code;
+//! * **deterministic serving** — `crates/codec`: both of the above —
+//!   recordings must replay bit-for-bit (determinism) *and* decode
+//!   untrusted bytes without panicking (panic-freedom);
 //! * **hygiene only** — `crates/testkit`, `crates/bench`,
 //!   `crates/analyzer` and the root facade package: the header,
 //!   unsafe-whitelist and no-print rules every profile also carries.
@@ -32,6 +35,9 @@ pub enum Profile {
     DetCore,
     /// Panic-free serving surface.
     Serving,
+    /// Both at once: deterministic *and* panic-free (the recording
+    /// codec — replay must be bit-exact, decode input is untrusted).
+    DetServing,
     /// Hygiene rules only.
     Hygiene,
 }
@@ -39,7 +45,7 @@ pub enum Profile {
 /// First-party crates and their profiles. A `crates/` subdirectory not
 /// named here is analyzed under [`Profile::Hygiene`] — new crates are
 /// never silently skipped.
-pub const CRATE_PROFILES: [(&str, Profile); 10] = [
+pub const CRATE_PROFILES: [(&str, Profile); 11] = [
     ("linalg", Profile::DetCore),
     ("phy", Profile::DetCore),
     ("channel", Profile::DetCore),
@@ -47,6 +53,7 @@ pub const CRATE_PROFILES: [(&str, Profile); 10] = [
     ("mac", Profile::DetCore),
     ("core", Profile::DetCore),
     ("server", Profile::Serving),
+    ("codec", Profile::DetServing),
     ("testkit", Profile::Hygiene),
     ("bench", Profile::Hygiene),
     ("analyzer", Profile::Hygiene),
@@ -59,8 +66,8 @@ pub fn rules_for(profile: Profile, kind: FileKind) -> RuleSet {
         // every profile gets it (bins and tests are exempted by kind
         // inside the engine).
         wall_clock_and_entropy: true,
-        map_iteration: profile == Profile::DetCore,
-        serving_surface: profile == Profile::Serving,
+        map_iteration: matches!(profile, Profile::DetCore | Profile::DetServing),
+        serving_surface: matches!(profile, Profile::Serving | Profile::DetServing),
         crate_root_header: kind == FileKind::LibRoot,
         // HYG002 is driven by the whitelist, not the profile.
         no_unsafe: true,
@@ -243,6 +250,8 @@ mod tests {
         assert!(det.map_iteration && det.wall_clock_and_entropy && !det.serving_surface);
         let srv = rules_for(Profile::Serving, FileKind::Lib);
         assert!(srv.serving_surface && !srv.map_iteration);
+        let both = rules_for(Profile::DetServing, FileKind::Lib);
+        assert!(both.serving_surface && both.map_iteration && both.wall_clock_and_entropy);
         let hyg = rules_for(Profile::Hygiene, FileKind::LibRoot);
         assert!(hyg.crate_root_header && hyg.no_print && !hyg.serving_surface);
     }

@@ -47,6 +47,12 @@
 //! decimated tier keys differently in the canonical spec (the server
 //! cache must never conflate tiers).
 //!
+//! **Section 7 — the recording layer**: the Fig. 3 batch once with a
+//! `NullObserver` and once with a `RecordingObserver` writing v1
+//! frames into a pre-sized buffer — the observer-tap overhead — plus
+//! the wire density: bytes per round of the delta/varint layout
+//! against a naive fixed-width encoding of the same events.
+//!
 //! Usage:
 //!
 //! ```text
@@ -65,9 +71,11 @@ use nplus::sim::{
     simulate, sweep_parallel, Protocol, RunResult, Scenario, SimConfig, SinrGrid, SweepSpec,
     SweepStats,
 };
+use nplus::{NullObserver, RoundObserver};
 use nplus_bench::legacy::simulate_legacy;
 use nplus_channel::environment::BUILTIN_ENVIRONMENT_NAMES;
 use nplus_channel::placement::Testbed;
+use nplus_codec::{Event, Recording, RecordingContext, RecordingObserver};
 use nplus_linalg::{CMatrix, CMatrixSoA, CVector};
 use nplus_medium::topology::{build_topology, TopologyConfig};
 use nplus_testkit::generator::ScenarioGenerator;
@@ -267,6 +275,36 @@ fn time_kernels() -> (f64, f64) {
     black_box(sink);
 
     (aos_ns, soa_ns)
+}
+
+/// What the same recording would occupy under a naive fixed-width
+/// layout — every integer and float 8 bytes, tags/bools/flags one
+/// byte, strings behind an 8-byte length — the strawman the
+/// delta/varint wire format is measured against.
+fn naive_fixed_width_len(rec: &Recording) -> usize {
+    let h = &rec.header;
+    let mut n = 8 + 2; // magic + version
+    n += [
+        &h.policy,
+        &h.environment,
+        &h.scenario,
+        &h.traffic,
+        &h.mobility,
+    ]
+    .iter()
+    .map(|s| 8 + s.len())
+    .sum::<usize>();
+    n += 1 + 16; // canonical-key flag + key
+    n += 8 * 7; // seed and the six grid/shape fields
+    n += 8; // bandwidth
+    for ev in &rec.events {
+        n += match ev {
+            Event::Contention(_) => 1 + 8 + 1 + 8 + 8 + 8,
+            Event::Join(_) => 1 + 8 + 8 + 8 + 1,
+            Event::Round(r) => 1 + 8 + 8 + 8 + 8 * r.flow_bits.len() + 8 + 32 * r.streams.len(),
+        };
+    }
+    n + 1 + 24 // end frame
 }
 
 /// `{v:.prec$}` or the literal `null` for a skipped measurement.
@@ -588,6 +626,88 @@ fn main() {
     );
     println!("canonical keys distinct from full grid: {keys_distinct}");
 
+    // ---- §7: the recording layer ----
+    println!(
+        "\n== perf_sweep §7: RecordingObserver on the Fig. 3 batch, {N_PLACEMENTS} placements x {ROUNDS} rounds, n+, best of {iters} =="
+    );
+    let rec_spec = SweepSpec::new(Scenario::three_pairs())
+        .rounds(ROUNDS)
+        .seed_count(N_PLACEMENTS)
+        .protocols(&[Protocol::NPlus]);
+    let rec_seeds: Vec<u64> = rec_spec.seed_list().to_vec();
+    let run_null = |seeds: &[u64]| {
+        for &seed in seeds {
+            let mut null = NullObserver;
+            let mut taps: [&mut dyn RoundObserver; 1] = [&mut null];
+            let _ = rec_spec
+                .try_run_seed_observed(seed, &mut taps)
+                .expect("three_pairs sweeps");
+        }
+    };
+    let run_recording = |seeds: &[u64], cap: usize| -> Vec<Vec<u8>> {
+        seeds
+            .iter()
+            .enumerate()
+            .map(|(i, &seed)| {
+                let mut rec = RecordingObserver::new(
+                    Vec::with_capacity(cap),
+                    RecordingContext {
+                        scenario: "three_pairs".to_string(),
+                        traffic: "saturated".to_string(),
+                        mobility: "static".to_string(),
+                        seed_index: i,
+                        n_seeds: seeds.len(),
+                        policy_index: 0,
+                        n_policies: 1,
+                    },
+                );
+                {
+                    let mut taps: [&mut dyn RoundObserver; 1] = [&mut rec];
+                    let _ = rec_spec
+                        .try_run_seed_observed(seed, &mut taps)
+                        .expect("three_pairs sweeps");
+                }
+                rec.finish().expect("in-memory sink never fails")
+            })
+            .collect()
+    };
+    // Learn the per-recording size once so every timed run writes into
+    // a pre-sized buffer (no growth inside the measured loop).
+    let mut recordings = run_recording(&rec_seeds, 0);
+    let rec_cap = recordings.iter().map(Vec::len).max().unwrap_or(0) + 64;
+    let mut null_s = f64::INFINITY;
+    let mut recording_s = f64::INFINITY;
+    for _ in 0..iters {
+        let t = Instant::now();
+        run_null(&rec_seeds);
+        null_s = null_s.min(t.elapsed().as_secs_f64());
+        let t = Instant::now();
+        let recs = run_recording(&rec_seeds, rec_cap);
+        let dt = t.elapsed().as_secs_f64();
+        if dt < recording_s {
+            recording_s = dt;
+            recordings = recs;
+        }
+    }
+    let rec_total_rounds = (N_PLACEMENTS as usize * ROUNDS) as f64;
+    let null_rps = rec_total_rounds / null_s;
+    let recording_rps = rec_total_rounds / recording_s;
+    let recording_overhead_pct = (recording_s / null_s - 1.0) * 100.0;
+    let rec_bytes_total: usize = recordings.iter().map(Vec::len).sum();
+    let rec_bytes_per_round = rec_bytes_total as f64 / rec_total_rounds;
+    let rec_naive_total: usize = recordings
+        .iter()
+        .map(|b| naive_fixed_width_len(&Recording::decode(b).expect("own recording decodes")))
+        .sum();
+    let rec_compression = rec_naive_total as f64 / rec_bytes_total.max(1) as f64;
+    println!("null observer:     {null_s:.4} s  ({null_rps:.1} rounds/s)");
+    println!(
+        "recording:         {recording_s:.4} s  ({recording_rps:.1} rounds/s, {recording_overhead_pct:+.2}% overhead)"
+    );
+    println!(
+        "wire density:      {rec_bytes_total} bytes total, {rec_bytes_per_round:.1} bytes/round, {rec_compression:.2}x vs naive fixed-width ({rec_naive_total} bytes)"
+    );
+
     let mean_total: f64 =
         cached_r.iter().map(|r| r.total_mbps).sum::<f64>() / cached_r.len().max(1) as f64;
     // Policy labels via `Display` — the same names `SweepStats::policy`
@@ -602,7 +722,7 @@ fn main() {
         _ => "null".to_string(),
     };
     let json = format!(
-        "{{\n  \"bench\": \"sim_three_pairs_nplus\",\n  \"placements\": {N_PLACEMENTS},\n  \"rounds\": {ROUNDS},\n  \"total_rounds\": {total_rounds},\n  \"iters\": {iters},\n  \"quick\": {quick},\n  \"legacy_seconds\": {legacy_seconds},\n  \"uncached_seconds\": {uncached_s:.6},\n  \"cached_seconds\": {cached_s:.6},\n  \"legacy_rounds_per_sec\": {legacy_rps_json},\n  \"uncached_rounds_per_sec\": {uncached_rps:.3},\n  \"cached_rounds_per_sec\": {cached_rps:.3},\n  \"speedup\": {speedup_json},\n  \"cache_speedup\": {cache_speedup:.3},\n  \"bit_identical\": {bit_identical},\n  \"mean_total_mbps\": {mean_total:.6},\n  \"frozen_baseline\": {{\"cached_rounds_per_sec\": {FROZEN_CACHED_RPS}, \"legacy_rounds_per_sec\": {FROZEN_LEGACY_RPS}}},\n  \"speedup_vs_frozen_cached\": {vs_frozen:.3},\n  \"sweep_bench\": \"sweep_pairs4_all_protocols\",\n  \"sweep_policies\": [{sweep_policies}],\n  \"sweep_seeds\": {SWEEP_SEEDS},\n  \"sweep_rounds\": {SWEEP_ROUNDS},\n  \"sweep_total_runs\": {sweep_total_runs},\n  \"sweep_cores_available\": {cores},\n  \"sweep_legacy_seconds\": {sweep_legacy_json},\n  \"sweep_serial_seconds\": {sweep_serial_json},\n  \"sweep_2t_seconds\": {sweep_2t_json},\n  \"sweep_4t_seconds\": {sweep_4t_json},\n  \"sweep_speedup_vs_legacy\": {sweep_vs_legacy_json},\n  \"multi_core_observable\": {multi_core_observable},\n  \"sweep_speedup_2t\": {speedup_2t_json},\n  \"sweep_speedup_4t\": {speedup_4t_json},\n  \"sweep_parallel_bit_identical\": {parallel_identical_json},\n  \"sweep_environments\": {{{sweep_environments}}},\n  \"sweep_city\": {city_json},\n  \"kernels\": {{\"bench\": \"matvec_{KERNEL_DIM}x{KERNEL_DIM}\", \"iters\": {KERNEL_ITERS}, \"aos_ns_per_op\": {kernel_aos_ns:.3}, \"soa_ns_per_op\": {kernel_soa_ns:.3}, \"soa_speedup\": {kernel_speedup:.3}}},\n  \"sinr_grid\": {{\"tier\": \"decimated:{DECIMATION}\", \"placements\": {N_PLACEMENTS}, \"rounds\": {ROUNDS}, \"total_rounds\": {total_rounds}, \"seconds\": {dec_s:.6}, \"rounds_per_sec\": {dec_rps:.3}, \"speedup_vs_full_grid\": {dec_vs_full:.3}, \"speedup_vs_frozen_cached\": {dec_vs_frozen_cached:.3}, \"speedup_vs_frozen_legacy\": {dec_vs_frozen_legacy:.3}, \"canonical_keys_distinct\": {keys_distinct}}}\n}}\n",
+        "{{\n  \"bench\": \"sim_three_pairs_nplus\",\n  \"placements\": {N_PLACEMENTS},\n  \"rounds\": {ROUNDS},\n  \"total_rounds\": {total_rounds},\n  \"iters\": {iters},\n  \"quick\": {quick},\n  \"legacy_seconds\": {legacy_seconds},\n  \"uncached_seconds\": {uncached_s:.6},\n  \"cached_seconds\": {cached_s:.6},\n  \"legacy_rounds_per_sec\": {legacy_rps_json},\n  \"uncached_rounds_per_sec\": {uncached_rps:.3},\n  \"cached_rounds_per_sec\": {cached_rps:.3},\n  \"speedup\": {speedup_json},\n  \"cache_speedup\": {cache_speedup:.3},\n  \"bit_identical\": {bit_identical},\n  \"mean_total_mbps\": {mean_total:.6},\n  \"frozen_baseline\": {{\"cached_rounds_per_sec\": {FROZEN_CACHED_RPS}, \"legacy_rounds_per_sec\": {FROZEN_LEGACY_RPS}}},\n  \"speedup_vs_frozen_cached\": {vs_frozen:.3},\n  \"sweep_bench\": \"sweep_pairs4_all_protocols\",\n  \"sweep_policies\": [{sweep_policies}],\n  \"sweep_seeds\": {SWEEP_SEEDS},\n  \"sweep_rounds\": {SWEEP_ROUNDS},\n  \"sweep_total_runs\": {sweep_total_runs},\n  \"sweep_cores_available\": {cores},\n  \"sweep_legacy_seconds\": {sweep_legacy_json},\n  \"sweep_serial_seconds\": {sweep_serial_json},\n  \"sweep_2t_seconds\": {sweep_2t_json},\n  \"sweep_4t_seconds\": {sweep_4t_json},\n  \"sweep_speedup_vs_legacy\": {sweep_vs_legacy_json},\n  \"multi_core_observable\": {multi_core_observable},\n  \"sweep_speedup_2t\": {speedup_2t_json},\n  \"sweep_speedup_4t\": {speedup_4t_json},\n  \"sweep_parallel_bit_identical\": {parallel_identical_json},\n  \"sweep_environments\": {{{sweep_environments}}},\n  \"sweep_city\": {city_json},\n  \"kernels\": {{\"bench\": \"matvec_{KERNEL_DIM}x{KERNEL_DIM}\", \"iters\": {KERNEL_ITERS}, \"aos_ns_per_op\": {kernel_aos_ns:.3}, \"soa_ns_per_op\": {kernel_soa_ns:.3}, \"soa_speedup\": {kernel_speedup:.3}}},\n  \"sinr_grid\": {{\"tier\": \"decimated:{DECIMATION}\", \"placements\": {N_PLACEMENTS}, \"rounds\": {ROUNDS}, \"total_rounds\": {total_rounds}, \"seconds\": {dec_s:.6}, \"rounds_per_sec\": {dec_rps:.3}, \"speedup_vs_full_grid\": {dec_vs_full:.3}, \"speedup_vs_frozen_cached\": {dec_vs_frozen_cached:.3}, \"speedup_vs_frozen_legacy\": {dec_vs_frozen_legacy:.3}, \"canonical_keys_distinct\": {keys_distinct}}},\n  \"recording\": {{\"bench\": \"recording_three_pairs_nplus\", \"placements\": {N_PLACEMENTS}, \"rounds\": {ROUNDS}, \"null_seconds\": {null_s:.6}, \"recording_seconds\": {recording_s:.6}, \"null_rounds_per_sec\": {null_rps:.3}, \"recording_rounds_per_sec\": {recording_rps:.3}, \"overhead_pct\": {recording_overhead_pct:.3}, \"bytes_total\": {rec_bytes_total}, \"bytes_per_round\": {rec_bytes_per_round:.3}, \"naive_fixed_width_bytes\": {rec_naive_total}, \"compression_vs_naive\": {rec_compression:.3}}}\n}}\n",
         legacy_seconds = json_opt(legacy_s, 6),
         legacy_rps_json = json_opt(legacy_rps, 3),
         speedup_json = json_opt(speedup, 3),

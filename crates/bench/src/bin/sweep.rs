@@ -12,7 +12,7 @@
 //! ```text
 //! cargo run --release --bin sweep -- [scenario] [n_seeds] [rounds] \
 //!     [--threads N] [--policies a,b,..] [--env name] \
-//!     [--mobility spec] [--json [path]]
+//!     [--mobility spec] [--json [path]] [--record dir]
 //!
 //! where `scenario` is one of:
 //!   three_pairs          the Fig. 3 scenario (default)
@@ -40,6 +40,10 @@
 //!   --mobility spec      node mobility (default static; also
 //!                        waypoint:<step_m>x<epoch_rounds>)
 //!   --json [path]        machine-readable stats to `path` (default stdout)
+//!   --record dir         write one event recording per (policy, seed)
+//!                        into `dir` as `<policy>-s<seed>.rec`; stats are
+//!                        aggregated from the same runs, bit-identical to
+//!                        an unrecorded sweep at any `--threads` value
 //! ```
 //!
 //! Generated scenarios are seeded (generator seed 42 unless `random:`
@@ -48,6 +52,9 @@
 //! the chosen environment's maps reports cleanly and exits 2.
 
 use nplus::prelude::*;
+use nplus::run_indexed;
+use nplus_codec::export::sweep_report_json;
+use nplus_codec::{RecordingContext, RecordingObserver};
 use nplus_testkit::{parse_spec, SCENARIO_SPEC_HELP};
 
 /// Reports an invalid operand the way every operator error is reported:
@@ -57,59 +64,73 @@ fn spec_error(msg: &str) -> ! {
     std::process::exit(2);
 }
 
-/// One float in the fixed `{:.9}` JSON layout; undefined values
-/// (`NaN`/`Inf` — e.g. fairness when no run had it defined, or rates
-/// from a zero-round config) become `null`, JSON's only honest
-/// spelling of them.
-fn fmt_f64(v: f64) -> String {
-    if v.is_finite() {
-        format!("{v:.9}")
-    } else {
-        "null".to_string()
-    }
-}
+/// One seed's worth of recorded runs: the per-policy results plus the
+/// encoded recording bytes, keyed by output file name.
+type RecordedSeed = (SeedResults, Vec<(String, Vec<u8>)>);
 
-/// Renders the stats as JSON (handwritten — the workspace carries no
-/// serialization dependency). Field order is fixed so serial/parallel
-/// runs can be compared with a plain `diff`. Every float field goes
-/// through [`fmt_f64`], so no `NaN`/`inf` token can reach the output.
-fn stats_json(
+/// Runs every seed as an indexed job on the scoped-thread pool — same
+/// executor, same merge order as `SweepSpec::try_run`, so the stats it
+/// yields are bit-identical to an unrecorded sweep at any thread count —
+/// while a [`RecordingObserver`] per (policy, seed) captures the event
+/// stream. Recordings are encoded to memory inside the job and written
+/// in deterministic (seed-major, policy-within-seed) order afterwards.
+fn run_recorded(
+    sweep_spec: &SweepSpec,
     spec: &str,
-    env_name: &str,
+    n_flows: usize,
     traffic: TrafficModel,
     mobility: MobilityModel,
-    n_seeds: u64,
-    rounds: usize,
-    stats: &[SweepStats],
-) -> String {
-    let mut out = String::new();
-    out.push_str("{\n");
-    out.push_str(&format!("  \"scenario\": \"{spec}\",\n"));
-    out.push_str(&format!("  \"environment\": \"{env_name}\",\n"));
-    out.push_str(&format!("  \"traffic\": \"{}\",\n", traffic.spec_string()));
-    out.push_str(&format!(
-        "  \"mobility\": \"{}\",\n",
-        mobility.spec_string()
-    ));
-    out.push_str(&format!("  \"seeds\": {n_seeds},\n"));
-    out.push_str(&format!("  \"rounds\": {rounds},\n"));
-    out.push_str("  \"protocols\": [\n");
-    for (i, s) in stats.iter().enumerate() {
-        let flows: Vec<String> = s.mean_per_flow_mbps.iter().map(|&v| fmt_f64(v)).collect();
-        out.push_str(&format!(
-            "    {{\"protocol\": \"{}\", \"runs\": {}, \"mean_total_mbps\": {}, \"ci95_total_mbps\": {}, \"mean_dof\": {}, \"mean_fairness\": {}, \"mean_per_flow_mbps\": [{}]}}{}\n",
-            s.policy,
-            s.n_runs,
-            fmt_f64(s.mean_total_mbps),
-            fmt_f64(s.ci95_total_mbps),
-            fmt_f64(s.mean_dof),
-            fmt_f64(s.mean_fairness),
-            flows.join(", "),
-            if i + 1 < stats.len() { "," } else { "" }
-        ));
+    threads: usize,
+    dir: &str,
+) -> Result<Vec<SweepStats>, String> {
+    let names = sweep_spec.policy_names();
+    let seeds = sweep_spec.seed_list().to_vec();
+    std::fs::create_dir_all(dir).map_err(|e| format!("cannot create {dir}: {e}"))?;
+    let jobs: Vec<Result<RecordedSeed, String>> = run_indexed(seeds.len(), threads, |i| {
+        let seed = seeds[i];
+        let mut recorders: Vec<RecordingObserver<Vec<u8>>> = (0..names.len())
+            .map(|p| {
+                RecordingObserver::new(
+                    Vec::new(),
+                    RecordingContext {
+                        scenario: spec.to_string(),
+                        traffic: traffic.spec_string(),
+                        mobility: mobility.spec_string(),
+                        seed_index: i,
+                        n_seeds: seeds.len(),
+                        policy_index: p,
+                        n_policies: names.len(),
+                    },
+                )
+            })
+            .collect();
+        let mut taps: Vec<&mut dyn RoundObserver> = recorders
+            .iter_mut()
+            .map(|r| r as &mut dyn RoundObserver)
+            .collect();
+        let results = sweep_spec
+            .try_run_seed_observed(seed, &mut taps)
+            .map_err(|e| e.to_string())?;
+        drop(taps);
+        let mut files = Vec::with_capacity(names.len());
+        for (name, rec) in names.iter().zip(recorders) {
+            let bytes = rec
+                .finish()
+                .map_err(|e| format!("encoding {name}-s{seed}: {e}"))?;
+            files.push((format!("{name}-s{seed}.rec"), bytes));
+        }
+        Ok((results, files))
+    });
+    let mut results = Vec::with_capacity(seeds.len());
+    for job in jobs {
+        let (seed_results, files) = job?;
+        for (file, bytes) in files {
+            let path = format!("{dir}/{file}");
+            std::fs::write(&path, bytes).map_err(|e| format!("cannot write {path}: {e}"))?;
+        }
+        results.push(seed_results);
     }
-    out.push_str("  ]\n}\n");
-    out
+    Ok(aggregate_results(n_flows, &names, &results))
 }
 
 fn main() {
@@ -124,6 +145,7 @@ fn main() {
     let mut env_name: String = "sigcomm11".to_string();
     let mut mobility = MobilityModel::Static;
     let mut json_to: Option<Option<String>> = None;
+    let mut record_to: Option<String> = None;
     let mut i = 1;
     while i < args.len() {
         match args[i].as_str() {
@@ -154,6 +176,14 @@ fn main() {
                     .get(i)
                     .unwrap_or_else(|| spec_error("--mobility needs a spec"));
                 mobility = s.parse().unwrap_or_else(|e: String| spec_error(&e));
+            }
+            "--record" => {
+                i += 1;
+                record_to = Some(
+                    args.get(i)
+                        .unwrap_or_else(|| spec_error("--record needs a directory"))
+                        .clone(),
+                );
             }
             "--json" => {
                 // Optional path operand: the next arg, unless it is
@@ -227,13 +257,33 @@ fn main() {
 
     // A scenario/environment mismatch (too many nodes for the map) is
     // an expected operator error, not a crash.
-    let stats = sweep_spec.try_run().unwrap_or_else(|e| {
-        eprintln!("error: {e} (scenario {spec:?} does not fit environment {env_name:?})");
-        std::process::exit(2);
-    });
+    let stats = match &record_to {
+        Some(dir) => {
+            let n_flows = scenario.flows.len();
+            let stats = run_recorded(&sweep_spec, spec, n_flows, traffic, mobility, threads, dir)
+                .unwrap_or_else(|e| {
+                    eprintln!("error: {e}");
+                    std::process::exit(2);
+                });
+            eprintln!("recordings in {dir}/");
+            stats
+        }
+        None => sweep_spec.try_run().unwrap_or_else(|e| {
+            eprintln!("error: {e} (scenario {spec:?} does not fit environment {env_name:?})");
+            std::process::exit(2);
+        }),
+    };
 
     if let Some(path) = &json_to {
-        let json = stats_json(spec, &env_name, traffic, mobility, n_seeds, rounds, &stats);
+        let json = sweep_report_json(
+            spec,
+            &env_name,
+            &traffic.spec_string(),
+            &mobility.spec_string(),
+            n_seeds,
+            rounds,
+            &stats,
+        );
         match path {
             Some(p) => {
                 if let Err(e) = std::fs::write(p, &json) {

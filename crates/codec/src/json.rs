@@ -1,9 +1,10 @@
 //! A minimal, dependency-free JSON value: parser and writer.
 //!
 //! The workspace deliberately carries no serialization dependency, so
-//! the wire protocol and the bench JSON writers share this ~300-line
-//! implementation instead. Two properties matter here more than
-//! features:
+//! this ~300-line implementation is the one JSON emitter everything
+//! shares: the sweep server's wire protocol (`nplus-server` re-exports
+//! this module), the sweep/replay report writers, and the recording
+//! exporter. Two properties matter here more than features:
 //!
 //! * **No panics on untrusted input.** The parser is the first thing a
 //!   served request hits; every malformed byte sequence is an `Err`
@@ -159,6 +160,19 @@ pub fn json_f64(v: f64) -> Json {
         Json::Num(v)
     } else {
         Json::Null
+    }
+}
+
+/// One float in the fixed `{:.9}` report layout the sweep/replay JSON
+/// reports use; undefined values (`NaN`/`Inf` — e.g. fairness when no
+/// run had it defined) become `null`, JSON's only honest spelling of
+/// them. The fixed precision is what makes serial/parallel (and
+/// live/replayed) reports comparable with a plain `diff`.
+pub fn fmt_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:.9}")
+    } else {
+        "null".to_string()
     }
 }
 

@@ -1,0 +1,247 @@
+//! Wire primitives: LEB128 varints, length-prefixed strings, and raw
+//! `f64` bit transport, plus the bounds-checked [`Reader`] every decode
+//! path goes through.
+//!
+//! Integers travel as unsigned LEB128 (7 payload bits per byte, high
+//! bit continues) — round indices, counts and node ids are small, so
+//! most fit one byte. Floats travel as their raw IEEE-754 bits, little
+//! endian: the recording contract is *bitwise* exactness, and a decimal
+//! round-trip would be both slower and lossy at the edges. Strings are
+//! varint length + UTF-8 bytes.
+
+use crate::error::DecodeError;
+
+/// Appends `v` as an unsigned LEB128 varint (1–10 bytes).
+pub(crate) fn put_varint(out: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+/// Appends a varint-length-prefixed UTF-8 string.
+pub(crate) fn put_str(out: &mut Vec<u8>, s: &str) {
+    put_varint(out, s.len() as u64);
+    out.extend_from_slice(s.as_bytes());
+}
+
+/// Appends the raw little-endian IEEE-754 bits of `v`.
+pub(crate) fn put_f64_bits(out: &mut Vec<u8>, v: f64) {
+    out.extend_from_slice(&v.to_bits().to_le_bytes());
+}
+
+/// A bounds-checked cursor over untrusted recording bytes. Every read
+/// is `get`-based — out-of-range access is a typed
+/// [`DecodeError::Truncated`], never a slice panic.
+pub(crate) struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    pub(crate) fn new(buf: &'a [u8]) -> Self {
+        Reader { buf, pos: 0 }
+    }
+
+    /// Current byte offset (what decode errors report).
+    pub(crate) fn pos(&self) -> usize {
+        self.pos
+    }
+
+    /// Whether the input is exhausted.
+    pub(crate) fn is_empty(&self) -> bool {
+        self.pos >= self.buf.len()
+    }
+
+    /// Reads one byte.
+    pub(crate) fn byte(&mut self, what: &'static str) -> Result<u8, DecodeError> {
+        match self.buf.get(self.pos) {
+            Some(&b) => {
+                self.pos += 1;
+                Ok(b)
+            }
+            None => Err(DecodeError::Truncated {
+                offset: self.pos,
+                what,
+            }),
+        }
+    }
+
+    /// Reads exactly `n` bytes.
+    pub(crate) fn bytes(&mut self, n: usize, what: &'static str) -> Result<&'a [u8], DecodeError> {
+        let end = self.pos.checked_add(n).ok_or(DecodeError::Corrupt {
+            offset: self.pos,
+            what,
+        })?;
+        match self.buf.get(self.pos..end) {
+            Some(s) => {
+                self.pos = end;
+                Ok(s)
+            }
+            None => Err(DecodeError::Truncated {
+                offset: self.pos,
+                what,
+            }),
+        }
+    }
+
+    /// Reads an unsigned LEB128 varint. Rejects encodings longer than
+    /// 10 bytes and values overflowing `u64`.
+    pub(crate) fn varint(&mut self, what: &'static str) -> Result<u64, DecodeError> {
+        let start = self.pos;
+        let mut v: u64 = 0;
+        let mut shift = 0u32;
+        loop {
+            let byte = self.byte(what)?;
+            let payload = u64::from(byte & 0x7f);
+            if shift >= 63 && (shift > 63 || payload > 1) {
+                return Err(DecodeError::Corrupt {
+                    offset: start,
+                    what,
+                });
+            }
+            v |= payload << shift;
+            if byte & 0x80 == 0 {
+                return Ok(v);
+            }
+            shift += 7;
+        }
+    }
+
+    /// [`varint`](Reader::varint) narrowed to `usize`.
+    pub(crate) fn varint_usize(&mut self, what: &'static str) -> Result<usize, DecodeError> {
+        let start = self.pos;
+        let v = self.varint(what)?;
+        usize::try_from(v).map_err(|_| DecodeError::Corrupt {
+            offset: start,
+            what,
+        })
+    }
+
+    /// Reads a varint-length-prefixed UTF-8 string.
+    pub(crate) fn string(&mut self, what: &'static str) -> Result<String, DecodeError> {
+        let len = self.varint_usize(what)?;
+        let start = self.pos;
+        let bytes = self.bytes(len, what)?;
+        match std::str::from_utf8(bytes) {
+            Ok(s) => Ok(s.to_string()),
+            Err(_) => Err(DecodeError::Corrupt {
+                offset: start,
+                what,
+            }),
+        }
+    }
+
+    /// Reads raw little-endian IEEE-754 `f64` bits. Every bit pattern
+    /// is a valid `f64`, so this cannot reject — only truncate.
+    pub(crate) fn f64_bits(&mut self, what: &'static str) -> Result<f64, DecodeError> {
+        let bytes = self.bytes(8, what)?;
+        let mut arr = [0u8; 8];
+        arr.copy_from_slice(bytes);
+        Ok(f64::from_bits(u64::from_le_bytes(arr)))
+    }
+
+    /// Reads a little-endian `u128` (the canonical-key width).
+    pub(crate) fn u128_le(&mut self, what: &'static str) -> Result<u128, DecodeError> {
+        let bytes = self.bytes(16, what)?;
+        let mut arr = [0u8; 16];
+        arr.copy_from_slice(bytes);
+        Ok(u128::from_le_bytes(arr))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn varints_roundtrip_across_the_range() {
+        let cases = [
+            0u64,
+            1,
+            127,
+            128,
+            300,
+            16_383,
+            16_384,
+            u32::MAX as u64,
+            u64::MAX - 1,
+            u64::MAX,
+        ];
+        for v in cases {
+            let mut buf = Vec::new();
+            put_varint(&mut buf, v);
+            assert!(buf.len() <= 10);
+            let mut r = Reader::new(&buf);
+            assert_eq!(r.varint("v").unwrap(), v, "roundtrip {v}");
+            assert!(r.is_empty());
+        }
+    }
+
+    #[test]
+    fn overlong_and_overflowing_varints_are_corrupt() {
+        // 11 continuation bytes: too long for u64.
+        let overlong = [0x80u8; 10]
+            .iter()
+            .chain(&[0x01])
+            .copied()
+            .collect::<Vec<_>>();
+        let mut r = Reader::new(&overlong);
+        assert!(matches!(
+            r.varint("v"),
+            Err(DecodeError::Corrupt { offset: 0, .. })
+        ));
+        // 10 bytes whose top payload overflows 64 bits.
+        let overflow = [0xffu8, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x02];
+        let mut r = Reader::new(&overflow);
+        assert!(matches!(r.varint("v"), Err(DecodeError::Corrupt { .. })));
+        // u64::MAX itself still decodes (top byte payload = 1).
+        let mut buf = Vec::new();
+        put_varint(&mut buf, u64::MAX);
+        assert_eq!(Reader::new(&buf).varint("v").unwrap(), u64::MAX);
+    }
+
+    #[test]
+    fn truncated_reads_report_offset_and_field() {
+        let mut buf = Vec::new();
+        put_str(&mut buf, "hello");
+        let mut r = Reader::new(&buf[..3]);
+        let err = r.string("policy").unwrap_err();
+        assert_eq!(
+            err,
+            DecodeError::Truncated {
+                offset: 1,
+                what: "policy"
+            }
+        );
+        let mut r = Reader::new(&[]);
+        assert!(matches!(r.varint("x"), Err(DecodeError::Truncated { .. })));
+    }
+
+    #[test]
+    fn f64_bits_are_exact_for_every_pattern() {
+        for bits in [0u64, 1, f64::NAN.to_bits(), (-0.0f64).to_bits(), u64::MAX] {
+            let mut buf = Vec::new();
+            put_f64_bits(&mut buf, f64::from_bits(bits));
+            let v = Reader::new(&buf).f64_bits("b").unwrap();
+            assert_eq!(v.to_bits(), bits);
+        }
+    }
+
+    #[test]
+    fn invalid_utf8_strings_are_corrupt() {
+        let mut buf = Vec::new();
+        put_varint(&mut buf, 2);
+        buf.extend_from_slice(&[0xff, 0xfe]);
+        let mut r = Reader::new(&buf);
+        assert!(matches!(
+            r.string("s"),
+            Err(DecodeError::Corrupt { offset: 1, .. })
+        ));
+    }
+}

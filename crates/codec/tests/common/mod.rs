@@ -1,0 +1,157 @@
+//! Shared helper for the codec integration suites: run a sweep from a
+//! spec string with one [`RecordingObserver`] per (policy, seed), the
+//! way the `sweep` bin's `--record` does, and keep the live results
+//! alongside the encoded bytes for bit-for-bit comparison.
+
+#![allow(dead_code)]
+
+use nplus::prelude::*;
+use nplus_codec::{RecordingContext, RecordingObserver};
+use nplus_testkit::parse_spec;
+
+/// One recorded sweep: the encoded recordings in seed-major,
+/// policy-within-seed order, plus everything the live run produced.
+pub struct Recorded {
+    /// The resolved spec (for canonical-key and re-run comparisons).
+    pub spec: SweepSpec,
+    /// The spec string the sweep was built from.
+    pub spec_str: String,
+    /// Encoded recordings, `bytes[seed_index * n_policies + policy_index]`.
+    pub bytes: Vec<Vec<u8>>,
+    /// The live per-seed results the observed runs produced.
+    pub live: Vec<SeedResults>,
+    /// Live statistics from an independent, unobserved `try_run`.
+    pub live_stats: Vec<SweepStats>,
+    /// Resolved policy names, in job order.
+    pub names: Vec<String>,
+    /// Flows in the scenario.
+    pub n_flows: usize,
+}
+
+/// Records `n_seeds` x `policies` runs of `spec_str` in `env` and
+/// returns the encoded recordings next to the live results.
+pub fn record_sweep(
+    spec_str: &str,
+    env: &str,
+    policies: &[&str],
+    n_seeds: u64,
+    rounds: usize,
+) -> Recorded {
+    let environment = environment_from_name(env).expect("known environment");
+    let parsed = parse_spec(spec_str, environment.capacity()).expect("valid spec");
+    let traffic = parsed.traffic.unwrap_or_default();
+    let n_flows = parsed.scenario.flows.len();
+    let mut spec = SweepSpec::new(parsed.scenario)
+        .rounds(rounds)
+        .seed_count(n_seeds)
+        .traffic(traffic)
+        .environment_named(env)
+        .expect("known environment");
+    for name in policies {
+        spec = spec.policy_named(name).expect("known policy");
+    }
+    let names = spec.policy_names();
+    let seeds = spec.seed_list().to_vec();
+
+    let mut bytes = Vec::new();
+    let mut live = Vec::new();
+    for (i, &seed) in seeds.iter().enumerate() {
+        let mut recorders: Vec<RecordingObserver<Vec<u8>>> = (0..names.len())
+            .map(|p| {
+                RecordingObserver::new(
+                    Vec::new(),
+                    RecordingContext {
+                        scenario: spec_str.to_string(),
+                        traffic: traffic.spec_string(),
+                        mobility: MobilityModel::Static.spec_string(),
+                        seed_index: i,
+                        n_seeds: seeds.len(),
+                        policy_index: p,
+                        n_policies: names.len(),
+                    },
+                )
+            })
+            .collect();
+        let mut taps: Vec<&mut dyn RoundObserver> = recorders
+            .iter_mut()
+            .map(|r| r as &mut dyn RoundObserver)
+            .collect();
+        let results = spec
+            .try_run_seed_observed(seed, &mut taps)
+            .expect("sweep runs");
+        drop(taps);
+        for rec in recorders {
+            bytes.push(rec.finish().expect("in-memory sink never fails"));
+        }
+        live.push(results);
+    }
+    let live_stats = spec.try_run().expect("sweep runs");
+    Recorded {
+        spec,
+        spec_str: spec_str.to_string(),
+        bytes,
+        live,
+        live_stats,
+        names,
+        n_flows,
+    }
+}
+
+/// Asserts two floats are bitwise-identical (the recording contract —
+/// stricter than `==`, which would pass `-0.0 == 0.0`).
+pub fn assert_bits(a: f64, b: f64, what: &str) {
+    assert_eq!(a.to_bits(), b.to_bits(), "{what}: {a} vs {b}");
+}
+
+/// Asserts two run results are bitwise-identical in every float.
+pub fn assert_run_bitwise(a: &RunResult, b: &RunResult, what: &str) {
+    assert_bits(a.total_mbps, b.total_mbps, &format!("{what}: total_mbps"));
+    assert_bits(a.mean_dof, b.mean_dof, &format!("{what}: mean_dof"));
+    assert_eq!(
+        a.per_flow_mbps.len(),
+        b.per_flow_mbps.len(),
+        "{what}: flows"
+    );
+    for (f, (x, y)) in a.per_flow_mbps.iter().zip(&b.per_flow_mbps).enumerate() {
+        assert_bits(*x, *y, &format!("{what}: per_flow_mbps[{f}]"));
+    }
+}
+
+/// Asserts two stat sets are bitwise-identical in every float.
+pub fn assert_stats_bitwise(a: &[SweepStats], b: &[SweepStats]) {
+    assert_eq!(a.len(), b.len(), "policy count");
+    for (sa, sb) in a.iter().zip(b) {
+        let w = &sa.policy;
+        assert_eq!(sa.policy, sb.policy);
+        assert_eq!(sa.n_runs, sb.n_runs, "{w}: n_runs");
+        assert_bits(
+            sa.mean_total_mbps,
+            sb.mean_total_mbps,
+            &format!("{w}: mean_total_mbps"),
+        );
+        assert_bits(
+            sa.ci95_total_mbps,
+            sb.ci95_total_mbps,
+            &format!("{w}: ci95_total_mbps"),
+        );
+        assert_bits(sa.mean_dof, sb.mean_dof, &format!("{w}: mean_dof"));
+        assert_bits(
+            sa.mean_fairness,
+            sb.mean_fairness,
+            &format!("{w}: mean_fairness"),
+        );
+        assert_eq!(
+            sa.mean_per_flow_mbps.len(),
+            sb.mean_per_flow_mbps.len(),
+            "{w}: flows"
+        );
+        for (f, (x, y)) in sa
+            .mean_per_flow_mbps
+            .iter()
+            .zip(&sb.mean_per_flow_mbps)
+            .enumerate()
+        {
+            assert_bits(*x, *y, &format!("{w}: mean_per_flow_mbps[{f}]"));
+        }
+    }
+}

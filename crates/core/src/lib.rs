@@ -70,7 +70,7 @@ pub use link::{select_stream_rate, zf_sinr, SubcarrierObservation};
 pub use node::{learn_forward_channel, plan_join, JoinError, JoinPlan, LearnedReceiver};
 pub use observer::{
     ContentionKind, ContentionRecord, GoodputAccumulator, JoinRecord, NullObserver, RoundObserver,
-    RoundRecord, RunMeta, StreamRecord,
+    RoundRecord, RunIdentity, RunMeta, StreamRecord,
 };
 pub use policy::{
     policy_from_name, Beamforming, Dot11n, GreedyJoin, MacPolicy, NPlus, Oracle, PolicyView,
@@ -82,9 +82,9 @@ pub use precoder::{
     OwnReceiver, OwnReceiverRef, PrecoderError, Precoding, ProtectedReceiver, ProtectedReceiverRef,
 };
 pub use sim::{
-    simulate, simulate_policy, sweep, sweep_parallel, CanonicalSpec, Flow, MobilityModel, Protocol,
-    RunResult, Scenario, SeedResults, SimConfig, SimEngine, SweepError, SweepJob, SweepSpec,
-    SweepStats, TrafficModel,
+    aggregate_results, simulate, simulate_policy, sweep, sweep_parallel, CanonicalSpec, Flow,
+    MobilityModel, Protocol, RunResult, Scenario, SeedResults, SimConfig, SimEngine, SweepError,
+    SweepJob, SweepSpec, SweepStats, TrafficModel,
 };
 
 /// One-import surface for simulation users: the builder facade, the
@@ -104,16 +104,16 @@ pub use sim::{
 pub mod prelude {
     pub use crate::observer::{
         ContentionKind, ContentionRecord, GoodputAccumulator, JoinRecord, NullObserver,
-        RoundObserver, RoundRecord, RunMeta, StreamRecord,
+        RoundObserver, RoundRecord, RunIdentity, RunMeta, StreamRecord,
     };
     pub use crate::policy::{
         policy_from_name, Beamforming, Dot11n, GreedyJoin, MacPolicy, NPlus, Oracle, PolicyView,
         BUILTIN_POLICY_NAMES,
     };
     pub use crate::sim::{
-        simulate, simulate_policy, sweep, sweep_parallel, CanonicalSpec, Flow, MobilityModel,
-        Protocol, RunResult, Scenario, SeedResults, SimConfig, SimEngine, SweepError, SweepJob,
-        SweepSpec, SweepStats, TrafficModel,
+        aggregate_results, simulate, simulate_policy, sweep, sweep_parallel, CanonicalSpec, Flow,
+        MobilityModel, Protocol, RunResult, Scenario, SeedResults, SimConfig, SimEngine,
+        SweepError, SweepJob, SweepSpec, SweepStats, TrafficModel,
     };
     pub use nplus_channel::environment::{
         environment_from_name, ChannelEnvironment, DegradedHardware, EnvironmentError, MultiCell,

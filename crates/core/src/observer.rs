@@ -15,6 +15,26 @@
 use crate::sim::RunResult;
 use nplus_phy::rates::RateIndex;
 
+/// Which sweep job a run belongs to — the labels an observer needs to
+/// file the stream it is watching (the recording codec above all).
+///
+/// Delivered through [`RunMeta::identity`] by the sweep layer
+/// ([`SweepJob::run_observed`](crate::sim::SweepJob::run_observed));
+/// plain engine calls carry `None` because a bare engine has no sweep
+/// context.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RunIdentity {
+    /// The job's topology/run seed.
+    pub seed: u64,
+    /// Registry name of the propagation environment the topology was
+    /// drawn in.
+    pub environment: String,
+    /// The sweep's `CanonicalSpec` v3 content key, when the spec
+    /// canonicalizes (`None` for ad-hoc specs — custom policies,
+    /// testbed overrides, non-canonical configs).
+    pub canonical_key: Option<u128>,
+}
+
 /// Run-level metadata, delivered once before the first round.
 #[derive(Debug, Clone)]
 pub struct RunMeta<'a> {
@@ -28,6 +48,9 @@ pub struct RunMeta<'a> {
     /// Sample clock in Hz — what converts accumulated airtime samples
     /// into seconds (and hence bits into Mb/s).
     pub bandwidth_hz: f64,
+    /// Which sweep job this run belongs to, when the caller supplied
+    /// one (`None` for plain `run`/`run_observed` engine calls).
+    pub identity: Option<RunIdentity>,
 }
 
 /// How the round's primary transmitter acquired the medium.
@@ -42,7 +65,7 @@ pub enum ContentionKind {
 }
 
 /// One medium acquisition: who contended, who won, how long it took.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ContentionRecord {
     /// Round index.
     pub round: usize,
@@ -58,7 +81,7 @@ pub struct ContentionRecord {
 }
 
 /// One secondary-contention join attempt.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct JoinRecord {
     /// Round index.
     pub round: usize,
@@ -74,7 +97,7 @@ pub struct JoinRecord {
 }
 
 /// One planned stream in a round's final ledger, in planning order.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct StreamRecord {
     /// Flow the stream serves.
     pub flow: usize,

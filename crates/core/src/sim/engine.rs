@@ -27,7 +27,7 @@ use super::{
 use crate::link::{zf_sinr_slices, zf_sinr_slices_into, ZfWorkspace};
 use crate::observer::{
     ContentionKind, ContentionRecord, GoodputAccumulator, JoinRecord, NullObserver, RoundObserver,
-    RoundRecord, RunMeta, StreamRecord, Tee,
+    RoundRecord, RunIdentity, RunMeta, StreamRecord, Tee,
 };
 use crate::policy::{AllocScratch, MacPolicy, PolicyView};
 use crate::power_control::{
@@ -1036,12 +1036,29 @@ impl<'a> SimEngine<'a> {
         rng: &mut StdRng,
         observer: &mut dyn RoundObserver,
     ) -> RunResult {
+        self.run_identified(policy, rng, observer, None)
+    }
+
+    /// [`run_observed`](SimEngine::run_observed) with a caller-supplied
+    /// [`RunIdentity`] delivered through [`RunMeta`] — how the sweep
+    /// layer labels each job's stream (seed, environment name,
+    /// canonical key) for observers that persist what they watch. The
+    /// identity rides along unread by the engine; results are
+    /// bit-for-bit those of [`run_observed`](SimEngine::run_observed).
+    pub fn run_identified(
+        &self,
+        policy: &dyn MacPolicy,
+        rng: &mut StdRng,
+        observer: &mut dyn RoundObserver,
+        identity: Option<RunIdentity>,
+    ) -> RunResult {
         let mut acc = GoodputAccumulator::new();
         let meta = RunMeta {
             policy: policy.name(),
             n_flows: self.scenario.flows.len(),
             rounds: self.cfg.rounds,
             bandwidth_hz: self.cfg.ofdm.bandwidth_hz,
+            identity,
         };
         let mut tee = Tee {
             a: observer,

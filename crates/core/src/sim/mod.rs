@@ -50,8 +50,8 @@ mod sweep;
 
 pub use engine::{simulate, simulate_policy, SimEngine, TYPICAL_BLOB_BYTES};
 pub use sweep::{
-    sweep, sweep_parallel, CanonicalSpec, SeedResults, SweepError, SweepJob, SweepSpec, SweepStats,
-    DEFAULT_POLICIES,
+    aggregate_results, sweep, sweep_parallel, CanonicalSpec, SeedResults, SweepError, SweepJob,
+    SweepSpec, SweepStats, DEFAULT_POLICIES,
 };
 
 use crate::policy::MacPolicy;

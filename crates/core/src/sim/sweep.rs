@@ -18,6 +18,7 @@ use super::{
     Flow, MobilityModel, Protocol, RunResult, Scenario, SimConfig, SimEngine, SinrGrid,
     TrafficModel,
 };
+use crate::observer::{RoundObserver, RunIdentity};
 use crate::policy::{policy_from_name, MacPolicy, BUILTIN_POLICY_NAMES};
 use nplus_channel::environment::{
     environment_from_name, ChannelEnvironment, EnvironmentError, BUILTIN_ENVIRONMENT_NAMES,
@@ -547,6 +548,60 @@ impl<'a> SweepJob<'a> {
             per_policy,
         }
     }
+
+    /// [`run`](SweepJob::run) with one caller observer per policy:
+    /// `observers[i]` receives the full event stream of policy `i`'s
+    /// run, labeled (via [`RunMeta::identity`](
+    /// crate::observer::RunMeta)) with a [`RunIdentity`] carrying the
+    /// job's seed, the environment's registry name, and the sweep's
+    /// canonical key when the caller knows one. Observers only listen:
+    /// the returned results are bit-for-bit those of
+    /// [`run`](SweepJob::run).
+    ///
+    /// # Panics
+    /// When `observers.len() != policies.len()`, and — like
+    /// [`run`](SweepJob::run) — when the testbed cannot fit the
+    /// scenario.
+    pub fn run_observed(
+        &self,
+        canonical_key: Option<u128>,
+        observers: &mut [&mut dyn RoundObserver],
+    ) -> SeedResults {
+        assert_eq!(
+            observers.len(),
+            self.policies.len(),
+            "one observer per policy"
+        );
+        let mut placement_rng = StdRng::seed_from_u64(self.seed);
+        let topo = build_environment_topology(
+            self.environment,
+            self.testbed,
+            &self.scenario.antennas,
+            self.cfg.ofdm.bandwidth_hz,
+            self.seed,
+            &mut placement_rng,
+        )
+        .unwrap_or_else(|e| panic!("{e}"));
+        let engine = SimEngine::new(&topo, self.scenario, self.cfg);
+        let per_policy = self
+            .policies
+            .iter()
+            .zip(observers.iter_mut())
+            .map(|(&policy, observer)| {
+                let mut run_rng = StdRng::seed_from_u64(self.seed ^ 0x5EED_CAFE);
+                let identity = RunIdentity {
+                    seed: self.seed,
+                    environment: self.environment.name().to_string(),
+                    canonical_key,
+                };
+                engine.run_identified(policy, &mut run_rng, &mut **observer, Some(identity))
+            })
+            .collect();
+        SeedResults {
+            seed: self.seed,
+            per_policy,
+        }
+    }
 }
 
 // `sweep_parallel` shares the scenario/config/testbed/policies across
@@ -565,19 +620,25 @@ const _: () = {
 };
 
 /// Folds per-seed results (already in seed order) into per-policy
-/// statistics. The accumulation order is fixed — seed-major, policy
-/// within seed — so the aggregate is a pure function of the ordered
-/// result list, independent of how the jobs were scheduled.
-fn aggregate_sweep(
-    scenario: &Scenario,
-    policies: &[&dyn MacPolicy],
+/// statistics — the exact aggregation [`SweepSpec::try_run`] applies,
+/// public so offline consumers (the recording replay path above all)
+/// can reproduce [`SweepStats`] bit-for-bit from per-run results alone.
+///
+/// The accumulation order is fixed — seed-major, policy within seed —
+/// so the aggregate is a pure function of the ordered result list,
+/// independent of how the jobs were scheduled. `n_flows` sizes the
+/// per-flow means, `policy_names` must be in job policy order, and
+/// every `results` entry must carry one result per policy.
+pub fn aggregate_results(
+    n_flows: usize,
+    policy_names: &[String],
     results: &[SeedResults],
 ) -> Vec<SweepStats> {
-    let mut totals: Vec<Vec<f64>> = vec![Vec::with_capacity(results.len()); policies.len()];
-    let mut per_flow: Vec<Vec<f64>> = vec![vec![0.0; scenario.flows.len()]; policies.len()];
-    let mut dofs: Vec<f64> = vec![0.0; policies.len()];
-    let mut fairness_sum: Vec<f64> = vec![0.0; policies.len()];
-    let mut fairness_n: Vec<usize> = vec![0; policies.len()];
+    let mut totals: Vec<Vec<f64>> = vec![Vec::with_capacity(results.len()); policy_names.len()];
+    let mut per_flow: Vec<Vec<f64>> = vec![vec![0.0; n_flows]; policy_names.len()];
+    let mut dofs: Vec<f64> = vec![0.0; policy_names.len()];
+    let mut fairness_sum: Vec<f64> = vec![0.0; policy_names.len()];
+    let mut fairness_n: Vec<usize> = vec![0; policy_names.len()];
 
     for seed_results in results {
         for (p, r) in seed_results.per_policy.iter().enumerate() {
@@ -595,13 +656,13 @@ fn aggregate_sweep(
     }
 
     let n = results.len().max(1) as f64;
-    policies
+    policy_names
         .iter()
         .enumerate()
         .map(|(p, policy)| {
             let mean = totals[p].iter().sum::<f64>() / n;
             SweepStats {
-                policy: policy.name().to_string(),
+                policy: policy.clone(),
                 n_runs: totals[p].len(),
                 mean_total_mbps: mean,
                 ci95_total_mbps: ci95_half_width(&totals[p], mean),
@@ -615,6 +676,17 @@ fn aggregate_sweep(
             }
         })
         .collect()
+}
+
+/// [`aggregate_results`] with names resolved from live policy refs —
+/// the internal shape the sweep paths use.
+fn aggregate_sweep(
+    scenario: &Scenario,
+    policies: &[&dyn MacPolicy],
+    results: &[SeedResults],
+) -> Vec<SweepStats> {
+    let names: Vec<String> = policies.iter().map(|p| p.name().to_string()).collect();
+    aggregate_results(scenario.flows.len(), &names, results)
 }
 
 /// The policy-level sweep core: one [`SweepJob`] per seed on up to
@@ -981,6 +1053,59 @@ impl SweepSpec {
     /// [`try_run_seed`](SweepSpec::try_run_seed).
     pub fn run_seed(&self, seed: u64) -> SeedResults {
         self.try_run_seed(seed).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// [`try_run_seed`](SweepSpec::try_run_seed) with one caller
+    /// observer per resolved policy (see
+    /// [`policy_names`](SweepSpec::policy_names) for the order):
+    /// `observers[i]` receives policy `i`'s full event stream, labeled
+    /// with the job's [`RunIdentity`] — seed, environment registry
+    /// name, and the spec's canonical key when
+    /// [`canonical`](SweepSpec::canonical) succeeds (`None` for ad-hoc
+    /// specs). Observers only listen; results are bit-for-bit those of
+    /// [`try_run_seed`](SweepSpec::try_run_seed).
+    ///
+    /// # Errors
+    /// As [`try_run`](SweepSpec::try_run).
+    ///
+    /// # Panics
+    /// When `observers.len()` differs from the resolved policy count.
+    pub fn try_run_seed_observed(
+        &self,
+        seed: u64,
+        observers: &mut [&mut dyn RoundObserver],
+    ) -> Result<SeedResults, SweepError> {
+        self.scenario.validate().map_err(SweepError::InvalidSpec)?;
+        self.validate_models()?;
+        let testbed = self.resolved_testbed()?;
+        let policy_refs = self.policy_refs();
+        let canonical_key = self.canonical().ok().map(|c| c.key());
+        Ok(SweepJob::in_environment(
+            self.environment.as_dyn(),
+            &testbed,
+            &self.scenario,
+            &self.cfg,
+            &policy_refs,
+            seed,
+        )
+        .run_observed(canonical_key, observers))
+    }
+
+    /// The resolved policy names, in job order — the paper's default
+    /// trio when the spec names none. This is the order
+    /// [`SeedResults::per_policy`] and the sweep statistics follow, and
+    /// what labels per-policy recordings.
+    pub fn policy_names(&self) -> Vec<String> {
+        self.policy_refs()
+            .iter()
+            .map(|p| p.name().to_string())
+            .collect()
+    }
+
+    /// The spec's seed list, in the order [`try_run`](SweepSpec::try_run)
+    /// iterates it.
+    pub fn seed_list(&self) -> &[u64] {
+        &self.seeds
     }
 
     /// The spec's canonical, content-addressable form — see

@@ -17,7 +17,9 @@
 //!
 //! The wire format is deliberately dependency-free: u32 big-endian
 //! length-prefixed JSON frames over TCP ([`protocol`]), parsed and
-//! written by the workspace's own ~400-line JSON module ([`json`]).
+//! written by the workspace's own dependency-free JSON module
+//! ([`json`], re-exported from `nplus-codec`, which the recording
+//! exporter shares).
 //! Every malformed request — unframeable bytes, invalid JSON, names the
 //! registries reject, structurally invalid scenarios — maps to a typed
 //! error response; no client input reaches a panic.
@@ -52,9 +54,10 @@
 
 pub mod cache;
 pub mod client;
-pub mod json;
 pub mod protocol;
 pub mod server;
+
+pub use nplus_codec::json;
 
 pub use cache::ResultCache;
 pub use json::{json_f64, Json};
